@@ -1,0 +1,33 @@
+//! State-of-the-art NUMA-aware lock baselines used in the paper's
+//! evaluation: HMCS, CNA, and ShflLock.
+//!
+//! These are the comparison points of Figures 2, 4 and 10:
+//!
+//! * [`HmcsLock`] — the multi-level HMCS lock of Chabbi, Fagan &
+//!   Mellor-Crummey (PPoPP'15): a tree of MCS locks with status-encoded
+//!   lock passing and a per-level threshold. Level-*homogeneous* — the
+//!   foil for CLoF's heterogeneity.
+//! * [`CnaLock`] — Compact NUMA-Aware lock of Dice & Kogan (EuroSys'19):
+//!   one MCS-style queue; on release the owner moves waiters from other
+//!   NUMA nodes to a secondary queue, preferring same-node hand-offs, and
+//!   periodically flushes the secondary queue for long-term fairness.
+//!   Two-level only.
+//! * [`ShflLock`] — Kashyap et al. (SOSP'19), adapted: a queue lock with
+//!   socket-aware shuffling plus a test-and-set top lock as in the
+//!   qspinlock-style design. Two-level only.
+//!
+//! Unlike the originals (x86-targeted, no barriers — the paper reports
+//! they "quickly cause hangs or mutual exclusion violations" when run
+//! as-is on Armv8), these implementations use explicit acquire/release
+//! atomics throughout, i.e. they are written for weak memory models the
+//! way the paper's VSync-corrected versions are.
+
+#![warn(missing_docs)]
+
+pub mod cna;
+pub mod hmcs;
+pub mod shfl;
+
+pub use cna::{CnaHandle, CnaLock};
+pub use hmcs::{HmcsHandle, HmcsLock};
+pub use shfl::{ShflHandle, ShflLock};

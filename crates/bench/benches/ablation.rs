@@ -1,0 +1,14 @@
+//! Custom-harness ablation bench: regenerates the threshold and
+//! selection-policy ablations (quick mode) under `cargo bench`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = PathBuf::from("target/figures");
+    for report in clof_bench::figures::generate("ablation", true) {
+        println!("{}", report.render());
+        if let Err(e) = report.write_csv(&out_dir) {
+            eprintln!("  !! could not write CSV for {}: {e}", report.id);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Custom-harness bench target: regenerates every paper table and figure
+//! (quick mode) under `cargo bench`. The real measurement artefacts are
+//! the printed tables and the CSVs in `target/figures/`; wall-clock of
+//! the generators themselves is reported for orientation.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes `--bench` and filter args; honour a filter if
+    // one names a known artifact, otherwise run everything.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| clof_bench::figures::ALL.contains(a))
+        .collect();
+    let targets: Vec<&str> = if filter.is_empty() {
+        clof_bench::figures::ALL.to_vec()
+    } else {
+        filter
+    };
+
+    let out_dir = PathBuf::from("target/figures");
+    for target in targets {
+        let start = Instant::now();
+        let reports = clof_bench::figures::generate(target, true);
+        let elapsed = start.elapsed();
+        for report in &reports {
+            println!("{}", report.render());
+            if let Err(e) = report.write_csv(&out_dir) {
+                eprintln!("  !! could not write CSV for {}: {e}", report.id);
+            }
+        }
+        println!("[bench] {target}: generated in {elapsed:?} (quick mode)\n");
+    }
+    println!(
+        "[bench] full-resolution run: cargo run --release -p clof-bench --bin figures"
+    );
+}

@@ -1,0 +1,227 @@
+//! `clof` — the CLoF workflow as a command-line tool.
+//!
+//! ```text
+//! clof discover  [--sysfs | --machine x86|armv8]        # hierarchy config
+//! clof heatmap   [--machine x86|armv8] [--ascii]        # Figure-1 heatmap
+//! clof generate  [--machine x86|armv8] [--levels 3|4]   # list all N^M locks
+//! clof select    [--machine x86|armv8] [--levels 3|4] [--policy hc|lc] [--quick]
+//! clof simulate  [--machine x86|armv8] --lock tkt-clh-tkt-tkt --threads N
+//!                [--workload leveldb|kyoto] [--threshold H]
+//! ```
+//!
+//! All simulation-backed commands run on the built-in paper machine
+//! models; `discover --sysfs` reads the real host.
+
+use std::process::ExitCode;
+
+use clof::{parse_composition, rank, scripted_benchmark, LockKind, Policy};
+use clof_sim::engine::{run, RunOptions};
+use clof_sim::workload::placement;
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::{config, platforms};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "discover" => discover(&args[1..]),
+        "heatmap" => heatmap(&args[1..]),
+        "generate" => generate(&args[1..]),
+        "select" => select(&args[1..]),
+        "simulate" => simulate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+clof — compositional NUMA-aware lock workflow
+
+commands:
+  discover  [--sysfs | --machine x86|armv8]       print a hierarchy configuration
+  heatmap   [--machine x86|armv8] [--ascii]       print the pair-latency heatmap
+  generate  [--machine x86|armv8] [--levels 3|4]  list all generated compositions
+  select    [--machine x86|armv8] [--levels 3|4] [--policy hc|lc] [--quick]
+                                                  run the scripted benchmark and pick the best lock
+  simulate  [--machine x86|armv8] --lock NAME --threads N
+            [--workload leveldb|kyoto] [--threshold H]
+                                                  simulate one lock at one contention level";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn machine_for(args: &[String]) -> Result<Machine, String> {
+    match flag_value(args, "--machine").unwrap_or("armv8") {
+        "x86" => Ok(Machine::paper_x86()),
+        "armv8" | "arm" => Ok(Machine::paper_armv8()),
+        other => Err(format!("unknown machine `{other}` (x86 | armv8)")),
+    }
+}
+
+fn tuned_machine(args: &[String]) -> Result<Machine, String> {
+    let machine = machine_for(args)?;
+    let levels = flag_value(args, "--levels").unwrap_or("4");
+    let hierarchy = match (machine.arch, levels) {
+        (clof_sim::Arch::X86, "4") => platforms::paper_x86_4level(),
+        (clof_sim::Arch::X86, "3") => platforms::paper_x86_3level(),
+        (clof_sim::Arch::Armv8, "4") => platforms::paper_armv8_4level(),
+        (clof_sim::Arch::Armv8, "3") => platforms::paper_armv8_3level(),
+        (_, other) => return Err(format!("unsupported --levels `{other}` (3 | 4)")),
+    };
+    Ok(machine.with_hierarchy(hierarchy))
+}
+
+fn basics(machine: &Machine) -> Vec<LockKind> {
+    match machine.arch {
+        clof_sim::Arch::X86 => LockKind::PAPER_X86.to_vec(),
+        clof_sim::Arch::Armv8 => LockKind::PAPER_ARM.to_vec(),
+    }
+}
+
+fn discover(args: &[String]) -> Result<(), String> {
+    let hierarchy = if has_flag(args, "--sysfs") {
+        clof_topology::sysfs::discover().map_err(|e| format!("sysfs discovery failed: {e}"))?
+    } else {
+        machine_for(args)?.hierarchy
+    };
+    print!("{}", config::to_text(&hierarchy));
+    Ok(())
+}
+
+fn heatmap(args: &[String]) -> Result<(), String> {
+    let machine = machine_for(args)?;
+    let heatmap = machine.synthetic_heatmap();
+    if has_flag(args, "--ascii") {
+        print!("{}", heatmap.render_ascii());
+    } else {
+        print!("{}", heatmap.to_csv());
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let machine = tuned_machine(args)?;
+    let combos = clof::compositions(&basics(&machine), machine.hierarchy.level_count());
+    for combo in &combos {
+        println!("{}", clof::composition_name(combo));
+    }
+    eprintln!(
+        "{} compositions over levels {:?}",
+        combos.len(),
+        machine.hierarchy.level_names()
+    );
+    Ok(())
+}
+
+fn select(args: &[String]) -> Result<(), String> {
+    let machine = tuned_machine(args)?;
+    let policy = match flag_value(args, "--policy").unwrap_or("lc") {
+        "hc" => Policy::HighContention,
+        "lc" => Policy::LowContention,
+        other => return Err(format!("unknown policy `{other}` (hc | lc)")),
+    };
+    let quick = has_flag(args, "--quick");
+    let opts = RunOptions {
+        duration_ns: if quick { 3_000_000 } else { 20_000_000 },
+        warmup_ns: if quick { 300_000 } else { 2_000_000 },
+        seed: 0xC10F,
+    };
+    let max = machine.ncpus() - 1;
+    let grid = [1usize, 8, 32, max];
+    let combos = clof::compositions(&basics(&machine), machine.hierarchy.level_count());
+    eprintln!(
+        "benchmarking {} compositions on {} ...",
+        combos.len(),
+        machine.name
+    );
+    let hierarchy = machine.hierarchy.clone();
+    let results = scripted_benchmark(&combos, &grid, |combo, threads| {
+        let spec = ModelSpec::clof(hierarchy.clone(), combo);
+        let cpus = placement::compact(&machine, threads);
+        run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts).throughput_per_us()
+    });
+    // The paper's scripted benchmark reports both selections and lets
+    // the user choose (§4.3); the requested policy's pick is listed
+    // first with its curve.
+    let selection = rank(&results, policy);
+    let hc = rank(&results, Policy::HighContention);
+    let lc = rank(&results, Policy::LowContention);
+    println!("best ({}):  {}", flag_value(args, "--policy").unwrap_or("lc"), selection.best().name());
+    println!("HC-best:     {}", hc.best().name());
+    println!("LC-best:     {}", lc.best().name());
+    println!("worst:       {}", selection.worst().name());
+    for (threads, tp) in &selection.best().points {
+        println!("  best @ {threads:>3} threads: {tp:.3} iter/us");
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let machine = tuned_machine(args)?;
+    let lock = flag_value(args, "--lock").ok_or("missing --lock NAME (e.g. tkt-clh-tkt)")?;
+    let kinds = parse_composition(lock).map_err(|e| e.to_string())?;
+    if kinds.len() != machine.hierarchy.level_count() {
+        return Err(format!(
+            "`{lock}` names {} levels but the hierarchy has {} ({:?}); pass --levels",
+            kinds.len(),
+            machine.hierarchy.level_count(),
+            machine.hierarchy.level_names()
+        ));
+    }
+    let threads: usize = flag_value(args, "--threads")
+        .ok_or("missing --threads N")?
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    let workload = match flag_value(args, "--workload").unwrap_or("leveldb") {
+        "leveldb" => Workload::leveldb_readrandom(),
+        "kyoto" => Workload::kyoto_cabinet(),
+        other => return Err(format!("unknown workload `{other}` (leveldb | kyoto)")),
+    };
+    let threshold: u32 = flag_value(args, "--threshold")
+        .unwrap_or("128")
+        .parse()
+        .map_err(|e| format!("bad --threshold: {e}"))?;
+
+    let spec = ModelSpec::clof_with_threshold(machine.hierarchy.clone(), &kinds, threshold);
+    let cpus = placement::compact(&machine, threads);
+    let result = run(
+        &machine,
+        &spec,
+        &cpus,
+        workload,
+        RunOptions::default(),
+    );
+    println!("machine:    {}", machine.name);
+    println!("lock:       {} (H = {threshold})", spec.label);
+    println!("threads:    {threads}");
+    println!("throughput: {:.3} iter/us", result.throughput_per_us());
+    println!("fairness:   jain {:.4}", result.jain_index());
+    for (level, count) in result.handovers_by_level.iter().enumerate() {
+        println!(
+            "handovers @ {:<8}: {count}",
+            machine.hierarchy.levels()[level].name
+        );
+    }
+    Ok(())
+}

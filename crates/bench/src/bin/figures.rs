@@ -1,0 +1,36 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p clof-bench --bin figures            # everything
+//! cargo run --release -p clof-bench --bin figures -- fig9    # one artifact
+//! cargo run --release -p clof-bench --bin figures -- --quick # fast smoke pass
+//! ```
+//!
+//! Prints each table and writes `target/figures/<id>.csv`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    let out_dir = PathBuf::from("target/figures");
+    for target in &targets {
+        for report in clof_bench::figures::generate(target, quick) {
+            println!("{}", report.render());
+            match report.write_csv(&out_dir) {
+                Ok(()) => println!("  -> {}/{}.csv\n", out_dir.display(), report.id),
+                Err(e) => eprintln!("  !! could not write CSV for {}: {e}\n", report.id),
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use clof::{rank, Policy};
+use clof_sim::engine::run;
+use clof_sim::workload::placement;
+use clof_sim::{ModelSpec, Workload};
+
+use super::common::{self, fmt_tp, sim_opts};
+use crate::report::Report;
+
+/// Generates all ablation reports.
+pub fn generate(quick: bool) -> Vec<Report> {
+    vec![
+        threshold_sweep(quick),
+        policy_comparison(quick),
+        fastpath_ablation(quick),
+    ]
+}
+
+/// Fast-path extension (paper 6): TAS front gate vs the plain
+/// composition, across the contention range — low-contention gains,
+/// negligible high-contention cost.
+fn fastpath_ablation(quick: bool) -> Report {
+    let machine = common::armv8_4level();
+    let kinds = common::lc_best(&machine, quick);
+    let wl = Workload::leveldb_readrandom();
+    let mut report = Report::new(
+        "ablation_fastpath",
+        "Ablation: TAS fast path over the LC-best composition (Armv8)",
+        &["threads", "plain", "with_fastpath", "delta_%"],
+    );
+    let plain = ModelSpec::clof(machine.hierarchy.clone(), &kinds);
+    let mut fast = ModelSpec::clof(machine.hierarchy.clone(), &kinds);
+    fast.tas_fastpath = true;
+    fast.label = format!("tas+{}", fast.label);
+    for threads in [1usize, 2, 4, 16, 64, 127] {
+        let cpus = placement::compact(&machine, threads);
+        let p = run(&machine, &plain, &cpus, wl, sim_opts(quick)).throughput_per_us();
+        let f = run(&machine, &fast, &cpus, wl, sim_opts(quick)).throughput_per_us();
+        report.row([
+            threads.to_string(),
+            fmt_tp(p),
+            fmt_tp(f),
+            format!("{:+.1}", (f - p) / p * 100.0),
+        ]);
+    }
+    report.note("real implementation: clof::fastpath::FastClof (paper 6 extension)");
+    report
+}
+
+/// keep_local threshold H: throughput *and* fairness as H grows — the
+/// §4.1.2 trade-off ("excessively high H values might affect short-term
+/// fairness").
+fn threshold_sweep(quick: bool) -> Report {
+    let machine = common::armv8_4level();
+    let kinds = common::lc_best(&machine, quick);
+    let wl = Workload::leveldb_readrandom();
+    let threads = machine.ncpus() - 1;
+    let cpus = placement::compact(&machine, threads);
+    let mut report = Report::new(
+        "ablation_threshold",
+        "Ablation: keep_local threshold H (Armv8, LC-best composition, max contention)",
+        &["H", "throughput_iter_us", "jain_fairness", "min/max"],
+    );
+    for h in [1u32, 8, 32, 128, 512, 4096] {
+        let spec = ModelSpec::clof_with_threshold(machine.hierarchy.clone(), &kinds, h);
+        let r = run(&machine, &spec, &cpus, wl, sim_opts(quick));
+        let min = *r.per_thread.iter().min().expect("non-empty") as f64;
+        let max = *r.per_thread.iter().max().expect("non-empty") as f64;
+        report.row([
+            h.to_string(),
+            fmt_tp(r.throughput_per_us()),
+            format!("{:.4}", r.jain_index()),
+            format!("{:.3}", if max > 0.0 { min / max } else { 1.0 }),
+        ]);
+    }
+    report.note("expected: throughput rises then saturates with H; fairness degrades");
+    report.note("paper default H = 128 per level");
+    report
+}
+
+/// HC vs LC vs uniform selection policies: which lock each picks and how
+/// the picks differ across the contention range (§4.3 / §5.2.1).
+fn policy_comparison(quick: bool) -> Report {
+    let machine = common::armv8_4level();
+    let grid = common::grid_armv8();
+    let results =
+        common::scripted_results(&machine, &grid, Workload::leveldb_readrandom(), quick);
+    let mut report = Report::new(
+        "ablation_policy",
+        "Ablation: selection policy (Armv8 4-level, all 256 locks)",
+        &["policy", "best", "best_at_1thread", "best_at_max", "score"],
+    );
+    for (name, policy) in [
+        ("HC (weight = threads)", Policy::HighContention),
+        ("LC (weight = 1/threads)", Policy::LowContention),
+        ("uniform", Policy::Uniform),
+    ] {
+        let sel = rank(&results, policy.clone());
+        let best = sel.best();
+        report.row([
+            name.to_string(),
+            best.name(),
+            fmt_tp(best.points[0].1),
+            fmt_tp(best.points.last().expect("non-empty").1),
+            fmt_tp(best.score(&policy)),
+        ]);
+    }
+    report.note(
+        "paper: HC-best trades low-contention losses for high-contention gains; \
+         LC-best gains moderately everywhere",
+    );
+    report
+}

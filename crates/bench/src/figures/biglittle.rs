@@ -1,0 +1,60 @@
+//! The paper's §7 outlook, made concrete: CLoF on a big.LITTLE SoC.
+//!
+//! "Such systems combine slow but power efficient cores with fast but
+//! less efficient cores. These two groups of cores form cohorts with
+//! different communication trade-offs." — we run the lock suite on a
+//! simulated 4+4 big.LITTLE machine and compare cluster-aware CLoF
+//! compositions against flat locks.
+
+use clof::LockKind;
+use clof_sim::engine::run;
+use clof_sim::{Machine, ModelSpec, Workload};
+
+use super::common::{fmt_tp, sim_opts};
+use crate::report::Report;
+
+/// Generates the big.LITTLE exploration.
+pub fn generate(quick: bool) -> Vec<Report> {
+    let machine = Machine::big_little();
+    let wl = Workload::leveldb_readrandom();
+    let h = machine.hierarchy.clone();
+
+    let specs: Vec<(&str, ModelSpec)> = vec![
+        ("mcs (flat)", ModelSpec::basic(LockKind::Mcs, machine.ncpus())),
+        ("tkt (flat)", ModelSpec::basic(LockKind::Ticket, machine.ncpus())),
+        (
+            "clof mcs-tkt (cluster-aware)",
+            ModelSpec::clof(h.clone(), &[LockKind::Mcs, LockKind::Ticket]),
+        ),
+        (
+            "clof clh-tkt (cluster-aware)",
+            ModelSpec::clof(h.clone(), &[LockKind::Clh, LockKind::Ticket]),
+        ),
+        ("HMCS<2>", ModelSpec::hmcs(h.clone())),
+    ];
+
+    let mut report = Report::new(
+        "biglittle",
+        "big.LITTLE (7): lock suite on a 4 big + 4 little SoC (iter/us)",
+        &["threads", "placement", "mcs", "tkt", "clof mcs-tkt", "clof clh-tkt", "HMCS<2>"],
+    );
+    for (label, cpus) in [
+        ("big cluster only", vec![0usize, 1, 2, 3]),
+        ("little cluster only", vec![4usize, 5, 6, 7]),
+        ("both clusters", (0..8).collect::<Vec<_>>()),
+    ] {
+        let mut row = vec![cpus.len().to_string(), label.to_string()];
+        for (_, spec) in &specs {
+            let r = run(&machine, spec, &cpus, wl, sim_opts(quick));
+            row.push(fmt_tp(r.throughput_per_us()));
+        }
+        report.row(row);
+    }
+    report.note(
+        "expected: on mixed placement, cluster-aware compositions keep hand-offs \
+         within a cluster and beat flat locks; the little cluster alone is \
+         uniformly slower (0.45x cores)",
+    );
+    report.note("paper §7 names big.LITTLE as future work; this is that exploration");
+    vec![report]
+}

@@ -1,0 +1,109 @@
+//! Shared helpers for figure generators.
+
+use clof::LockKind;
+use clof_sim::engine::{run, RunOptions};
+use clof_sim::workload::placement;
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::platforms;
+
+/// Paper thread grids.
+pub fn grid_x86() -> Vec<usize> {
+    vec![1, 4, 8, 16, 24, 32, 48, 64, 95]
+}
+
+/// Armv8 grid (Figure 4/9/10 x-axis).
+pub fn grid_armv8() -> Vec<usize> {
+    vec![1, 4, 8, 16, 24, 32, 48, 64, 95, 127]
+}
+
+/// Simulation options sized for sweeps; `quick` shrinks the window for
+/// CI/bench smoke runs.
+pub fn sim_opts(quick: bool) -> RunOptions {
+    if quick {
+        RunOptions {
+            duration_ns: 4_000_000,
+            warmup_ns: 400_000,
+            seed: 0xC10F,
+        }
+    } else {
+        RunOptions {
+            duration_ns: 25_000_000,
+            warmup_ns: 2_500_000,
+            seed: 0xC10F,
+        }
+    }
+}
+
+/// Throughput of `spec` on `machine` with `threads` compact-placed
+/// threads under `workload` (iterations per microsecond).
+pub fn throughput(
+    machine: &Machine,
+    spec: &ModelSpec,
+    threads: usize,
+    workload: Workload,
+    quick: bool,
+) -> f64 {
+    let cpus = placement::compact(machine, threads);
+    run(machine, spec, &cpus, workload, sim_opts(quick)).throughput_per_us()
+}
+
+/// The tuned 4-level x86 machine (core-cache-numa-system).
+pub fn x86_4level() -> Machine {
+    Machine::paper_x86().with_hierarchy(platforms::paper_x86_4level())
+}
+
+/// The tuned 3-level x86 machine (cache-numa-system).
+pub fn x86_3level() -> Machine {
+    Machine::paper_x86().with_hierarchy(platforms::paper_x86_3level())
+}
+
+/// The tuned 4-level Armv8 machine (cache-numa-package-system).
+pub fn armv8_4level() -> Machine {
+    Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_4level())
+}
+
+/// The tuned 3-level Armv8 machine (cache-numa-system).
+pub fn armv8_3level() -> Machine {
+    Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_3level())
+}
+
+/// The paper's basic-lock set for a machine's architecture.
+pub fn basics_for(machine: &Machine) -> Vec<LockKind> {
+    match machine.arch {
+        clof_sim::Arch::X86 => LockKind::PAPER_X86.to_vec(),
+        clof_sim::Arch::Armv8 => LockKind::PAPER_ARM.to_vec(),
+    }
+}
+
+/// Formats a throughput cell.
+pub fn fmt_tp(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Runs the scripted benchmark (paper §4.3) over every composition of the
+/// machine's basic-lock set on the machine's lock hierarchy, and returns
+/// the full result set.
+pub fn scripted_results(
+    machine: &Machine,
+    grid: &[usize],
+    workload: Workload,
+    quick: bool,
+) -> Vec<clof::BenchResult> {
+    let combos = clof::compositions(&basics_for(machine), machine.hierarchy.level_count());
+    clof::scripted_benchmark(&combos, grid, |combo, threads| {
+        let spec = ModelSpec::clof(machine.hierarchy.clone(), combo);
+        throughput(machine, &spec, threads, workload, quick)
+    })
+}
+
+/// Convenience: the LC-best composition of a machine under the LevelDB
+/// workload with a coarse selection grid (what §5.3 deploys).
+pub fn lc_best(machine: &Machine, quick: bool) -> Vec<LockKind> {
+    let max = machine.ncpus() - 1;
+    let grid = [1, 8, 32, max];
+    let results = scripted_results(machine, &grid, Workload::leveldb_readrandom(), quick);
+    clof::rank(&results, clof::Policy::LowContention)
+        .best()
+        .composition
+        .clone()
+}

@@ -1,0 +1,71 @@
+//! Figure 2: LevelDB on x86 — MCS vs HMCS⟨2⟩/⟨3⟩/⟨4⟩ vs CLoF⟨4⟩-x86.
+//!
+//! The figure that motivates the cache-group level: HMCS⟨4⟩ (with the
+//! cache level the OS does not report) far outruns HMCS⟨3⟩, and
+//! heterogeneity (CLoF⟨4⟩) adds more on top.
+
+use clof::{composition_name, LockKind};
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::platforms;
+
+use super::common;
+use crate::report::Report;
+
+/// Generates Figure 2.
+pub fn generate(quick: bool) -> Vec<Report> {
+    let full = Machine::paper_x86();
+    let wl = Workload::leveldb_readrandom();
+    let grid = common::grid_x86();
+
+    let h2 = full.with_hierarchy(full.hierarchy.select_levels(&["numa"]).expect("levels"));
+    let h3 = full.with_hierarchy(
+        full.hierarchy
+            .select_levels(&["core", "numa"])
+            .expect("levels"),
+    );
+    let h4 = common::x86_4level();
+    let clof_kinds = common::lc_best(&h4, quick);
+
+    let mut specs: Vec<(String, Machine, ModelSpec)> = vec![
+        (
+            "MCS".into(),
+            full.clone(),
+            ModelSpec::basic(LockKind::Mcs, full.ncpus()),
+        ),
+        ("HMCS<2>".into(), h2.clone(), ModelSpec::hmcs(h2.hierarchy.clone())),
+        ("HMCS<3>".into(), h3.clone(), ModelSpec::hmcs(h3.hierarchy.clone())),
+        ("HMCS<4>".into(), h4.clone(), ModelSpec::hmcs(h4.hierarchy.clone())),
+    ];
+    specs.push((
+        format!("CLoF<4>-x86 ({})", composition_name(&clof_kinds)),
+        h4.clone(),
+        ModelSpec::clof(h4.hierarchy.clone(), &clof_kinds),
+    ));
+
+    let mut report = Report::new(
+        "fig2",
+        "Figure 2: LevelDB with increasing contention on x86 (iter/us)",
+        &{
+            let mut h = vec!["threads"];
+            let names: Vec<&str> = specs.iter().map(|(n, _, _)| n.as_str()).collect();
+            h.extend(names);
+            h
+        },
+    );
+    for &threads in &grid {
+        let mut row = vec![threads.to_string()];
+        for (_, machine, spec) in &specs {
+            row.push(common::fmt_tp(common::throughput(
+                machine, spec, threads, wl, quick,
+            )));
+        }
+        report.row(row);
+    }
+    report.note("paper HMCS<2> config = CNA/ShflLock papers'; HMCS<3> = original HMCS paper's");
+    report.note(
+        "expected shape: HMCS<2> ≈ MCS until the NUMA crossing (>24 threads); \
+         HMCS<4> >> HMCS<3> (cache-group level); CLoF<4> above HMCS<4> at most points",
+    );
+    let _ = platforms::paper_x86(); // keep the dependency explicit
+    vec![report]
+}

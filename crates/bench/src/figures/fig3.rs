@@ -1,0 +1,87 @@
+//! Figure 3: per-cohort throughput of the NUMA-oblivious basic locks at
+//! maximum contention — one thread per sub-unit of the cohort under test.
+//!
+//! This is the experiment that motivates heterogeneity (A2) and
+//! architecture awareness (A3): the best basic lock differs per level and
+//! per architecture, and `hem-ctr` collapses on Armv8.
+
+use clof::LockKind;
+use clof_sim::engine::run;
+use clof_sim::{Machine, ModelSpec, Workload};
+
+use super::common::{self, fmt_tp, sim_opts};
+use crate::report::Report;
+
+/// One CPU per child unit of cohort 0 at `level` of the machine.
+fn contenders(machine: &Machine, level: usize) -> Vec<usize> {
+    let h = &machine.hierarchy;
+    let members = h.cohort_members(level, 0);
+    if level == 0 {
+        // Innermost level: the children are the CPUs themselves.
+        return members;
+    }
+    // One CPU per (level-1) cohort inside this cohort.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut picks = Vec::new();
+    for cpu in members {
+        let child = h.cohort(level - 1, cpu);
+        if seen.insert(child) {
+            picks.push(cpu);
+        }
+    }
+    picks
+}
+
+/// Generates Figure 3 (both machines).
+pub fn generate(quick: bool) -> Vec<Report> {
+    let locks = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Clh,
+        LockKind::Hemlock,
+        LockKind::HemlockCtr,
+    ];
+    let wl = Workload::leveldb_readrandom();
+    let mut out = Vec::new();
+    for (suffix, machine) in [
+        ("x86", Machine::paper_x86()),
+        ("armv8", Machine::paper_armv8()),
+    ] {
+        let mut report = Report::new(
+            &format!("fig3_{suffix}"),
+            &format!(
+                "Figure 3 ({suffix}): basic locks per cohort at max contention (iter/us)"
+            ),
+            &{
+                let mut h = vec!["cohort", "threads"];
+                h.extend(locks.iter().map(|k| k.info().name));
+                h
+            },
+        );
+        // The cohorts the paper tests: every level except the innermost
+        // degenerate ones; include the system level last.
+        for level in 0..machine.hierarchy.level_count() {
+            let cpus = contenders(&machine, level);
+            if cpus.len() < 2 {
+                continue;
+            }
+            let mut row = vec![
+                machine.hierarchy.levels()[level].name.clone(),
+                cpus.len().to_string(),
+            ];
+            for kind in locks {
+                let spec = ModelSpec::basic(kind, machine.ncpus());
+                let tp = run(&machine, &spec, &cpus, wl, sim_opts(quick)).throughput_per_us();
+                row.push(fmt_tp(tp));
+            }
+            report.row(row);
+        }
+        report.note(
+            "expected shape (paper): tkt best at system; hem-ctr best at x86 NUMA; \
+             clh best at Armv8 NUMA; hem-ctr ~0 on Armv8 (LL/SC pathology)",
+        );
+        out.push(report);
+    }
+    let _ = common::grid_x86(); // shared-module linkage
+    out
+}

@@ -1,0 +1,56 @@
+//! Figure 4: LevelDB on Armv8 — CLoF⟨4⟩-Arm vs HMCS⟨4⟩, MCS, CNA,
+//! ShflLock.
+
+use clof::{composition_name, LockKind};
+use clof_sim::{Machine, ModelSpec, Workload};
+
+use super::common;
+use crate::report::Report;
+
+/// Generates Figure 4.
+pub fn generate(quick: bool) -> Vec<Report> {
+    let full = Machine::paper_armv8();
+    let h4 = common::armv8_4level();
+    let wl = Workload::leveldb_readrandom();
+    let clof_kinds = common::lc_best(&h4, quick);
+
+    let specs: Vec<(String, Machine, ModelSpec)> = vec![
+        (
+            format!("CLoF<4>-Arm ({})", composition_name(&clof_kinds)),
+            h4.clone(),
+            ModelSpec::clof(h4.hierarchy.clone(), &clof_kinds),
+        ),
+        ("HMCS<4>".into(), h4.clone(), ModelSpec::hmcs(h4.hierarchy.clone())),
+        (
+            "MCS".into(),
+            full.clone(),
+            ModelSpec::basic(LockKind::Mcs, full.ncpus()),
+        ),
+        ("CNA".into(), full.clone(), ModelSpec::cna(&full)),
+        ("ShflLock".into(), full.clone(), ModelSpec::shfl(&full)),
+    ];
+
+    let mut report = Report::new(
+        "fig4",
+        "Figure 4: LevelDB with increasing contention on Armv8 (iter/us)",
+        &{
+            let mut h = vec!["threads"];
+            h.extend(specs.iter().map(|(n, _, _)| n.as_str()));
+            h
+        },
+    );
+    for &threads in &common::grid_armv8() {
+        let mut row = vec![threads.to_string()];
+        for (_, machine, spec) in &specs {
+            row.push(common::fmt_tp(common::throughput(
+                machine, spec, threads, wl, quick,
+            )));
+        }
+        report.row(row);
+    }
+    report.note(
+        "expected shape: CNA/ShflLock below MCS before the NUMA crossing (shuffle \
+         overhead), above it after; HMCS<4> far above both; CLoF<4> 10-15% above HMCS<4>",
+    );
+    vec![report]
+}

@@ -1,0 +1,98 @@
+//! Figure 9: the full scripted benchmark — every generated CLoF lock on
+//! both platforms with 3- and 4-level hierarchies; HC-best, LC-best and
+//! worst highlighted against the equivalently configured HMCS.
+
+use clof::{rank, Policy};
+use clof_sim::{ModelSpec, Workload};
+
+use super::common;
+use crate::report::Report;
+
+/// Generates all four panels (9a–9d).
+pub fn generate(quick: bool) -> Vec<Report> {
+    let wl = Workload::leveldb_readrandom();
+    let mut out = Vec::new();
+    for (id, title, machine, grid) in [
+        (
+            "fig9a",
+            "Figure 9a: x86, 4-level (core-cache-numa-system), 256 CLoF locks",
+            common::x86_4level(),
+            common::grid_x86(),
+        ),
+        (
+            "fig9b",
+            "Figure 9b: Armv8, 4-level (cache-numa-package-system), 256 CLoF locks",
+            common::armv8_4level(),
+            common::grid_armv8(),
+        ),
+        (
+            "fig9c",
+            "Figure 9c: x86, 3-level (cache-numa-system), 64 CLoF locks",
+            common::x86_3level(),
+            common::grid_x86(),
+        ),
+        (
+            "fig9d",
+            "Figure 9d: Armv8, 3-level (cache-numa-system), 64 CLoF locks",
+            common::armv8_3level(),
+            common::grid_armv8(),
+        ),
+    ] {
+        let results = common::scripted_results(&machine, &grid, wl, quick);
+        let hc = rank(&results, Policy::HighContention);
+        let lc = rank(&results, Policy::LowContention);
+        let hc_best = hc.best().clone();
+        let lc_best = lc.best().clone();
+        let worst = hc.worst().clone();
+
+        let hmcs_spec = ModelSpec::hmcs(machine.hierarchy.clone());
+        let hmcs: Vec<f64> = grid
+            .iter()
+            .map(|&t| common::throughput(&machine, &hmcs_spec, t, wl, quick))
+            .collect();
+
+        let mut report = Report::new(
+            id,
+            title,
+            &[
+                "threads",
+                "HC-best",
+                "LC-best",
+                "HMCS",
+                "worst",
+                "others_median",
+                "others_min",
+                "others_max",
+            ],
+        );
+        for (i, &threads) in grid.iter().enumerate() {
+            let mut others: Vec<f64> = results.iter().map(|r| r.points[i].1).collect();
+            others.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let median = others[others.len() / 2];
+            report.row([
+                threads.to_string(),
+                common::fmt_tp(hc_best.points[i].1),
+                common::fmt_tp(lc_best.points[i].1),
+                common::fmt_tp(hmcs[i]),
+                common::fmt_tp(worst.points[i].1),
+                common::fmt_tp(median),
+                common::fmt_tp(others[0]),
+                common::fmt_tp(*others.last().expect("non-empty")),
+            ]);
+        }
+        report.note(format!(
+            "{} locks generated; HC-best = {}, LC-best = {}, worst = {}",
+            results.len(),
+            hc_best.name(),
+            lc_best.name(),
+            worst.name()
+        ));
+        report.note(
+            "paper's best/worst (for comparison): 9a hem-hem-mcs-clh / tkt-tkt-mcs-mcs / \
+             mcs-clh-tkt-mcs; 9b tkt-clh-clh-clh / tkt-clh-tkt-tkt / mcs-tkt-tkt-tkt; \
+             9c hem-mcs-tkt / tkt-mcs-mcs / clh-tkt-tkt; 9d tkt-clh-tkt (both) / mcs-tkt-hem",
+        );
+        out.push(report);
+    }
+    out
+}

@@ -1,0 +1,43 @@
+//! One module per regenerated paper artifact.
+
+pub mod ablation;
+pub mod biglittle;
+pub mod common;
+pub mod fairness;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig9;
+pub mod fig10;
+pub mod mcscaling;
+pub mod table1;
+pub mod table2;
+
+use crate::report::Report;
+
+/// All artifact ids, in presentation order.
+pub const ALL: &[&str] = &[
+    "fig1", "table1", "table2", "fig2", "fig3", "fig4", "fig9", "fig10", "fairness", "mcscaling",
+    "ablation", "biglittle",
+];
+
+/// Runs the generator(s) for `id` (`"all"` for everything).
+pub fn generate(id: &str, quick: bool) -> Vec<Report> {
+    match id {
+        "fig1" => fig1::generate(),
+        "table1" => table1::generate(),
+        "table2" => table2::generate(),
+        "fig2" => fig2::generate(quick),
+        "fig3" => fig3::generate(quick),
+        "fig4" => fig4::generate(quick),
+        "fig9" => fig9::generate(quick),
+        "fig10" => fig10::generate(quick),
+        "fairness" => fairness::generate(quick),
+        "mcscaling" => mcscaling::generate(quick),
+        "ablation" => ablation::generate(quick),
+        "biglittle" => biglittle::generate(quick),
+        "all" => ALL.iter().flat_map(|i| generate(i, quick)).collect(),
+        other => panic!("unknown artifact `{other}`; known: {ALL:?} or `all`"),
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 1: key-aspect coverage of recent NUMA-aware locks.
+//!
+//! The aspects (paper §1): A1 multi-level, A2 heterogeneity, A3
+//! architecture-optimized, A4 correct on WMMs. The row facts mirror the
+//! paper's table; the CLoF row is additionally cross-checked against this
+//! repository's capabilities (the generator supports arbitrary depths,
+//! heterogeneous kinds, per-arch lock sets, and verified composition).
+
+use clof::{compositions, LockKind};
+
+use crate::report::Report;
+
+/// Generates Table 1.
+pub fn generate() -> Vec<Report> {
+    let mut t = Report::new(
+        "table1",
+        "Table 1: key aspects coverage of recent NUMA-aware locks",
+        &["algorithm", "A1 multi-level", "A2 heterogeneous", "A3 arch-optimized", "A4 WMM-correct"],
+    );
+    let yes = "yes";
+    let no = "no";
+    for (name, a1, a2, a3, a4) in [
+        ("CNA lock", no, no, no, no),
+        ("ShflLock", no, no, no, no),
+        ("HMCS", yes, no, no, no),
+        ("HMCS-WMM", yes, no, no, yes),
+        ("lock cohorting", no, yes, yes, no),
+        ("CLoF", yes, yes, yes, yes),
+    ] {
+        t.row([
+            name.to_string(),
+            a1.to_string(),
+            a2.to_string(),
+            a3.to_string(),
+            a4.to_string(),
+        ]);
+    }
+
+    // Cross-checks against this repo (fail loudly if the claim rots).
+    let combos = compositions(&LockKind::PAPER_ARM, 4);
+    assert_eq!(combos.len(), 256, "A2: N^M generation");
+    assert!(
+        combos
+            .iter()
+            .any(|c| c.iter().collect::<std::collections::HashSet<_>>().len() > 1),
+        "A2: heterogeneous compositions exist"
+    );
+    assert_ne!(
+        LockKind::PAPER_X86,
+        LockKind::PAPER_ARM,
+        "A3: per-architecture basic-lock sets"
+    );
+    t.note("facts as published (paper Table 1); CLoF row cross-checked against this repo");
+    t.note("A4 here: composition verified by clof-verify (SC + store-buffer modes), per DESIGN.md");
+    vec![t]
+}

@@ -1,0 +1,26 @@
+//! Figure/table regeneration harness for the CLoF reproduction.
+//!
+//! One generator per table and figure of the paper's evaluation
+//! (see `DESIGN.md` §4 for the index). Each generator returns
+//! [`report::Report`]s that the `figures` binary (and the `figures`
+//! custom-harness bench target) prints and writes as CSV under
+//! `target/figures/`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p clof-bench --bin figures
+//! ```
+//!
+//! or a single artifact:
+//!
+//! ```text
+//! cargo run --release -p clof-bench --bin figures -- fig9
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,520 @@
+//! Static (compile-time) composition: the paper's *syntactic recursion*.
+//!
+//! `CLoF(l, L)` from the paper's grammar is the generic type
+//! [`Clof<L, H>`]: `L` is the low (basic) lock of this level and `H` is
+//! the high lock — either another `Clof` or a [`Leaf`] basic lock. The
+//! recursion unfolds during monomorphization, so a composed acquire is a
+//! chain of inlined calls with no virtual dispatch, mirroring the paper's
+//! C-macro unfolding of `lockgen` (Figure 8).
+
+use std::sync::Arc;
+
+use clof_locks::RawLock;
+use clof_topology::Hierarchy;
+
+use crate::error::ClofError;
+use crate::level::{ClofParams, LevelMeta};
+
+/// A node of a composed lock hierarchy.
+///
+/// Implemented by [`Leaf`] (base case: a basic lock) and [`Clof`]
+/// (inductive case). `Context` is the per-thread context for this node's
+/// *lowest* level; contexts of higher levels live inside the metadata of
+/// the level below them and never surface to the user.
+pub trait HierLock: Send + Sync + 'static {
+    /// Thread-side context used to acquire this node.
+    type Context: Default + Send + Sync + 'static;
+
+    /// Acquires every level from this node up to the system lock (or up
+    /// to wherever a passed high lock short-circuits the climb).
+    fn acquire(&self, ctx: &mut Self::Context);
+
+    /// Releases this node: passes the high lock within the cohort when
+    /// allowed, otherwise releases high levels first, then this level.
+    fn release(&self, ctx: &mut Self::Context);
+
+    /// Whether the composition is starvation-free (all components fair).
+    fn fair() -> bool;
+
+    /// Composition name in the paper's notation, innermost level first
+    /// (e.g. `"tkt-clh-tkt"`).
+    fn name() -> String;
+
+    /// Number of levels below (and including) this node.
+    fn levels() -> usize;
+}
+
+/// Base case of the recursion: a bare basic lock (the system-level lock).
+#[derive(Debug, Default)]
+pub struct Leaf<L: RawLock>(L);
+
+impl<L: RawLock> Leaf<L> {
+    /// Wraps a basic lock as the root of a composition.
+    pub fn new() -> Self {
+        Leaf(L::default())
+    }
+}
+
+impl<L: RawLock> HierLock for Leaf<L> {
+    type Context = L::Context;
+
+    #[inline]
+    fn acquire(&self, ctx: &mut L::Context) {
+        self.0.acquire(ctx);
+    }
+
+    #[inline]
+    fn release(&self, ctx: &mut L::Context) {
+        self.0.release(ctx);
+    }
+
+    fn fair() -> bool {
+        L::INFO.fair
+    }
+
+    fn name() -> String {
+        L::INFO.name.to_string()
+    }
+
+    fn levels() -> usize {
+        1
+    }
+}
+
+/// Inductive case: `CLoF(l, L)` — low lock `L`, high lock `H`.
+///
+/// One `Clof` instance exists **per cohort** of its level; sibling cohorts
+/// share the high node through an [`Arc`]. Use [`ClofTree`] to build the
+/// full per-machine structure from a [`Hierarchy`].
+pub struct Clof<L: RawLock, H: HierLock> {
+    low: L,
+    meta: LevelMeta<H::Context>,
+    high: Arc<H>,
+}
+
+impl<L: RawLock, H: HierLock> Clof<L, H> {
+    /// Creates a cohort node linked to `high`, with default parameters.
+    pub fn new(high: Arc<H>) -> Self {
+        Self::with_params(high, ClofParams::default())
+    }
+
+    /// Creates a cohort node with explicit parameters.
+    pub fn with_params(high: Arc<H>, params: ClofParams) -> Self {
+        Clof {
+            low: L::default(),
+            meta: LevelMeta::new(params),
+            high,
+        }
+    }
+
+    /// The shared high node.
+    pub fn high(&self) -> &Arc<H> {
+        &self.high
+    }
+}
+
+impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
+    type Context = L::Context;
+
+    /// `lockgen(acq(CLoF(l, L), c))` from Figure 8.
+    fn acquire(&self, ctx: &mut L::Context) {
+        // Read-indicator bracket; skipped entirely (including the
+        // counter) when the basic lock offers a native waiter hint — the
+        // paper's optional custom `has_waiters` (§4.1.2). `L::INFO` is a
+        // constant, so the branch is resolved at monomorphization time.
+        let use_counter = !has_native_hint::<L>();
+        if use_counter {
+            self.meta.inc_waiters();
+        }
+        self.low.acquire(ctx);
+        if use_counter {
+            self.meta.dec_waiters();
+        }
+        if !self.meta.has_high_lock() {
+            self.meta.debug_ctx_enter();
+            // SAFETY: We own the low lock, so the context invariant grants
+            // us exclusive use of the high context; the previous user's
+            // writes are visible via the low lock's release→acquire edge.
+            let high_ctx = unsafe { self.meta.high_ctx() };
+            self.high.acquire(high_ctx);
+            self.meta.debug_ctx_exit();
+        }
+    }
+
+    /// `lockgen(rel(CLoF(l, L), c))` from Figure 8.
+    fn release(&self, ctx: &mut L::Context) {
+        let waiters = self
+            .low
+            .has_waiters_hint(ctx)
+            .unwrap_or_else(|| self.meta.has_waiters());
+        if waiters && self.meta.keep_local() {
+            // Pass: leave the high lock acquired for our cohort successor.
+            self.meta.pass_high_lock();
+            self.low.release(ctx);
+        } else {
+            self.meta.clear_high_lock();
+            self.meta.debug_ctx_enter();
+            // SAFETY: As in `acquire` — we still own the low lock.
+            let high_ctx = unsafe { self.meta.high_ctx() };
+            // Release order matters (paper §4.1.3): the high lock must be
+            // released *before* the low lock, otherwise a successor could
+            // acquire the low lock and race us on the high context.
+            self.high.release(high_ctx);
+            self.meta.debug_ctx_exit();
+            self.low.release(ctx);
+        }
+    }
+
+    fn fair() -> bool {
+        L::INFO.fair && H::fair()
+    }
+
+    fn name() -> String {
+        format!("{}-{}", L::INFO.name, H::name())
+    }
+
+    fn levels() -> usize {
+        1 + H::levels()
+    }
+}
+
+/// Whether `L` reports waiters natively (compile-time constant per type).
+#[inline]
+fn has_native_hint<L: RawLock>() -> bool {
+    // All queue/ticket locks in `clof-locks` provide hints; the property
+    // is encoded in `LockInfo` indirectly: no-context global-spin locks
+    // without hints return `None` at run time. We probe the INFO table:
+    // the four paper locks and TTAS/BO either hint (tkt/mcs/clh/hem) or
+    // not (ttas/bo). Probing a fresh instance would be wasteful, so the
+    // set is keyed by name here, kept in sync by the
+    // `native_hint_matches_info` test.
+    matches!(L::INFO.name, "tkt" | "mcs" | "clh" | "hem" | "hem-ctr")
+}
+
+/// A machine-wide tree of composed locks of static type `T`, one leaf node
+/// per innermost cohort.
+///
+/// All threads protecting one critical section use the *same* tree, each
+/// entering at the leaf of its CPU's cohort — the paper's requirement
+/// that per-thread CLoF locks share the level sequence and the
+/// system-level lock (§4.1.1).
+pub struct ClofTree<T: HierLock> {
+    leaves: Vec<Arc<T>>,
+    cpu_to_leaf: Vec<usize>,
+    name: String,
+}
+
+impl<T: HierLock> ClofTree<T> {
+    fn new(leaves: Vec<Arc<T>>, cpu_to_leaf: Vec<usize>) -> Self {
+        ClofTree {
+            leaves,
+            cpu_to_leaf,
+            name: T::name(),
+        }
+    }
+
+    /// A per-thread handle entering at `cpu`'s leaf cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the hierarchy the tree was built for.
+    pub fn handle(&self, cpu: usize) -> ClofHandle<T> {
+        ClofHandle {
+            node: Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]),
+            ctx: T::Context::default(),
+        }
+    }
+
+    /// Composition name (`tkt-clh-tkt` style).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of leaf cohorts.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+/// A per-thread handle on a [`ClofTree`]: the leaf node plus the thread's
+/// leaf-level context.
+pub struct ClofHandle<T: HierLock> {
+    node: Arc<T>,
+    ctx: T::Context,
+}
+
+impl<T: HierLock> ClofHandle<T> {
+    /// Acquires the composed lock.
+    pub fn acquire(&mut self) {
+        self.node.acquire(&mut self.ctx);
+    }
+
+    /// Releases the composed lock.
+    ///
+    /// Must only be called while held through this handle.
+    pub fn release(&mut self) {
+        self.node.release(&mut self.ctx);
+    }
+}
+
+fn check_levels(hierarchy: &Hierarchy, expected: usize) -> Result<(), ClofError> {
+    if hierarchy.level_count() != expected {
+        return Err(ClofError::LevelCountMismatch {
+            locks: expected,
+            levels: hierarchy.level_count(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds a 1-level "composition": just the system lock (degenerate case,
+/// NUMA-oblivious behaviour).
+pub fn build1<L0: RawLock>(hierarchy: &Hierarchy) -> Result<ClofTree<Leaf<L0>>, ClofError> {
+    check_levels(hierarchy, 1)?;
+    let root = Arc::new(Leaf::<L0>::new());
+    Ok(ClofTree::new(
+        vec![root],
+        vec![0; hierarchy.ncpus()],
+    ))
+}
+
+/// Builds a 2-level composition `l0-l1` over a 2-level hierarchy.
+pub fn build2<L0: RawLock, L1: RawLock>(
+    hierarchy: &Hierarchy,
+    params: ClofParams,
+) -> Result<ClofTree<Clof<L0, Leaf<L1>>>, ClofError> {
+    check_levels(hierarchy, 2)?;
+    let root = Arc::new(Leaf::<L1>::new());
+    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
+        .map(|_| Arc::new(Clof::<L0, _>::with_params(Arc::clone(&root), params)))
+        .collect();
+    let map = (0..hierarchy.ncpus())
+        .map(|c| hierarchy.cohort(0, c))
+        .collect();
+    Ok(ClofTree::new(leaves, map))
+}
+
+/// Builds a 3-level composition `l0-l1-l2` over a 3-level hierarchy.
+pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
+    hierarchy: &Hierarchy,
+    params: ClofParams,
+) -> Result<ClofTree<Clof<L0, Clof<L1, Leaf<L2>>>>, ClofError> {
+    check_levels(hierarchy, 3)?;
+    let root = Arc::new(Leaf::<L2>::new());
+    let mids: Vec<_> = (0..hierarchy.cohort_count(1))
+        .map(|_| Arc::new(Clof::<L1, _>::with_params(Arc::clone(&root), params)))
+        .collect();
+    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
+        .map(|cohort| {
+            // The mid-level cohort above this leaf cohort: take any member
+            // CPU and look up its level-1 cohort.
+            let cpu = hierarchy
+                .cohort_members(0, cohort)
+                .into_iter()
+                .next()
+                .expect("cohorts are non-empty");
+            let mid = hierarchy.cohort(1, cpu);
+            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&mids[mid]), params))
+        })
+        .collect();
+    let map = (0..hierarchy.ncpus())
+        .map(|c| hierarchy.cohort(0, c))
+        .collect();
+    Ok(ClofTree::new(leaves, map))
+}
+
+/// Builds a 4-level composition `l0-l1-l2-l3` over a 4-level hierarchy.
+pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
+    hierarchy: &Hierarchy,
+    params: ClofParams,
+) -> Result<ClofTree<Clof<L0, Clof<L1, Clof<L2, Leaf<L3>>>>>, ClofError> {
+    check_levels(hierarchy, 4)?;
+    let root = Arc::new(Leaf::<L3>::new());
+    let l2: Vec<_> = (0..hierarchy.cohort_count(2))
+        .map(|_| Arc::new(Clof::<L2, _>::with_params(Arc::clone(&root), params)))
+        .collect();
+    let l1: Vec<_> = (0..hierarchy.cohort_count(1))
+        .map(|cohort| {
+            let cpu = hierarchy.cohort_members(1, cohort)[0];
+            let up = hierarchy.cohort(2, cpu);
+            Arc::new(Clof::<L1, _>::with_params(Arc::clone(&l2[up]), params))
+        })
+        .collect();
+    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
+        .map(|cohort| {
+            let cpu = hierarchy.cohort_members(0, cohort)[0];
+            let up = hierarchy.cohort(1, cpu);
+            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&l1[up]), params))
+        })
+        .collect();
+    let map = (0..hierarchy.ncpus())
+        .map(|c| hierarchy.cohort(0, c))
+        .collect();
+    Ok(ClofTree::new(leaves, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof_locks::{ClhLock, McsLock, TicketLock};
+    use clof_topology::platforms;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn native_hint_matches_info() {
+        // Keep `has_native_hint` in sync with the actual implementations:
+        // probe each lock held uncontended.
+        use clof_locks::{BackoffLock, Hemlock, HemlockCtr, RawLock, TtasLock};
+        fn probe<L: RawLock>() -> bool {
+            let lock = L::default();
+            let mut ctx = L::Context::default();
+            lock.acquire(&mut ctx);
+            let hint = lock.has_waiters_hint(&ctx).is_some();
+            lock.release(&mut ctx);
+            hint
+        }
+        assert_eq!(probe::<TicketLock>(), has_native_hint::<TicketLock>());
+        assert_eq!(probe::<McsLock>(), has_native_hint::<McsLock>());
+        assert_eq!(probe::<ClhLock>(), has_native_hint::<ClhLock>());
+        assert_eq!(probe::<Hemlock>(), has_native_hint::<Hemlock>());
+        assert_eq!(probe::<HemlockCtr>(), has_native_hint::<HemlockCtr>());
+        assert_eq!(probe::<TtasLock>(), has_native_hint::<TtasLock>());
+        assert_eq!(probe::<BackoffLock>(), has_native_hint::<BackoffLock>());
+    }
+
+    #[test]
+    fn names_and_levels() {
+        type T = Clof<McsLock, Clof<ClhLock, Leaf<TicketLock>>>;
+        assert_eq!(T::name(), "mcs-clh-tkt");
+        assert_eq!(T::levels(), 3);
+        assert!(T::fair());
+    }
+
+    #[test]
+    fn unfair_component_propagates() {
+        use clof_locks::TtasLock;
+        type T = Clof<McsLock, Leaf<TtasLock>>;
+        assert!(!T::fair());
+    }
+
+    #[test]
+    fn level_count_checked() {
+        let h = platforms::tiny(); // 3 levels
+        assert!(build2::<McsLock, TicketLock>(&h, ClofParams::default()).is_err());
+        assert!(build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).is_ok());
+    }
+
+    #[test]
+    fn single_thread_roundtrip_3level() {
+        let h = platforms::tiny();
+        let tree = build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).unwrap();
+        assert_eq!(tree.name(), "mcs-clh-tkt");
+        assert_eq!(tree.leaf_count(), 4);
+        let mut handle = tree.handle(0);
+        for _ in 0..100 {
+            handle.acquire();
+            handle.release();
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_across_cohorts() {
+        const ITERS: usize = 1_500;
+        let h = platforms::tiny();
+        let tree = std::sync::Arc::new(
+            build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).unwrap(),
+        );
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        // One thread per CPU of the tiny machine: spans all cohorts.
+        for cpu in 0..h.ncpus() {
+            let tree = std::sync::Arc::clone(&tree);
+            let counter = std::sync::Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut handle = tree.handle(cpu);
+                for _ in 0..ITERS {
+                    handle.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * ITERS);
+    }
+
+    #[test]
+    fn mutual_exclusion_4level_heterogeneous() {
+        use clof_locks::Hemlock;
+        const ITERS: usize = 800;
+        let h = clof_topology::Hierarchy::regular(&[("core", 2), ("cache", 4), ("numa", 8)], 16)
+            .unwrap();
+        let tree = std::sync::Arc::new(
+            build4::<Hemlock, McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).unwrap(),
+        );
+        assert_eq!(tree.name(), "hem-mcs-clh-tkt");
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for cpu in (0..16).step_by(2) {
+            let tree = std::sync::Arc::clone(&tree);
+            let counter = std::sync::Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let mut handle = tree.handle(cpu);
+                for _ in 0..ITERS {
+                    handle.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * ITERS);
+    }
+
+    #[test]
+    fn keep_local_threshold_bounds_passing() {
+        // With H = 2 and two threads in one cohort, the high lock must be
+        // released at least every second hand-off; we just check liveness
+        // across cohorts under a small threshold.
+        let h = platforms::tiny();
+        let params = ClofParams {
+            keep_local_threshold: 2,
+        };
+        let tree =
+            std::sync::Arc::new(build3::<TicketLock, TicketLock, TicketLock>(&h, params).unwrap());
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for cpu in [0usize, 1, 4, 5] {
+            let tree = std::sync::Arc::clone(&tree);
+            let counter = std::sync::Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let mut handle = tree.handle(cpu);
+                for _ in 0..500 {
+                    handle.acquire();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn build1_flat() {
+        let h = clof_topology::Hierarchy::flat(4).unwrap();
+        let tree = build1::<TicketLock>(&h).unwrap();
+        let mut handle = tree.handle(3);
+        handle.acquire();
+        handle.release();
+        assert_eq!(tree.name(), "tkt");
+    }
+}

@@ -1,0 +1,573 @@
+//! Runtime-assembled CLoF locks: any `&[LockKind]` composition over any
+//! [`Hierarchy`].
+//!
+//! This is the form the exhaustive generator (paper §4.3) benchmarks: with
+//! `N = 4` basic locks and `M = 4` levels there are 256 compositions, far
+//! too many to monomorphize statically. A [`DynClofLock`] is a tree of
+//! [`DynNode`]s — one per cohort per level — each holding an enum-
+//! dispatched basic lock, the level metadata, and an `Arc` to its parent
+//! node. The protocol is identical to the static [`Clof`](crate::Clof).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clof_topology::{CpuId, Hierarchy};
+
+use crate::error::ClofError;
+use crate::kind::{AnyContext, AnyLock, LockKind};
+use crate::level::{ClofParams, LevelMeta};
+
+/// Hand-off statistics of one cohort node (relaxed counters — exact
+/// totals at quiescence, approximate snapshots while running).
+#[derive(Debug, Default)]
+struct NodeStats {
+    /// Times the node's low lock was acquired through this node.
+    acquisitions: AtomicU64,
+    /// Releases that *passed* the high lock within the cohort.
+    passes: AtomicU64,
+    /// Releases that let the high lock go to other cohorts.
+    releases_up: AtomicU64,
+}
+
+/// Per-level aggregate of [`DynClofLock::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index, 0 = innermost.
+    pub level: usize,
+    /// Low-lock acquisitions at this level.
+    pub acquisitions: u64,
+    /// Intra-cohort passes decided at this level.
+    pub passes: u64,
+    /// Full releases (high lock surrendered) decided at this level.
+    pub releases_up: u64,
+}
+
+impl LevelStats {
+    /// Fraction of release decisions at this level that stayed local —
+    /// the locality the composition achieved (cf. the simulator's
+    /// `handovers_by_level`).
+    pub fn locality(&self) -> f64 {
+        let total = self.passes + self.releases_up;
+        if total == 0 {
+            0.0
+        } else {
+            self.passes as f64 / total as f64
+        }
+    }
+}
+
+/// One cohort node in a dynamic CLoF tree.
+pub struct DynNode {
+    low: AnyLock,
+    /// Metadata + the high-lock context; `None` context for the root.
+    meta: LevelMeta<()>,
+    high_ctx: UnsafeCell<Option<AnyContext>>,
+    high: Option<Arc<DynNode>>,
+    stats: NodeStats,
+}
+
+// SAFETY: `high_ctx` is protected by the low lock exactly like the static
+// composition's `LevelMeta` context cell (context invariant + release
+// order); all other state is atomics or immutable after construction.
+unsafe impl Sync for DynNode {}
+// SAFETY: All owned data is `Send`.
+unsafe impl Send for DynNode {}
+
+impl DynNode {
+    fn root(kind: LockKind, params: ClofParams) -> Self {
+        DynNode {
+            low: AnyLock::new(kind),
+            meta: LevelMeta::new(params),
+            high_ctx: UnsafeCell::new(None),
+            high: None,
+            stats: NodeStats::default(),
+        }
+    }
+
+    fn child(kind: LockKind, high: Arc<DynNode>, params: ClofParams) -> Self {
+        let high_ctx = high.low.new_context();
+        DynNode {
+            low: AnyLock::new(kind),
+            meta: LevelMeta::new(params),
+            high_ctx: UnsafeCell::new(Some(high_ctx)),
+            high: Some(high),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Recursive `lockgen` acquire (paper Figure 8).
+    fn acquire(&self, ctx: &mut AnyContext) {
+        let Some(high) = &self.high else {
+            // Base case: the system-level basic lock.
+            self.low.acquire(ctx);
+            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        self.meta.inc_waiters();
+        self.low.acquire(ctx);
+        self.meta.dec_waiters();
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if !self.meta.has_high_lock() {
+            self.meta.debug_ctx_enter();
+            // SAFETY: We own the low lock; the context invariant grants
+            // exclusive use of the high context, and the previous user's
+            // writes are visible through the low lock's release→acquire
+            // synchronization.
+            let slot = unsafe { &mut *self.high_ctx.get() };
+            let high_ctx = slot.as_mut().expect("non-root nodes have a high context");
+            high.acquire(high_ctx);
+            self.meta.debug_ctx_exit();
+        }
+    }
+
+    /// Recursive `lockgen` release (paper Figure 8).
+    fn release(&self, ctx: &mut AnyContext) {
+        let Some(high) = &self.high else {
+            self.low.release(ctx);
+            return;
+        };
+        let waiters = self
+            .low
+            .has_waiters_hint(ctx)
+            .unwrap_or_else(|| self.meta.has_waiters());
+        if waiters && self.meta.keep_local() {
+            self.stats.passes.fetch_add(1, Ordering::Relaxed);
+            self.meta.pass_high_lock();
+            self.low.release(ctx);
+        } else {
+            self.stats.releases_up.fetch_add(1, Ordering::Relaxed);
+            self.meta.clear_high_lock();
+            self.meta.debug_ctx_enter();
+            // SAFETY: As in `acquire`; we still own the low lock. Release
+            // order high → low is required by the context invariant
+            // (paper §4.1.3): releasing low first would let a successor
+            // race us on this context.
+            let slot = unsafe { &mut *self.high_ctx.get() };
+            let high_ctx = slot.as_mut().expect("non-root nodes have a high context");
+            high.release(high_ctx);
+            self.meta.debug_ctx_exit();
+            self.low.release(ctx);
+        }
+    }
+
+    /// This node's basic-lock kind.
+    pub fn kind(&self) -> LockKind {
+        self.low.kind()
+    }
+}
+
+/// A complete CLoF lock for a machine: the tree of per-cohort nodes plus
+/// the CPU → leaf mapping.
+///
+/// See the [crate docs](crate) for a usage example.
+pub struct DynClofLock {
+    leaves: Vec<Arc<DynNode>>,
+    cpu_to_leaf: Vec<usize>,
+    composition: Vec<LockKind>,
+    name: String,
+}
+
+impl std::fmt::Debug for DynClofLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynClofLock")
+            .field("composition", &self.name)
+            .field("leaves", &self.leaves.len())
+            .finish()
+    }
+}
+
+impl DynClofLock {
+    /// Builds the composition `locks` (innermost level first, one entry
+    /// per hierarchy level) over `hierarchy`, with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the composition length does not match the hierarchy's
+    /// level count, or if a component is unfair (use
+    /// [`build_with`](Self::build_with) with `allow_unfair` to override —
+    /// the paper only considers fair locks after §4.2.3).
+    pub fn build(hierarchy: &Hierarchy, locks: &[LockKind]) -> Result<Self, ClofError> {
+        Self::build_with(hierarchy, locks, ClofParams::default(), false)
+    }
+
+    /// Builds with explicit parameters and fairness policy.
+    pub fn build_with(
+        hierarchy: &Hierarchy,
+        locks: &[LockKind],
+        params: ClofParams,
+        allow_unfair: bool,
+    ) -> Result<Self, ClofError> {
+        let per_level = vec![params; hierarchy.level_count()];
+        Self::build_with_level_params(hierarchy, locks, &per_level, allow_unfair)
+    }
+
+    /// Builds with *per-level* parameters (innermost first) — HMCS tunes
+    /// its keep-local threshold per level, and so can CLoF compositions.
+    pub fn build_with_level_params(
+        hierarchy: &Hierarchy,
+        locks: &[LockKind],
+        params: &[ClofParams],
+        allow_unfair: bool,
+    ) -> Result<Self, ClofError> {
+        if locks.len() != hierarchy.level_count() || params.len() != hierarchy.level_count() {
+            return Err(ClofError::LevelCountMismatch {
+                locks: locks.len().min(params.len()),
+                levels: hierarchy.level_count(),
+            });
+        }
+        if !allow_unfair {
+            if let Some((level, &kind)) = locks.iter().enumerate().find(|&(_, k)| !k.is_fair()) {
+                return Err(ClofError::UnfairComponent { kind, level });
+            }
+        }
+        let levels = hierarchy.level_count();
+        // Build from the root (outermost level) down.
+        let root_kind = locks[levels - 1];
+        let mut upper: Vec<Arc<DynNode>> =
+            vec![Arc::new(DynNode::root(root_kind, params[levels - 1]))];
+        for level in (0..levels - 1).rev() {
+            let mut nodes = Vec::with_capacity(hierarchy.cohort_count(level));
+            for cohort in 0..hierarchy.cohort_count(level) {
+                let cpu = hierarchy.cohort_members(level, cohort)[0];
+                let parent_cohort = hierarchy.cohort(level + 1, cpu);
+                nodes.push(Arc::new(DynNode::child(
+                    locks[level],
+                    Arc::clone(&upper[parent_cohort]),
+                    params[level],
+                )));
+            }
+            upper = nodes;
+        }
+        let cpu_to_leaf = (0..hierarchy.ncpus())
+            .map(|c| hierarchy.cohort(0, c))
+            .collect();
+        Ok(DynClofLock {
+            leaves: upper,
+            cpu_to_leaf,
+            composition: locks.to_vec(),
+            name: crate::generator::composition_name(locks),
+        })
+    }
+
+    /// A per-thread handle entering at `cpu`'s leaf cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the hierarchy used to build the lock.
+    pub fn handle(&self, cpu: CpuId) -> DynHandle {
+        let leaf = Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]);
+        let ctx = leaf.low.new_context();
+        DynHandle { leaf, ctx }
+    }
+
+    /// Composition in the paper's notation, e.g. `"tkt-clh-tkt"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The composed kinds, innermost first.
+    pub fn composition(&self) -> &[LockKind] {
+        &self.composition
+    }
+
+    /// Whether this composition is starvation-free.
+    pub fn is_fair(&self) -> bool {
+        self.composition.iter().all(|k| k.is_fair())
+    }
+
+    /// Number of leaf cohorts.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Aggregated hand-off statistics per level (innermost first).
+    ///
+    /// A well-matched composition shows high [`LevelStats::locality`] at
+    /// the inner levels — the real-lock counterpart of the simulator's
+    /// per-level handover histogram.
+    pub fn stats(&self) -> Vec<LevelStats> {
+        let levels = self.composition.len();
+        let mut out: Vec<LevelStats> = (0..levels)
+            .map(|level| LevelStats {
+                level,
+                acquisitions: 0,
+                passes: 0,
+                releases_up: 0,
+            })
+            .collect();
+        // Walk each distinct node once, leaf chains upward.
+        let mut seen: Vec<*const DynNode> = Vec::new();
+        for leaf in &self.leaves {
+            let mut level = 0usize;
+            let mut cur: &Arc<DynNode> = leaf;
+            loop {
+                let ptr = Arc::as_ptr(cur);
+                if !seen.contains(&(ptr as *const DynNode)) {
+                    seen.push(ptr);
+                    out[level].acquisitions +=
+                        cur.stats.acquisitions.load(Ordering::Relaxed);
+                    out[level].passes += cur.stats.passes.load(Ordering::Relaxed);
+                    out[level].releases_up +=
+                        cur.stats.releases_up.load(Ordering::Relaxed);
+                }
+                match &cur.high {
+                    Some(high) => {
+                        cur = high;
+                        level += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A per-thread handle: the leaf node plus this thread's leaf context.
+pub struct DynHandle {
+    leaf: Arc<DynNode>,
+    ctx: AnyContext,
+}
+
+impl DynHandle {
+    /// Acquires the composed lock.
+    pub fn acquire(&mut self) {
+        self.leaf.acquire(&mut self.ctx);
+    }
+
+    /// Releases the composed lock.
+    ///
+    /// Must only be called while held through this handle.
+    pub fn release(&mut self) {
+        self.leaf.release(&mut self.ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof_topology::platforms;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn hammer(lock: &Arc<DynClofLock>, cpus: &[usize], iters: usize) -> usize {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for &cpu in cpus {
+            let lock = Arc::clone(lock);
+            let counter = Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                for _ in 0..iters {
+                    handle.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        counter.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn build_checks_level_count() {
+        let h = platforms::tiny();
+        let err = DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Ticket]).unwrap_err();
+        assert!(matches!(err, ClofError::LevelCountMismatch { .. }));
+    }
+
+    #[test]
+    fn build_rejects_unfair_by_default() {
+        let h = platforms::tiny();
+        let err =
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Ttas, LockKind::Ticket]).unwrap_err();
+        assert!(matches!(
+            err,
+            ClofError::UnfairComponent {
+                kind: LockKind::Ttas,
+                level: 1
+            }
+        ));
+        // ... but allows it when asked (the lock-cohorting C-BO-MCS case).
+        let lock = DynClofLock::build_with(
+            &h,
+            &[LockKind::Mcs, LockKind::Ttas, LockKind::Ticket],
+            ClofParams::default(),
+            true,
+        )
+        .unwrap();
+        assert!(!lock.is_fair());
+    }
+
+    #[test]
+    fn name_follows_paper_notation() {
+        let h = platforms::tiny();
+        let lock =
+            DynClofLock::build(&h, &[LockKind::Hemlock, LockKind::Mcs, LockKind::Clh]).unwrap();
+        assert_eq!(lock.name(), "hem-mcs-clh");
+        assert_eq!(lock.leaf_count(), 4);
+    }
+
+    #[test]
+    fn mutual_exclusion_all_cpus_tiny() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        let cpus: Vec<usize> = (0..8).collect();
+        assert_eq!(hammer(&lock, &cpus, 1000), 8000);
+    }
+
+    #[test]
+    fn mutual_exclusion_every_homogeneous_composition() {
+        let h = platforms::tiny();
+        for kind in [
+            LockKind::Ticket,
+            LockKind::Mcs,
+            LockKind::Clh,
+            LockKind::Hemlock,
+            LockKind::HemlockCtr,
+        ] {
+            let lock = Arc::new(DynClofLock::build(&h, &[kind, kind, kind]).unwrap());
+            let cpus = [0usize, 3, 4, 7];
+            assert_eq!(hammer(&lock, &cpus, 500), 2000, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_4level_on_paper_armv8() {
+        // Full Armv8 hierarchy; threads on a spread of CPUs.
+        let h = platforms::paper_armv8_4level();
+        let lock = Arc::new(
+            DynClofLock::build(
+                &h,
+                &[
+                    LockKind::Ticket,
+                    LockKind::Clh,
+                    LockKind::Ticket,
+                    LockKind::Ticket,
+                ],
+            )
+            .unwrap(),
+        );
+        assert_eq!(lock.name(), "tkt-clh-tkt-tkt");
+        let cpus = [0usize, 1, 4, 33, 64, 127];
+        assert_eq!(hammer(&lock, &cpus, 400), 2400);
+    }
+
+    #[test]
+    fn two_threads_same_cpu_share_leaf() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Mcs, LockKind::Mcs]).unwrap(),
+        );
+        assert_eq!(hammer(&lock, &[2, 2], 1000), 2000);
+    }
+
+    #[test]
+    fn keep_local_threshold_one_still_live() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build_with(
+                &h,
+                &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+                ClofParams {
+                    keep_local_threshold: 1,
+                },
+                false,
+            )
+            .unwrap(),
+        );
+        assert_eq!(hammer(&lock, &[0, 1, 6, 7], 500), 2000);
+    }
+
+    #[test]
+    fn stats_capture_locality() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        // Force a same-cohort waiter to exist at release time (on a
+        // single-CPU host free-running threads rarely overlap): hold the
+        // lock from CPU 0 while CPU 1 (same leaf cohort) queues up.
+        let mut holder = lock.handle(0);
+        holder.acquire();
+        let started = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut handle = lock.handle(1);
+                started.store(1, std::sync::atomic::Ordering::Release);
+                handle.acquire();
+                handle.release();
+            })
+        };
+        while started.load(std::sync::atomic::Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        holder.release(); // waiter is queued at the leaf ⇒ local pass
+        waiter.join().unwrap();
+
+        let stats = lock.stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].acquisitions, 2);
+        assert_eq!(stats[0].passes, 1, "{stats:?}");
+        // The root was acquired once (by the holder) and inherited by
+        // the waiter.
+        assert_eq!(stats[2].acquisitions, 1);
+        assert!(stats[0].locality() > 0.0);
+    }
+
+    #[test]
+    fn stats_zero_on_fresh_lock() {
+        let h = platforms::tiny();
+        let lock =
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Mcs, LockKind::Mcs]).unwrap();
+        for level in lock.stats() {
+            assert_eq!(level.acquisitions, 0);
+            assert_eq!(level.locality(), 0.0);
+        }
+    }
+
+    #[test]
+    fn per_level_params_apply() {
+        use crate::level::ClofParams;
+        let h = platforms::tiny();
+        let params = [
+            ClofParams { keep_local_threshold: 2 },
+            ClofParams { keep_local_threshold: 64 },
+            ClofParams { keep_local_threshold: 1 },
+        ];
+        let lock = Arc::new(
+            DynClofLock::build_with_level_params(
+                &h,
+                &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+                &params,
+                false,
+            )
+            .unwrap(),
+        );
+        assert_eq!(hammer(&lock, &[0, 1, 4, 5], 500), 2000);
+        // Arity mismatch is rejected.
+        let err = DynClofLock::build_with_level_params(
+            &h,
+            &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+            &params[..2],
+            false,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn flat_hierarchy_is_just_the_basic_lock() {
+        let h = clof_topology::Hierarchy::flat(4).unwrap();
+        let lock = Arc::new(DynClofLock::build(&h, &[LockKind::Clh]).unwrap());
+        assert_eq!(lock.name(), "clh");
+        assert_eq!(hammer(&lock, &[0, 1, 2, 3], 1000), 4000);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors of the composition framework.
+
+use std::fmt;
+
+use crate::kind::LockKind;
+
+/// Errors produced when building or generating CLoF locks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClofError {
+    /// The composition does not name one lock per hierarchy level.
+    LevelCountMismatch {
+        /// Locks named in the composition.
+        locks: usize,
+        /// Levels in the hierarchy (including the system level).
+        levels: usize,
+    },
+    /// A fair composition was requested but a component is unfair
+    /// (paper Theorem 4.1: the composition is fair only if every basic
+    /// lock is).
+    UnfairComponent {
+        /// The offending component.
+        kind: LockKind,
+        /// Level index (0 = innermost) where it was placed.
+        level: usize,
+    },
+    /// An unknown lock name was given to [`LockKind::parse`].
+    UnknownLock {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// The keep-local threshold must be at least 1.
+    BadThreshold,
+}
+
+impl fmt::Display for ClofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClofError::LevelCountMismatch { locks, levels } => write!(
+                f,
+                "composition names {locks} locks but the hierarchy has {levels} levels"
+            ),
+            ClofError::UnfairComponent { kind, level } => write!(
+                f,
+                "unfair lock `{}` at level {level}: the composition would not be \
+                 starvation-free (pass `allow_unfair` to permit this)",
+                kind.info().name
+            ),
+            ClofError::UnknownLock { name } => write!(f, "unknown lock name `{name}`"),
+            ClofError::BadThreshold => write!(f, "keep-local threshold must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ClofError {}

@@ -1,0 +1,166 @@
+//! Exhaustive composition generation (paper §4.3): all `N^M` CLoF locks.
+
+use clof_topology::Hierarchy;
+
+use crate::dynlock::DynClofLock;
+use crate::error::ClofError;
+use crate::kind::LockKind;
+use crate::level::ClofParams;
+
+/// All `N^M` compositions of `basics` over `levels` hierarchy levels,
+/// innermost level first, in lexicographic order of `basics` indices.
+///
+/// # Examples
+///
+/// ```
+/// use clof::generator::compositions;
+/// use clof::kind::LockKind;
+///
+/// let combos = compositions(&[LockKind::Ticket, LockKind::Mcs], 3);
+/// assert_eq!(combos.len(), 8); // N^M = 2^3
+/// assert_eq!(combos[0], vec![LockKind::Ticket; 3]);
+/// ```
+pub fn compositions(basics: &[LockKind], levels: usize) -> Vec<Vec<LockKind>> {
+    let n = basics.len();
+    if n == 0 || levels == 0 {
+        return Vec::new();
+    }
+    let total = n.checked_pow(levels as u32).expect("N^M overflows usize");
+    let mut out = Vec::with_capacity(total);
+    for mut index in 0..total {
+        let mut combo = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            combo.push(basics[index % n]);
+            index /= n;
+        }
+        out.push(combo);
+    }
+    out
+}
+
+/// The paper's composition notation: short names joined by `-`, innermost
+/// level first (`hem-hem-mcs-clh` = Hemlock at the two innermost levels,
+/// MCS above, CLH at the system level).
+pub fn composition_name(locks: &[LockKind]) -> String {
+    locks
+        .iter()
+        .map(|k| k.info().name)
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// Parses a composition string (`"tkt-clh-tkt"`) back into kinds.
+///
+/// The inverse of [`composition_name`]; `hem-ctr` is handled despite the
+/// embedded dash.
+pub fn parse_composition(name: &str) -> Result<Vec<LockKind>, ClofError> {
+    let mut out = Vec::new();
+    let mut parts = name.split('-').peekable();
+    while let Some(part) = parts.next() {
+        // Re-join `hem-ctr`.
+        if part == "hem" && parts.peek() == Some(&"ctr") {
+            parts.next();
+            out.push(LockKind::HemlockCtr);
+        } else {
+            out.push(LockKind::parse(part)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Generates and **builds** every composition of `basics` over
+/// `hierarchy` — the paper's "hundreds of multi-level heterogeneous
+/// locks" box in Figure 5.
+///
+/// Unfair basic locks are excluded automatically (the paper restricts
+/// itself to fair locks after §4.2.3).
+///
+/// # Errors
+///
+/// Propagates build errors (none occur for fair, well-formed inputs).
+pub fn generate_all(
+    hierarchy: &Hierarchy,
+    basics: &[LockKind],
+    params: ClofParams,
+) -> Result<Vec<DynClofLock>, ClofError> {
+    let fair: Vec<LockKind> = basics.iter().copied().filter(|k| k.is_fair()).collect();
+    compositions(&fair, hierarchy.level_count())
+        .into_iter()
+        .map(|combo| DynClofLock::build_with(hierarchy, &combo, params, false))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof_topology::platforms;
+
+    #[test]
+    fn counts_match_paper() {
+        // N = 4 basics, M = 4 levels ⇒ 256 (paper §5.2.1); M = 3 ⇒ 64.
+        assert_eq!(compositions(&LockKind::PAPER_ARM, 4).len(), 256);
+        assert_eq!(compositions(&LockKind::PAPER_X86, 3).len(), 64);
+    }
+
+    #[test]
+    fn compositions_are_unique() {
+        let combos = compositions(&LockKind::PAPER_ARM, 3);
+        let mut names: Vec<String> = combos.iter().map(|c| composition_name(c)).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 64);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for combo in compositions(&LockKind::PAPER_X86, 2) {
+            let name = composition_name(&combo);
+            assert_eq!(parse_composition(&name).unwrap(), combo);
+        }
+    }
+
+    #[test]
+    fn hem_ctr_name_parses() {
+        let locks = parse_composition("hem-ctr-mcs").unwrap();
+        assert_eq!(locks, vec![LockKind::HemlockCtr, LockKind::Mcs]);
+        assert_eq!(composition_name(&locks), "hem-ctr-mcs");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(compositions(&[], 3).is_empty());
+        assert!(compositions(&LockKind::PAPER_ARM, 0).is_empty());
+    }
+
+    #[test]
+    fn generate_all_builds_all_fair_combos() {
+        let h = platforms::tiny(); // 3 levels
+        let locks = generate_all(&h, &LockKind::PAPER_ARM, ClofParams::default()).unwrap();
+        assert_eq!(locks.len(), 64);
+        // Unfair basics are filtered, not propagated as errors.
+        let with_unfair = generate_all(
+            &h,
+            &[LockKind::Ticket, LockKind::Ttas],
+            ClofParams::default(),
+        )
+        .unwrap();
+        assert_eq!(with_unfair.len(), 1); // only tkt remains ⇒ 1^3
+    }
+
+    #[test]
+    fn generated_locks_work() {
+        let h = platforms::tiny();
+        let locks = generate_all(
+            &h,
+            &[LockKind::Ticket, LockKind::Mcs],
+            ClofParams::default(),
+        )
+        .unwrap();
+        assert_eq!(locks.len(), 8);
+        for lock in &locks {
+            let mut handle = lock.handle(0);
+            handle.acquire();
+            handle.release();
+        }
+    }
+}

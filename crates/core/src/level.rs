@@ -1,0 +1,265 @@
+//! Per-cohort level metadata: the paper's `MetaData` (`d` in the grammar).
+//!
+//! Every composed lock extends its *low* lock with metadata used "to link
+//! with the high lock and to pass locks among different levels"
+//! (paper §4.1.1): a waiter read-indicator, the `has_high_lock` pass flag,
+//! the `keep_local` counter, and the context through which this cohort
+//! acquires/releases the high lock.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Tunable parameters of a composed lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClofParams {
+    /// `keep_local` threshold *H*: how many consecutive intra-cohort
+    /// hand-offs are allowed before the high lock must be released to
+    /// other cohorts. The paper uses `H = 128` per level by default and
+    /// warns that excessive values hurt short-term fairness (§4.1.2).
+    pub keep_local_threshold: u32,
+}
+
+impl Default for ClofParams {
+    fn default() -> Self {
+        ClofParams {
+            keep_local_threshold: 128,
+        }
+    }
+}
+
+/// Metadata attached to one cohort's low lock.
+///
+/// `C` is the *high* lock's context type; the cell is handed from owner to
+/// owner of the low lock.
+pub struct LevelMeta<C> {
+    /// Read indicator: number of threads between `inc_waiters` and
+    /// `dec_waiters` (paper §4.1.2, after Calciu et al.'s read
+    /// indicator).
+    waiters: AtomicU32,
+    /// The `has_high_lock` flag: set by `pass_high_lock`, cleared by
+    /// `clear_high_lock`.
+    high_held: AtomicBool,
+    /// Consecutive local hand-offs since the high lock was last acquired
+    /// or let go; drives `keep_local`.
+    handovers: AtomicU32,
+    /// Threshold *H* for `keep_local`.
+    threshold: u32,
+    /// Context used by whichever thread owns the low lock to operate the
+    /// high lock. Exclusivity is not statically enforceable here — it is
+    /// the **context invariant**: only the low-lock owner touches it, and
+    /// ownership transfer happens through the low lock's release→acquire
+    /// synchronization.
+    high_ctx: UnsafeCell<C>,
+    /// Debug-only detector for context-invariant violations.
+    #[cfg(debug_assertions)]
+    ctx_busy: AtomicBool,
+}
+
+// SAFETY: `LevelMeta` acts like a mutex-protected cell for `C` (the low
+// lock is the mutex); all other fields are atomics. `C: Send` suffices, as
+// no `&C` is ever shared across threads concurrently.
+unsafe impl<C: Send> Sync for LevelMeta<C> {}
+
+impl<C: Default> LevelMeta<C> {
+    /// Creates metadata with the given keep-local threshold.
+    pub fn new(params: ClofParams) -> Self {
+        LevelMeta {
+            waiters: AtomicU32::new(0),
+            high_held: AtomicBool::new(false),
+            handovers: AtomicU32::new(0),
+            threshold: params.keep_local_threshold.max(1),
+            high_ctx: UnsafeCell::new(C::default()),
+            #[cfg(debug_assertions)]
+            ctx_busy: AtomicBool::new(false),
+        }
+    }
+}
+
+impl<C> LevelMeta<C> {
+    /// `inc_waiters`: announce this thread is about to acquire the low
+    /// lock.
+    ///
+    /// All metadata accesses are intentionally `Relaxed`: the paper's
+    /// VSync analysis found that every access introduced by the auxiliary
+    /// functions of `lockgen` can be maximally relaxed as long as the
+    /// basic locks keep their own barriers (§4.2.3) — the low lock's
+    /// release→acquire edge orders metadata for the next owner, and the
+    /// waiter counter tolerates staleness (a missed waiter only causes an
+    /// early high-lock release, never a safety violation).
+    #[inline]
+    pub fn inc_waiters(&self) {
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `dec_waiters`: the thread finished acquiring the low lock.
+    #[inline]
+    pub fn dec_waiters(&self) {
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// `has_waiters`: is any thread of this cohort waiting on the low
+    /// lock?
+    #[inline]
+    pub fn has_waiters(&self) -> bool {
+        self.waiters.load(Ordering::Relaxed) > 0
+    }
+
+    /// `has_high_lock`: did the previous owner pass the high lock to this
+    /// cohort?
+    #[inline]
+    pub fn has_high_lock(&self) -> bool {
+        self.high_held.load(Ordering::Relaxed)
+    }
+
+    /// `pass_high_lock`: leave the high lock acquired for the next
+    /// low-lock owner.
+    #[inline]
+    pub fn pass_high_lock(&self) {
+        self.high_held.store(true, Ordering::Relaxed);
+    }
+
+    /// `clear_high_lock`: the high lock is about to be released.
+    #[inline]
+    pub fn clear_high_lock(&self) {
+        self.high_held.store(false, Ordering::Relaxed);
+    }
+
+    /// `keep_local`: may the high lock stay in this cohort for one more
+    /// hand-off?
+    ///
+    /// Increments the hand-off counter and returns `false` (resetting the
+    /// counter) every `threshold` calls, bounding unfairness towards
+    /// other cohorts exactly as HMCS does (§4.1.2).
+    #[inline]
+    pub fn keep_local(&self) -> bool {
+        // Only the current low-lock owner calls this, so the RMW never
+        // actually contends; it is atomic because successive owners are
+        // different threads.
+        let n = self.handovers.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.threshold {
+            self.handovers.store(0, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Grants the caller the high-lock context.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own this metadata's low lock. The context invariant
+    /// (only the low-lock owner uses the context, release order high →
+    /// low) makes the access exclusive; the low lock's release→acquire
+    /// synchronization publishes the context state to the next owner.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn high_ctx(&self) -> &mut C {
+        #[cfg(debug_assertions)]
+        {
+            // Detect overlapping uses in tests: `acquire`/`release` of the
+            // high lock bracket their use of the context with this flag.
+        }
+        // SAFETY: Exclusivity per the function's safety contract.
+        unsafe { &mut *self.high_ctx.get() }
+    }
+
+    /// Marks the high context busy (debug builds): panics on overlap,
+    /// i.e. on a context-invariant violation.
+    #[inline]
+    pub fn debug_ctx_enter(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let was = self.ctx_busy.swap(true, Ordering::Relaxed);
+            assert!(
+                !was,
+                "context invariant violated: concurrent use of a high-lock context"
+            );
+        }
+    }
+
+    /// Marks the high context idle again (debug builds).
+    #[inline]
+    pub fn debug_ctx_exit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            self.ctx_busy.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Current waiter-count snapshot (diagnostics).
+    pub fn waiter_count(&self) -> u32 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// The configured keep-local threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiter_counter_round_trips() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
+        assert!(!meta.has_waiters());
+        meta.inc_waiters();
+        meta.inc_waiters();
+        assert!(meta.has_waiters());
+        assert_eq!(meta.waiter_count(), 2);
+        meta.dec_waiters();
+        meta.dec_waiters();
+        assert!(!meta.has_waiters());
+    }
+
+    #[test]
+    fn pass_flag_toggles() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
+        assert!(!meta.has_high_lock());
+        meta.pass_high_lock();
+        assert!(meta.has_high_lock());
+        meta.clear_high_lock();
+        assert!(!meta.has_high_lock());
+    }
+
+    #[test]
+    fn keep_local_honours_threshold() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams {
+            keep_local_threshold: 3,
+        });
+        assert!(meta.keep_local());
+        assert!(meta.keep_local());
+        assert!(!meta.keep_local()); // third call hits H = 3
+        assert!(meta.keep_local()); // counter was reset
+    }
+
+    #[test]
+    fn threshold_of_one_never_keeps_local() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams {
+            keep_local_threshold: 1,
+        });
+        for _ in 0..5 {
+            assert!(!meta.keep_local());
+        }
+    }
+
+    #[test]
+    fn zero_threshold_clamped_to_one() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams {
+            keep_local_threshold: 0,
+        });
+        assert_eq!(meta.threshold(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "context invariant violated")]
+    fn debug_ctx_detects_overlap() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
+        meta.debug_ctx_enter();
+        meta.debug_ctx_enter();
+    }
+}

@@ -1,0 +1,296 @@
+//! A NUMA-aware reader-writer lock over a CLoF composition.
+//!
+//! The paper's `inc_waiters`/`has_waiters` read indicator is borrowed
+//! from Calciu et al.'s NUMA-aware reader-writer locks (its reference
+//! \[5\]); this module closes the loop by building that design *on top
+//! of* CLoF: writers serialize through a full CLoF composition (getting
+//! all of its NUMA-aware hand-off behaviour), while readers only touch a
+//! **per-leaf-cohort reader counter** on their own cache line — readers
+//! in different cohorts never share a line, the NUMA-friendly property
+//! that motivates cohort RW locks.
+//!
+//! The design is the classic C-RW neutral-preference lock:
+//!
+//! * **read**: increment the cohort's reader count, then check the
+//!   writer flag; if a writer is active, back out and wait.
+//! * **write**: acquire the CLoF lock (mutual exclusion among writers +
+//!   NUMA-aware queueing), raise the writer flag, then wait for every
+//!   cohort's reader count to drain.
+//!
+//! The increment→check vs. flag→scan protocol is a store/load (Dekker)
+//! pattern; both sides use `SeqCst` so neither can pass the other — the
+//! one place in this crate where sequential consistency is genuinely
+//! required.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use clof_locks::Backoff;
+use clof_topology::{CpuId, Hierarchy};
+
+use crate::dynlock::{DynClofLock, DynHandle};
+use crate::error::ClofError;
+use crate::kind::LockKind;
+
+/// One cache line per cohort reader counter.
+#[repr(align(128))]
+struct PaddedCount(AtomicUsize);
+
+/// A NUMA-aware reader-writer lock: CLoF-composed writer path,
+/// per-cohort reader indicators.
+///
+/// # Examples
+///
+/// ```
+/// use clof::rwlock::ClofRwLock;
+/// use clof::LockKind;
+/// use clof_topology::platforms;
+///
+/// let lock = ClofRwLock::build(
+///     &platforms::tiny(),
+///     &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+/// )
+/// .unwrap();
+/// let mut writer = lock.writer_handle(0);
+///
+/// lock.read_lock(1);
+/// lock.read_lock(5); // concurrent reader in another cohort
+/// lock.read_unlock(5);
+/// lock.read_unlock(1);
+///
+/// writer.write_lock();
+/// writer.write_unlock();
+/// ```
+pub struct ClofRwLock {
+    write_lock: Arc<DynClofLock>,
+    writer_active: AtomicBool,
+    readers: Vec<PaddedCount>,
+    cpu_to_cohort: Vec<usize>,
+}
+
+impl ClofRwLock {
+    /// Builds the RW lock over `locks` composed on `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynClofLock::build`] errors.
+    pub fn build(hierarchy: &Hierarchy, locks: &[LockKind]) -> Result<Arc<Self>, ClofError> {
+        let write_lock = Arc::new(DynClofLock::build(hierarchy, locks)?);
+        let cohorts = hierarchy.cohort_count(0);
+        Ok(Arc::new(ClofRwLock {
+            write_lock,
+            writer_active: AtomicBool::new(false),
+            readers: (0..cohorts).map(|_| PaddedCount(AtomicUsize::new(0))).collect(),
+            cpu_to_cohort: (0..hierarchy.ncpus())
+                .map(|c| hierarchy.cohort(0, c))
+                .collect(),
+        }))
+    }
+
+    /// Acquires the lock for reading on behalf of a thread on `cpu`.
+    ///
+    /// Readers of different cohorts proceed fully in parallel (disjoint
+    /// counters); a reader only waits while a writer is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn read_lock(&self, cpu: CpuId) {
+        let count = &self.readers[self.cpu_to_cohort[cpu]].0;
+        let mut backoff = Backoff::new();
+        loop {
+            // Announce, then check: SeqCst RMW so the subsequent flag
+            // load cannot be satisfied before the announcement is
+            // globally visible (Dekker with the writer's store→scan).
+            count.fetch_add(1, Ordering::SeqCst);
+            if !self.writer_active.load(Ordering::SeqCst) {
+                return;
+            }
+            // A writer is active (or draining us): back out and wait.
+            count.fetch_sub(1, Ordering::SeqCst);
+            while self.writer_active.load(Ordering::Acquire) {
+                backoff.snooze();
+            }
+            backoff.reset();
+        }
+    }
+
+    /// Releases a read acquisition made from `cpu`.
+    ///
+    /// Must pair with a successful [`read_lock`](Self::read_lock) from
+    /// the same CPU's cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn read_unlock(&self, cpu: CpuId) {
+        // Release: publish the critical section's reads... (readers don't
+        // write shared data, but pairing keeps the drain scan ordered).
+        self.readers[self.cpu_to_cohort[cpu]]
+            .0
+            .fetch_sub(1, Ordering::Release);
+    }
+
+    /// A writer handle for a thread on `cpu` (holds the CLoF context).
+    pub fn writer_handle(self: &Arc<Self>, cpu: CpuId) -> ClofRwWriter {
+        ClofRwWriter {
+            lock: Arc::clone(self),
+            handle: self.write_lock.handle(cpu),
+        }
+    }
+
+    /// Current reader count (racy; diagnostics).
+    pub fn reader_count(&self) -> usize {
+        self.readers
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Writer side of a [`ClofRwLock`].
+pub struct ClofRwWriter {
+    lock: Arc<ClofRwLock>,
+    handle: DynHandle,
+}
+
+impl ClofRwWriter {
+    /// Acquires the lock for writing: serializes against other writers
+    /// through the CLoF composition, then drains all readers.
+    pub fn write_lock(&mut self) {
+        self.handle.acquire();
+        // SeqCst store, then SeqCst scans: pairs with the readers'
+        // announce-then-check.
+        self.lock.writer_active.store(true, Ordering::SeqCst);
+        for count in &self.lock.readers {
+            let mut backoff = Backoff::new();
+            while count.0.load(Ordering::SeqCst) != 0 {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Releases a write acquisition.
+    ///
+    /// Must pair with [`write_lock`](Self::write_lock).
+    pub fn write_unlock(&mut self) {
+        self.lock.writer_active.store(false, Ordering::Release);
+        self.handle.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof_topology::platforms;
+    use std::sync::atomic::AtomicU64;
+
+    fn build_tiny() -> Arc<ClofRwLock> {
+        ClofRwLock::build(
+            &platforms::tiny(),
+            &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn readers_are_concurrent() {
+        let lock = build_tiny();
+        lock.read_lock(0);
+        lock.read_lock(7); // must not block
+        assert_eq!(lock.reader_count(), 2);
+        lock.read_unlock(7);
+        lock.read_unlock(0);
+        assert_eq!(lock.reader_count(), 0);
+    }
+
+    #[test]
+    fn writer_excludes_writer() {
+        let lock = build_tiny();
+        let mut w = lock.writer_handle(0);
+        w.write_lock();
+        w.write_unlock();
+        let mut w2 = lock.writer_handle(4);
+        w2.write_lock();
+        w2.write_unlock();
+    }
+
+    #[test]
+    fn writer_waits_for_readers_and_blocks_new_ones() {
+        let lock = build_tiny();
+        lock.read_lock(0);
+        let started = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let writer = {
+            let lock = Arc::clone(&lock);
+            let started = Arc::clone(&started);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut w = lock.writer_handle(4);
+                started.store(1, Ordering::Release);
+                w.write_lock();
+                done.store(1, Ordering::Release);
+                w.write_unlock();
+            })
+        };
+        while started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Writer must still be draining us.
+        assert_eq!(done.load(Ordering::Acquire), 0);
+        lock.read_unlock(0);
+        writer.join().unwrap();
+        assert_eq!(done.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn no_torn_reads_under_mixed_load() {
+        // Writers keep two fields equal; readers must never observe them
+        // differing.
+        let lock = build_tiny();
+        let data = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for cpu in 0..4usize {
+            let lock = Arc::clone(&lock);
+            let data = Arc::clone(&data);
+            let mut w = lock.writer_handle(cpu * 2);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    w.write_lock();
+                    data.0.store(i, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    data.1.store(i, Ordering::Relaxed);
+                    w.write_unlock();
+                }
+            }));
+        }
+        for cpu in 0..4usize {
+            let lock = Arc::clone(&lock);
+            let data = Arc::clone(&data);
+            let violations = Arc::clone(&violations);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..600 {
+                    lock.read_lock(cpu * 2 + 1);
+                    let a = data.0.load(Ordering::Relaxed);
+                    let b = data.1.load(Ordering::Relaxed);
+                    if a != b {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    lock.read_unlock(cpu * 2 + 1);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+        assert_eq!(lock.reader_count(), 0);
+    }
+
+    #[test]
+    fn composition_errors_propagate() {
+        assert!(ClofRwLock::build(&platforms::tiny(), &[LockKind::Mcs]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! The scripted benchmark and selection policies (paper §4.3).
+//!
+//! After generating all compositions, CLoF benchmarks each one over a
+//! grid of contention levels (thread counts) and ranks them with a
+//! weighted average of the per-contention throughputs. Two built-in
+//! policies mirror the paper: **HC** weights high-contention points more,
+//! **LC** weights low-contention points more. The benchmark itself is
+//! injected as a closure so the same machinery drives the virtual-time
+//! simulator (`clof-sim`), the real KV workloads (`clof-kvstore`), or any
+//! user benchmark.
+
+use crate::kind::LockKind;
+
+/// Throughput of one composition over the contention grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The composition, innermost level first.
+    pub composition: Vec<LockKind>,
+    /// `(threads, throughput)` pairs, ascending thread count.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl BenchResult {
+    /// Composition name in the paper's notation.
+    pub fn name(&self) -> String {
+        crate::generator::composition_name(&self.composition)
+    }
+
+    /// Weighted-average score under `policy` (higher is better).
+    pub fn score(&self, policy: &Policy) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &(threads, throughput)) in self.points.iter().enumerate() {
+            let w = policy.weight(threads, i, self.points.len());
+            num += w * throughput;
+            den += w;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A ranking policy: how much each contention level matters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Favor high contention: weight ∝ thread count (paper's policy (1),
+    /// yielding **HC-best**).
+    HighContention,
+    /// Favor low contention: weight ∝ 1 / thread count (paper's policy
+    /// (2), "inverse weighted average", yielding **LC-best**).
+    LowContention,
+    /// Plain average.
+    Uniform,
+    /// User-supplied weights, one per grid point (paper: "the selection
+    /// policy can be further customized by the user if necessary").
+    Custom(Vec<f64>),
+}
+
+impl Policy {
+    fn weight(&self, threads: usize, index: usize, _len: usize) -> f64 {
+        match self {
+            Policy::HighContention => threads as f64,
+            Policy::LowContention => 1.0 / threads.max(1) as f64,
+            Policy::Uniform => 1.0,
+            Policy::Custom(w) => w.get(index).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Outcome of ranking: the paper's HC-best / LC-best / worst triple plus
+/// the full ordering.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Results sorted best-first under the policy used.
+    pub ranked: Vec<BenchResult>,
+    /// The policy that produced the ranking.
+    pub policy: Policy,
+}
+
+impl Selection {
+    /// The best composition under the policy.
+    pub fn best(&self) -> &BenchResult {
+        &self.ranked[0]
+    }
+
+    /// The worst composition under the policy (reported "for informative
+    /// purpose" in the paper's Figure 9).
+    pub fn worst(&self) -> &BenchResult {
+        self.ranked.last().expect("ranked is non-empty")
+    }
+}
+
+/// Ranks benchmark results under `policy` (best first).
+///
+/// # Panics
+///
+/// Panics if `results` is empty or a score is NaN.
+pub fn rank(results: &[BenchResult], policy: Policy) -> Selection {
+    assert!(!results.is_empty(), "no benchmark results to rank");
+    let mut ranked = results.to_vec();
+    ranked.sort_by(|a, b| {
+        b.score(&policy)
+            .partial_cmp(&a.score(&policy))
+            .expect("scores must not be NaN")
+    });
+    Selection { ranked, policy }
+}
+
+/// Runs the scripted benchmark: evaluates every composition on every
+/// contention level through the injected `evaluate` function.
+///
+/// `evaluate(composition, threads)` must return the measured throughput
+/// (higher = better). The paper runs each generated lock under LevelDB
+/// with `#runs = 1` and `duration = 1s` per point; the simulator and the
+/// host workloads provide equivalents.
+pub fn scripted_benchmark(
+    compositions: &[Vec<LockKind>],
+    thread_grid: &[usize],
+    mut evaluate: impl FnMut(&[LockKind], usize) -> f64,
+) -> Vec<BenchResult> {
+    compositions
+        .iter()
+        .map(|combo| BenchResult {
+            composition: combo.clone(),
+            points: thread_grid
+                .iter()
+                .map(|&t| (t, evaluate(combo, t)))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(kinds: &[LockKind], points: &[(usize, f64)]) -> BenchResult {
+        BenchResult {
+            composition: kinds.to_vec(),
+            points: points.to_vec(),
+        }
+    }
+
+    #[test]
+    fn hc_prefers_high_contention_winner() {
+        // A wins at 128 threads, B wins at 1 thread.
+        let a = result(&[LockKind::Mcs], &[(1, 1.0), (128, 10.0)]);
+        let b = result(&[LockKind::Ticket], &[(1, 5.0), (128, 2.0)]);
+        let hc = rank(&[a.clone(), b.clone()], Policy::HighContention);
+        assert_eq!(hc.best().composition, a.composition);
+        let lc = rank(&[a, b.clone()], Policy::LowContention);
+        assert_eq!(lc.best().composition, b.composition);
+    }
+
+    #[test]
+    fn worst_is_last() {
+        let a = result(&[LockKind::Mcs], &[(1, 1.0)]);
+        let b = result(&[LockKind::Ticket], &[(1, 2.0)]);
+        let c = result(&[LockKind::Clh], &[(1, 3.0)]);
+        let sel = rank(&[a.clone(), b, c], Policy::Uniform);
+        assert_eq!(sel.worst().composition, a.composition);
+        assert_eq!(sel.ranked.len(), 3);
+    }
+
+    #[test]
+    fn custom_weights() {
+        let a = result(&[LockKind::Mcs], &[(1, 0.0), (2, 100.0)]);
+        let b = result(&[LockKind::Ticket], &[(1, 1.0), (2, 0.0)]);
+        // Only the first grid point counts.
+        let sel = rank(&[a, b.clone()], Policy::Custom(vec![1.0, 0.0]));
+        assert_eq!(sel.best().composition, b.composition);
+    }
+
+    #[test]
+    fn scripted_benchmark_fills_grid() {
+        let combos = vec![vec![LockKind::Mcs], vec![LockKind::Ticket]];
+        let grid = [1, 4, 16];
+        let results = scripted_benchmark(&combos, &grid, |combo, threads| {
+            // Deterministic pseudo-throughput.
+            (combo[0] as usize + 1) as f64 * threads as f64
+        });
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].points.len(), 3);
+        assert_eq!(results[0].points[2].0, 16);
+    }
+
+    #[test]
+    fn score_handles_empty_points() {
+        let r = result(&[LockKind::Mcs], &[]);
+        assert_eq!(r.score(&Policy::Uniform), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no benchmark results")]
+    fn rank_empty_panics() {
+        rank(&[], Policy::Uniform);
+    }
+}

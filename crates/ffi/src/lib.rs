@@ -1,0 +1,292 @@
+//! C ABI for CLoF locks.
+//!
+//! The paper evaluates by interposing locks under unmodified applications
+//! with `LD_PRELOAD` (§5.1.2). This crate provides the pieces needed to
+//! do the same with these locks from C (or a shim library): create a lock
+//! from a hierarchy-configuration string and a composition string, create
+//! per-thread handles, and acquire/release through them.
+//!
+//! ```c
+//! clof_lock_t   *lock = clof_lock_new("ncpus 8\nlevel numa 0 0 0 0 1 1 1 1\n",
+//!                                     "mcs-tkt");
+//! clof_handle_t *h    = clof_handle_new(lock, /* cpu = */ sched_getcpu());
+//! clof_acquire(h);
+//! /* critical section */
+//! clof_release(h);
+//! clof_handle_free(h);
+//! clof_lock_free(lock);
+//! ```
+//!
+//! All functions are panic-safe at the boundary: internal panics are
+//! caught and reported as nulls / error codes, never unwound into C.
+
+#![warn(missing_docs)]
+
+use std::ffi::{c_char, c_int, CStr};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use clof::{parse_composition, DynClofLock, DynHandle};
+use clof_topology::config;
+
+/// Opaque lock object (a CLoF composition over a hierarchy).
+pub struct ClofLockT {
+    lock: Arc<DynClofLock>,
+    ncpus: usize,
+}
+
+/// Opaque per-thread handle.
+pub struct ClofHandleT {
+    handle: DynHandle,
+    held: bool,
+}
+
+/// Creates a CLoF lock.
+///
+/// `hierarchy_config` is the text format of `clof-topology` (see its
+/// `config` module); `composition` is the paper notation, innermost level
+/// first (e.g. `"mcs-clh-tkt"`). Returns null on any error (bad UTF-8,
+/// parse failure, level-count mismatch, unfair component).
+///
+/// # Safety
+///
+/// Both pointers must be valid NUL-terminated C strings.
+#[no_mangle]
+pub unsafe extern "C" fn clof_lock_new(
+    hierarchy_config: *const c_char,
+    composition: *const c_char,
+) -> *mut ClofLockT {
+    if hierarchy_config.is_null() || composition.is_null() {
+        return std::ptr::null_mut();
+    }
+    let result = catch_unwind(|| {
+        // SAFETY: Caller guarantees valid NUL-terminated strings.
+        let config_str = unsafe { CStr::from_ptr(hierarchy_config) }.to_str().ok()?;
+        // SAFETY: As above.
+        let comp_str = unsafe { CStr::from_ptr(composition) }.to_str().ok()?;
+        let hierarchy = config::from_text(config_str).ok()?;
+        let kinds = parse_composition(comp_str).ok()?;
+        let lock = DynClofLock::build(&hierarchy, &kinds).ok()?;
+        Some(ClofLockT {
+            lock: Arc::new(lock),
+            ncpus: hierarchy.ncpus(),
+        })
+    });
+    match result {
+        Ok(Some(lock)) => Box::into_raw(Box::new(lock)),
+        _ => std::ptr::null_mut(),
+    }
+}
+
+/// Number of CPUs the lock's hierarchy covers, or -1 on null input.
+///
+/// # Safety
+///
+/// `lock` must be a pointer returned by [`clof_lock_new`] (or null).
+#[no_mangle]
+pub unsafe extern "C" fn clof_lock_ncpus(lock: *const ClofLockT) -> c_int {
+    if lock.is_null() {
+        return -1;
+    }
+    // SAFETY: Caller guarantees `lock` came from `clof_lock_new`.
+    unsafe { (*lock).ncpus as c_int }
+}
+
+/// Creates a per-thread handle entering at `cpu`'s leaf cohort.
+///
+/// Returns null if `lock` is null or `cpu` is out of range. Handles are
+/// not thread-safe: use one handle per thread.
+///
+/// # Safety
+///
+/// `lock` must be a pointer returned by [`clof_lock_new`] and must
+/// outlive the handle.
+#[no_mangle]
+pub unsafe extern "C" fn clof_handle_new(lock: *const ClofLockT, cpu: c_int) -> *mut ClofHandleT {
+    if lock.is_null() || cpu < 0 {
+        return std::ptr::null_mut();
+    }
+    // SAFETY: Caller guarantees `lock` validity.
+    let lock_ref = unsafe { &*lock };
+    if cpu as usize >= lock_ref.ncpus {
+        return std::ptr::null_mut();
+    }
+    let handle = lock_ref.lock.handle(cpu as usize);
+    Box::into_raw(Box::new(ClofHandleT {
+        handle,
+        held: false,
+    }))
+}
+
+/// Acquires the lock through `handle`. Returns 0 on success, -1 on null
+/// input or if the handle already holds the lock (non-reentrant).
+///
+/// # Safety
+///
+/// `handle` must be a pointer returned by [`clof_handle_new`], used by
+/// one thread at a time.
+#[no_mangle]
+pub unsafe extern "C" fn clof_acquire(handle: *mut ClofHandleT) -> c_int {
+    if handle.is_null() {
+        return -1;
+    }
+    // SAFETY: Caller guarantees exclusive, valid handle.
+    let h = unsafe { &mut *handle };
+    if h.held {
+        return -1;
+    }
+    let ok = catch_unwind(AssertUnwindSafe(|| h.handle.acquire())).is_ok();
+    if ok {
+        h.held = true;
+        0
+    } else {
+        -1
+    }
+}
+
+/// Releases the lock through `handle`. Returns 0 on success, -1 on null
+/// input or if the handle does not hold the lock.
+///
+/// # Safety
+///
+/// `handle` must be a pointer returned by [`clof_handle_new`], used by
+/// one thread at a time.
+#[no_mangle]
+pub unsafe extern "C" fn clof_release(handle: *mut ClofHandleT) -> c_int {
+    if handle.is_null() {
+        return -1;
+    }
+    // SAFETY: Caller guarantees exclusive, valid handle.
+    let h = unsafe { &mut *handle };
+    if !h.held {
+        return -1;
+    }
+    let ok = catch_unwind(AssertUnwindSafe(|| h.handle.release())).is_ok();
+    if ok {
+        h.held = false;
+        0
+    } else {
+        -1
+    }
+}
+
+/// Destroys a handle. Must not be holding the lock.
+///
+/// # Safety
+///
+/// `handle` must be a pointer from [`clof_handle_new`], not used after
+/// this call. Passing null is a no-op.
+#[no_mangle]
+pub unsafe extern "C" fn clof_handle_free(handle: *mut ClofHandleT) {
+    if !handle.is_null() {
+        // SAFETY: Caller transfers ownership; pointer came from Box.
+        drop(unsafe { Box::from_raw(handle) });
+    }
+}
+
+/// Destroys a lock. All handles must be freed first.
+///
+/// # Safety
+///
+/// `lock` must be a pointer from [`clof_lock_new`], not used after this
+/// call. Passing null is a no-op.
+#[no_mangle]
+pub unsafe extern "C" fn clof_lock_free(lock: *mut ClofLockT) {
+    if !lock.is_null() {
+        // SAFETY: Caller transfers ownership; pointer came from Box.
+        drop(unsafe { Box::from_raw(lock) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    const CONFIG: &str = "ncpus 8\nlevel cache 0 0 1 1 2 2 3 3\nlevel numa 0 0 0 0 1 1 1 1\n";
+
+    fn new_lock(comp: &str) -> *mut ClofLockT {
+        let config = CString::new(CONFIG).unwrap();
+        let comp = CString::new(comp).unwrap();
+        // SAFETY: Valid C strings.
+        unsafe { clof_lock_new(config.as_ptr(), comp.as_ptr()) }
+    }
+
+    #[test]
+    fn create_acquire_release_destroy() {
+        let lock = new_lock("mcs-clh-tkt");
+        assert!(!lock.is_null());
+        // SAFETY: Valid lock pointer.
+        unsafe {
+            assert_eq!(clof_lock_ncpus(lock), 8);
+            let handle = clof_handle_new(lock, 3);
+            assert!(!handle.is_null());
+            assert_eq!(clof_acquire(handle), 0);
+            assert_eq!(clof_acquire(handle), -1); // non-reentrant
+            assert_eq!(clof_release(handle), 0);
+            assert_eq!(clof_release(handle), -1); // not held
+            clof_handle_free(handle);
+            clof_lock_free(lock);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        // SAFETY: Null arguments are defined to return null / error.
+        unsafe {
+            assert!(clof_lock_new(std::ptr::null(), std::ptr::null()).is_null());
+            assert!(new_lock("mcs").is_null()); // wrong level count
+            assert!(new_lock("mcs-ttas-tkt").is_null()); // unfair component
+            assert!(new_lock("bogus-clh-tkt").is_null()); // unknown lock
+            let lock = new_lock("tkt-tkt-tkt");
+            assert!(clof_handle_new(lock, 8).is_null()); // cpu out of range
+            assert!(clof_handle_new(lock, -1).is_null());
+            assert!(clof_handle_new(std::ptr::null(), 0).is_null());
+            assert_eq!(clof_acquire(std::ptr::null_mut()), -1);
+            assert_eq!(clof_release(std::ptr::null_mut()), -1);
+            clof_lock_free(lock);
+            clof_handle_free(std::ptr::null_mut()); // no-op
+            clof_lock_free(std::ptr::null_mut()); // no-op
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_through_the_c_abi() {
+        struct SendPtr<T>(*mut T);
+        // SAFETY: The pointees are thread-safe (DynClofLock) or used
+        // exclusively per thread (handles).
+        unsafe impl<T> Send for SendPtr<T> {}
+
+        let lock = new_lock("tkt-clh-tkt");
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for cpu in 0..8 {
+            // SAFETY: Lock is valid and outlives the threads (joined
+            // below).
+            let handle = unsafe { clof_handle_new(lock, cpu) };
+            assert!(!handle.is_null());
+            let handle = SendPtr(handle);
+            let counter = std::sync::Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let handle = handle;
+                for _ in 0..500 {
+                    // SAFETY: Exclusive use of this thread's handle.
+                    unsafe {
+                        assert_eq!(clof_acquire(handle.0), 0);
+                        let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        assert_eq!(clof_release(handle.0), 0);
+                    }
+                }
+                // SAFETY: Last use of the handle.
+                unsafe { clof_handle_free(handle.0) };
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 4000);
+        // SAFETY: All handles freed; last use of the lock.
+        unsafe { clof_lock_free(lock) };
+    }
+}

@@ -1,0 +1,263 @@
+//! CabinetDb: a hash-bucket store in the Kyoto Cabinet HashDB mould.
+//!
+//! Kyoto Cabinet's in-memory HashDB is a chained hash table whose
+//! operations serialize on the database lock — the paper uses it as the
+//! cross-validation workload (§5.1.2). This stand-in reproduces that
+//! contention profile: a fixed bucket array with separate chaining, all
+//! access under one pluggable [`DbMutex`].
+
+use std::sync::Arc;
+
+use clof::ClofError;
+use clof_topology::{CpuId, Hierarchy};
+
+use crate::lock::{DbHandle, DbMutex, LockChoice};
+
+/// FNV-1a, the flavour of multiplicative hashing Kyoto-style stores use.
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+struct Inner {
+    buckets: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    len: usize,
+}
+
+impl Inner {
+    fn bucket(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.buckets.len() as u64) as usize
+    }
+
+    fn set(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let b = self.bucket(&key);
+        let chain = &mut self.buckets[b];
+        for entry in chain.iter_mut() {
+            if entry.0 == key {
+                entry.1 = value;
+                return;
+            }
+        }
+        chain.push((key, value));
+        self.len += 1;
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let b = self.bucket(key);
+        self.buckets[b]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn remove(&mut self, key: &[u8]) -> bool {
+        let b = self.bucket(key);
+        let chain = &mut self.buckets[b];
+        if let Some(pos) = chain.iter().position(|(k, _)| k == key) {
+            chain.swap_remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The Kyoto Cabinet stand-in store.
+///
+/// # Examples
+///
+/// ```
+/// use clof_kvstore::{CabinetDb, LockChoice};
+/// use clof_topology::platforms;
+///
+/// let db = CabinetDb::open(&platforms::tiny(), &LockChoice::Hmcs, 1024).unwrap();
+/// let mut handle = db.handle(0);
+/// handle.set(b"k".to_vec(), b"v".to_vec());
+/// assert_eq!(handle.get(b"k"), Some(b"v".to_vec()));
+/// ```
+pub struct CabinetDb {
+    inner: Arc<DbMutex<Inner>>,
+}
+
+impl CabinetDb {
+    /// Opens an empty store with `buckets` hash buckets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-composition errors.
+    pub fn open(
+        hierarchy: &Hierarchy,
+        choice: &LockChoice,
+        buckets: usize,
+    ) -> Result<Self, ClofError> {
+        Ok(CabinetDb {
+            inner: Arc::new(DbMutex::new(
+                Inner {
+                    buckets: vec![Vec::new(); buckets.max(1)],
+                    len: 0,
+                },
+                hierarchy,
+                choice,
+            )?),
+        })
+    }
+
+    /// A store handle for a thread running on `cpu`.
+    pub fn handle(&self, cpu: CpuId) -> CabinetHandle {
+        CabinetHandle {
+            handle: self.inner.handle(cpu),
+        }
+    }
+}
+
+/// Per-thread handle on a [`CabinetDb`].
+pub struct CabinetHandle {
+    handle: DbHandle<Inner>,
+}
+
+impl CabinetHandle {
+    /// Inserts or overwrites a record.
+    pub fn set(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.handle.with(|db| db.set(key, value));
+    }
+
+    /// Retrieves a record.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.handle.with(|db| db.get(key))
+    }
+
+    /// Removes a record; returns whether it existed.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        self.handle.with(|db| db.remove(key))
+    }
+
+    /// Number of records.
+    pub fn len(&mut self) -> usize {
+        self.handle.with(|db| db.len)
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Kyoto-style mixed benchmark: `ops` operations, 80% get / 20%
+    /// set, over `key_space` keys. Returns the number of successful gets.
+    pub fn mixed_workload(&mut self, ops: usize, key_space: usize, seed: u64) -> usize {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut hits = 0;
+        for _ in 0..ops {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let key = (r % key_space.max(1) as u64).to_be_bytes().to_vec();
+            if r % 5 == 0 {
+                self.set(key, vec![0xCD; 24]);
+            } else if self.get(&key).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof::LockKind;
+    use clof_topology::platforms;
+
+    fn open_tiny() -> CabinetDb {
+        CabinetDb::open(
+            &platforms::tiny(),
+            &LockChoice::Clof(vec![LockKind::Ticket, LockKind::Clh, LockKind::Ticket]),
+            64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        assert!(h.is_empty());
+        h.set(b"a".to_vec(), b"1".to_vec());
+        h.set(b"b".to_vec(), b"2".to_vec());
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(b"a"), Some(b"1".to_vec()));
+        assert!(h.remove(b"a"));
+        assert!(!h.remove(b"a"));
+        assert_eq!(h.get(b"a"), None);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.set(b"k".to_vec(), b"1".to_vec());
+        h.set(b"k".to_vec(), b"2".to_vec());
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(b"k"), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn chaining_survives_collisions() {
+        // One bucket ⇒ every key collides; the chain must still work.
+        let db = CabinetDb::open(&platforms::tiny(), &LockChoice::Std, 1).unwrap();
+        let mut h = db.handle(0);
+        for i in 0..100u32 {
+            h.set(i.to_be_bytes().to_vec(), vec![i as u8]);
+        }
+        assert_eq!(h.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(h.get(&i.to_be_bytes()), Some(vec![i as u8]));
+        }
+    }
+
+    #[test]
+    fn mixed_workload_deterministic_and_progressing() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        for i in 0..256u64 {
+            h.set(i.to_be_bytes().to_vec(), vec![1]);
+        }
+        let a = h.mixed_workload(1000, 256, 9);
+        assert!(a > 0);
+        // Note: the workload mutates (sets), so back-to-back runs are not
+        // compared; determinism is exercised across two fresh stores.
+        let db2 = open_tiny();
+        let mut h2 = db2.handle(0);
+        for i in 0..256u64 {
+            h2.set(i.to_be_bytes().to_vec(), vec![1]);
+        }
+        assert_eq!(h2.mixed_workload(1000, 256, 9), a);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_under_hmcs() {
+        let db = Arc::new(CabinetDb::open(&platforms::tiny(), &LockChoice::Hmcs, 128).unwrap());
+        {
+            let mut h = db.handle(0);
+            for i in 0..512u64 {
+                h.set(i.to_be_bytes().to_vec(), vec![2]);
+            }
+        }
+        let mut threads = Vec::new();
+        for cpu in 0..8 {
+            let db = Arc::clone(&db);
+            threads.push(std::thread::spawn(move || {
+                db.handle(cpu).mixed_workload(500, 512, cpu as u64)
+            }));
+        }
+        for t in threads {
+            assert!(t.join().unwrap() > 0);
+        }
+    }
+}

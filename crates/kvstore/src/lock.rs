@@ -1,0 +1,208 @@
+//! The pluggable-lock layer: one mutex type, many lock algorithms.
+//!
+//! This is the library analogue of the paper's `LD_PRELOAD` interposition
+//! (§5.1.2): the same storage engine runs under any lock by switching a
+//! [`LockChoice`], without touching engine code.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use clof::{ClofError, ClofParams, DynClofLock, DynHandle, FastClof, FastClofHandle, LockKind};
+use clof_baselines::{CnaHandle, CnaLock, HmcsHandle, HmcsLock, ShflHandle, ShflLock};
+use clof_topology::{CpuId, Hierarchy};
+
+/// Which lock algorithm guards the store.
+#[derive(Debug, Clone)]
+pub enum LockChoice {
+    /// A CLoF composition (innermost level first), paper notation e.g.
+    /// `tkt-clh-tkt`.
+    Clof(Vec<LockKind>),
+    /// A CLoF composition behind a test-and-set fast path (the paper-§6
+    /// extension).
+    ClofFast(Vec<LockKind>),
+    /// HMCS with the hierarchy's level count and threshold 128.
+    Hmcs,
+    /// CNA (two-level NUMA-aware).
+    Cna,
+    /// ShflLock (adapted; two-level NUMA-aware with TAS fast path).
+    Shfl,
+    /// A single NUMA-oblivious basic lock.
+    Basic(LockKind),
+    /// `std::sync::Mutex` (OS futex) — the "whatever libc gives you"
+    /// baseline.
+    Std,
+}
+
+enum LockImpl {
+    Clof(Arc<DynClofLock>),
+    ClofFast(Arc<FastClof>),
+    Hmcs(Arc<HmcsLock>),
+    Cna(Arc<CnaLock>),
+    Shfl(Arc<ShflLock>),
+    Std(std::sync::Mutex<()>),
+}
+
+/// A mutex protecting store state `T` with any [`LockChoice`].
+pub struct DbMutex<T: ?Sized> {
+    lock: LockImpl,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: All lock variants provide mutual exclusion over `data`.
+unsafe impl<T: ?Sized + Send> Send for DbMutex<T> {}
+// SAFETY: As above.
+unsafe impl<T: ?Sized + Send> Sync for DbMutex<T> {}
+
+impl<T> DbMutex<T> {
+    /// Creates the mutex for a machine described by `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CLoF composition errors (wrong level count, unfair
+    /// component).
+    pub fn new(value: T, hierarchy: &Hierarchy, choice: &LockChoice) -> Result<Self, ClofError> {
+        let lock = match choice {
+            LockChoice::Clof(kinds) => {
+                LockImpl::Clof(Arc::new(DynClofLock::build(hierarchy, kinds)?))
+            }
+            LockChoice::ClofFast(kinds) => LockImpl::ClofFast(FastClof::build(hierarchy, kinds)?),
+            LockChoice::Basic(kind) => {
+                let flat = Hierarchy::flat(hierarchy.ncpus()).expect("ncpus > 0");
+                LockImpl::Clof(Arc::new(DynClofLock::build_with(
+                    &flat,
+                    &[*kind],
+                    ClofParams::default(),
+                    true,
+                )?))
+            }
+            LockChoice::Hmcs => LockImpl::Hmcs(Arc::new(HmcsLock::new(hierarchy, 128))),
+            LockChoice::Cna => LockImpl::Cna(Arc::new(CnaLock::new(hierarchy))),
+            LockChoice::Shfl => LockImpl::Shfl(Arc::new(ShflLock::new(hierarchy))),
+            LockChoice::Std => LockImpl::Std(std::sync::Mutex::new(())),
+        };
+        Ok(DbMutex {
+            lock,
+            data: UnsafeCell::new(value),
+        })
+    }
+
+    /// A handle for a thread running on `cpu`.
+    pub fn handle(self: &Arc<Self>, cpu: CpuId) -> DbHandle<T> {
+        let inner = match &self.lock {
+            LockImpl::Clof(l) => HandleImpl::Clof(l.handle(cpu)),
+            LockImpl::ClofFast(l) => HandleImpl::ClofFast(l.handle(cpu)),
+            LockImpl::Hmcs(l) => HandleImpl::Hmcs(l.handle(cpu)),
+            LockImpl::Cna(l) => HandleImpl::Cna(l.handle(cpu)),
+            LockImpl::Shfl(l) => HandleImpl::Shfl(l.handle(cpu)),
+            LockImpl::Std(_) => HandleImpl::Std,
+        };
+        DbHandle {
+            mutex: Arc::clone(self),
+            inner,
+        }
+    }
+}
+
+enum HandleImpl {
+    Clof(DynHandle),
+    ClofFast(FastClofHandle),
+    Hmcs(HmcsHandle),
+    Cna(CnaHandle),
+    Shfl(ShflHandle),
+    Std,
+}
+
+/// Per-thread handle on a [`DbMutex`].
+pub struct DbHandle<T: ?Sized> {
+    mutex: Arc<DbMutex<T>>,
+    inner: HandleImpl,
+}
+
+impl<T: ?Sized> DbHandle<T> {
+    /// Runs `f` under the lock with exclusive access to the data.
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        // Hold a std guard alive across `f` for the Std variant.
+        let mut std_guard = None;
+        match (&mut self.inner, &self.mutex.lock) {
+            (HandleImpl::Clof(h), _) => h.acquire(),
+            (HandleImpl::ClofFast(h), _) => h.acquire(),
+            (HandleImpl::Hmcs(h), _) => h.acquire(),
+            (HandleImpl::Cna(h), _) => h.acquire(),
+            (HandleImpl::Shfl(h), _) => h.acquire(),
+            (HandleImpl::Std, LockImpl::Std(m)) => {
+                std_guard = Some(m.lock().expect("DbMutex poisoned"));
+            }
+            (HandleImpl::Std, _) => unreachable!("handle/lock variant mismatch"),
+        }
+        // SAFETY: The matching lock is held for the duration of `f`.
+        let result = f(unsafe { &mut *self.mutex.data.get() });
+        match &mut self.inner {
+            HandleImpl::Clof(h) => h.release(),
+            HandleImpl::ClofFast(h) => h.release(),
+            HandleImpl::Hmcs(h) => h.release(),
+            HandleImpl::Cna(h) => h.release(),
+            HandleImpl::Shfl(h) => h.release(),
+            HandleImpl::Std => drop(std_guard),
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof_topology::platforms;
+
+    fn choices() -> Vec<LockChoice> {
+        vec![
+            LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            LockChoice::ClofFast(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            LockChoice::Hmcs,
+            LockChoice::Cna,
+            LockChoice::Shfl,
+            LockChoice::Basic(LockKind::Mcs),
+            LockChoice::Basic(LockKind::Ttas),
+            LockChoice::Std,
+        ]
+    }
+
+    #[test]
+    fn every_choice_counts_correctly() {
+        let h = platforms::tiny();
+        for choice in choices() {
+            let m = Arc::new(DbMutex::new(0usize, &h, &choice).unwrap());
+            let mut threads = Vec::new();
+            for cpu in 0..8 {
+                let mut handle = m.handle(cpu);
+                threads.push(std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        handle.with(|v| *v += 1);
+                    }
+                }));
+            }
+            for t in threads {
+                t.join().unwrap();
+            }
+            let total = m.handle(0).with(|v| *v);
+            assert_eq!(total, 4000, "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn clof_choice_validates_levels() {
+        let h = platforms::tiny();
+        let err = DbMutex::new((), &h, &LockChoice::Clof(vec![LockKind::Mcs]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn with_returns_closure_value() {
+        let h = platforms::tiny();
+        let m = Arc::new(DbMutex::new(41, &h, &LockChoice::Std).unwrap());
+        let got = m.handle(0).with(|v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(got, 42);
+    }
+}

@@ -1,0 +1,519 @@
+//! MiniDb: an LSM-flavoured ordered key-value store (LevelDB stand-in).
+//!
+//! Like LevelDB, reads and writes go through a *memtable* (mutable,
+//! ordered) backed by immutable sorted *runs*; the memtable is flushed
+//! when full, and runs are merge-compacted when too numerous. Unlike
+//! LevelDB there is no disk — runs live in memory — because the paper's
+//! `readrandom` benchmark measures lock hand-off around the store's
+//! shared state, not I/O. All engine state sits behind one [`DbMutex`],
+//! exactly the contention profile the paper exercises.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use clof::ClofError;
+use clof_topology::{CpuId, Hierarchy};
+
+use crate::lock::{DbHandle, DbMutex, LockChoice};
+
+/// Tuning knobs for [`MiniDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct MiniDbOptions {
+    /// Entries in the memtable before it is flushed to a run.
+    pub memtable_limit: usize,
+    /// Runs allowed before a merge compaction.
+    pub max_runs: usize,
+}
+
+impl Default for MiniDbOptions {
+    fn default() -> Self {
+        MiniDbOptions {
+            memtable_limit: 4096,
+            max_runs: 8,
+        }
+    }
+}
+
+/// A value or a deletion marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Value(Vec<u8>),
+    Tombstone,
+}
+
+/// Engine state (guarded by the pluggable lock).
+#[derive(Debug)]
+struct Inner {
+    memtable: BTreeMap<Vec<u8>, Slot>,
+    /// Immutable sorted runs, newest first.
+    runs: Vec<Vec<(Vec<u8>, Slot)>>,
+    options: MiniDbOptions,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl Inner {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(slot) = self.memtable.get(key) {
+            return match slot {
+                Slot::Value(v) => Some(v.clone()),
+                Slot::Tombstone => None,
+            };
+        }
+        for run in &self.runs {
+            if let Ok(idx) = run.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                return match &run[idx].1 {
+                    Slot::Value(v) => Some(v.clone()),
+                    Slot::Tombstone => None,
+                };
+            }
+        }
+        None
+    }
+
+    fn put(&mut self, key: Vec<u8>, slot: Slot) {
+        self.memtable.insert(key, slot);
+        if self.memtable.len() >= self.options.memtable_limit {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let run: Vec<(Vec<u8>, Slot)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.runs.insert(0, run);
+        self.flushes += 1;
+        if self.runs.len() > self.options.max_runs {
+            self.compact();
+        }
+    }
+
+    /// Merges all runs into one, newest value wins, dropping tombstones.
+    fn compact(&mut self) {
+        let mut merged: BTreeMap<Vec<u8>, Slot> = BTreeMap::new();
+        // Oldest first so newer runs overwrite.
+        for run in self.runs.drain(..).rev() {
+            for (k, s) in run {
+                merged.insert(k, s);
+            }
+        }
+        let merged: Vec<(Vec<u8>, Slot)> = merged
+            .into_iter()
+            .filter(|(_, s)| *s != Slot::Tombstone)
+            .collect();
+        if !merged.is_empty() {
+            self.runs.push(merged);
+        }
+        self.compactions += 1;
+    }
+
+    fn len_estimate(&self) -> usize {
+        self.memtable.len() + self.runs.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Ordered scan of `[start, end)`, newest value per key, tombstones
+    /// elided — the LSM merge over memtable + runs.
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut merged: BTreeMap<Vec<u8>, Slot> = BTreeMap::new();
+        // Oldest runs first so newer sources overwrite.
+        for run in self.runs.iter().rev() {
+            let from = run.partition_point(|(k, _)| k.as_slice() < start);
+            for (k, slot) in run[from..]
+                .iter()
+                .take_while(|(k, _)| k.as_slice() < end)
+            {
+                merged.insert(k.clone(), slot.clone());
+            }
+        }
+        for (k, slot) in self
+            .memtable
+            .range::<[u8], _>((std::ops::Bound::Included(start), std::ops::Bound::Excluded(end)))
+        {
+            merged.insert(k.clone(), slot.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, slot)| match slot {
+                Slot::Value(v) => Some((k, v)),
+                Slot::Tombstone => None,
+            })
+            .take(limit)
+            .collect()
+    }
+}
+
+/// The LevelDB stand-in store.
+///
+/// # Examples
+///
+/// ```
+/// use clof::LockKind;
+/// use clof_kvstore::{LockChoice, MiniDb, MiniDbOptions};
+/// use clof_topology::platforms;
+///
+/// let hierarchy = platforms::tiny();
+/// let db = MiniDb::open(
+///     &hierarchy,
+///     &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+///     MiniDbOptions::default(),
+/// )
+/// .unwrap();
+/// let mut handle = db.handle(0);
+/// handle.put(b"k".to_vec(), b"v".to_vec());
+/// assert_eq!(handle.get(b"k"), Some(b"v".to_vec()));
+/// ```
+pub struct MiniDb {
+    inner: Arc<DbMutex<Inner>>,
+}
+
+impl MiniDb {
+    /// Opens an empty store guarded by `choice` on `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-composition errors.
+    pub fn open(
+        hierarchy: &Hierarchy,
+        choice: &LockChoice,
+        options: MiniDbOptions,
+    ) -> Result<Self, ClofError> {
+        let inner = Inner {
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            options,
+            flushes: 0,
+            compactions: 0,
+        };
+        Ok(MiniDb {
+            inner: Arc::new(DbMutex::new(inner, hierarchy, choice)?),
+        })
+    }
+
+    /// A store handle for a thread running on `cpu`.
+    pub fn handle(&self, cpu: CpuId) -> MiniDbHandle {
+        MiniDbHandle {
+            handle: self.inner.handle(cpu),
+        }
+    }
+}
+
+/// Per-thread handle on a [`MiniDb`].
+pub struct MiniDbHandle {
+    handle: DbHandle<Inner>,
+}
+
+impl MiniDbHandle {
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.handle.with(|db| db.put(key, Slot::Value(value)));
+    }
+
+    /// Looks a key up.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.handle.with(|db| db.get(key))
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.handle.with(|db| db.put(key, Slot::Tombstone));
+    }
+
+    /// Ordered range scan `[start, end)` (up to `limit` entries): the
+    /// newest value per key, deletions elided — LevelDB's iterator
+    /// semantics over memtable and runs.
+    pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.handle.with(|db| db.scan(start, end, limit))
+    }
+
+    /// Number of entries across memtable and runs (over-counts
+    /// overwritten keys until compaction, like LevelDB's table counts).
+    pub fn len_estimate(&mut self) -> usize {
+        self.handle.with(|db| db.len_estimate())
+    }
+
+    /// `(flushes, compactions)` so far.
+    pub fn maintenance_counters(&mut self) -> (u64, u64) {
+        self.handle.with(|db| (db.flushes, db.compactions))
+    }
+
+    /// Loads `n` sequential keys (`fillseq` in LevelDB's benchmark
+    /// terms): key = 8-byte big-endian index, value = 16 bytes.
+    pub fn fill_seq(&mut self, n: usize) {
+        for i in 0..n {
+            let key = (i as u64).to_be_bytes().to_vec();
+            self.put(key, vec![0xAB; 16]);
+        }
+    }
+
+    /// LevelDB's `readrandom`: `reads` random point lookups over a key
+    /// space of `key_space` sequential keys; returns the number found.
+    /// Deterministic for a given `seed`.
+    pub fn read_random(&mut self, reads: usize, key_space: usize, seed: u64) -> usize {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut found = 0;
+        for _ in 0..reads {
+            // xorshift64*.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let idx = (r % key_space.max(1) as u64).to_be_bytes().to_vec();
+            if self.get(&idx).is_some() {
+                found += 1;
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clof::LockKind;
+    use clof_topology::platforms;
+
+    fn open_tiny() -> MiniDb {
+        MiniDb::open(
+            &platforms::tiny(),
+            &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            MiniDbOptions {
+                memtable_limit: 16,
+                max_runs: 3,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.put(b"alpha".to_vec(), b"1".to_vec());
+        h.put(b"beta".to_vec(), b"2".to_vec());
+        assert_eq!(h.get(b"alpha"), Some(b"1".to_vec()));
+        assert_eq!(h.get(b"beta"), Some(b"2".to_vec()));
+        assert_eq!(h.get(b"gamma"), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        for i in 0..100u32 {
+            h.put(b"k".to_vec(), i.to_be_bytes().to_vec());
+        }
+        assert_eq!(h.get(b"k"), Some(99u32.to_be_bytes().to_vec()));
+    }
+
+    #[test]
+    fn delete_shadows_older_values_across_flushes() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.put(b"k".to_vec(), b"v".to_vec());
+        // Force the value into a run.
+        for i in 0..40u32 {
+            h.put(format!("fill{i}").into_bytes(), vec![0]);
+        }
+        h.delete(b"k".to_vec());
+        assert_eq!(h.get(b"k"), None);
+        // Push the tombstone through a compaction too.
+        for i in 0..200u32 {
+            h.put(format!("more{i}").into_bytes(), vec![0]);
+        }
+        assert_eq!(h.get(b"k"), None);
+    }
+
+    #[test]
+    fn flush_and_compaction_fire() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.fill_seq(200);
+        let (flushes, compactions) = h.maintenance_counters();
+        assert!(flushes >= 10, "flushes {flushes}");
+        assert!(compactions >= 1, "compactions {compactions}");
+        // Data survives maintenance.
+        for i in [0u64, 99, 199] {
+            assert!(h.get(&i.to_be_bytes()).is_some(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_runs() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        // Force some keys into runs, keep others in the memtable.
+        h.fill_seq(64); // flushes at 16-entry memtable limit
+        h.put(5u64.to_be_bytes().to_vec(), b"updated".to_vec());
+        h.delete(6u64.to_be_bytes().to_vec());
+        let got = h.scan(&4u64.to_be_bytes(), &8u64.to_be_bytes(), 100);
+        let keys: Vec<u64> = got
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![4, 5, 7]); // 6 deleted
+        assert_eq!(got[1].1, b"updated".to_vec()); // newest wins
+    }
+
+    #[test]
+    fn scan_respects_limit_and_order() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.fill_seq(100);
+        let got = h.scan(&10u64.to_be_bytes(), &90u64.to_be_bytes(), 5);
+        assert_eq!(got.len(), 5);
+        let keys: Vec<u64> = got
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn scan_empty_range() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.fill_seq(10);
+        assert!(h.scan(b"zzz", b"zzzz", 10).is_empty());
+        assert!(h.scan(&5u64.to_be_bytes(), &5u64.to_be_bytes(), 10).is_empty());
+    }
+
+    #[test]
+    fn read_random_finds_loaded_keys() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.fill_seq(500);
+        let found = h.read_random(200, 500, 42);
+        assert_eq!(found, 200); // all keys in range exist
+        let found = h.read_random(200, 1000, 42);
+        assert!(found < 200); // half the space is unpopulated
+    }
+
+    #[test]
+    fn read_random_is_deterministic() {
+        let db = open_tiny();
+        let mut h = db.handle(0);
+        h.fill_seq(100);
+        assert_eq!(
+            h.read_random(100, 200, 7),
+            h.read_random(100, 200, 7)
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let db = Arc::new(open_tiny());
+        db.handle(0).fill_seq(300);
+        let mut threads = Vec::new();
+        for cpu in 0..8 {
+            let db = Arc::clone(&db);
+            threads.push(std::thread::spawn(move || {
+                let mut h = db.handle(cpu);
+                if cpu % 2 == 0 {
+                    h.read_random(300, 300, cpu as u64)
+                } else {
+                    for i in 0..100usize {
+                        h.put(
+                            format!("w{cpu}-{i}").into_bytes(),
+                            vec![cpu as u8],
+                        );
+                    }
+                    100
+                }
+            }));
+        }
+        for t in threads {
+            assert!(t.join().unwrap() > 0);
+        }
+        // Readers on even CPUs found everything; writers' data is there.
+        let mut h = db.handle(0);
+        assert_eq!(h.get(b"w1-99"), Some(vec![1]));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Put(u8, u8),
+            Delete(u8),
+            Get(u8),
+            Scan(u8, u8),
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+                any::<u8>().prop_map(Op::Delete),
+                any::<u8>().prop_map(Op::Get),
+                (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// MiniDb behaves exactly like a `BTreeMap` reference model
+            /// under arbitrary operation sequences, across flushes and
+            /// compactions (tiny memtable forces constant maintenance).
+            #[test]
+            fn matches_btreemap_model(ops in proptest::collection::vec(op(), 1..120)) {
+                let db = MiniDb::open(
+                    &platforms::tiny(),
+                    &LockChoice::Clof(vec![
+                        LockKind::Ticket,
+                        LockKind::Ticket,
+                        LockKind::Ticket,
+                    ]),
+                    MiniDbOptions { memtable_limit: 4, max_runs: 2 },
+                )
+                .unwrap();
+                let mut h = db.handle(0);
+                let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+                    std::collections::BTreeMap::new();
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => {
+                            h.put(vec![k], vec![v]);
+                            model.insert(vec![k], vec![v]);
+                        }
+                        Op::Delete(k) => {
+                            h.delete(vec![k]);
+                            model.remove(&vec![k]);
+                        }
+                        Op::Get(k) => {
+                            prop_assert_eq!(h.get(&[k]), model.get(&vec![k]).cloned());
+                        }
+                        Op::Scan(a, b) => {
+                            let got = h.scan(&[a], &[b], usize::MAX);
+                            let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                                .range(vec![a]..vec![b])
+                                .map(|(k, v)| (k.clone(), v.clone()))
+                                .collect();
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_under_every_lock_choice() {
+        let h = platforms::tiny();
+        for choice in [
+            LockChoice::Hmcs,
+            LockChoice::Cna,
+            LockChoice::Shfl,
+            LockChoice::Std,
+            LockChoice::Basic(LockKind::Ticket),
+        ] {
+            let db = MiniDb::open(&h, &choice, MiniDbOptions::default()).unwrap();
+            let mut handle = db.handle(3);
+            handle.fill_seq(50);
+            assert_eq!(handle.read_random(50, 50, 1), 50, "{choice:?}");
+        }
+    }
+}

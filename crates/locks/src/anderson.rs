@@ -1,0 +1,227 @@
+//! Anderson's array-based queue lock: fair, local spinning on a
+//! per-waiter array slot (Herlihy & Shavit \[19\], §7.5.1).
+//!
+//! Included beyond the paper's core four to exercise CLoF's claim of
+//! accepting *any* conforming basic lock: Anderson is fair and spins
+//! locally like MCS/CLH, but is array-based (bounded capacity, no
+//! per-thread queue nodes) — a different implementation family behind
+//! the same [`RawLock`] interface.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use crate::raw::{LockInfo, RawLock};
+use crate::spin::Backoff;
+
+/// Maximum concurrent threads per [`AndersonLock`].
+///
+/// The array lock must size its slot ring up front; `128` covers the
+/// paper's largest machine. Exceeding it wraps slots onto waiting threads
+/// and would deadlock, so `acquire` asserts the bound in debug builds via
+/// the ticket distance.
+pub const ANDERSON_SLOTS: usize = 128;
+
+/// Padding wrapper so each slot flag sits on its own cache line.
+#[repr(align(128))]
+#[derive(Debug)]
+struct PaddedFlag(AtomicBool);
+
+/// Per-slot context: remembers which array slot the holder occupies.
+#[derive(Debug, Default)]
+pub struct AndersonContext {
+    slot: usize,
+}
+
+/// Anderson's array lock.
+///
+/// A thread takes the next slot index with one `fetch_add` and spins on
+/// its own (cache-line-padded) flag; release sets the successor slot's
+/// flag. FIFO-fair, constant-space per lock (no heap nodes), but capacity
+/// bounded by [`ANDERSON_SLOTS`].
+///
+/// # Examples
+///
+/// ```
+/// use clof_locks::{AndersonLock, RawLock};
+///
+/// let lock = AndersonLock::default();
+/// let mut ctx = Default::default();
+/// lock.acquire(&mut ctx);
+/// lock.release(&mut ctx);
+/// ```
+#[derive(Debug)]
+pub struct AndersonLock {
+    flags: Box<[PaddedFlag]>,
+    next: AtomicU32,
+    /// Oldest outstanding slot (diagnostics / waiter hint).
+    owner: AtomicU32,
+}
+
+impl Default for AndersonLock {
+    fn default() -> Self {
+        let mut flags = Vec::with_capacity(ANDERSON_SLOTS);
+        for i in 0..ANDERSON_SLOTS {
+            // Slot 0 starts granted: the first acquirer passes through.
+            flags.push(PaddedFlag(AtomicBool::new(i == 0)));
+        }
+        AndersonLock {
+            flags: flags.into_boxed_slice(),
+            next: AtomicU32::new(0),
+            owner: AtomicU32::new(0),
+        }
+    }
+}
+
+impl AndersonLock {
+    /// Creates an unlocked Anderson lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the lock is currently held or queued (racy; diagnostics).
+    pub fn is_locked(&self) -> bool {
+        self.next.load(Ordering::Relaxed) != self.owner.load(Ordering::Relaxed)
+    }
+}
+
+impl RawLock for AndersonLock {
+    type Context = AndersonContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "anderson",
+        full_name: "Anderson array lock",
+        fair: true,
+        local_spinning: true,
+        needs_context: true,
+    };
+
+    fn acquire(&self, ctx: &mut AndersonContext) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(
+            ticket.wrapping_sub(self.owner.load(Ordering::Relaxed)) < ANDERSON_SLOTS as u32,
+            "AndersonLock capacity ({ANDERSON_SLOTS}) exceeded"
+        );
+        let slot = ticket as usize % ANDERSON_SLOTS;
+        let mut backoff = Backoff::new();
+        // Acquire pairs with the Release store in `release`.
+        while !self.flags[slot].0.load(Ordering::Acquire) {
+            backoff.snooze();
+        }
+        // Reset our flag for the next lap of the ring.
+        self.flags[slot].0.store(false, Ordering::Relaxed);
+        ctx.slot = slot;
+    }
+
+    fn release(&self, ctx: &mut AndersonContext) {
+        self.owner.fetch_add(1, Ordering::Relaxed);
+        let next = (ctx.slot + 1) % ANDERSON_SLOTS;
+        // Release publishes the critical section to the successor's
+        // Acquire spin.
+        self.flags[next].0.store(true, Ordering::Release);
+    }
+
+    fn has_waiters_hint(&self, _ctx: &Self::Context) -> Option<bool> {
+        Some(
+            self.next
+                .load(Ordering::Relaxed)
+                .wrapping_sub(self.owner.load(Ordering::Relaxed))
+                > 1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let lock = AndersonLock::new();
+        let mut ctx = AndersonContext::default();
+        assert!(!lock.is_locked());
+        lock.acquire(&mut ctx);
+        assert!(lock.is_locked());
+        assert_eq!(lock.has_waiters_hint(&ctx), Some(false));
+        lock.release(&mut ctx);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn ring_wraps_many_laps() {
+        let lock = AndersonLock::new();
+        let mut ctx = AndersonContext::default();
+        for _ in 0..(3 * ANDERSON_SLOTS + 5) {
+            lock.acquire(&mut ctx);
+            lock.release(&mut ctx);
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(AndersonLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = AndersonContext::default();
+                for _ in 0..ITERS {
+                    lock.acquire(&mut ctx);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.release(&mut ctx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ITERS);
+    }
+
+    #[test]
+    fn thread_oblivious_release() {
+        let lock = Arc::new(AndersonLock::new());
+        let mut ctx = AndersonContext::default();
+        lock.acquire(&mut ctx);
+        let lock2 = Arc::clone(&lock);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                lock2.release(&mut ctx);
+            });
+        });
+        let mut ctx2 = AndersonContext::default();
+        lock.acquire(&mut ctx2);
+        lock.release(&mut ctx2);
+    }
+
+    #[test]
+    fn waiter_hint_sees_contender() {
+        let lock = Arc::new(AndersonLock::new());
+        let mut ctx = AndersonContext::default();
+        lock.acquire(&mut ctx);
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let mut ctx = AndersonContext::default();
+                lock.acquire(&mut ctx);
+                lock.release(&mut ctx);
+            })
+        };
+        crate::spin::spin_until(|| lock.has_waiters_hint(&ctx) == Some(true));
+        lock.release(&mut ctx);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn info_is_fair_local_array() {
+        assert!(AndersonLock::INFO.fair);
+        assert!(AndersonLock::INFO.local_spinning);
+        assert_eq!(AndersonLock::INFO.name, "anderson");
+    }
+}

@@ -1,0 +1,117 @@
+//! Test-and-set lock with exponential backoff (Agarwal & Cherian \[1\]).
+//!
+//! The paper cites this lock ("BO") as the unfair component of the Lock
+//! Cohorting work's C-BO-MCS composition (§2.3). We include it so that the
+//! cohorting comparison and the fairness ablation can be reproduced.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::raw::{LockInfo, NoContext, RawLock};
+use crate::spin::Backoff;
+
+/// Test-and-set lock with exponential backoff between attempts.
+///
+/// Unlike [`TtasLock`](crate::TtasLock), every wait round attempts the
+/// swap and then backs off for an exponentially growing period, which
+/// reduces coherence traffic under contention at the cost of latency and
+/// fairness (the lock is **unfair**).
+///
+/// # Examples
+///
+/// ```
+/// use clof_locks::{BackoffLock, RawLock};
+///
+/// let lock = BackoffLock::default();
+/// let mut ctx = Default::default();
+/// lock.acquire(&mut ctx);
+/// lock.release(&mut ctx);
+/// ```
+#[derive(Debug, Default)]
+pub struct BackoffLock {
+    locked: AtomicBool,
+}
+
+impl BackoffLock {
+    /// Creates an unlocked backoff lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the lock is currently held (racy; for tests/diagnostics).
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+impl RawLock for BackoffLock {
+    type Context = NoContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "bo",
+        full_name: "Test-and-set with exponential backoff",
+        fair: false,
+        local_spinning: false,
+        needs_context: false,
+    };
+
+    fn acquire(&self, _ctx: &mut NoContext) {
+        let mut backoff = Backoff::new();
+        // Acquire pairs with the Release store in `release`.
+        while self.locked.swap(true, Ordering::Acquire) {
+            backoff.snooze();
+        }
+    }
+
+    fn release(&self, _ctx: &mut NoContext) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let lock = BackoffLock::new();
+        let mut ctx = NoContext;
+        lock.acquire(&mut ctx);
+        assert!(lock.is_locked());
+        lock.release(&mut ctx);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(BackoffLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = NoContext;
+                for _ in 0..ITERS {
+                    lock.acquire(&mut ctx);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.release(&mut ctx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ITERS);
+    }
+
+    #[test]
+    fn info_marks_unfair() {
+        assert!(!BackoffLock::INFO.fair);
+        assert_eq!(BackoffLock::INFO.name, "bo");
+    }
+}

@@ -1,0 +1,289 @@
+//! MCS queue lock (Mellor-Crummey & Scott \[31\]): fair, local spinning.
+
+use std::ptr::{self, NonNull};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crate::raw::{LockInfo, RawLock};
+use crate::spin::Backoff;
+
+/// A node in the MCS queue.
+///
+/// Nodes are heap-allocated and owned by an [`McsContext`]; they are
+/// reached by other threads only through raw pointers published via the
+/// lock's `tail`, and all shared fields are atomics.
+#[derive(Debug)]
+struct McsNode {
+    /// `true` while the owning thread must keep waiting.
+    locked: AtomicBool,
+    /// Successor in the queue, set by the enqueueing successor itself.
+    next: AtomicPtr<McsNode>,
+}
+
+impl McsNode {
+    fn boxed() -> NonNull<McsNode> {
+        let node = Box::new(McsNode {
+            locked: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        });
+        // `Box::into_raw` never returns null.
+        NonNull::new(Box::into_raw(node)).expect("Box::into_raw returned null")
+    }
+}
+
+/// Per-slot context of [`McsLock`]: one queue node with a stable address.
+///
+/// The node is kept behind a raw pointer (not a `Box` field) on purpose:
+/// while enqueued, the node is concurrently written by the predecessor and
+/// successor threads, so the context must not assert exclusive access to
+/// the node memory even when the context itself is held by `&mut`.
+#[derive(Debug)]
+pub struct McsContext {
+    node: NonNull<McsNode>,
+}
+
+// SAFETY: The context only carries a pointer to a heap node whose shared
+// fields are atomics; moving or sharing the context across threads does
+// not move the node.
+unsafe impl Send for McsContext {}
+// SAFETY: As above; all concurrent access to the pointee goes through
+// atomic fields.
+unsafe impl Sync for McsContext {}
+
+impl Default for McsContext {
+    fn default() -> Self {
+        McsContext {
+            node: McsNode::boxed(),
+        }
+    }
+}
+
+impl Drop for McsContext {
+    fn drop(&mut self) {
+        // SAFETY: By the `RawLock` contract the context is dropped only
+        // when no operation is in flight and the lock is not held through
+        // it, so the node is no longer linked in any queue and this is
+        // the unique owner of the allocation.
+        unsafe { drop(Box::from_raw(self.node.as_ptr())) };
+    }
+}
+
+/// The MCS queue lock.
+///
+/// Each waiter appends its context node to a global `tail` and spins on a
+/// flag *in its own node*; on release the owner hands over to its
+/// successor by clearing the successor's flag. Local spinning keeps the
+/// coherence traffic per handover constant, which is why MCS (and CLH)
+/// tolerate high contention far better than the Ticketlock — at the cost
+/// of a heavier uncontended path. MCS is the component HMCS uses at every
+/// level (the paper's level-homogeneous baseline).
+///
+/// # Examples
+///
+/// ```
+/// use clof_locks::{McsContext, McsLock, RawLock};
+///
+/// let lock = McsLock::default();
+/// let mut ctx = McsContext::default();
+/// lock.acquire(&mut ctx);
+/// lock.release(&mut ctx);
+/// ```
+#[derive(Debug, Default)]
+pub struct McsLock {
+    tail: AtomicPtr<McsNode>,
+}
+
+impl McsLock {
+    /// Creates an unlocked MCS lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the lock is currently held or queued (racy; diagnostics).
+    pub fn is_locked(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl RawLock for McsLock {
+    type Context = McsContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "mcs",
+        full_name: "MCS lock",
+        fair: true,
+        local_spinning: true,
+        needs_context: true,
+    };
+
+    fn acquire(&self, ctx: &mut McsContext) {
+        let node = ctx.node.as_ptr();
+        // SAFETY: `node` points to this context's live heap node; until
+        // the swap below publishes it, no other thread can reach it.
+        let node_ref = unsafe { &*node };
+        node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node_ref.locked.store(true, Ordering::Relaxed);
+
+        // AcqRel: the Release half publishes our node initialization to
+        // the successor that swaps after us; the Acquire half orders us
+        // after the predecessor's initialization.
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if pred.is_null() {
+            return;
+        }
+        // SAFETY: `pred` was published by its owner, whose release cannot
+        // complete (and whose context cannot be legally reused or dropped)
+        // before observing `pred.next != null`, which only happens via the
+        // store below. Hence `pred` is alive here.
+        unsafe { (*pred).next.store(node, Ordering::Release) };
+        let mut backoff = Backoff::new();
+        // Acquire pairs with the Release store in the predecessor's
+        // `release`, ordering the critical sections.
+        while node_ref.locked.load(Ordering::Acquire) {
+            backoff.snooze();
+        }
+    }
+
+    fn release(&self, ctx: &mut McsContext) {
+        let node = ctx.node.as_ptr();
+        // SAFETY: We hold the lock through `ctx`, so our node is alive and
+        // is the queue head.
+        let node_ref = unsafe { &*node };
+        let mut next = node_ref.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: try to swing tail back to empty.
+            // Release publishes the critical section to the next acquirer
+            // that starts from an empty queue.
+            if self
+                .tail
+                .compare_exchange(node, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor swapped the tail but has not linked yet; wait
+            // for the link (it arrives promptly: the successor's very
+            // next step is the `next` store).
+            let mut backoff = Backoff::new();
+            loop {
+                next = node_ref.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                backoff.snooze();
+            }
+        }
+        // SAFETY: `next` is a queue node whose owner is spinning on its
+        // `locked` flag and therefore keeps it alive until we clear it.
+        unsafe { (*next).locked.store(false, Ordering::Release) };
+    }
+
+    fn has_waiters_hint(&self, ctx: &Self::Context) -> Option<bool> {
+        // The owner's node is the head; a set `next` pointer or a tail
+        // that moved past our node means someone is queued behind us
+        // (paper §4.1.2: "in MCS lock it suffices to check whether the
+        // next pointer is set").
+        let node = ctx.node.as_ptr();
+        // SAFETY: We hold the lock through `ctx` (hint is only meaningful
+        // for the owner), so our node is alive.
+        let has_next = unsafe { !(*node).next.load(Ordering::Relaxed).is_null() };
+        Some(has_next || self.tail.load(Ordering::Relaxed) != node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let lock = McsLock::new();
+        let mut ctx = McsContext::default();
+        assert!(!lock.is_locked());
+        lock.acquire(&mut ctx);
+        assert!(lock.is_locked());
+        assert_eq!(lock.has_waiters_hint(&ctx), Some(false));
+        lock.release(&mut ctx);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn context_reuse_across_acquisitions() {
+        let lock = McsLock::new();
+        let mut ctx = McsContext::default();
+        for _ in 0..1000 {
+            lock.acquire(&mut ctx);
+            lock.release(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(McsLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = McsContext::default();
+                for _ in 0..ITERS {
+                    lock.acquire(&mut ctx);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.release(&mut ctx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ITERS);
+    }
+
+    #[test]
+    fn thread_oblivious_release() {
+        // Acquire on one thread, release on another, same context: the
+        // property CLoF requires of high locks (paper §4.1.3).
+        let lock = Arc::new(McsLock::new());
+        let mut ctx = McsContext::default();
+        lock.acquire(&mut ctx);
+        let lock2 = Arc::clone(&lock);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                lock2.release(&mut ctx);
+            });
+        });
+        let mut ctx2 = McsContext::default();
+        lock.acquire(&mut ctx2);
+        lock.release(&mut ctx2);
+    }
+
+    #[test]
+    fn waiter_hint_sees_contender() {
+        let lock = Arc::new(McsLock::new());
+        let mut ctx = McsContext::default();
+        lock.acquire(&mut ctx);
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let mut ctx = McsContext::default();
+                lock.acquire(&mut ctx);
+                lock.release(&mut ctx);
+            })
+        };
+        crate::spin::spin_until(|| lock.has_waiters_hint(&ctx) == Some(true));
+        lock.release(&mut ctx);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn info_is_fair_local_spinning() {
+        assert!(McsLock::INFO.fair);
+        assert!(McsLock::INFO.local_spinning);
+        assert!(McsLock::INFO.needs_context);
+    }
+}

@@ -1,0 +1,172 @@
+//! A data-holding mutex over any [`RawLock`].
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use crate::raw::RawLock;
+
+/// A mutex protecting `T` with any [`RawLock`] algorithm.
+///
+/// Convenience wrapper for code that wants `Mutex<T>` ergonomics with one
+/// of this crate's spinlocks. Each [`lock`](RawLockMutex::lock) call
+/// creates a fresh context; performance-sensitive callers that want to
+/// amortize context allocation should use
+/// [`lock_with`](RawLockMutex::lock_with) and keep a context per thread.
+///
+/// # Examples
+///
+/// ```
+/// use clof_locks::{McsLock, RawLockMutex};
+///
+/// let m: RawLockMutex<McsLock, u64> = RawLockMutex::new(0);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 1);
+/// ```
+pub struct RawLockMutex<L: RawLock, T: ?Sized> {
+    lock: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: The lock serializes all access to `data`; sending the mutex
+// sends the data.
+unsafe impl<L: RawLock, T: ?Sized + Send> Send for RawLockMutex<L, T> {}
+// SAFETY: Shared access only yields `&T`/`&mut T` under mutual exclusion.
+unsafe impl<L: RawLock, T: ?Sized + Send> Sync for RawLockMutex<L, T> {}
+
+impl<L: RawLock, T> RawLockMutex<L, T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        RawLockMutex {
+            lock: L::default(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<L: RawLock, T: ?Sized> RawLockMutex<L, T> {
+    /// Acquires the lock with a freshly created context.
+    pub fn lock(&self) -> RawLockMutexGuard<'_, L, T> {
+        self.lock_with(L::Context::default())
+    }
+
+    /// Acquires the lock through a caller-provided context.
+    ///
+    /// The context is returned to the caller when the guard drops only in
+    /// the sense that it is freed; to reuse a long-lived context across
+    /// acquisitions, use the raw [`RawLock`] interface instead.
+    pub fn lock_with(&self, mut ctx: L::Context) -> RawLockMutexGuard<'_, L, T> {
+        self.lock.acquire(&mut ctx);
+        RawLockMutexGuard { mutex: self, ctx }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<L: RawLock, T: Default> Default for RawLockMutex<L, T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<L: RawLock, T: fmt::Debug> fmt::Debug for RawLockMutex<L, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawLockMutex")
+            .field("lock", &L::INFO.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`RawLockMutex`]; releases on drop.
+pub struct RawLockMutexGuard<'a, L: RawLock, T: ?Sized> {
+    mutex: &'a RawLockMutex<L, T>,
+    ctx: L::Context,
+}
+
+impl<L: RawLock, T: ?Sized> Deref for RawLockMutexGuard<'_, L, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: The guard proves the lock is held; access is exclusive.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<L: RawLock, T: ?Sized> DerefMut for RawLockMutexGuard<'_, L, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: As in `deref`.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<L: RawLock, T: ?Sized> Drop for RawLockMutexGuard<'_, L, T> {
+    fn drop(&mut self) {
+        self.mutex.lock.release(&mut self.ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClhLock, Hemlock, McsLock, TicketLock, TtasLock};
+    use std::sync::Arc;
+
+    fn hammer<L: RawLock>() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 1_000;
+        let m: Arc<RawLockMutex<L, usize>> = Arc::new(RawLockMutex::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), THREADS * ITERS);
+    }
+
+    #[test]
+    fn mutex_over_ticket() {
+        hammer::<TicketLock>();
+    }
+
+    #[test]
+    fn mutex_over_mcs() {
+        hammer::<McsLock>();
+    }
+
+    #[test]
+    fn mutex_over_clh() {
+        hammer::<ClhLock>();
+    }
+
+    #[test]
+    fn mutex_over_hemlock() {
+        hammer::<Hemlock>();
+    }
+
+    #[test]
+    fn mutex_over_ttas() {
+        hammer::<TtasLock>();
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m: RawLockMutex<TicketLock, Vec<u32>> = RawLockMutex::new(vec![1]);
+        m.get_mut().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

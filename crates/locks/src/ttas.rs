@@ -1,0 +1,137 @@
+//! Test-and-test-and-set lock: simple, *unfair* (paper §4.2.1).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::raw::{LockInfo, NoContext, RawLock};
+use crate::spin::Backoff;
+
+/// Test-and-test-and-set (TTAS) spinlock.
+///
+/// Waiters first spin reading the flag (cheap, cache-friendly) and only
+/// attempt the atomic swap once it reads unlocked. TTAS is **unfair**: a
+/// thread can lose the race indefinitely. The paper uses TTAS as the
+/// canonical unfair lock when discussing Theorem 4.1 — composing it at
+/// any level makes the whole CLoF lock unfair (a NUMA-node cohort can
+/// starve if the system lock is TTAS).
+///
+/// # Examples
+///
+/// ```
+/// use clof_locks::{RawLock, TtasLock};
+///
+/// let lock = TtasLock::default();
+/// let mut ctx = Default::default();
+/// lock.acquire(&mut ctx);
+/// lock.release(&mut ctx);
+/// ```
+#[derive(Debug, Default)]
+pub struct TtasLock {
+    locked: AtomicBool,
+}
+
+impl TtasLock {
+    /// Creates an unlocked TTAS lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire without spinning.
+    pub fn try_acquire(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    /// Whether the lock is currently held (racy; for tests/diagnostics).
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+impl RawLock for TtasLock {
+    type Context = NoContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "ttas",
+        full_name: "Test-and-test-and-set",
+        fair: false,
+        local_spinning: false,
+        needs_context: false,
+    };
+
+    fn acquire(&self, _ctx: &mut NoContext) {
+        let mut backoff = Backoff::new();
+        loop {
+            // Test phase: spin on a (locally cached) load.
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+            // Test-and-set phase; Acquire pairs with the Release in
+            // `release` to order the critical sections.
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    fn release(&self, _ctx: &mut NoContext) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let lock = TtasLock::new();
+        let mut ctx = NoContext;
+        lock.acquire(&mut ctx);
+        assert!(lock.is_locked());
+        lock.release(&mut ctx);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn try_acquire_fails_when_held() {
+        let lock = TtasLock::new();
+        let mut ctx = NoContext;
+        assert!(lock.try_acquire());
+        assert!(!lock.try_acquire());
+        lock.release(&mut ctx);
+        assert!(lock.try_acquire());
+        lock.release(&mut ctx);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(TtasLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = NoContext;
+                for _ in 0..ITERS {
+                    lock.acquire(&mut ctx);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.release(&mut ctx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ITERS);
+    }
+
+    #[test]
+    fn info_marks_unfair() {
+        assert!(!TtasLock::INFO.fair);
+    }
+}

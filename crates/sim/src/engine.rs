@@ -1,0 +1,794 @@
+//! The virtual-time event loop.
+//!
+//! Implements the hierarchical hand-off policy of `clof::lockgen`
+//! (paper Figure 8) at cohort granularity over virtual time:
+//!
+//! * **acquire** — a thread climbs its path from the leaf level; at the
+//!   first busy node it enqueues (holding everything below); if it ever
+//!   obtains a node whose `high_held` flag is set, the levels above are
+//!   inherited and the thread enters the critical section.
+//! * **release** — at each level, if the cohort has waiters and
+//!   `keep_local` permits, the node is *passed* (flag set, cost of one
+//!   intra-level handover); otherwise the levels above are released
+//!   first (recursively, where another cohort may be granted), then the
+//!   node itself is handed to any waiter with the flag cleared, forcing a
+//!   re-climb.
+//!
+//! Costs: each climb step charges the level lock's acquire overhead; each
+//! handover charges the level lock's handover overhead, the lock-line
+//! transfer at that level, and — for globally-spinning locks — the
+//! invalidation storm proportional to the number of other waiters.
+//! Entering the critical section charges the migration of the protected
+//! data from the previous critical-section executor
+//! (`workload.data_lines × transfer(prev, cur)`).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use clof_topology::CpuId;
+
+use crate::machine::Machine;
+use crate::model::ModelSpec;
+use crate::params::{lock_costs, TAS_FASTPATH_NS};
+use crate::rng::Rng;
+use crate::workload::Workload;
+
+/// Options for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Simulated duration in virtual nanoseconds (measurement window).
+    pub duration_ns: u64,
+    /// Warm-up prefix excluded from throughput accounting.
+    pub warmup_ns: u64,
+    /// PRNG seed (runs with equal seeds are bit-identical).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            duration_ns: 40_000_000, // 40 ms virtual
+            warmup_ns: 4_000_000,
+            seed: 0xC10F,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed critical sections in the measurement window.
+    pub completed: u64,
+    /// Completions per simulated thread (fairness analysis, §5.2.3).
+    pub per_thread: Vec<u64>,
+    /// Measurement window length (ns).
+    pub window_ns: u64,
+    /// Handovers counted per lock level (locality diagnostics).
+    pub handovers_by_level: Vec<u64>,
+}
+
+impl RunResult {
+    /// Throughput in iterations per microsecond (the paper's Figure 2/4/9
+    /// unit).
+    pub fn throughput_per_us(&self) -> f64 {
+        self.completed as f64 * 1e3 / self.window_ns as f64
+    }
+
+    /// Jain's fairness index over per-thread completions (1.0 = perfectly
+    /// fair).
+    pub fn jain_index(&self) -> f64 {
+        let n = self.per_thread.len() as f64;
+        let sum: f64 = self.per_thread.iter().map(|&c| c as f64).sum();
+        let sq_sum: f64 = self.per_thread.iter().map(|&c| (c as f64).powi(2)).sum();
+        if sq_sum == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sq_sum)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrive(usize),
+    EndCs(usize),
+}
+
+struct Node {
+    kind_idx: usize,
+    level: usize,
+    owned: bool,
+    high_held: bool,
+    handovers: u32,
+    queue: VecDeque<usize>,
+    /// CPU of the last thread that held this node (prices the movement
+    /// of the lock's own cache line by actual distance, not by the
+    /// level's characteristic width — a flat lock handed between two
+    /// cache-sharing CPUs is cheap even though its domain is the whole
+    /// machine).
+    last_owner_cpu: Option<CpuId>,
+}
+
+struct ThreadState {
+    cpu: CpuId,
+    /// Node index per lock level (leaf first).
+    path: Vec<usize>,
+    /// Accumulated acquisition overhead to charge at CS entry.
+    pending_cost: f64,
+    completed: u64,
+}
+
+struct Sim<'a> {
+    spec: &'a ModelSpec,
+    machine: &'a Machine,
+    workload: Workload,
+    /// Per-lock-level transfer cost (lock hierarchy levels priced on the
+    /// machine).
+    level_transfer: Vec<f64>,
+    nodes: Vec<Node>,
+    threads: Vec<ThreadState>,
+    events: BinaryHeap<Reverse<(u64, u64, EventOrd)>>,
+    seq: u64,
+    now: u64,
+    last_cs_cpu: Option<CpuId>,
+    rng: Rng,
+    warmup_ns: u64,
+    handovers_by_level: Vec<u64>,
+    thresholds: Vec<u32>,
+}
+
+/// Orderable event payload for the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventOrd(u8, usize);
+
+impl EventOrd {
+    fn pack(e: Event) -> Self {
+        match e {
+            Event::Arrive(t) => EventOrd(0, t),
+            Event::EndCs(t) => EventOrd(1, t),
+        }
+    }
+
+    fn unpack(self) -> Event {
+        match self.0 {
+            0 => Event::Arrive(self.1),
+            _ => Event::EndCs(self.1),
+        }
+    }
+}
+
+/// Runs one simulation.
+///
+/// `cpus` lists the CPU each simulated thread is pinned to (one thread
+/// per entry; duplicates allowed).
+///
+/// # Examples
+///
+/// ```
+/// use clof_sim::engine::{run, RunOptions};
+/// use clof_sim::{Machine, ModelSpec, Workload};
+/// use clof::LockKind;
+///
+/// let machine = Machine::paper_armv8();
+/// let spec = ModelSpec::clof(
+///     machine.hierarchy.clone(),
+///     &[LockKind::Ticket, LockKind::Clh, LockKind::Ticket, LockKind::Ticket],
+/// );
+/// let result = run(
+///     &machine,
+///     &spec,
+///     &[0, 1, 64, 127], // one simulated thread per listed CPU
+///     Workload::leveldb_readrandom(),
+///     RunOptions { duration_ns: 1_000_000, warmup_ns: 100_000, seed: 1 },
+/// );
+/// assert!(result.throughput_per_us() > 0.0);
+/// assert_eq!(result.per_thread.len(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cpus` is empty or references CPUs outside the machine, or
+/// if the spec's lock hierarchy does not cover the machine's CPUs.
+pub fn run(
+    machine: &Machine,
+    spec: &ModelSpec,
+    cpus: &[CpuId],
+    workload: Workload,
+    opts: RunOptions,
+) -> RunResult {
+    assert!(!cpus.is_empty(), "at least one thread required");
+    assert_eq!(
+        spec.hierarchy.ncpus(),
+        machine.ncpus(),
+        "lock hierarchy must cover the machine"
+    );
+
+    // Build the node arena level by level (leaf level first).
+    let lh = &spec.hierarchy;
+    let levels = lh.level_count();
+    let mut nodes: Vec<Node> = Vec::new();
+    // node_index[level][cohort] -> arena index.
+    let mut node_index: Vec<Vec<usize>> = Vec::with_capacity(levels);
+    for level in 0..levels {
+        let mut per_cohort = Vec::with_capacity(lh.cohort_count(level));
+        for _ in 0..lh.cohort_count(level) {
+            per_cohort.push(nodes.len());
+            nodes.push(Node {
+                kind_idx: level,
+                level,
+                owned: false,
+                high_held: false,
+                handovers: 0,
+                queue: VecDeque::new(),
+                last_owner_cpu: None,
+            });
+        }
+        node_index.push(per_cohort);
+    }
+
+    let threads: Vec<ThreadState> = cpus
+        .iter()
+        .map(|&cpu| {
+            assert!(cpu < machine.ncpus(), "cpu {cpu} out of range");
+            ThreadState {
+                cpu,
+                path: (0..levels)
+                    .map(|l| node_index[l][lh.cohort(l, cpu)])
+                    .collect(),
+                pending_cost: 0.0,
+                completed: 0,
+            }
+        })
+        .collect();
+
+    // Lock-level transfer pricing on the machine.
+    let priced = machine.with_hierarchy(lh.clone());
+    let level_transfer = priced.transfer_ns.clone();
+
+    let mut sim = Sim {
+        spec,
+        machine,
+        workload,
+        level_transfer,
+        nodes,
+        threads,
+        events: BinaryHeap::new(),
+        seq: 0,
+        now: 0,
+        last_cs_cpu: None,
+        rng: Rng::new(opts.seed),
+        warmup_ns: opts.warmup_ns,
+        handovers_by_level: vec![0; levels],
+        thresholds: spec.thresholds.iter().map(|&t| t.max(1)).collect(),
+    };
+
+    // Staggered initial arrivals.
+    for tid in 0..sim.threads.len() {
+        let offset = sim.rng.below((workload.ncs_ns as u64).max(1));
+        sim.schedule(offset, Event::Arrive(tid));
+    }
+
+    let end = opts.warmup_ns + opts.duration_ns;
+    while let Some(&Reverse((time, _, ord))) = sim.events.peek() {
+        if time >= end {
+            break;
+        }
+        sim.events.pop();
+        sim.now = time;
+        match ord.unpack() {
+            Event::Arrive(tid) => sim.on_arrive(tid),
+            Event::EndCs(tid) => sim.on_end_cs(tid),
+        }
+    }
+
+    let per_thread: Vec<u64> = sim.threads.iter().map(|t| t.completed).collect();
+    RunResult {
+        completed: per_thread.iter().sum(),
+        per_thread,
+        window_ns: opts.duration_ns,
+        handovers_by_level: sim.handovers_by_level,
+    }
+}
+
+impl Sim<'_> {
+    fn schedule(&mut self, time: u64, event: Event) {
+        self.seq += 1;
+        self.events
+            .push(Reverse((time, self.seq, EventOrd::pack(event))));
+    }
+
+    fn on_arrive(&mut self, tid: usize) {
+        // ShflLock fast path: an uncontended arrival takes the TAS top
+        // lock directly, bypassing queue and hierarchy bookkeeping.
+        if self.spec.tas_fastpath {
+            let free = self.threads[tid]
+                .path
+                .iter()
+                .all(|&n| !self.nodes[n].owned);
+            if free {
+                let cpu = self.threads[tid].cpu;
+                for level in 0..self.threads[tid].path.len() {
+                    let n = self.threads[tid].path[level];
+                    self.nodes[n].owned = true;
+                    self.nodes[n].last_owner_cpu = Some(cpu);
+                }
+                self.threads[tid].pending_cost = TAS_FASTPATH_NS;
+                self.enter_cs(tid);
+                return;
+            }
+        }
+        self.threads[tid].pending_cost = 0.0;
+        self.climb(tid, 0);
+    }
+
+    /// Climbs from `from_level`; either reaches the critical section or
+    /// parks in some queue.
+    fn climb(&mut self, tid: usize, from_level: usize) {
+        let levels = self.threads[tid].path.len();
+        for level in from_level..levels {
+            let n = self.threads[tid].path[level];
+            if self.nodes[n].owned {
+                self.nodes[n].queue.push_back(tid);
+                return;
+            }
+            debug_assert!(
+                !self.nodes[n].high_held,
+                "a free node cannot hold its high levels"
+            );
+            self.nodes[n].owned = true;
+            let kind = self.spec.kinds[self.nodes[n].kind_idx];
+            let mut cost = lock_costs(kind, self.machine.arch).acquire_ns;
+            // Fetch the lock line from wherever it last lived.
+            if let Some(prev) = self.nodes[n].last_owner_cpu {
+                let cpu = self.threads[tid].cpu;
+                if prev != cpu {
+                    cost += self.machine.transfer(prev, cpu);
+                }
+            }
+            self.nodes[n].last_owner_cpu = Some(self.threads[tid].cpu);
+            self.threads[tid].pending_cost += cost;
+        }
+        self.enter_cs(tid);
+    }
+
+    /// Cost of handing node `n` to the waiter at the head of its queue.
+    fn handover_cost(&self, n: usize) -> f64 {
+        let node = &self.nodes[n];
+        let kind = self.spec.kinds[node.kind_idx];
+        let costs = lock_costs(kind, self.machine.arch);
+        // The lock line moves by the *actual* distance between the old
+        // and new owner; the storm term uses the level's characteristic
+        // transfer (the spinners are spread over the node's domain).
+        let grantee = *node.queue.front().expect("handover requires a waiter");
+        let line_transfer = match node.last_owner_cpu {
+            Some(prev) if prev != self.threads[grantee].cpu => {
+                self.machine.transfer(prev, self.threads[grantee].cpu)
+            }
+            _ => 0.0,
+        };
+        let domain_transfer = self.level_transfer[node.level];
+        let extra_waiters = node.queue.len().saturating_sub(1) as f64;
+        costs.handover_ns
+            + self.spec.extra_handover_ns
+            + line_transfer
+            + costs.global_spin_coeff * extra_waiters * domain_transfer
+    }
+
+    /// `keep_local` of the paper: bounded consecutive local hand-offs.
+    fn keep_local(&mut self, n: usize) -> bool {
+        let threshold = self.thresholds[self.nodes[n].level];
+        let node = &mut self.nodes[n];
+        node.handovers += 1;
+        if node.handovers >= threshold {
+            node.handovers = 0;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Grants node `n` to its first queued waiter; the grantee inherits
+    /// the high levels if `high_held` is set, otherwise re-climbs.
+    fn grant(&mut self, n: usize) {
+        let cost = self.handover_cost(n);
+        let level = self.nodes[n].level;
+        self.handovers_by_level[level] += 1;
+        let next = self.nodes[n]
+            .queue
+            .pop_front()
+            .expect("grant requires a waiter");
+        self.nodes[n].last_owner_cpu = Some(self.threads[next].cpu);
+        self.threads[next].pending_cost += cost;
+        let levels = self.threads[next].path.len();
+        if self.nodes[n].high_held || level + 1 == levels {
+            self.enter_cs(next);
+        } else {
+            self.climb(next, level + 1);
+        }
+    }
+
+    fn on_end_cs(&mut self, tid: usize) {
+        if self.now >= self.warmup_ns {
+            self.threads[tid].completed += 1;
+        }
+        self.release_level(tid, 0);
+        // Think, then come back (slower on efficiency cores).
+        let speed = self.machine.speed(self.threads[tid].cpu).max(1e-6);
+        let ncs = (self.workload.ncs_ns * self.rng.jitter(0.2) / speed).max(1.0) as u64;
+        let at = self.now + ncs;
+        self.schedule(at, Event::Arrive(tid));
+    }
+
+    /// `lockgen(rel(...))` (paper Figure 8) at level `level` of `tid`'s
+    /// path.
+    fn release_level(&mut self, tid: usize, level: usize) {
+        let levels = self.threads[tid].path.len();
+        let n = self.threads[tid].path[level];
+        if level + 1 == levels {
+            // System level: plain basic-lock release.
+            if self.nodes[n].queue.is_empty() {
+                self.nodes[n].owned = false;
+            } else {
+                self.grant(n);
+            }
+            return;
+        }
+        let has_waiters = !self.nodes[n].queue.is_empty();
+        if has_waiters && self.keep_local(n) {
+            // Pass: the high levels stay acquired for our cohort.
+            self.nodes[n].high_held = true;
+            self.grant(n);
+        } else {
+            self.nodes[n].high_held = false;
+            // Release order: high first (possibly granting another
+            // cohort), then this level.
+            self.release_level(tid, level + 1);
+            if self.nodes[n].queue.is_empty() {
+                self.nodes[n].owned = false;
+            } else {
+                self.grant(n);
+            }
+        }
+    }
+
+    fn enter_cs(&mut self, tid: usize) {
+        let cpu = self.threads[tid].cpu;
+        let data_migration = match self.last_cs_cpu {
+            Some(prev) if prev != cpu => {
+                self.workload.data_lines * self.machine.transfer(prev, cpu)
+            }
+            _ => 0.0,
+        };
+        self.last_cs_cpu = Some(cpu);
+        // Continuous coherence tax from globally-spinning waiters on the
+        // owner's path (see `params::LockCosts::spin_tax_coeff`).
+        let mut spin_tax = 0.0;
+        for level in 0..self.threads[tid].path.len() {
+            let n = self.threads[tid].path[level];
+            let node = &self.nodes[n];
+            let coeff =
+                lock_costs(self.spec.kinds[node.kind_idx], self.machine.arch).spin_tax_coeff;
+            if coeff > 0.0 {
+                // A handful of spinners share the line quietly (their
+                // cost is already in the handover storm term); beyond
+                // `QUIET_SPINNERS` the invalidation traffic compounds and
+                // taxes every critical section.
+                const QUIET_SPINNERS: usize = 3;
+                let noisy = node.queue.len().saturating_sub(QUIET_SPINNERS) as f64;
+                spin_tax += coeff * noisy * self.level_transfer[level];
+            }
+        }
+        // Slow cores execute their critical sections proportionally
+        // slower (big.LITTLE machines; 1.0 on the paper servers).
+        let speed = self.machine.speed(cpu).max(1e-6);
+        let cs =
+            self.workload.cs_ns * self.rng.jitter(0.1) / speed + data_migration + spin_tax;
+        let start = self.now as f64 + self.threads[tid].pending_cost;
+        self.threads[tid].pending_cost = 0.0;
+        let at = (start + cs).max(self.now as f64) as u64;
+        self.schedule(at, Event::EndCs(tid));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::placement;
+    use clof::LockKind;
+
+    fn quick_opts() -> RunOptions {
+        RunOptions {
+            duration_ns: 5_000_000,
+            warmup_ns: 500_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let m = Machine::paper_armv8();
+        let spec = ModelSpec::hmcs(m.hierarchy.clone());
+        let cpus = placement::compact(&m, 16);
+        let a = run(&m, &spec, &cpus, Workload::leveldb_readrandom(), quick_opts());
+        let b = run(&m, &spec, &cpus, Workload::leveldb_readrandom(), quick_opts());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.per_thread, b.per_thread);
+    }
+
+    #[test]
+    fn single_thread_throughput_matches_cycle_time() {
+        let m = Machine::paper_x86();
+        let spec = ModelSpec::basic(LockKind::Ticket, m.ncpus());
+        let wl = Workload::leveldb_readrandom();
+        let r = run(&m, &spec, &[0], wl, quick_opts());
+        // Cycle ≈ ncs + cs + overheads ≈ 5.02 µs ⇒ ≈ 0.199 iter/µs.
+        let tp = r.throughput_per_us();
+        assert!((0.15..0.25).contains(&tp), "throughput {tp}");
+    }
+
+    #[test]
+    fn all_threads_make_progress() {
+        let m = Machine::paper_armv8();
+        let spec = ModelSpec::clof(
+            m.hierarchy.clone(),
+            &[
+                LockKind::Ticket,
+                LockKind::Clh,
+                LockKind::Ticket,
+                LockKind::Ticket,
+            ],
+        );
+        let cpus = placement::compact(&m, 64);
+        let r = run(&m, &spec, &cpus, Workload::leveldb_readrandom(), quick_opts());
+        assert!(r.per_thread.iter().all(|&c| c > 0), "a thread starved");
+        assert!(r.jain_index() > 0.8, "jain {}", r.jain_index());
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_mcs_at_high_contention() {
+        // The paper's core claim, in miniature: at high contention a
+        // 4-level lock out-throughputs the NUMA-oblivious MCS.
+        let m = Machine::paper_x86();
+        let tuned = m.with_hierarchy(clof_topology::platforms::paper_x86_4level());
+        let wl = Workload::leveldb_readrandom();
+        let cpus = placement::compact(&m, 95);
+        let hmcs = run(
+            &tuned,
+            &ModelSpec::hmcs(tuned.hierarchy.clone()),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        let mcs = run(
+            &m,
+            &ModelSpec::basic(LockKind::Mcs, m.ncpus()),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        assert!(
+            hmcs.throughput_per_us() > 1.5 * mcs.throughput_per_us(),
+            "HMCS {} vs MCS {}",
+            hmcs.throughput_per_us(),
+            mcs.throughput_per_us()
+        );
+    }
+
+    #[test]
+    fn keep_local_threshold_trades_fairness_for_throughput() {
+        let m = Machine::paper_armv8();
+        let kinds = [
+            LockKind::Ticket,
+            LockKind::Clh,
+            LockKind::Ticket,
+            LockKind::Ticket,
+        ];
+        let cpus = placement::compact(&m, 32);
+        let wl = Workload::leveldb_readrandom();
+        let tight = run(
+            &m,
+            &ModelSpec::clof_with_threshold(m.hierarchy.clone(), &kinds, 1),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        let loose = run(
+            &m,
+            &ModelSpec::clof_with_threshold(m.hierarchy.clone(), &kinds, 128),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        assert!(
+            loose.throughput_per_us() > tight.throughput_per_us(),
+            "H=128 {} must beat H=1 {}",
+            loose.throughput_per_us(),
+            tight.throughput_per_us()
+        );
+    }
+
+    #[test]
+    fn hem_ctr_collapses_on_armv8_not_x86() {
+        let wl = Workload::leveldb_readrandom();
+        let arm = Machine::paper_armv8();
+        let x86 = Machine::paper_x86();
+        let cpus_arm = placement::within_cohort(&arm, 1, 0); // one NUMA node
+        let cpus_x86: Vec<_> = x86.hierarchy.cohort_members(2, 0)[..32].to_vec();
+        let arm_ctr = run(
+            &arm,
+            &ModelSpec::basic(LockKind::HemlockCtr, arm.ncpus()),
+            &cpus_arm,
+            wl,
+            quick_opts(),
+        );
+        let arm_plain = run(
+            &arm,
+            &ModelSpec::basic(LockKind::Hemlock, arm.ncpus()),
+            &cpus_arm,
+            wl,
+            quick_opts(),
+        );
+        let x86_ctr = run(
+            &x86,
+            &ModelSpec::basic(LockKind::HemlockCtr, x86.ncpus()),
+            &cpus_x86,
+            wl,
+            quick_opts(),
+        );
+        let x86_plain = run(
+            &x86,
+            &ModelSpec::basic(LockKind::Hemlock, x86.ncpus()),
+            &cpus_x86,
+            wl,
+            quick_opts(),
+        );
+        assert!(arm_ctr.throughput_per_us() < 0.2 * arm_plain.throughput_per_us());
+        assert!(x86_ctr.throughput_per_us() >= x86_plain.throughput_per_us());
+    }
+
+    #[test]
+    fn shfl_fastpath_helps_single_thread() {
+        let m = Machine::paper_x86();
+        let wl = Workload::leveldb_readrandom();
+        let shfl = run(&m, &ModelSpec::shfl(&m), &[0], wl, quick_opts());
+        let cna = run(&m, &ModelSpec::cna(&m), &[0], wl, quick_opts());
+        assert!(shfl.throughput_per_us() >= cna.throughput_per_us());
+    }
+
+    #[test]
+    fn duplicate_cpus_allowed() {
+        let m = Machine::paper_x86();
+        let spec = ModelSpec::basic(LockKind::Mcs, m.ncpus());
+        let r = run(
+            &m,
+            &spec,
+            &[0, 0, 0],
+            Workload::lock_stress(),
+            quick_opts(),
+        );
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn line_transfer_priced_by_actual_distance() {
+        // Two cache-sharing CPUs contending on a *flat* lock must beat
+        // two cross-package CPUs on the same flat lock: the lock line
+        // moves by actual distance, not by the lock's (system-wide)
+        // domain.
+        let m = Machine::paper_armv8();
+        let spec = ModelSpec::basic(LockKind::Mcs, m.ncpus());
+        let wl = Workload::leveldb_readrandom();
+        let near = run(&m, &spec, &[0, 1], wl, quick_opts());
+        let far = run(&m, &spec, &[0, 127], wl, quick_opts());
+        assert!(
+            near.throughput_per_us() > 1.1 * far.throughput_per_us(),
+            "near {} vs far {}",
+            near.throughput_per_us(),
+            far.throughput_per_us()
+        );
+    }
+
+    #[test]
+    fn spin_tax_hits_wide_ticket_but_not_mcs() {
+        // 8 contenders spread across one NUMA node: the Ticketlock's
+        // spinning waiters tax every critical section; MCS spins locally.
+        let m = Machine::paper_armv8();
+        let cpus = placement::one_per_cohort(&m, 0)[..8].to_vec();
+        let wl = Workload::leveldb_readrandom();
+        let tkt = run(
+            &m,
+            &ModelSpec::basic(LockKind::Ticket, m.ncpus()),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        let mcs = run(
+            &m,
+            &ModelSpec::basic(LockKind::Mcs, m.ncpus()),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        assert!(
+            mcs.throughput_per_us() > 1.5 * tkt.throughput_per_us(),
+            "paper Fig. 3: tkt ~half of local-spin locks at the NUMA level              (mcs {}, tkt {})",
+            mcs.throughput_per_us(),
+            tkt.throughput_per_us()
+        );
+    }
+
+    #[test]
+    fn big_little_prefers_cluster_aware_composition() {
+        let m = Machine::big_little();
+        let wl = Workload::leveldb_readrandom();
+        let cpus: Vec<usize> = (0..8).collect();
+        let flat = run(
+            &m,
+            &ModelSpec::basic(LockKind::Mcs, m.ncpus()),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        let aware = run(
+            &m,
+            &ModelSpec::clof(m.hierarchy.clone(), &[LockKind::Clh, LockKind::Ticket]),
+            &cpus,
+            wl,
+            quick_opts(),
+        );
+        assert!(aware.throughput_per_us() > flat.throughput_per_us());
+    }
+
+    #[test]
+    fn little_cores_are_slower() {
+        let m = Machine::big_little();
+        let spec = ModelSpec::basic(LockKind::Ticket, m.ncpus());
+        let wl = Workload::leveldb_readrandom();
+        let big = run(&m, &spec, &[0], wl, quick_opts());
+        let little = run(&m, &spec, &[4], wl, quick_opts());
+        assert!(
+            big.throughput_per_us() > 1.8 * little.throughput_per_us(),
+            "0.45x cores must be ~2.2x slower"
+        );
+    }
+
+    #[test]
+    fn per_level_thresholds_respected() {
+        // Threshold 1 at the innermost level forces a release-up on every
+        // hand-off: the numa level must see as many handovers as cache.
+        let m = Machine::paper_armv8();
+        let kinds = [
+            LockKind::Mcs,
+            LockKind::Mcs,
+            LockKind::Mcs,
+            LockKind::Mcs,
+        ];
+        let spec = ModelSpec::clof_with_level_thresholds(
+            m.hierarchy.clone(),
+            &kinds,
+            &[1, 128, 128, 128],
+        );
+        let cpus = placement::compact(&m, 8); // 2 cache groups, 1 numa
+        let tight = run(&m, &spec, &cpus, Workload::lock_stress(), quick_opts());
+        let uniform = ModelSpec::clof(m.hierarchy.clone(), &kinds);
+        let loose = run(&m, &uniform, &cpus, Workload::lock_stress(), quick_opts());
+        // H=1 at the cache level forbids local passes, so (nearly) every
+        // cache-level grant comes with a numa-level handover; with the
+        // default H=128 the numa level is touched only rarely.
+        let tight_ratio =
+            tight.handovers_by_level[1] as f64 / tight.handovers_by_level[0].max(1) as f64;
+        let loose_ratio =
+            loose.handovers_by_level[1] as f64 / loose.handovers_by_level[0].max(1) as f64;
+        assert!(
+            tight_ratio > 5.0 * loose_ratio,
+            "tight {tight_ratio:.3} vs loose {loose_ratio:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_cpu_list_panics() {
+        let m = Machine::paper_x86();
+        let spec = ModelSpec::basic(LockKind::Mcs, m.ncpus());
+        run(&m, &spec, &[], Workload::lock_stress(), quick_opts());
+    }
+}

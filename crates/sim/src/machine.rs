@@ -1,0 +1,280 @@
+//! The simulated machine: hierarchy, per-level transfer costs,
+//! architecture.
+
+use clof_topology::{cluster, platforms, CpuId, Heatmap, Hierarchy, LevelIdx};
+
+/// Instruction-set architecture of the simulated machine.
+///
+/// The architecture matters for one paper-critical behaviour: Hemlock's
+/// CTR optimization helps on x86 (MESI upgrade avoidance) and collapses
+/// on Armv8-class LL/SC machines (§3.2, Figure 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// x86-TSO-style machine (CTR beneficial).
+    X86,
+    /// Armv8-style LL/SC machine (CTR pathological).
+    Armv8,
+}
+
+/// A machine model: hierarchy plus the cost, in virtual nanoseconds, of
+/// moving a contended cache line between two CPUs, by their innermost
+/// shared level.
+///
+/// # Examples
+///
+/// ```
+/// use clof_sim::Machine;
+///
+/// let machine = Machine::paper_armv8();
+/// // Moving a line between cache-sharing CPUs is far cheaper than
+/// // crossing the packages (paper Table 2).
+/// assert!(machine.transfer(0, 1) < machine.transfer(0, 127) / 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The memory hierarchy (innermost level first).
+    pub hierarchy: Hierarchy,
+    /// Architecture flag.
+    pub arch: Arch,
+    /// `transfer_ns[level]` = line-transfer cost when the two endpoints
+    /// share `level` as their innermost common level.
+    pub transfer_ns: Vec<f64>,
+    /// Relative execution speed per CPU (1.0 = nominal). All-ones for
+    /// the paper machines; big.LITTLE machines (paper §7 future work)
+    /// mark efficiency cores < 1.0, which stretches both their think
+    /// time and their critical sections.
+    pub cpu_speed: Vec<f64>,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl Machine {
+    /// Builds a machine from explicit per-level transfer costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transfer_ns` does not have one entry per hierarchy
+    /// level.
+    pub fn new(hierarchy: Hierarchy, arch: Arch, transfer_ns: Vec<f64>, name: &str) -> Self {
+        assert_eq!(
+            transfer_ns.len(),
+            hierarchy.level_count(),
+            "one transfer cost per level required"
+        );
+        let ncpus = hierarchy.ncpus();
+        Machine {
+            hierarchy,
+            arch,
+            transfer_ns,
+            cpu_speed: vec![1.0; ncpus],
+            name: name.to_string(),
+        }
+    }
+
+    /// A big.LITTLE-style handheld SoC (paper §7: "we plan to investigate
+    /// the applicability of CLoF in such systems"): one package with a
+    /// fast 4-core cluster and a power-efficient 4-core cluster at 45%
+    /// speed; intra-cluster transfers are cheap, cross-cluster expensive.
+    pub fn big_little() -> Self {
+        let hierarchy = clof_topology::Hierarchy::regular(&[("cluster", 4)], 8)
+            .expect("big.LITTLE hierarchy is well-formed");
+        let mut machine = Machine::new(
+            hierarchy,
+            Arch::Armv8,
+            vec![50.0, 220.0],
+            "big.LITTLE (4 big + 4 little)",
+        );
+        for cpu in 4..8 {
+            machine.cpu_speed[cpu] = 0.45;
+        }
+        machine
+    }
+
+    /// The paper's x86 server (2× EPYC 7352).
+    ///
+    /// Transfer costs are the system-level baseline divided by the
+    /// Table 2 speedups (x86 row: core 12.18, cache 9.07, numa = package
+    /// 1.54, system 1.00), i.e. the simulated ping-pong heatmap
+    /// reproduces Table 2 by construction — see
+    /// `table2_speedups_recovered` below.
+    pub fn paper_x86() -> Self {
+        const BASE: f64 = 400.0;
+        Machine::new(
+            platforms::paper_x86(),
+            Arch::X86,
+            vec![
+                BASE / 12.18, // core (hyperthread pair)
+                BASE / 9.07,  // cache group
+                BASE / 1.54,  // NUMA node
+                BASE / 1.54,  // package (= NUMA on this machine)
+                BASE,         // system
+            ],
+            "x86 (2x EPYC 7352, 96 HT)",
+        )
+    }
+
+    /// The paper's Armv8 server (2× Kunpeng 920-6426); Table 2 Armv8 row.
+    pub fn paper_armv8() -> Self {
+        const BASE: f64 = 400.0;
+        Machine::new(
+            platforms::paper_armv8(),
+            Arch::Armv8,
+            vec![
+                BASE / 7.04, // cache group
+                BASE / 2.98, // NUMA node
+                BASE / 1.76, // package
+                BASE,        // system
+            ],
+            "Armv8 (2x Kunpeng 920, 128 cores)",
+        )
+    }
+
+    /// A machine with the same costs but a tuned (level-subset) hierarchy
+    /// — the paper's first tuning point. Costs of kept levels are
+    /// retained; the `shared_level` lookups below always use the *full*
+    /// pricing of this machine, so dropping a level from the lock
+    /// hierarchy does not change physics, only lock structure.
+    pub fn with_hierarchy(&self, hierarchy: Hierarchy) -> Machine {
+        // Map each kept level to its transfer cost by name; the implicit
+        // system level keeps the outermost cost.
+        let transfer = hierarchy
+            .levels()
+            .iter()
+            .map(|l| {
+                self.hierarchy
+                    .levels()
+                    .iter()
+                    .position(|f| f.name == l.name)
+                    .map(|i| self.transfer_ns[i])
+                    .unwrap_or_else(|| *self.transfer_ns.last().expect("non-empty"))
+            })
+            .collect();
+        let mut machine = Machine::new(hierarchy, self.arch, transfer, &self.name);
+        machine.cpu_speed = self.cpu_speed.clone();
+        machine
+    }
+
+    /// Relative speed of `cpu` (1.0 = nominal).
+    pub fn speed(&self, cpu: CpuId) -> f64 {
+        self.cpu_speed.get(cpu).copied().unwrap_or(1.0)
+    }
+
+    /// Number of CPUs.
+    pub fn ncpus(&self) -> usize {
+        self.hierarchy.ncpus()
+    }
+
+    /// Line-transfer cost between two CPUs (by innermost shared level).
+    pub fn transfer(&self, a: CpuId, b: CpuId) -> f64 {
+        self.transfer_ns[self.hierarchy.shared_level(a, b)]
+    }
+
+    /// Transfer cost characteristic of `level`.
+    pub fn level_transfer(&self, level: LevelIdx) -> f64 {
+        self.transfer_ns[level]
+    }
+
+    /// The simulated Figure 1 heatmap: ping-pong throughput of every CPU
+    /// pair is modelled as one increment per round trip of the counter
+    /// line, i.e. `1 / (2 × transfer)` increments per nanosecond.
+    pub fn synthetic_heatmap(&self) -> Heatmap {
+        Heatmap::from_fn(self.ncpus(), |a, b| {
+            if a == b {
+                // Same-CPU pairs only progress on reschedule (paper
+                // footnote 1): model as near-zero.
+                0.0
+            } else {
+                1e3 / (2.0 * self.transfer(a, b))
+            }
+        })
+    }
+
+    /// Table 2 for this machine: cohort speedups from the synthetic
+    /// heatmap.
+    pub fn cohort_speedups(&self) -> Vec<(String, f64)> {
+        cluster::cohort_speedups(&self.synthetic_heatmap(), &self.hierarchy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_x86_recovers_table2() {
+        let m = Machine::paper_x86();
+        let speedups = m.cohort_speedups();
+        let get = |name: &str| {
+            speedups
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .unwrap_or(f64::NAN)
+        };
+        assert!((get("core") - 12.18).abs() < 0.01);
+        assert!((get("cache") - 9.07).abs() < 0.01);
+        assert!((get("numa") - 1.54).abs() < 0.01);
+        assert!((get("system") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_armv8_recovers_table2() {
+        let m = Machine::paper_armv8();
+        let speedups = m.cohort_speedups();
+        let get = |name: &str| {
+            speedups
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .unwrap_or(f64::NAN)
+        };
+        assert!((get("cache") - 7.04).abs() < 0.01);
+        assert!((get("numa") - 2.98).abs() < 0.01);
+        assert!((get("package") - 1.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn heatmap_clusters_back_to_hierarchy() {
+        // Discovery pipeline round-trip on the simulated Armv8 server:
+        // heatmap → automatic clustering → same level structure.
+        let m = Machine::paper_armv8();
+        let found = cluster::cluster_heatmap(
+            &m.synthetic_heatmap(),
+            &clof_topology::cluster::ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(found.level_count(), m.hierarchy.level_count());
+        for (a, b) in [(0usize, 1usize), (0, 5), (0, 40), (0, 100)] {
+            assert_eq!(
+                found.shared_level(a, b),
+                m.hierarchy.shared_level(a, b),
+                "pair ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_monotonic_in_level() {
+        for m in [Machine::paper_x86(), Machine::paper_armv8()] {
+            for w in m.transfer_ns.windows(2) {
+                assert!(w[0] <= w[1], "transfer costs must grow outward");
+            }
+        }
+    }
+
+    #[test]
+    fn with_hierarchy_keeps_costs_by_name() {
+        let m = Machine::paper_x86();
+        let tuned = m.with_hierarchy(platforms::paper_x86_3level());
+        assert_eq!(tuned.hierarchy.level_count(), 3);
+        assert_eq!(tuned.transfer_ns[0], m.transfer_ns[1]); // cache
+        assert_eq!(tuned.transfer_ns[1], m.transfer_ns[2]); // numa
+        assert_eq!(tuned.transfer_ns[2], m.transfer_ns[4]); // system
+    }
+
+    #[test]
+    #[should_panic(expected = "one transfer cost per level")]
+    fn cost_arity_checked() {
+        Machine::new(platforms::tiny(), Arch::X86, vec![1.0], "bad");
+    }
+}

@@ -1,0 +1,174 @@
+//! Lock model specifications for the simulator.
+//!
+//! A [`ModelSpec`] describes *which hand-off policy* the simulated lock
+//! uses: the lock hierarchy (a subset of the machine's levels), the basic
+//! lock kind at each level, the keep-local threshold, and the extra
+//! constants that distinguish CNA/ShflLock from a plain hierarchical
+//! composition. CLoF compositions and HMCS share the same hierarchical
+//! policy (HMCS *is* the level-homogeneous `mcs-mcs-...` composition);
+//! the paper's CNA and ShflLock are modelled as two-level compositions
+//! with a per-handover scan/shuffle overhead, ShflLock additionally with
+//! its test-and-set fast path.
+
+use clof::{composition_name, LockKind};
+use clof_topology::Hierarchy;
+
+use crate::machine::Machine;
+
+/// A simulated lock configuration.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Display label (`tkt-clh-tkt`, `HMCS<4>`, `CNA`, ...).
+    pub label: String,
+    /// Basic lock per lock-hierarchy level, innermost first.
+    pub kinds: Vec<LockKind>,
+    /// The lock's hierarchy (often a level subset of the machine's).
+    pub hierarchy: Hierarchy,
+    /// Keep-local thresholds, one per level innermost first (paper
+    /// default: 128 at every level); the outermost entry is unused (the
+    /// system lock has nothing to keep local).
+    pub thresholds: Vec<u32>,
+    /// Extra per-handover cost (CNA/ShflLock queue scanning).
+    pub extra_handover_ns: f64,
+    /// Whether an uncontended acquire bypasses the queue (ShflLock).
+    pub tas_fastpath: bool,
+}
+
+impl ModelSpec {
+    /// A CLoF composition over `hierarchy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` does not provide one lock per level.
+    pub fn clof(hierarchy: Hierarchy, kinds: &[LockKind]) -> Self {
+        Self::clof_with_threshold(hierarchy, kinds, 128)
+    }
+
+    /// A CLoF composition with an explicit keep-local threshold (for the
+    /// threshold ablation).
+    pub fn clof_with_threshold(hierarchy: Hierarchy, kinds: &[LockKind], threshold: u32) -> Self {
+        assert_eq!(
+            kinds.len(),
+            hierarchy.level_count(),
+            "one lock kind per level required"
+        );
+        ModelSpec {
+            label: composition_name(kinds),
+            kinds: kinds.to_vec(),
+            thresholds: vec![threshold; hierarchy.level_count()],
+            hierarchy,
+            extra_handover_ns: 0.0,
+            tas_fastpath: false,
+        }
+    }
+
+    /// A CLoF composition with per-level thresholds (innermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity of `kinds` or `thresholds` mismatches.
+    pub fn clof_with_level_thresholds(
+        hierarchy: Hierarchy,
+        kinds: &[LockKind],
+        thresholds: &[u32],
+    ) -> Self {
+        assert_eq!(thresholds.len(), hierarchy.level_count());
+        let mut spec = Self::clof(hierarchy, kinds);
+        spec.thresholds = thresholds.to_vec();
+        spec
+    }
+
+    /// HMCS over `hierarchy`: the level-homogeneous MCS composition,
+    /// labelled `HMCS<n>` as in the paper's figures.
+    pub fn hmcs(hierarchy: Hierarchy) -> Self {
+        let levels = hierarchy.level_count();
+        let mut spec = Self::clof(hierarchy, &vec![LockKind::Mcs; levels]);
+        spec.label = format!("HMCS<{levels}>");
+        spec
+    }
+
+    /// A single basic lock (NUMA-oblivious baseline: `MCS` in Figures 2
+    /// and 4, or any cohort-restricted lock in Figure 3).
+    pub fn basic(kind: LockKind, ncpus: usize) -> Self {
+        let hierarchy = Hierarchy::flat(ncpus).expect("ncpus > 0");
+        let mut spec = Self::clof(hierarchy, &[kind]);
+        spec.label = kind.info().name.to_string();
+        spec
+    }
+
+    /// CNA on `machine`: NUMA + system levels, MCS-queue mechanics, queue
+    /// scanning overhead on every handover, flush threshold 256.
+    pub fn cna(machine: &Machine) -> Self {
+        let two = numa_system_levels(machine);
+        let mut spec = Self::clof_with_threshold(two, &[LockKind::Mcs, LockKind::Mcs], 256);
+        spec.label = "CNA".to_string();
+        spec.extra_handover_ns = crate::params::SHUFFLE_OVERHEAD_NS;
+        spec
+    }
+
+    /// ShflLock on `machine`: like CNA plus the test-and-set fast path.
+    pub fn shfl(machine: &Machine) -> Self {
+        let mut spec = Self::cna(machine);
+        spec.label = "ShflLock".to_string();
+        spec.tas_fastpath = true;
+        spec
+    }
+
+    /// Number of lock levels.
+    pub fn levels(&self) -> usize {
+        self.hierarchy.level_count()
+    }
+}
+
+/// Extracts a `numa` + `system` two-level hierarchy from the machine.
+fn numa_system_levels(machine: &Machine) -> Hierarchy {
+    machine
+        .hierarchy
+        .select_levels(&["numa"])
+        .expect("machine hierarchies name a numa level")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clof_label_is_composition_name() {
+        let spec = ModelSpec::clof(
+            clof_topology::platforms::tiny(),
+            &[LockKind::Ticket, LockKind::Clh, LockKind::Ticket],
+        );
+        assert_eq!(spec.label, "tkt-clh-tkt");
+        assert_eq!(spec.levels(), 3);
+    }
+
+    #[test]
+    fn hmcs_label_and_homogeneity() {
+        let spec = ModelSpec::hmcs(clof_topology::platforms::paper_armv8_4level());
+        assert_eq!(spec.label, "HMCS<4>");
+        assert!(spec.kinds.iter().all(|&k| k == LockKind::Mcs));
+    }
+
+    #[test]
+    fn cna_is_two_level_with_overhead() {
+        let spec = ModelSpec::cna(&Machine::paper_x86());
+        assert_eq!(spec.levels(), 2);
+        assert!(spec.extra_handover_ns > 0.0);
+        assert!(!spec.tas_fastpath);
+        let shfl = ModelSpec::shfl(&Machine::paper_x86());
+        assert!(shfl.tas_fastpath);
+    }
+
+    #[test]
+    fn basic_is_flat() {
+        let spec = ModelSpec::basic(LockKind::Clh, 16);
+        assert_eq!(spec.levels(), 1);
+        assert_eq!(spec.label, "clh");
+    }
+
+    #[test]
+    #[should_panic(expected = "one lock kind per level")]
+    fn kind_arity_checked() {
+        ModelSpec::clof(clof_topology::platforms::tiny(), &[LockKind::Mcs]);
+    }
+}

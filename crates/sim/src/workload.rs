@@ -1,0 +1,147 @@
+//! Workload models and thread placement.
+
+use clof_topology::CpuId;
+
+use crate::machine::Machine;
+
+/// A lock-centric workload: each simulated thread loops
+/// *think (ncs) → acquire → critical section (cs) → release*.
+///
+/// `data_lines` scales the locality penalty inside the critical section:
+/// the protected data's cache lines must migrate from the previous
+/// critical-section executor, costing `data_lines ×
+/// transfer(prev_cpu, cpu)` — this is the term NUMA-aware locks shrink by
+/// keeping consecutive owners topologically close.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Base critical-section work (ns).
+    pub cs_ns: f64,
+    /// Think time between critical sections (ns).
+    pub ncs_ns: f64,
+    /// Shared cache lines touched in the critical section.
+    pub data_lines: f64,
+}
+
+impl Workload {
+    /// The LevelDB `readrandom` model: short critical sections guarding
+    /// shared store state, moderate per-iteration out-of-lock work,
+    /// heavily locality-sensitive (the paper's primary benchmark, §5.1.2).
+    pub fn leveldb_readrandom() -> Self {
+        Workload {
+            cs_ns: 500.0,
+            ncs_ns: 4_500.0,
+            data_lines: 4.0,
+        }
+    }
+
+    /// The Kyoto Cabinet model: much heavier critical sections (the
+    /// paper's cross-validation benchmark; note its throughputs are an
+    /// order of magnitude below LevelDB's in Figure 10).
+    pub fn kyoto_cabinet() -> Self {
+        Workload {
+            cs_ns: 7_000.0,
+            ncs_ns: 28_000.0,
+            data_lines: 12.0,
+        }
+    }
+
+    /// A pure lock-stress microbenchmark: negligible think time.
+    pub fn lock_stress() -> Self {
+        Workload {
+            cs_ns: 100.0,
+            ncs_ns: 100.0,
+            data_lines: 1.0,
+        }
+    }
+}
+
+/// Thread-placement policies.
+pub mod placement {
+    use super::*;
+
+    /// The paper's compact fill: threads are pinned to CPUs in machine
+    /// order, so contention crosses levels exactly at the cohort sizes
+    /// (e.g. the second x86 NUMA node is first used at 25 threads, the
+    /// second hyperthreads at 49 — the transitions visible in Figure 2).
+    ///
+    /// On the paper's x86 numbering, hyperthread siblings are `c` and
+    /// `c + 48`, so "one hyperthread per core first" is exactly CPU order
+    /// `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` exceeds the machine's CPU count.
+    pub fn compact(machine: &Machine, threads: usize) -> Vec<CpuId> {
+        assert!(
+            threads <= machine.ncpus(),
+            "cannot place {threads} threads on {} CPUs",
+            machine.ncpus()
+        );
+        (0..threads).collect()
+    }
+
+    /// One thread per cohort of `level` — the Figure 3 cohort experiment
+    /// runs one thread on each sub-unit of the cohort under test.
+    pub fn one_per_cohort(machine: &Machine, level: usize) -> Vec<CpuId> {
+        (0..machine.hierarchy.cohort_count(level))
+            .map(|cohort| machine.hierarchy.cohort_members(level, cohort)[0])
+            .collect()
+    }
+
+    /// All CPUs of one cohort of `level` (maximum contention inside the
+    /// cohort).
+    pub fn within_cohort(machine: &Machine, level: usize, cohort: usize) -> Vec<CpuId> {
+        machine.hierarchy.cohort_members(level, cohort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let db = Workload::leveldb_readrandom();
+        let kc = Workload::kyoto_cabinet();
+        assert!(kc.cs_ns > db.cs_ns);
+        assert!(kc.data_lines > db.data_lines);
+    }
+
+    #[test]
+    fn compact_fill_crosses_numa_at_cohort_size() {
+        let m = Machine::paper_x86();
+        let cpus = placement::compact(&m, 25);
+        // First 24 in NUMA 0, the 25th in NUMA 1 (paper Figure 2).
+        assert!(cpus[..24].iter().all(|&c| m.hierarchy.cohort(2, c) == 0));
+        assert_eq!(m.hierarchy.cohort(2, cpus[24]), 1);
+    }
+
+    #[test]
+    fn compact_fill_uses_second_hyperthreads_last_on_x86() {
+        let m = Machine::paper_x86();
+        let cpus = placement::compact(&m, 49);
+        // CPU 48 is the hyperthread sibling of CPU 0.
+        assert_eq!(m.hierarchy.shared_level(cpus[0], cpus[48]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn compact_overflow_panics() {
+        placement::compact(&Machine::paper_x86(), 97);
+    }
+
+    #[test]
+    fn one_per_cohort_spreads() {
+        let m = Machine::paper_armv8();
+        // One thread per NUMA node (level 1): 4 threads.
+        let cpus = placement::one_per_cohort(&m, 1);
+        assert_eq!(cpus, vec![0, 32, 64, 96]);
+    }
+
+    #[test]
+    fn within_cohort_selects_members() {
+        let m = Machine::paper_armv8();
+        let cpus = placement::within_cohort(&m, 0, 1);
+        assert_eq!(cpus, vec![4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Automatic level identification from a heatmap.
+//!
+//! The paper derives the hierarchy configuration from the Figure 1
+//! heatmaps by hand ("the user can identify these levels by grouping
+//! tiles colored with similar intensity") and notes that "identifying
+//! levels in a heatmap can be easily automated". This module is that
+//! automation:
+//!
+//! 1. Collect the off-diagonal pair throughputs and split them into
+//!    *bands* separated by large relative gaps (tiles of "similar
+//!    intensity").
+//! 2. For each band threshold (from the highest band down), connect CPUs
+//!    whose pair throughput reaches the threshold; the connected
+//!    components are the cohorts of one level.
+//! 3. Drop degenerate levels (same partition as the previous one) and
+//!    return the resulting [`Hierarchy`].
+//!
+//! Because faster bands connect fewer CPUs, the partitions are nested by
+//! construction on well-behaved inputs; pathological inputs (e.g.
+//! non-transitive affinity) fail [`Hierarchy`] validation and are
+//! reported as an error.
+
+use crate::heatmap::Heatmap;
+use crate::hierarchy::{Hierarchy, TopologyError};
+
+/// Options for [`cluster_heatmap`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Minimum relative gap between consecutive sorted throughputs that
+    /// starts a new band. The paper's levels differ by 1.5–12×
+    /// (Table 2), so the default of 0.25 (25%) separates them easily
+    /// while absorbing measurement noise.
+    pub band_gap: f64,
+    /// Names to assign to discovered levels, innermost first; padded with
+    /// `"level<i>"` if more levels are found.
+    pub level_names: Vec<String>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            band_gap: 0.25,
+            level_names: vec![
+                "core".to_string(),
+                "cache".to_string(),
+                "numa".to_string(),
+                "package".to_string(),
+            ],
+        }
+    }
+}
+
+/// Derives a hierarchy configuration from a pair-throughput heatmap.
+///
+/// # Errors
+///
+/// Returns an error if the heatmap is empty or the induced partitions are
+/// inconsistent (not nested / not dense).
+///
+/// # Examples
+///
+/// ```
+/// use clof_topology::{cluster_heatmap, Heatmap};
+/// use clof_topology::cluster::ClusterOptions;
+///
+/// // 4 CPUs: pairs {0,1} and {2,3} are 8× faster than cross pairs.
+/// let h = Heatmap::from_fn(4, |a, b| {
+///     if a == b { 0.0 } else if a / 2 == b / 2 { 8.0 } else { 1.0 }
+/// });
+/// let hier = cluster_heatmap(&h, &ClusterOptions::default()).unwrap();
+/// assert_eq!(hier.level_count(), 2);
+/// assert_eq!(hier.shared_level(0, 1), 0);
+/// assert_eq!(hier.shared_level(0, 2), 1);
+/// ```
+pub fn cluster_heatmap(
+    heatmap: &Heatmap,
+    opts: &ClusterOptions,
+) -> Result<Hierarchy, TopologyError> {
+    let n = heatmap.ncpus();
+    if n == 0 {
+        return Err(TopologyError::Empty);
+    }
+    if n == 1 {
+        return Hierarchy::flat(1);
+    }
+
+    // 1. Band detection over sorted off-diagonal throughputs.
+    let mut values: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            values.push(heatmap.value(a, b));
+        }
+    }
+    values.sort_by(|x, y| x.partial_cmp(y).expect("throughputs must not be NaN"));
+    // Thresholds: the lowest value of each band above the slowest band.
+    // The slowest band is the "system" baseline and yields no level.
+    let mut thresholds: Vec<f64> = Vec::new();
+    for w in values.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if lo <= 0.0 {
+            continue;
+        }
+        if (hi - lo) / lo > opts.band_gap {
+            thresholds.push(hi);
+        }
+    }
+    thresholds.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+
+    // 2. One partition per threshold, fastest (innermost) first.
+    let mut maps: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut name_idx = 0usize;
+    for &thr in thresholds.iter().rev() {
+        let partition = components_at(heatmap, thr);
+        // 3. Skip degenerate partitions: all-singletons, or equal to the
+        // previous level's partition.
+        let cohorts = partition.iter().max().map(|&m| m + 1).unwrap_or(0);
+        if cohorts == n {
+            continue;
+        }
+        if maps.last().map(|(_, prev)| prev) == Some(&partition) {
+            continue;
+        }
+        let name = opts
+            .level_names
+            .get(name_idx)
+            .cloned()
+            .unwrap_or_else(|| format!("level{name_idx}"));
+        name_idx += 1;
+        maps.push((name, partition));
+    }
+
+    if maps.is_empty() {
+        return Hierarchy::flat(n);
+    }
+    Hierarchy::from_levels(maps, n)
+}
+
+/// Connected components of the graph "pair throughput ≥ threshold",
+/// relabelled densely in first-seen order.
+fn components_at(heatmap: &Heatmap, threshold: f64) -> Vec<usize> {
+    let n = heatmap.ncpus();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(a) = stack.pop() {
+            for b in 0..n {
+                if comp[b] == usize::MAX && a != b && heatmap.value(a, b) >= threshold {
+                    comp[b] = id;
+                    stack.push(b);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Mean pair throughput grouped by innermost shared level, normalized to
+/// the outermost (system) level — the paper's Table 2.
+///
+/// Returns one `(level_name, speedup)` per level that has at least one
+/// measured pair (levels whose cohorts are single CPUs have none).
+pub fn cohort_speedups(heatmap: &Heatmap, hierarchy: &Hierarchy) -> Vec<(String, f64)> {
+    let n = heatmap.ncpus().min(hierarchy.ncpus());
+    let levels = hierarchy.level_count();
+    let mut sum = vec![0.0f64; levels];
+    let mut count = vec![0usize; levels];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let l = hierarchy.shared_level(a, b);
+            sum[l] += heatmap.value(a, b);
+            count[l] += 1;
+        }
+    }
+    let system = levels - 1;
+    let base = if count[system] > 0 {
+        sum[system] / count[system] as f64
+    } else {
+        return Vec::new();
+    };
+    (0..levels)
+        .filter(|&l| count[l] > 0)
+        .map(|l| {
+            let mean = sum[l] / count[l] as f64;
+            (
+                hierarchy.levels()[l].name.clone(),
+                if base > 0.0 { mean / base } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    /// A synthetic heatmap whose pair throughput depends only on the
+    /// innermost shared level of a reference hierarchy.
+    fn level_heatmap(hier: &Hierarchy, speeds: &[f64]) -> Heatmap {
+        Heatmap::from_fn(hier.ncpus(), |a, b| {
+            if a == b {
+                0.0
+            } else {
+                speeds[hier.shared_level(a, b)]
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_tiny_hierarchy() {
+        let reference = platforms::tiny(); // cache, numa, system
+        let heatmap = level_heatmap(&reference, &[9.0, 3.0, 1.0]);
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.level_count(), 3);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(
+                    found.shared_level(a, b),
+                    reference.shared_level(a, b),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_paper_armv8_levels() {
+        // Table 2 Armv8 speedups: cache 7.04, numa 2.98, package 1.76,
+        // system 1.0.
+        let reference = platforms::paper_armv8();
+        let heatmap = level_heatmap(&reference, &[7.04, 2.98, 1.76, 1.0]);
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.level_count(), 4); // cache, numa, package, system
+        for &(a, b, lvl) in &[(0usize, 3usize, 0usize), (0, 31, 1), (0, 63, 2), (0, 127, 3)] {
+            assert_eq!(found.shared_level(a, b), lvl, "pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn recovers_paper_x86_levels() {
+        // Table 2 x86: core 12.18, cache 9.07, numa = package 1.54,
+        // system 1.0. numa == package collapses into one level.
+        let reference = platforms::paper_x86();
+        let heatmap = level_heatmap(&reference, &[12.18, 9.07, 1.54, 1.54, 1.0]);
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.level_count(), 4); // core, cache, numa(=pkg), system
+        assert_eq!(found.shared_level(0, 48), 0);
+        assert_eq!(found.shared_level(0, 1), 1);
+        assert_eq!(found.shared_level(0, 3), 2);
+        assert_eq!(found.shared_level(0, 24), 3);
+    }
+
+    #[test]
+    fn uniform_heatmap_gives_flat_hierarchy() {
+        let heatmap = Heatmap::from_fn(6, |a, b| if a == b { 0.0 } else { 5.0 });
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.level_count(), 1);
+    }
+
+    #[test]
+    fn empty_heatmap_rejected() {
+        let heatmap = Heatmap::new(0);
+        assert!(cluster_heatmap(&heatmap, &ClusterOptions::default()).is_err());
+    }
+
+    #[test]
+    fn single_cpu_flat() {
+        let heatmap = Heatmap::new(1);
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.ncpus(), 1);
+    }
+
+    #[test]
+    fn noise_within_band_gap_is_absorbed() {
+        let reference = platforms::tiny();
+        // ±5% deterministic "noise", well within the 25% band gap.
+        let heatmap = Heatmap::from_fn(8, |a, b| {
+            if a == b {
+                return 0.0;
+            }
+            let base = [9.0, 3.0, 1.0][reference.shared_level(a, b)];
+            let jitter = 1.0 + 0.05 * (((a * 31 + b * 17) % 7) as f64 - 3.0) / 3.0;
+            base * jitter
+        });
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        assert_eq!(found.level_count(), 3);
+    }
+
+    #[test]
+    fn table2_speedups_recovered() {
+        let reference = platforms::paper_armv8();
+        let heatmap = level_heatmap(&reference, &[7.04, 2.98, 1.76, 1.0]);
+        let speedups = cohort_speedups(&heatmap, &reference);
+        let get = |name: &str| {
+            speedups
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .unwrap()
+        };
+        assert!((get("cache") - 7.04).abs() < 1e-9);
+        assert!((get("numa") - 2.98).abs() < 1e-9);
+        assert!((get("package") - 1.76).abs() < 1e-9);
+        assert!((get("system") - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text serialization of hierarchy configurations.
+//!
+//! The hierarchy configuration is the file the CLoF workflow (Figure 5)
+//! passes from discovery to the lock generator, and the artifact users
+//! edit at the first tuning point. The format is deliberately trivial —
+//! no external parser dependency (see `DESIGN.md` §2):
+//!
+//! ```text
+//! # comment
+//! ncpus 8
+//! level cache 0 0 1 1 2 2 3 3
+//! level numa  0 0 0 0 1 1 1 1
+//! ```
+//!
+//! Levels are listed innermost first; the single-cohort system level may
+//! be omitted (it is implicit).
+
+use crate::hierarchy::{Hierarchy, TopologyError};
+
+/// Serializes a hierarchy to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use clof_topology::{config, Hierarchy};
+///
+/// let h = Hierarchy::regular(&[("numa", 2)], 4).unwrap();
+/// let text = config::to_text(&h);
+/// let back = config::from_text(&text).unwrap();
+/// assert_eq!(h, back);
+/// ```
+pub fn to_text(hierarchy: &Hierarchy) -> String {
+    let mut out = String::from("# CLoF hierarchy configuration\n");
+    out.push_str(&format!("ncpus {}\n", hierarchy.ncpus()));
+    for level in hierarchy.levels() {
+        if level.cohorts == 1 && level.name == "system" {
+            continue; // implicit
+        }
+        out.push_str(&format!("level {}", level.name));
+        for &c in &level.cohort_of {
+            out.push_str(&format!(" {c}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Parse`] for malformed input, or the validation
+/// errors of [`Hierarchy::from_levels`] for inconsistent maps.
+pub fn from_text(text: &str) -> Result<Hierarchy, TopologyError> {
+    let mut ncpus: Option<usize> = None;
+    let mut maps: Vec<(String, Vec<usize>)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("ncpus") => {
+                let v = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "ncpus needs a value"))?
+                    .parse::<usize>()
+                    .map_err(|e| parse_err(lineno, &format!("bad ncpus: {e}")))?;
+                if tokens.next().is_some() {
+                    return Err(parse_err(lineno, "trailing tokens after ncpus"));
+                }
+                ncpus = Some(v);
+            }
+            Some("level") => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "level needs a name"))?
+                    .to_string();
+                let map = tokens
+                    .map(|t| {
+                        t.parse::<usize>()
+                            .map_err(|e| parse_err(lineno, &format!("bad cohort id `{t}`: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                maps.push((name, map));
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, &format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let ncpus = ncpus.ok_or_else(|| parse_err(0, "missing `ncpus` directive"))?;
+    if maps.is_empty() {
+        return Hierarchy::flat(ncpus);
+    }
+    Hierarchy::from_levels(maps, ncpus)
+}
+
+fn parse_err(line: usize, message: &str) -> TopologyError {
+    TopologyError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn roundtrip_paper_platforms() {
+        for h in [
+            platforms::paper_x86(),
+            platforms::paper_armv8(),
+            platforms::tiny(),
+        ] {
+            let text = to_text(&h);
+            let back = from_text(&text).expect("roundtrip parse");
+            assert_eq!(h, back);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# hello\nncpus 4 # inline\nlevel numa 0 0 1 1\n\n";
+        let h = from_text(text).unwrap();
+        assert_eq!(h.ncpus(), 4);
+        assert_eq!(h.level_names(), vec!["numa", "system"]);
+    }
+
+    #[test]
+    fn missing_ncpus_is_error() {
+        let err = from_text("level numa 0 0 1 1\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_directive_is_error() {
+        let err = from_text("ncpus 2\nfoo bar\n").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn bad_cohort_id_is_error() {
+        let err = from_text("ncpus 2\nlevel numa 0 x\n").unwrap_err();
+        assert!(err.to_string().contains("bad cohort id"));
+    }
+
+    #[test]
+    fn map_length_checked_by_hierarchy() {
+        let err = from_text("ncpus 4\nlevel numa 0 0\n").unwrap_err();
+        assert!(matches!(err, TopologyError::MapLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn flat_config_without_levels() {
+        let h = from_text("ncpus 3\n").unwrap();
+        assert_eq!(h.level_count(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Multi-level NUMA hierarchy description and discovery for CLoF.
+//!
+//! The paper (§3.1) observes that tools like `lscpu` miss hierarchy levels
+//! (notably L3 *cache groups*) and instead discovers the real hierarchy
+//! experimentally: a two-thread ping-pong microbenchmark is run on every
+//! CPU pair, the resulting throughput heatmap (Figure 1) exposes the
+//! levels, and the user derives a *hierarchy configuration* from it. This
+//! crate implements that pipeline:
+//!
+//! * [`Hierarchy`] — the hierarchy configuration: an ordered list of
+//!   levels (innermost first, e.g. core → cache-group → NUMA node →
+//!   package → system), each mapping every CPU to a cohort.
+//! * [`platforms`] — faithful models of the two paper machines (96-way
+//!   x86 EPYC 7352 and 128-core Armv8 Kunpeng 920) plus small test
+//!   topologies.
+//! * [`heatmap`] — the ping-pong pair benchmark (host-runnable) and the
+//!   [`Heatmap`] container.
+//! * [`cluster`] — automatic level identification from a heatmap (the
+//!   paper notes this "can be easily automated"; here it is).
+//! * [`config`] — a plain-text serialization of hierarchy configurations
+//!   (the tuning point where users drop or keep levels).
+//! * [`sysfs`] — best-effort host discovery from Linux `/sys`, for the
+//!   levels the OS does expose.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod heatmap;
+pub mod hierarchy;
+pub mod platforms;
+pub mod sysfs;
+
+pub use cluster::cluster_heatmap;
+pub use heatmap::{pingpong_heatmap, Heatmap, PingPongOptions};
+pub use hierarchy::{CohortId, CpuId, Hierarchy, LevelIdx, TopologyError};

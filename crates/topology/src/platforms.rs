@@ -1,0 +1,181 @@
+//! Models of the paper's evaluation platforms (§5.1.1) and small test
+//! topologies.
+//!
+//! The lock algorithms consume only the hierarchy configuration, so a
+//! faithful CPU→cohort map is all that is needed to reproduce the paper's
+//! lock *structure* on machines we do not have (see `DESIGN.md` §2).
+
+use crate::hierarchy::Hierarchy;
+
+/// Number of logical CPUs of the paper's x86 server (2× EPYC 7352,
+/// 24 cores per package, SMT2).
+pub const X86_NCPUS: usize = 96;
+
+/// Number of CPUs of the paper's Armv8 server (2× Kunpeng 920-6426,
+/// 64 cores per package, no SMT).
+pub const ARM_NCPUS: usize = 128;
+
+/// The paper's x86 server: GIGABYTE R182-Z91 with 2× AMD EPYC 7352.
+///
+/// Five levels (§3.1): core (2 hyperthreads), cache group (3 cores / 6
+/// hyperthreads sharing an L3 partition), NUMA node (24 cores), package
+/// (= NUMA node on this machine: 1 node per package), system.
+///
+/// CPU numbering follows the paper's heatmap (Figure 1a): hyperthread
+/// siblings are `c` and `c + 48`, so cache group 0 holds hyperthreads
+/// {0, 1, 2, 48, 49, 50}.
+pub fn paper_x86() -> Hierarchy {
+    let n = X86_NCPUS;
+    let core_of = |cpu: usize| cpu % 48; // 48 physical cores
+    let cache_of = |cpu: usize| core_of(cpu) / 3; // 16 cache groups
+    let numa_of = |cpu: usize| core_of(cpu) / 24; // 2 NUMA nodes
+    let maps = vec![
+        ("core".to_string(), (0..n).map(core_of).collect()),
+        ("cache".to_string(), (0..n).map(cache_of).collect()),
+        ("numa".to_string(), (0..n).map(numa_of).collect()),
+        // 1 NUMA node per package on EPYC 7352 ⇒ package == numa.
+        ("package".to_string(), (0..n).map(numa_of).collect()),
+    ];
+    Hierarchy::from_levels(maps, n).expect("paper x86 hierarchy is well-formed")
+}
+
+/// The paper's Armv8 server: Huawei TaiShan 200 with 2× Kunpeng 920-6426.
+///
+/// Four populated levels (§3.1): cache group (4 cores sharing an L3 tag
+/// partition), NUMA node (32 cores), package (2 NUMA nodes), system.
+/// There is no hyperthreading, so no core level.
+pub fn paper_armv8() -> Hierarchy {
+    let n = ARM_NCPUS;
+    let cache_of = |cpu: usize| cpu / 4; // 32 cache groups
+    let numa_of = |cpu: usize| cpu / 32; // 4 NUMA nodes
+    let pkg_of = |cpu: usize| cpu / 64; // 2 packages
+    let maps = vec![
+        ("cache".to_string(), (0..n).map(cache_of).collect()),
+        ("numa".to_string(), (0..n).map(numa_of).collect()),
+        ("package".to_string(), (0..n).map(pkg_of).collect()),
+    ];
+    Hierarchy::from_levels(maps, n).expect("paper Armv8 hierarchy is well-formed")
+}
+
+/// The 4-level x86 tuning of §5.2.1: core, cache, numa, system
+/// (package dropped — it equals numa on this machine).
+pub fn paper_x86_4level() -> Hierarchy {
+    paper_x86()
+        .select_levels(&["core", "cache", "numa"])
+        .expect("levels exist")
+}
+
+/// The 3-level x86 tuning of §5.2.1: cache, numa, system (core dropped —
+/// "many applications disable the usage of hyperthreads altogether").
+///
+/// Note: the paper's §5.2.1 text says "cache, package, system" for x86
+/// but package == NUMA node on this machine, and its own Figure 9c labels
+/// the hierarchy "cache-numa-system"; we follow the figure.
+pub fn paper_x86_3level() -> Hierarchy {
+    paper_x86()
+        .select_levels(&["cache", "numa"])
+        .expect("levels exist")
+}
+
+/// The 4-level Armv8 tuning of §5.2.1: cache, numa, package, system.
+pub fn paper_armv8_4level() -> Hierarchy {
+    paper_armv8()
+        .select_levels(&["cache", "numa", "package"])
+        .expect("levels exist")
+}
+
+/// The 3-level Armv8 tuning of §5.2.1: cache, numa, system (package
+/// dropped — the system/package latency difference is thin, Table 2).
+pub fn paper_armv8_3level() -> Hierarchy {
+    paper_armv8()
+        .select_levels(&["cache", "numa"])
+        .expect("levels exist")
+}
+
+/// A small 3-level topology for tests: 8 CPUs, cache pairs, 2 NUMA quads.
+pub fn tiny() -> Hierarchy {
+    Hierarchy::regular(&[("cache", 2), ("numa", 4)], 8).expect("tiny hierarchy is well-formed")
+}
+
+/// A 2-level topology (NUMA + system), the shape CNA/ShflLock assume.
+pub fn two_level(ncpus: usize, numa_nodes: usize) -> Hierarchy {
+    assert!(numa_nodes > 0 && ncpus % numa_nodes == 0);
+    Hierarchy::regular(&[("numa", ncpus / numa_nodes)], ncpus)
+        .expect("two-level hierarchy is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_shape_matches_paper() {
+        let h = paper_x86();
+        assert_eq!(h.ncpus(), 96);
+        assert_eq!(
+            h.level_names(),
+            vec!["core", "cache", "numa", "package", "system"]
+        );
+        assert_eq!(h.cohort_count(0), 48); // cores
+        assert_eq!(h.cohort_count(1), 16); // cache groups
+        assert_eq!(h.cohort_count(2), 2); // NUMA nodes
+        assert_eq!(h.cohort_count(3), 2); // packages
+    }
+
+    #[test]
+    fn x86_hyperthread_siblings_share_core() {
+        let h = paper_x86();
+        assert_eq!(h.shared_level(0, 48), 0); // HT pair
+        assert_eq!(h.shared_level(0, 1), 1); // same cache group
+        assert_eq!(h.shared_level(0, 50), 1); // sibling's cache neighbour
+        assert_eq!(h.shared_level(0, 3), 2); // same NUMA, next group
+        assert_eq!(h.shared_level(0, 24), 4); // cross package
+    }
+
+    #[test]
+    fn x86_cache_group_holds_six_hyperthreads() {
+        let h = paper_x86();
+        assert_eq!(h.cohort_members(1, 0), vec![0, 1, 2, 48, 49, 50]);
+    }
+
+    #[test]
+    fn armv8_shape_matches_paper() {
+        let h = paper_armv8();
+        assert_eq!(h.ncpus(), 128);
+        assert_eq!(h.level_names(), vec!["cache", "numa", "package", "system"]);
+        assert_eq!(h.cohort_count(0), 32);
+        assert_eq!(h.cohort_count(1), 4);
+        assert_eq!(h.cohort_count(2), 2);
+    }
+
+    #[test]
+    fn armv8_levels_nest() {
+        let h = paper_armv8();
+        assert_eq!(h.shared_level(0, 3), 0); // same cache group
+        assert_eq!(h.shared_level(0, 4), 1); // same NUMA node
+        assert_eq!(h.shared_level(0, 32), 2); // same package
+        assert_eq!(h.shared_level(0, 64), 3); // cross package
+    }
+
+    #[test]
+    fn tuned_level_counts() {
+        assert_eq!(paper_x86_4level().level_count(), 4);
+        assert_eq!(paper_x86_3level().level_count(), 3);
+        assert_eq!(paper_armv8_4level().level_count(), 4);
+        assert_eq!(paper_armv8_3level().level_count(), 3);
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let h = tiny();
+        assert_eq!(h.ncpus(), 8);
+        assert_eq!(h.level_count(), 3);
+    }
+
+    #[test]
+    fn two_level_shape() {
+        let h = two_level(16, 4);
+        assert_eq!(h.cohort_count(0), 4);
+        assert_eq!(h.level_count(), 2);
+    }
+}

@@ -1,0 +1,550 @@
+//! A small explicit-state model checker for guarded-command programs.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// A global model state: shared variables, per-thread registers, and
+/// per-thread program counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Shared variables.
+    pub vars: Vec<i64>,
+    /// Per-thread local registers.
+    pub locals: Vec<Vec<i64>>,
+    /// Per-thread program counters (`pc == program length` ⇒ done).
+    pub pcs: Vec<usize>,
+}
+
+/// Guard predicate: may the step fire in this state (for this thread)?
+pub type Guard = Rc<dyn Fn(&State, usize) -> bool>;
+/// Effect: mutate the state; must set `pcs[tid]` to the next location.
+pub type Effect = Rc<dyn Fn(&mut State, usize)>;
+
+/// One atomic step of a thread program.
+#[derive(Clone)]
+pub struct Step {
+    /// Step label for counterexample traces.
+    pub name: String,
+    /// Enabledness predicate (a blocked step simply does not fire —
+    /// blocking models spinning without introducing self-loops).
+    pub guard: Guard,
+    /// State transformation (must advance or redirect the thread's pc).
+    pub effect: Effect,
+}
+
+impl Step {
+    /// A step that fires unconditionally and advances the pc by one after
+    /// running `effect` (the common case).
+    pub fn simple(name: &str, effect: impl Fn(&mut State, usize) + 'static) -> Step {
+        Step {
+            name: name.to_string(),
+            guard: Rc::new(|_, _| true),
+            effect: Rc::new(move |s, tid| {
+                effect(s, tid);
+                s.pcs[tid] += 1;
+            }),
+        }
+    }
+
+    /// A guarded step (spin-wait): fires only when `guard` holds, then
+    /// runs `effect` and advances the pc.
+    pub fn awaiting(
+        name: &str,
+        guard: impl Fn(&State, usize) -> bool + 'static,
+        effect: impl Fn(&mut State, usize) + 'static,
+    ) -> Step {
+        Step {
+            name: name.to_string(),
+            guard: Rc::new(guard),
+            effect: Rc::new(move |s, tid| {
+                effect(s, tid);
+                s.pcs[tid] += 1;
+            }),
+        }
+    }
+
+    /// A step whose effect chooses the next pc itself (branch/loop).
+    pub fn branching(name: &str, effect: impl Fn(&mut State, usize) + 'static) -> Step {
+        Step {
+            name: name.to_string(),
+            guard: Rc::new(|_, _| true),
+            effect: Rc::new(effect),
+        }
+    }
+}
+
+/// A complete model: programs, initial state, invariants, and which pcs
+/// count as "waiting" for starvation analysis.
+pub struct Model {
+    /// Model name for reports.
+    pub name: String,
+    /// One program per thread.
+    pub threads: Vec<Vec<Step>>,
+    /// Initial shared variables.
+    pub init_vars: Vec<i64>,
+    /// Initial registers per thread.
+    pub init_locals: Vec<Vec<i64>>,
+    /// Safety invariants, checked in every reachable state.
+    pub invariants: Vec<(String, Rc<dyn Fn(&State) -> bool>)>,
+    /// Per-thread pcs at which the thread is *waiting* (spinning); used
+    /// by starvation detection.
+    pub waiting_pcs: Vec<HashSet<usize>>,
+}
+
+/// What the exploration found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// All reachable states satisfy every property checked.
+    Ok,
+    /// A safety invariant failed; `trace` is a step-name path from the
+    /// initial state.
+    InvariantViolated {
+        /// Name of the violated invariant.
+        invariant: String,
+        /// Step names leading to the violating state.
+        trace: Vec<String>,
+    },
+    /// A non-final state with no enabled steps.
+    Deadlock {
+        /// Step names leading to the deadlocked state.
+        trace: Vec<String>,
+    },
+    /// A thread can wait forever inside a cycle in which it never moves
+    /// while others do (starvation under weak fairness).
+    Starvation {
+        /// The starving thread.
+        tid: usize,
+    },
+}
+
+/// Exploration outcome plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of transitions taken.
+    pub transitions: usize,
+    /// Verification verdict.
+    pub result: CheckResult,
+}
+
+/// Exhaustively explores `model` (BFS) and checks all properties.
+///
+/// Property order on violation: invariants first (reported at the
+/// earliest offending state), then deadlock, then starvation.
+///
+/// # Examples
+///
+/// Verifying the paper's induction step (§4.2):
+///
+/// ```
+/// use clof_verify::checker::{check, CheckResult};
+/// use clof_verify::models::{clof_model, ClofModelCfg};
+///
+/// let outcome = check(&clof_model(&ClofModelCfg::induction_step()));
+/// assert_eq!(outcome.result, CheckResult::Ok);
+/// ```
+///
+/// Catching the inverted-release-order bug (§4.1.3):
+///
+/// ```
+/// use clof_verify::checker::{check, CheckResult};
+/// use clof_verify::models::{clof_model, ClofModelCfg};
+///
+/// let mut cfg = ClofModelCfg::induction_step();
+/// cfg.inverted_release = true;
+/// assert!(matches!(
+///     check(&clof_model(&cfg)).result,
+///     CheckResult::InvariantViolated { .. }
+/// ));
+/// ```
+pub fn check(model: &Model) -> Outcome {
+    let init = State {
+        vars: model.init_vars.clone(),
+        locals: model.init_locals.clone(),
+        pcs: vec![0; model.threads.len()],
+    };
+
+    let mut ids: HashMap<State, usize> = HashMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut parent: Vec<Option<(usize, String)>> = Vec::new();
+    let mut edges: Vec<Vec<(usize, usize)>> = Vec::new(); // (to, tid)
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut transitions = 0usize;
+
+    ids.insert(init.clone(), 0);
+    states.push(init);
+    parent.push(None);
+    edges.push(Vec::new());
+    queue.push_back(0);
+
+    let trace_to = |parent: &Vec<Option<(usize, String)>>, mut id: usize| -> Vec<String> {
+        let mut steps = Vec::new();
+        while let Some((p, name)) = &parent[id] {
+            steps.push(name.clone());
+            id = *p;
+        }
+        steps.reverse();
+        steps
+    };
+
+    // Check invariants on the initial state too.
+    for (name, inv) in &model.invariants {
+        if !inv(&states[0]) {
+            return Outcome {
+                states: 1,
+                transitions: 0,
+                result: CheckResult::InvariantViolated {
+                    invariant: name.clone(),
+                    trace: Vec::new(),
+                },
+            };
+        }
+    }
+
+    while let Some(id) = queue.pop_front() {
+        let state = states[id].clone();
+        let mut any_enabled = false;
+        let all_done = state
+            .pcs
+            .iter()
+            .enumerate()
+            .all(|(tid, &pc)| pc >= model.threads[tid].len());
+
+        for (tid, program) in model.threads.iter().enumerate() {
+            let pc = state.pcs[tid];
+            if pc >= program.len() {
+                continue;
+            }
+            let step = &program[pc];
+            if !(step.guard)(&state, tid) {
+                continue;
+            }
+            any_enabled = true;
+            let mut next = state.clone();
+            (step.effect)(&mut next, tid);
+            transitions += 1;
+            let next_id = match ids.get(&next) {
+                Some(&existing) => existing,
+                None => {
+                    let new_id = states.len();
+                    ids.insert(next.clone(), new_id);
+                    states.push(next.clone());
+                    parent.push(Some((id, format!("T{tid}:{}", step.name))));
+                    edges.push(Vec::new());
+                    queue.push_back(new_id);
+                    for (name, inv) in &model.invariants {
+                        if !inv(&states[new_id]) {
+                            return Outcome {
+                                states: states.len(),
+                                transitions,
+                                result: CheckResult::InvariantViolated {
+                                    invariant: name.clone(),
+                                    trace: trace_to(&parent, new_id),
+                                },
+                            };
+                        }
+                    }
+                    new_id
+                }
+            };
+            edges[id].push((next_id, tid));
+        }
+
+        if !any_enabled && !all_done {
+            return Outcome {
+                states: states.len(),
+                transitions,
+                result: CheckResult::Deadlock {
+                    trace: trace_to(&parent, id),
+                },
+            };
+        }
+    }
+
+    // Starvation: find an SCC containing a cycle in which thread `tid`
+    // never takes a step although some of its states have `tid` waiting.
+    if let Some(tid) = find_starvation(model, &states, &edges) {
+        return Outcome {
+            states: states.len(),
+            transitions,
+            result: CheckResult::Starvation { tid },
+        };
+    }
+
+    Outcome {
+        states: states.len(),
+        transitions,
+        result: CheckResult::Ok,
+    }
+}
+
+/// Per-thread cycle analysis: thread `t` can starve iff the subgraph
+/// restricted to states where `t` is waiting, with `t`'s own transitions
+/// removed, contains a cycle in which `t` is *disabled* at least once.
+///
+/// The disabled-state requirement encodes **weak fairness**: a cycle in
+/// which `t` stays continuously enabled but is simply never scheduled
+/// (e.g. another cohort looping through a free lock while `t` is already
+/// cleared to go) is a scheduler artifact, not lock unfairness. A TTAS
+/// lock starves for real: in its deprivation cycles the victim's guard is
+/// false whenever the lock is held, which is infinitely often.
+fn find_starvation(
+    model: &Model,
+    states: &[State],
+    edges: &[Vec<(usize, usize)>],
+) -> Option<usize> {
+    let n = states.len();
+    for t in 0..model.threads.len() {
+        let waiting = |s: usize| {
+            let pc = states[s].pcs[t];
+            pc < model.threads[t].len() && model.waiting_pcs[t].contains(&pc)
+        };
+        let disabled = |s: usize| {
+            let pc = states[s].pcs[t];
+            pc < model.threads[t].len() && !(model.threads[t][pc].guard)(&states[s], t)
+        };
+        // Build the restricted subgraph (same node ids; filtered edges).
+        let sub: Vec<Vec<(usize, usize)>> = (0..n)
+            .map(|s| {
+                if !waiting(s) {
+                    return Vec::new();
+                }
+                edges[s]
+                    .iter()
+                    .copied()
+                    .filter(|&(to, tid)| tid != t && waiting(to))
+                    .collect()
+            })
+            .collect();
+        let sccs = tarjan(n, &sub);
+        'component: for component in &sccs {
+            let in_scc: HashSet<usize> = component.iter().copied().collect();
+            let mut movers: HashSet<usize> = HashSet::new();
+            let mut has_cycle = false;
+            for &s in component {
+                for &(to, tid) in &sub[s] {
+                    if in_scc.contains(&to) {
+                        has_cycle = true;
+                        movers.insert(tid);
+                    }
+                }
+            }
+            if !has_cycle || !component.iter().any(|&s| disabled(s)) {
+                continue;
+            }
+            // Weak fairness must hold for *every* thread of the witness
+            // run, not just the victim: a non-moving thread whose next
+            // step is enabled in every component state would eventually
+            // fire in any weakly fair run, so such a cycle is a scheduler
+            // artifact. (Non-movers have a constant pc across the
+            // component, so "done" and the step looked at are
+            // well-defined.)
+            for u in 0..model.threads.len() {
+                if u == t || movers.contains(&u) {
+                    continue;
+                }
+                let u_done = states[component[0]].pcs[u] >= model.threads[u].len();
+                if u_done {
+                    continue;
+                }
+                let u_disabled_somewhere = component.iter().any(|&s| {
+                    let pc = states[s].pcs[u];
+                    !(model.threads[u][pc].guard)(&states[s], u)
+                });
+                if !u_disabled_somewhere {
+                    continue 'component;
+                }
+            }
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan(n: usize, edges: &[Vec<(usize, usize)>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        edge: usize,
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { v: root, edge: 0 }];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.edge < edges[v].len() {
+                let (w, _) = edges[v][frame.edge];
+                frame.edge += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame { v: w, edge: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(component);
+                }
+                let done = *frame;
+                call.pop();
+                if let Some(parent) = call.last() {
+                    low[parent.v] = low[parent.v].min(low[done.v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads incrementing a shared counter non-atomically
+    /// (load; store) — the classic lost-update race. An invariant on the
+    /// final value cannot hold.
+    fn racy_counter() -> Model {
+        let load = Step::simple("load", |s, tid| s.locals[tid][0] = s.vars[0]);
+        let store = Step::simple("store", |s, tid| s.vars[0] = s.locals[tid][0] + 1);
+        Model {
+            name: "racy-counter".into(),
+            threads: vec![vec![load.clone(), store.clone()], vec![load, store]],
+            init_vars: vec![0],
+            init_locals: vec![vec![0], vec![0]],
+            invariants: vec![(
+                "no-lost-update".into(),
+                Rc::new(|s: &State| {
+                    // Once both threads finished, the counter must be 2.
+                    let done = s.pcs.iter().all(|&pc| pc >= 2);
+                    !done || s.vars[0] == 2
+                }),
+            )],
+            waiting_pcs: vec![HashSet::new(), HashSet::new()],
+        }
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        let outcome = check(&racy_counter());
+        match outcome.result {
+            CheckResult::InvariantViolated { invariant, trace } => {
+                assert_eq!(invariant, "no-lost-update");
+                assert_eq!(trace.len(), 4); // both threads ran fully
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    /// The same counter with an atomic increment step: invariant holds.
+    #[test]
+    fn atomic_counter_is_ok() {
+        let inc = Step::simple("inc", |s, _| s.vars[0] += 1);
+        let model = Model {
+            name: "atomic-counter".into(),
+            threads: vec![vec![inc.clone()], vec![inc]],
+            init_vars: vec![0],
+            init_locals: vec![vec![], vec![]],
+            invariants: vec![(
+                "sum".into(),
+                Rc::new(|s: &State| {
+                    let done = s.pcs.iter().all(|&pc| pc >= 1);
+                    !done || s.vars[0] == 2
+                }),
+            )],
+            waiting_pcs: vec![HashSet::new(), HashSet::new()],
+        };
+        let outcome = check(&model);
+        assert_eq!(outcome.result, CheckResult::Ok);
+        // States: pcs (0,0),(1,0),(0,1),(1,1) = 4.
+        assert_eq!(outcome.states, 4);
+    }
+
+    /// Two threads each awaiting a flag only the other can set — but
+    /// neither ever sets it: deadlock.
+    #[test]
+    fn detects_deadlock() {
+        let wait = Step::awaiting("wait", |s, _| s.vars[0] == 1, |_, _| {});
+        let model = Model {
+            name: "deadlock".into(),
+            threads: vec![vec![wait.clone()], vec![wait]],
+            init_vars: vec![0],
+            init_locals: vec![vec![], vec![]],
+            invariants: vec![],
+            waiting_pcs: vec![HashSet::from([0]), HashSet::from([0])],
+        };
+        match check(&model).result {
+            CheckResult::Deadlock { trace } => assert!(trace.is_empty()),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    /// Thread 1 loops forever; thread 0 waits for a flag thread 1 never
+    /// sets: starvation (a cycle in which T0 waits and never moves).
+    #[test]
+    fn detects_starvation() {
+        let waiter = vec![Step::awaiting("await-flag", |s, _| s.vars[0] == 1, |_, _| {})];
+        let looper = vec![Step::branching("spin-forever", |s, tid| {
+            s.vars[1] = 1 - s.vars[1];
+            s.pcs[tid] = 0;
+        })];
+        let model = Model {
+            name: "starvation".into(),
+            threads: vec![waiter, looper],
+            init_vars: vec![0, 0],
+            init_locals: vec![vec![], vec![]],
+            invariants: vec![],
+            waiting_pcs: vec![HashSet::from([0]), HashSet::new()],
+        };
+        assert_eq!(check(&model).result, CheckResult::Starvation { tid: 0 });
+    }
+
+    #[test]
+    fn branching_steps_can_loop_finitely() {
+        // One thread counts to 3 via a back-edge.
+        let count = Step::branching("count", |s, tid| {
+            s.vars[0] += 1;
+            s.pcs[tid] = if s.vars[0] < 3 { 0 } else { 1 };
+        });
+        let model = Model {
+            name: "loop".into(),
+            threads: vec![vec![count]],
+            init_vars: vec![0],
+            init_locals: vec![vec![]],
+            invariants: vec![("bounded".into(), Rc::new(|s: &State| s.vars[0] <= 3))],
+            waiting_pcs: vec![HashSet::new()],
+        };
+        let outcome = check(&model);
+        assert_eq!(outcome.result, CheckResult::Ok);
+        assert_eq!(outcome.states, 4); // counter 0..=3
+    }
+}

@@ -1,0 +1,148 @@
+//! An operational CLH lock model: the second base-step protocol.
+//!
+//! CLH differs from MCS in the direction of the dependency: a thread
+//! spins on its *predecessor's* node and recycles that node for its own
+//! next acquisition. The recycling is the classic pitfall: reusing one's
+//! **own** node instead of the predecessor's corrupts the queue — the
+//! thread re-enqueues a node a successor may still be spinning on, and
+//! both can end up in the critical section. The mutant demonstrates it.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::checker::{Model, State, Step};
+
+/// Node states: `locked[i] == 1` while node `i`'s current user holds or
+/// waits for the lock. Node indices: `0` = the initial dummy, `1 + t` =
+/// thread `t`'s initially-owned node.
+const IN_CS: usize = 0;
+const TAIL: usize = 1; // holds a node index
+const LOCKED_BASE: usize = 2;
+
+/// Local registers.
+const MY_NODE: usize = 0;
+const PRED: usize = 1;
+const ITER: usize = 2;
+
+/// Which variant of node recycling to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClhVariant {
+    /// Correct: after release, adopt the predecessor's node.
+    Correct,
+    /// BUG: keep reusing one's own node (no recycling). The node is
+    /// re-enqueued while a successor may still spin on it.
+    ReuseOwnNode,
+}
+
+/// Builds the CLH model: `threads` threads, each acquiring/releasing
+/// `iterations` times (≥ 2 needed to expose the recycling bug).
+pub fn clh_model(threads: usize, iterations: usize, variant: ClhVariant) -> Model {
+    let nodes = threads + 1;
+    let mut programs = Vec::with_capacity(threads);
+    let mut waiting = Vec::with_capacity(threads);
+    for _t in 0..threads {
+        let mut steps = Vec::new();
+        let mut waits = HashSet::new();
+
+        // pc 0 — set own node locked and atomically swap it into tail.
+        steps.push(Step::simple("swap-tail", move |s: &mut State, t| {
+            let node = s.locals[t][MY_NODE];
+            s.vars[LOCKED_BASE + node as usize] = 1;
+            s.locals[t][PRED] = s.vars[TAIL];
+            s.vars[TAIL] = node;
+        }));
+
+        // pc 1 — spin on the predecessor's node.
+        waits.insert(1);
+        steps.push(Step::awaiting(
+            "await-pred",
+            move |s: &State, t| s.vars[LOCKED_BASE + s.locals[t][PRED] as usize] == 0,
+            |_, _| {},
+        ));
+
+        // pc 2/3 — critical section.
+        steps.push(Step::simple("cs-enter", |s: &mut State, _| s.vars[IN_CS] += 1));
+        steps.push(Step::simple("cs-exit", |s: &mut State, _| s.vars[IN_CS] -= 1));
+
+        // pc 4 — release: unlock own node, adopt the predecessor's
+        // (or, in the mutant, keep one's own).
+        let reuse_own = variant == ClhVariant::ReuseOwnNode;
+        steps.push(Step::simple("release", move |s: &mut State, t| {
+            let node = s.locals[t][MY_NODE];
+            s.vars[LOCKED_BASE + node as usize] = 0;
+            if !reuse_own {
+                s.locals[t][MY_NODE] = s.locals[t][PRED];
+            }
+        }));
+
+        // pc 5 — iterate.
+        steps.push(Step::branching("iterate", move |s: &mut State, t| {
+            s.locals[t][ITER] += 1;
+            s.pcs[t] = if (s.locals[t][ITER] as usize) < iterations {
+                0
+            } else {
+                6
+            };
+        }));
+
+        programs.push(steps);
+        waiting.push(waits);
+    }
+
+    Model {
+        name: format!("clh-{threads}threads-{iterations}iters-{variant:?}"),
+        threads: programs,
+        init_vars: vec![0; LOCKED_BASE + nodes],
+        init_locals: (0..threads)
+            .map(|t| vec![t as i64 + 1, 0, 0])
+            .collect(),
+        invariants: vec![(
+            "mutual-exclusion".into(),
+            Rc::new(|s: &State| s.vars[IN_CS] <= 1),
+        )],
+        waiting_pcs: waiting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckResult};
+
+    #[test]
+    fn correct_clh_three_threads() {
+        let outcome = check(&clh_model(3, 2, ClhVariant::Correct));
+        assert_eq!(outcome.result, CheckResult::Ok);
+        assert!(outcome.states > 100);
+    }
+
+    #[test]
+    fn correct_clh_single_thread_many_iterations() {
+        assert_eq!(
+            check(&clh_model(1, 4, ClhVariant::Correct)).result,
+            CheckResult::Ok
+        );
+    }
+
+    #[test]
+    fn node_reuse_mutant_is_caught() {
+        // Needs ≥ 2 iterations: the bug manifests when a node is
+        // re-enqueued while still observed by a successor.
+        let outcome = check(&clh_model(2, 2, ClhVariant::ReuseOwnNode));
+        assert!(
+            !matches!(outcome.result, CheckResult::Ok),
+            "recycling bug must be caught, got Ok after {} states",
+            outcome.states
+        );
+    }
+
+    #[test]
+    fn single_iteration_hides_the_reuse_bug() {
+        // With one acquisition per thread the mutant is indistinguishable
+        // — the checker's verdict documents why the model needs loops.
+        assert_eq!(
+            check(&clh_model(2, 1, ClhVariant::ReuseOwnNode)).result,
+            CheckResult::Ok
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! An *operational* MCS lock model: the base step of the induction,
+//! checked at the protocol level rather than through the abstract-lock
+//! lens.
+//!
+//! The paper's base step verifies each NUMA-oblivious lock implementation
+//! with GenMC/VSync. Here the MCS protocol — tail swap, predecessor
+//! linking, the release-time race between "no successor yet" and "tail
+//! already moved" — is encoded operationally (pointers as small
+//! integers) and explored exhaustively. Two mutants demonstrate the
+//! classic MCS pitfalls:
+//!
+//! * **no-wait release**: releasing without waiting for the successor to
+//!   link (`next` still null although the tail moved) loses the wakeup —
+//!   found as a deadlock;
+//! * **no-CAS release**: setting `tail = null` unconditionally instead of
+//!   compare-and-swap orphans a concurrent enqueuer — found as a
+//!   deadlock (with more threads it also breaks mutual exclusion).
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::checker::{Model, State, Step};
+
+/// Which (buggy) variant of the MCS release to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McsVariant {
+    /// The correct protocol.
+    Correct,
+    /// Release signals only if `next` is already linked; otherwise it
+    /// just clears the tail with a CAS and, when the CAS fails (a
+    /// successor is mid-enqueue), *returns without waiting* — the
+    /// successor spins forever.
+    NoWaitOnRelease,
+    /// Release clears `tail` with a plain store instead of CAS.
+    NoCasOnRelease,
+}
+
+/// Variable layout:
+/// `0` = in_cs, `1` = tail (0 = null, t+1 = thread t's node),
+/// then per thread `2 + 2t` = locked flag, `3 + 2t` = next pointer.
+const IN_CS: usize = 0;
+const TAIL: usize = 1;
+
+fn var_locked(tid: usize) -> usize {
+    2 + 2 * tid
+}
+
+fn var_next(tid: usize) -> usize {
+    3 + 2 * tid
+}
+
+/// Builds the operational MCS model for `threads` threads, each
+/// acquiring and releasing once.
+pub fn mcs_model(threads: usize, variant: McsVariant) -> Model {
+    let mut programs = Vec::with_capacity(threads);
+    let mut waiting = Vec::with_capacity(threads);
+    for _tid in 0..threads {
+        let mut steps = Vec::new();
+        let mut waits = HashSet::new();
+
+        // pc 0 — init own node + atomic tail swap (the node init is
+        // thread-private until the swap publishes it, so fusing them
+        // into one atomic step does not hide any interleaving).
+        steps.push(Step::simple("swap-tail", move |s: &mut State, t| {
+            s.vars[var_locked(t)] = 1;
+            s.vars[var_next(t)] = 0;
+            s.locals[t][0] = s.vars[TAIL]; // predecessor
+            s.vars[TAIL] = t as i64 + 1;
+        }));
+
+        // pc 1 — link behind the predecessor, or go straight to the CS.
+        steps.push(Step::branching("link-pred", move |s: &mut State, t| {
+            let pred = s.locals[t][0];
+            if pred == 0 {
+                s.pcs[t] = 3; // uncontended: critical section
+            } else {
+                s.vars[var_next(pred as usize - 1)] = t as i64 + 1;
+                s.pcs[t] = 2;
+            }
+        }));
+
+        // pc 2 — spin until the predecessor grants.
+        waits.insert(2);
+        steps.push(Step::awaiting(
+            "await-grant",
+            move |s: &State, t| s.vars[var_locked(t)] == 0,
+            |_, _| {},
+        ));
+
+        // pc 3/4 — critical section.
+        steps.push(Step::simple("cs-enter", |s: &mut State, _| {
+            s.vars[IN_CS] += 1;
+        }));
+        steps.push(Step::simple("cs-exit", |s: &mut State, _| {
+            s.vars[IN_CS] -= 1;
+        }));
+
+        // pc 5 — release.
+        match variant {
+            McsVariant::Correct => {
+                // One guarded atomic decision: if a successor is linked,
+                // grant it; else if we are still the tail, CAS it out;
+                // otherwise (tail moved, link pending) stay blocked until
+                // the successor links — the real protocol's bounded wait.
+                waits.insert(5);
+                steps.push(Step {
+                    name: "release".to_string(),
+                    guard: Rc::new(move |s: &State, t| {
+                        s.vars[var_next(t)] != 0 || s.vars[TAIL] == t as i64 + 1
+                    }),
+                    effect: Rc::new(move |s: &mut State, t| {
+                        let next = s.vars[var_next(t)];
+                        if next != 0 {
+                            s.vars[var_locked(next as usize - 1)] = 0;
+                        } else {
+                            // Guard guarantees tail == me: CAS succeeds.
+                            s.vars[TAIL] = 0;
+                        }
+                        s.pcs[t] += 1;
+                    }),
+                });
+            }
+            McsVariant::NoWaitOnRelease => {
+                steps.push(Step::branching("release-nowait", move |s: &mut State, t| {
+                    let next = s.vars[var_next(t)];
+                    if next != 0 {
+                        s.vars[var_locked(next as usize - 1)] = 0;
+                    } else if s.vars[TAIL] == t as i64 + 1 {
+                        s.vars[TAIL] = 0;
+                    }
+                    // BUG: tail moved but the successor has not linked —
+                    // return anyway, losing the wakeup.
+                    s.pcs[t] += 1;
+                }));
+            }
+            McsVariant::NoCasOnRelease => {
+                steps.push(Step::branching("release-nocas", move |s: &mut State, t| {
+                    let next = s.vars[var_next(t)];
+                    if next != 0 {
+                        s.vars[var_locked(next as usize - 1)] = 0;
+                    } else {
+                        // BUG: unconditional store orphans any enqueuer
+                        // that already swapped the tail.
+                        s.vars[TAIL] = 0;
+                    }
+                    s.pcs[t] += 1;
+                }));
+            }
+        }
+
+        programs.push(steps);
+        waiting.push(waits);
+    }
+
+    Model {
+        name: format!("mcs-{threads}threads-{variant:?}"),
+        threads: programs,
+        init_vars: vec![0; 2 + 2 * threads],
+        init_locals: vec![vec![0]; threads],
+        invariants: vec![(
+            "mutual-exclusion".into(),
+            Rc::new(|s: &State| s.vars[IN_CS] <= 1),
+        )],
+        waiting_pcs: waiting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckResult};
+
+    #[test]
+    fn correct_mcs_verifies_with_three_threads() {
+        // The paper's base-step scale: "the 10 NUMA-oblivious spinlocks
+        // in [32] ... require 3 threads".
+        let outcome = check(&mcs_model(3, McsVariant::Correct));
+        assert_eq!(outcome.result, CheckResult::Ok);
+        assert!(outcome.states > 50);
+    }
+
+    #[test]
+    fn correct_mcs_two_and_four_threads() {
+        assert_eq!(check(&mcs_model(2, McsVariant::Correct)).result, CheckResult::Ok);
+        let four = check(&mcs_model(4, McsVariant::Correct));
+        assert_eq!(four.result, CheckResult::Ok);
+        let three = check(&mcs_model(3, McsVariant::Correct));
+        // State growth with thread count — the why of the induction trick.
+        assert!(four.states > 3 * three.states);
+    }
+
+    #[test]
+    fn no_wait_release_loses_the_wakeup() {
+        let outcome = check(&mcs_model(2, McsVariant::NoWaitOnRelease));
+        assert!(
+            matches!(outcome.result, CheckResult::Deadlock { .. }),
+            "expected deadlock, got {:?}",
+            outcome.result
+        );
+    }
+
+    #[test]
+    fn no_cas_release_orphans_an_enqueuer() {
+        let outcome = check(&mcs_model(3, McsVariant::NoCasOnRelease));
+        assert!(
+            !matches!(outcome.result, CheckResult::Ok),
+            "mutant must be caught"
+        );
+    }
+
+    #[test]
+    fn deadlock_trace_is_reported() {
+        if let CheckResult::Deadlock { trace } =
+            check(&mcs_model(2, McsVariant::NoWaitOnRelease)).result
+        {
+            assert!(trace.iter().any(|s| s.contains("release-nowait")));
+        } else {
+            panic!("expected deadlock");
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Checker models: the CLoF induction step, its mutants, and base steps.
+//!
+//! [`clof_model`] generates a model of an n-level CLoF lock in which
+//! every level lock is an **abstract fair lock** (a ticket pair — the
+//! same abstraction the paper's TLA+ model uses, where "acquire/release
+//! functions are modeled as single steps" over queues; a ticket pair is
+//! the counter form of a queue). The `lockgen` metadata protocol
+//! (waiters, `has_high_lock` flag, `keep_local`, high context) is modeled
+//! step by step, so the checker verifies exactly the paper's §4.2
+//! properties:
+//!
+//! * **mutual exclusion** — `in_cs ≤ 1`;
+//! * **context invariant** — no high-lock context is used by two threads
+//!   at once (`ctx_busy ≤ 1`); the *inverted release order* mutant
+//!   violates this, as §4.1.3 warns;
+//! * **deadlock freedom** — explored exhaustively;
+//! * **fairness** — in the looping variant, no reachable cycle starves a
+//!   waiting thread; the *unfair root* mutant (TTAS at the system level)
+//!   exhibits starvation, the paper's Theorem 4.1 counterexample.
+//!
+//! The context-invariant bookkeeping brackets each use of a level's high
+//! context around the immediately-higher lock operation (acquire ticket +
+//! spin, or release), a slight narrowing of the real window (which spans
+//! the whole recursive climb) that preserves all the races the mutants
+//! exercise.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::checker::{Model, State, Step};
+
+/// Configuration of a [`clof_model`].
+#[derive(Debug, Clone)]
+pub struct ClofModelCfg {
+    /// `paths[thread][level]` = cohort of the thread at that level,
+    /// innermost level first; the last level must map every thread to
+    /// cohort 0 (the system lock).
+    pub paths: Vec<Vec<usize>>,
+    /// Lock/unlock iterations per thread; `0` = loop forever (enables
+    /// starvation analysis; needs bounded counters, which the model
+    /// guarantees by wrapping tickets).
+    pub iterations: usize,
+    /// `keep_local` threshold H (≥ 1).
+    pub threshold: i64,
+    /// Replace the system-level abstract fair lock with a TTAS-style
+    /// unfair lock (Theorem 4.1 mutant).
+    pub unfair_root: bool,
+    /// Release low before high (the §4.1.3 bug).
+    pub inverted_release: bool,
+}
+
+impl ClofModelCfg {
+    /// The paper's induction step: 2 levels, 3 threads (two sharing a
+    /// leaf cohort, one in a second cohort), terminating.
+    pub fn induction_step() -> Self {
+        ClofModelCfg {
+            paths: vec![vec![0, 0], vec![0, 0], vec![1, 0]],
+            iterations: 1,
+            threshold: 2,
+            unfair_root: false,
+            inverted_release: false,
+        }
+    }
+
+    /// A deeper model (for the scaling experiment): binary cohort tree of
+    /// the given depth with one thread per leaf cohort plus one extra in
+    /// leaf cohort 0.
+    pub fn deep(levels: usize) -> Self {
+        assert!(levels >= 1);
+        let leaf_cohorts = 1usize << (levels - 1);
+        let mut paths = Vec::new();
+        for leaf in 0..leaf_cohorts {
+            paths.push(cohort_path(leaf, levels));
+        }
+        paths.push(cohort_path(0, levels)); // extra contender in cohort 0
+        ClofModelCfg {
+            paths,
+            iterations: 1,
+            threshold: 2,
+            unfair_root: false,
+            inverted_release: false,
+        }
+    }
+}
+
+/// Path of a leaf cohort through a binary tree of `levels` levels.
+fn cohort_path(leaf: usize, levels: usize) -> Vec<usize> {
+    (0..levels).map(|k| leaf >> k).collect()
+}
+
+/// Per-node shared-variable slots.
+const TICKET: usize = 0; // doubles as the TTAS flag for an unfair root
+const GRANT: usize = 1;
+const WAITERS: usize = 2;
+const HIGH_HELD: usize = 3;
+const KEEP: usize = 4;
+const CTX_BUSY: usize = 5;
+const NODE_VARS: usize = 6;
+
+/// Builds the CLoF model for `cfg`.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (empty, ragged paths, non-single
+/// root).
+pub fn clof_model(cfg: &ClofModelCfg) -> Model {
+    let threads = cfg.paths.len();
+    assert!(threads > 0, "at least one thread");
+    let depth = cfg.paths[0].len();
+    assert!(depth >= 1, "at least one level");
+    assert!(
+        cfg.paths.iter().all(|p| p.len() == depth),
+        "ragged thread paths"
+    );
+    assert!(
+        cfg.paths.iter().all(|p| p[depth - 1] == 0),
+        "root level must be a single cohort"
+    );
+    let threshold = cfg.threshold.max(1);
+
+    // Node arena: level-major.
+    let cohorts_at = |k: usize| {
+        cfg.paths
+            .iter()
+            .map(|p| p[k])
+            .max()
+            .expect("threads > 0")
+            + 1
+    };
+    let mut node_base = Vec::new(); // (level, cohort) -> var base
+    let mut var_count = 1; // var 0 = in_cs
+    let mut level_bases = Vec::new();
+    for k in 0..depth {
+        let mut bases = Vec::new();
+        for _ in 0..cohorts_at(k) {
+            bases.push(var_count);
+            var_count += NODE_VARS;
+        }
+        level_bases.push(bases);
+    }
+    for k in 0..depth {
+        node_base.push(level_bases[k].clone());
+    }
+    let in_cs = 0usize;
+    let modulus = threads as i64 + 1;
+
+    // Program-counter layout (identical for all threads):
+    //   a_k = 3k, b_k = 3k+1, c_k = 3k+2          (k = 0..depth)
+    //   cs_enter = 3D, cs_exit = 3D+1
+    //   r_k = 3D+2+k                               (k = 0..depth)
+    //   d_j = 4D+2 + (D-2-j)                       (j = D-2..=0)
+    //   end = 4D+2 + (D-1)  [D ≥ 1; empty d-block when D == 1]
+    let d = depth;
+    let pc_a = |k: usize| 3 * k;
+    let pc_cs_enter = 3 * d;
+    let _pc_cs_exit = 3 * d + 1;
+    let pc_r = |k: usize| 3 * d + 2 + k;
+    let pc_d = move |j: usize| 4 * d + 2 + (d - 2 - j);
+    let pc_end = 4 * d + 2 + (d - 1);
+    let pc_len = pc_end + 1;
+
+    let mut programs = Vec::with_capacity(threads);
+    let mut waiting = Vec::with_capacity(threads);
+
+    for path in &cfg.paths {
+        let mut steps: Vec<Step> = Vec::with_capacity(pc_len);
+        let mut waits: HashSet<usize> = HashSet::new();
+        let node = |k: usize| node_base[k][path[k]];
+
+        // Climb: a_k, b_k, c_k per level.
+        for k in 0..depth {
+            let nb = node(k);
+            let is_root = k == depth - 1;
+            if is_root && cfg.unfair_root {
+                // TTAS root: single guarded grab; b is a no-op.
+                waits.insert(pc_a(k));
+                steps.push(Step::awaiting(
+                    &format!("ttas-grab-L{k}"),
+                    move |s: &State, _| s.vars[nb + TICKET] == 0,
+                    move |s: &mut State, _| s.vars[nb + TICKET] = 1,
+                ));
+                steps.push(Step::simple(&format!("nop-L{k}"), |_, _| {}));
+            } else {
+                steps.push(Step::simple(&format!("enqueue-L{k}"), move |s, tid| {
+                    s.vars[nb + WAITERS] += 1;
+                    s.locals[tid][k] = s.vars[nb + TICKET];
+                    s.vars[nb + TICKET] = (s.vars[nb + TICKET] + 1) % modulus;
+                }));
+                waits.insert(pc_a(k) + 1);
+                steps.push(Step::awaiting(
+                    &format!("acquired-L{k}"),
+                    move |s: &State, tid| s.vars[nb + GRANT] == s.locals[tid][k],
+                    move |s: &mut State, _| s.vars[nb + WAITERS] -= 1,
+                ));
+            }
+            // c_k: high-held short-circuit / climb on.
+            let prev_nb = if k > 0 { Some(node(k - 1)) } else { None };
+            let next_a = pc_a(k + 1);
+            steps.push(Step::branching(&format!("climb-L{k}"), move |s, tid| {
+                if let Some(p) = prev_nb {
+                    s.vars[p + CTX_BUSY] -= 1;
+                }
+                if is_root || s.vars[nb + HIGH_HELD] == 1 {
+                    s.pcs[tid] = pc_cs_enter;
+                } else {
+                    s.vars[nb + CTX_BUSY] += 1;
+                    s.pcs[tid] = next_a;
+                }
+            }));
+        }
+
+        // Critical section.
+        steps.push(Step::simple("cs-enter", move |s, _| s.vars[in_cs] += 1));
+        steps.push(Step::simple("cs-exit", move |s, _| s.vars[in_cs] -= 1));
+
+        // Release decisions r_k (k < depth-1), root release r_{D-1}.
+        for k in 0..depth {
+            let nb = node(k);
+            let is_root = k == depth - 1;
+            if is_root {
+                let unfair = cfg.unfair_root;
+                let after = if depth >= 2 { pc_d(depth - 2) } else { pc_end };
+                steps.push(Step::branching(&format!("release-L{k}"), move |s, tid| {
+                    if unfair {
+                        s.vars[nb + TICKET] = 0;
+                    } else {
+                        s.vars[nb + GRANT] = (s.vars[nb + GRANT] + 1) % modulus;
+                    }
+                    s.pcs[tid] = after;
+                }));
+            } else {
+                let inverted = cfg.inverted_release;
+                let next_r = pc_r(k + 1);
+                // After passing at level k, the levels *below* k (where
+                // the else-branch was taken) must still be released: fall
+                // into the unwind block, not straight to the end. This is
+                // exactly the `rel(l)` that follows the recursive
+                // `rel(L)` in lockgen — the checker found the deadlock
+                // when an earlier version skipped it.
+                let after_pass = if k == 0 { pc_end } else { pc_d(k - 1) };
+                steps.push(Step::branching(&format!("decide-L{k}"), move |s, tid| {
+                    if s.vars[nb + WAITERS] > 0 && s.vars[nb + KEEP] < threshold - 1 {
+                        // Pass within the cohort.
+                        s.vars[nb + KEEP] += 1;
+                        s.vars[nb + HIGH_HELD] = 1;
+                        s.vars[nb + GRANT] = (s.vars[nb + GRANT] + 1) % modulus;
+                        s.pcs[tid] = after_pass;
+                    } else {
+                        s.vars[nb + KEEP] = 0;
+                        s.vars[nb + HIGH_HELD] = 0;
+                        if inverted {
+                            // BUG (§4.1.3): release the low lock *before*
+                            // the high lock.
+                            s.vars[nb + GRANT] = (s.vars[nb + GRANT] + 1) % modulus;
+                        }
+                        s.vars[nb + CTX_BUSY] += 1;
+                        s.pcs[tid] = next_r;
+                    }
+                }));
+            }
+        }
+
+        // Downward unwinding d_j: finish releasing each lower level.
+        for j in (0..depth.saturating_sub(1)).rev() {
+            let nb = node(j);
+            let inverted = cfg.inverted_release;
+            let after = if j == 0 { pc_end } else { pc_d(j - 1) };
+            steps.push(Step::branching(&format!("unwind-L{j}"), move |s, tid| {
+                s.vars[nb + CTX_BUSY] -= 1;
+                if !inverted {
+                    s.vars[nb + GRANT] = (s.vars[nb + GRANT] + 1) % modulus;
+                }
+                s.pcs[tid] = after;
+            }));
+        }
+
+        // End of one iteration.
+        let iterations = cfg.iterations;
+        steps.push(Step::branching("iterate", move |s, tid| {
+            if iterations == 0 {
+                s.pcs[tid] = 0;
+            } else {
+                s.locals[tid][d] += 1;
+                s.pcs[tid] = if s.locals[tid][d] < iterations as i64 {
+                    0
+                } else {
+                    pc_len
+                };
+            }
+        }));
+
+        debug_assert_eq!(steps.len(), pc_len);
+        programs.push(steps);
+        waiting.push(waits);
+    }
+
+    let ctx_vars: Vec<usize> = (0..depth - 1)
+        .flat_map(|k| node_base[k].iter().map(|&b| b + CTX_BUSY).collect::<Vec<_>>())
+        .collect();
+
+    Model {
+        name: format!(
+            "clof-{}level-{}threads{}{}{}",
+            depth,
+            threads,
+            if cfg.unfair_root { "-unfair" } else { "" },
+            if cfg.inverted_release { "-buggy" } else { "" },
+            if cfg.iterations == 0 { "-loop" } else { "" },
+        ),
+        threads: programs,
+        init_vars: vec![0; var_count],
+        init_locals: vec![vec![0; depth + 1]; threads],
+        invariants: vec![
+            (
+                "mutual-exclusion".into(),
+                Rc::new(move |s: &State| s.vars[in_cs] <= 1),
+            ),
+            (
+                "context-invariant".into(),
+                Rc::new(move |s: &State| ctx_vars.iter().all(|&v| s.vars[v] <= 1)),
+            ),
+        ],
+        waiting_pcs: waiting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckResult};
+
+    #[test]
+    fn induction_step_is_correct() {
+        // The paper's §4.2 induction step: 2-level CLoF over abstract
+        // fair locks, 3 threads.
+        let outcome = check(&clof_model(&ClofModelCfg::induction_step()));
+        assert_eq!(outcome.result, CheckResult::Ok);
+        assert!(outcome.states > 100, "explored {}", outcome.states);
+    }
+
+    #[test]
+    fn induction_step_with_two_iterations() {
+        let mut cfg = ClofModelCfg::induction_step();
+        cfg.iterations = 2;
+        assert_eq!(check(&clof_model(&cfg)).result, CheckResult::Ok);
+    }
+
+    #[test]
+    fn looping_induction_step_is_starvation_free() {
+        // Unbounded lock/unlock loops; fairness = no cycle starves a
+        // waiting thread.
+        let mut cfg = ClofModelCfg::induction_step();
+        cfg.iterations = 0;
+        let outcome = check(&clof_model(&cfg));
+        assert_eq!(outcome.result, CheckResult::Ok);
+    }
+
+    #[test]
+    fn inverted_release_order_violates_context_invariant() {
+        // The §4.1.3 bug: releasing low before high lets the successor
+        // race the releaser on the shared high-lock context.
+        let mut cfg = ClofModelCfg::induction_step();
+        cfg.inverted_release = true;
+        let outcome = check(&clof_model(&cfg));
+        match outcome.result {
+            CheckResult::InvariantViolated { invariant, trace } => {
+                assert_eq!(invariant, "context-invariant");
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected context-invariant violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unfair_root_starves_a_cohort() {
+        // Theorem 4.1's caveat: a TTAS system lock lets one cohort starve
+        // (detected in the looping model as a no-progress cycle).
+        let mut cfg = ClofModelCfg::induction_step();
+        cfg.unfair_root = true;
+        cfg.iterations = 0;
+        let outcome = check(&clof_model(&cfg));
+        assert!(
+            matches!(outcome.result, CheckResult::Starvation { .. }),
+            "expected starvation, got {:?}",
+            outcome.result
+        );
+    }
+
+    #[test]
+    fn base_step_single_level_ticket_lock() {
+        // Depth 1 degenerates to the abstract ticket lock itself: the
+        // base step of the induction.
+        let cfg = ClofModelCfg {
+            paths: vec![vec![0], vec![0], vec![0]],
+            iterations: 1,
+            threshold: 2,
+            unfair_root: false,
+            inverted_release: false,
+        };
+        assert_eq!(check(&clof_model(&cfg)).result, CheckResult::Ok);
+    }
+
+    #[test]
+    fn base_step_looping_ticket_is_fair_ttas_is_not() {
+        let fair = ClofModelCfg {
+            paths: vec![vec![0], vec![0]],
+            iterations: 0,
+            threshold: 2,
+            unfair_root: false,
+            inverted_release: false,
+        };
+        assert_eq!(check(&clof_model(&fair)).result, CheckResult::Ok);
+        let unfair = ClofModelCfg {
+            unfair_root: true,
+            ..fair
+        };
+        assert!(matches!(
+            check(&clof_model(&unfair)).result,
+            CheckResult::Starvation { .. }
+        ));
+    }
+
+    #[test]
+    fn three_level_model_is_correct_but_larger() {
+        let two = check(&clof_model(&ClofModelCfg::deep(2)));
+        let three = check(&clof_model(&ClofModelCfg::deep(3)));
+        assert_eq!(two.result, CheckResult::Ok);
+        assert_eq!(three.result, CheckResult::Ok);
+        // The paper's scaling point: state space grows steeply with
+        // depth (threads grow with the cohort tree).
+        assert!(
+            three.states > 5 * two.states,
+            "depth 2: {} states, depth 3: {} states",
+            two.states,
+            three.states
+        );
+    }
+
+    #[test]
+    fn keep_local_threshold_one_always_releases() {
+        let cfg = ClofModelCfg {
+            threshold: 1,
+            ..ClofModelCfg::induction_step()
+        };
+        assert_eq!(check(&clof_model(&cfg)).result, CheckResult::Ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "root level must be a single cohort")]
+    fn rejects_split_root() {
+        let cfg = ClofModelCfg {
+            paths: vec![vec![0, 0], vec![1, 1]],
+            iterations: 1,
+            threshold: 2,
+            unfair_root: false,
+            inverted_release: false,
+        };
+        clof_model(&cfg);
+    }
+}

@@ -1,0 +1,77 @@
+//! The full CLoF workflow (paper Figure 5), end to end:
+//!
+//! 1. discover the hierarchy from a ping-pong heatmap (simulated paper
+//!    Armv8 server — on a real machine, `clof_topology::pingpong_heatmap`
+//!    with a pinning hook produces the same input);
+//! 2. derive/tune the hierarchy configuration;
+//! 3. generate all `N^M` compositions;
+//! 4. run the scripted benchmark (virtual-time simulator);
+//! 5. select HC-best and LC-best locks, and build the winner for real.
+//!
+//! ```text
+//! cargo run --release --example discover_and_select
+//! ```
+
+use clof::{rank, scripted_benchmark, DynClofLock, LockKind, Policy};
+use clof_sim::engine::RunOptions;
+use clof_sim::workload::placement;
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::cluster::{cluster_heatmap, ClusterOptions};
+use clof_topology::config;
+
+fn main() {
+    // Step 1: hierarchy discovery from the pair heatmap (§3.1).
+    let machine = Machine::paper_armv8();
+    let heatmap = machine.synthetic_heatmap();
+    let opts = ClusterOptions {
+        // Name the bands as the paper reads them on this machine.
+        level_names: vec!["cache".into(), "numa".into(), "package".into()],
+        ..ClusterOptions::default()
+    };
+    let discovered = cluster_heatmap(&heatmap, &opts).expect("heatmap clusters");
+    println!("discovered levels: {:?}", discovered.level_names());
+
+    // Step 2: the tuning point — keep cache/numa/package (4-level form).
+    let tuned = discovered
+        .select_levels(&["cache", "numa", "package"])
+        .expect("levels exist");
+    println!("tuned hierarchy configuration:\n{}", config::to_text(&tuned));
+    let machine = machine.with_hierarchy(tuned.clone());
+
+    // Step 3: generate every composition of the Armv8 basic-lock set.
+    let combos = clof::compositions(&LockKind::PAPER_ARM, tuned.level_count());
+    println!("generated {} CLoF locks", combos.len());
+
+    // Step 4: the scripted benchmark (#runs = 1, short duration — as the
+    // paper does for selection).
+    let grid = [1usize, 8, 32, 64, 127];
+    let opts = RunOptions {
+        duration_ns: 5_000_000,
+        warmup_ns: 500_000,
+        seed: 7,
+    };
+    let results = scripted_benchmark(&combos, &grid, |combo, threads| {
+        let spec = ModelSpec::clof(tuned.clone(), combo);
+        let cpus = placement::compact(&machine, threads);
+        clof_sim::run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts)
+            .throughput_per_us()
+    });
+
+    // Step 5: selection policies (§4.3).
+    let hc = rank(&results, Policy::HighContention);
+    let lc = rank(&results, Policy::LowContention);
+    println!("HC-best: {}", hc.best().name());
+    println!("LC-best: {}", lc.best().name());
+    println!("worst:   {}", hc.worst().name());
+    for (threads, tp) in &lc.best().points {
+        println!("  LC-best @ {threads:>3} threads: {tp:.3} iter/us");
+    }
+
+    // Deploy the LC-best as a real lock and sanity-run it.
+    let lock =
+        DynClofLock::build(&tuned, &lc.best().composition).expect("selected lock builds");
+    let mut handle = lock.handle(0);
+    handle.acquire();
+    handle.release();
+    println!("deployed `{}` and exercised it on this host", lock.name());
+}

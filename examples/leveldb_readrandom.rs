@@ -1,0 +1,74 @@
+//! The paper's LevelDB `readrandom` experiment on this host: the MiniDb
+//! store under several interchangeable locks (the `LD_PRELOAD` analogue),
+//! reporting real measured throughput.
+//!
+//! ```text
+//! cargo run --release --example leveldb_readrandom
+//! ```
+//!
+//! Numbers on a small host will not show NUMA effects (that is what
+//! `clof-sim` is for); this demonstrates the pluggable-lock workload path
+//! with real atomics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use clof::LockKind;
+use clof_kvstore::{LockChoice, MiniDb, MiniDbOptions};
+use clof_topology::platforms;
+
+fn main() {
+    let hierarchy = platforms::tiny();
+    let threads = 4usize;
+    let reads_per_thread = 20_000usize;
+    let key_space = 10_000usize;
+
+    let choices: Vec<(&str, LockChoice)> = vec![
+        (
+            "clof mcs-clh-tkt",
+            LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+        ),
+        (
+            "clof tkt-clh-tkt",
+            LockChoice::Clof(vec![LockKind::Ticket, LockKind::Clh, LockKind::Ticket]),
+        ),
+        ("hmcs", LockChoice::Hmcs),
+        ("cna", LockChoice::Cna),
+        ("shfllock", LockChoice::Shfl),
+        ("mcs (flat)", LockChoice::Basic(LockKind::Mcs)),
+        ("std::sync::Mutex", LockChoice::Std),
+    ];
+
+    println!(
+        "MiniDb readrandom: {threads} threads x {reads_per_thread} reads, \
+         {key_space} keys\n"
+    );
+    for (name, choice) in choices {
+        let db = Arc::new(
+            MiniDb::open(&hierarchy, &choice, MiniDbOptions::default()).expect("open store"),
+        );
+        db.handle(0).fill_seq(key_space);
+
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            let cpu = (t * 2) % hierarchy.ncpus(); // spread across cohorts
+            workers.push(std::thread::spawn(move || {
+                db.handle(cpu)
+                    .read_random(reads_per_thread, key_space, t as u64)
+            }));
+        }
+        let mut found = 0usize;
+        for w in workers {
+            found += w.join().expect("reader");
+        }
+        let elapsed = start.elapsed();
+        let total = threads * reads_per_thread;
+        assert_eq!(found, total, "all keys are in range");
+        println!(
+            "{name:>18}: {:>8.1} kreads/s ({total} reads in {elapsed:.2?})",
+            total as f64 / elapsed.as_secs_f64() / 1e3
+        );
+    }
+}

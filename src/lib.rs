@@ -1,0 +1,15 @@
+//! Umbrella crate of the CLoF reproduction: re-exports every component
+//! crate and hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`).
+//!
+//! Start with `examples/quickstart.rs`, then `README.md` for the map.
+
+#![warn(missing_docs)]
+
+pub use clof;
+pub use clof_baselines as baselines;
+pub use clof_kvstore as kvstore;
+pub use clof_locks as locks;
+pub use clof_sim as sim;
+pub use clof_topology as topology;
+pub use clof_verify as verify;

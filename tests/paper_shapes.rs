@@ -1,0 +1,174 @@
+//! The paper's headline quantitative *shapes*, asserted against the
+//! simulator (see EXPERIMENTS.md for the full tables):
+//!
+//! * multi-level beats NUMA-oblivious at high contention (Fig. 2);
+//! * deeper hierarchies beat shallower ones once their levels activate
+//!   (Fig. 2: HMCS⟨4⟩ > HMCS⟨2⟩);
+//! * the best CLoF lock beats the equivalently configured HMCS (Fig. 9);
+//! * CNA/ShflLock trail far behind multi-level locks at high contention
+//!   (Fig. 4/10);
+//! * Ticketlock at the NUMA level wrecks any composition (§5.2.2);
+//! * cross-platform "best" locks underperform native ones (Fig. 10).
+
+use clof::{rank, scripted_benchmark, LockKind, Policy};
+use clof_sim::engine::RunOptions;
+use clof_sim::workload::placement;
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::platforms;
+
+fn opts() -> RunOptions {
+    RunOptions {
+        duration_ns: 6_000_000,
+        warmup_ns: 600_000,
+        seed: 3,
+    }
+}
+
+fn tp(machine: &Machine, spec: &ModelSpec, threads: usize) -> f64 {
+    let cpus = placement::compact(machine, threads);
+    clof_sim::run(machine, spec, &cpus, Workload::leveldb_readrandom(), opts())
+        .throughput_per_us()
+}
+
+#[test]
+fn multilevel_beats_flat_mcs_at_high_contention() {
+    let machine = Machine::paper_x86().with_hierarchy(platforms::paper_x86_4level());
+    let full = Machine::paper_x86();
+    let hmcs4 = tp(&machine, &ModelSpec::hmcs(machine.hierarchy.clone()), 95);
+    let mcs = tp(&full, &ModelSpec::basic(LockKind::Mcs, full.ncpus()), 95);
+    assert!(
+        hmcs4 > 1.8 * mcs,
+        "paper Fig. 2: HMCS<4> ~2.5x MCS at 95 threads; got {hmcs4:.3} vs {mcs:.3}"
+    );
+}
+
+#[test]
+fn deeper_hierarchies_win_once_levels_activate() {
+    let full = Machine::paper_x86();
+    let h2 = full.with_hierarchy(full.hierarchy.select_levels(&["numa"]).unwrap());
+    let h4 = full.with_hierarchy(platforms::paper_x86_4level());
+    let hmcs2 = tp(&h2, &ModelSpec::hmcs(h2.hierarchy.clone()), 95);
+    let hmcs4 = tp(&h4, &ModelSpec::hmcs(h4.hierarchy.clone()), 95);
+    assert!(
+        hmcs4 > 1.3 * hmcs2,
+        "the cache-group level must pay off (Fig. 2): {hmcs4:.3} vs {hmcs2:.3}"
+    );
+}
+
+#[test]
+fn best_clof_beats_hmcs_and_worst_contains_numa_ticket() {
+    // Armv8, 4-level, all 256 locks — the Fig. 9b structure.
+    let machine = Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_4level());
+    let hierarchy = machine.hierarchy.clone();
+    let combos = clof::compositions(&LockKind::PAPER_ARM, hierarchy.level_count());
+    let grid = [8usize, 64, 127];
+    let results = scripted_benchmark(&combos, &grid, |combo, threads| {
+        tp(&machine, &ModelSpec::clof(hierarchy.clone(), combo), threads)
+    });
+    let hc = rank(&results, Policy::HighContention);
+    let best = hc.best();
+    let worst = hc.worst();
+
+    let hmcs = tp(&machine, &ModelSpec::hmcs(hierarchy.clone()), 127);
+    let best_at_max = best.points.last().unwrap().1;
+    assert!(
+        best_at_max > hmcs,
+        "best CLoF ({}) must beat HMCS<4>: {best_at_max:.3} vs {hmcs:.3}",
+        best.name()
+    );
+
+    // §5.2.2: "the worst CLoF lock uses the Ticketlock at the NUMA level".
+    assert_eq!(
+        worst.composition[1],
+        LockKind::Ticket,
+        "worst composition was {}",
+        worst.name()
+    );
+    // ... and the best one does not.
+    assert_ne!(best.composition[1], LockKind::Ticket);
+}
+
+#[test]
+fn cna_and_shfllock_trail_multilevel_locks() {
+    let full = Machine::paper_armv8();
+    let h4 = full.with_hierarchy(platforms::paper_armv8_4level());
+    let hmcs = tp(&h4, &ModelSpec::hmcs(h4.hierarchy.clone()), 127);
+    let cna = tp(&full, &ModelSpec::cna(&full), 127);
+    let shfl = tp(&full, &ModelSpec::shfl(&full), 127);
+    assert!(hmcs > 1.2 * cna, "HMCS<4> {hmcs:.3} vs CNA {cna:.3}");
+    assert!(hmcs > 1.2 * shfl, "HMCS<4> {hmcs:.3} vs ShflLock {shfl:.3}");
+    // CNA/ShflLock do beat flat MCS once contention crosses NUMA (Fig 4).
+    let mcs = tp(&full, &ModelSpec::basic(LockKind::Mcs, full.ncpus()), 127);
+    assert!(cna > mcs, "CNA {cna:.3} must beat MCS {mcs:.3} at 127 threads");
+}
+
+#[test]
+fn hem_ctr_poisons_armv8_compositions() {
+    let machine = Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_3level());
+    let h = machine.hierarchy.clone();
+    let good = tp(
+        &machine,
+        &ModelSpec::clof(h.clone(), &[LockKind::Ticket, LockKind::Clh, LockKind::Ticket]),
+        64,
+    );
+    let poisoned = tp(
+        &machine,
+        &ModelSpec::clof(
+            h.clone(),
+            &[LockKind::Ticket, LockKind::HemlockCtr, LockKind::Ticket],
+        ),
+        64,
+    );
+    assert!(
+        poisoned < 0.3 * good,
+        "CTR at any Armv8 level must collapse the lock: {poisoned:.3} vs {good:.3}"
+    );
+}
+
+#[test]
+fn cross_platform_best_is_not_better_than_native() {
+    // Fig. 10's cross-platform point, with the paper's own compositions:
+    // x86's 3-level LC-best (tkt-mcs-mcs) on Armv8 vs Armv8's native
+    // (tkt-clh-tkt).
+    let machine = Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_3level());
+    let h = machine.hierarchy.clone();
+    let native = tp(
+        &machine,
+        &ModelSpec::clof(h.clone(), &[LockKind::Ticket, LockKind::Clh, LockKind::Ticket]),
+        127,
+    );
+    let cross = tp(
+        &machine,
+        &ModelSpec::clof(h.clone(), &[LockKind::Ticket, LockKind::Mcs, LockKind::Mcs]),
+        127,
+    );
+    assert!(
+        native >= cross,
+        "native tkt-clh-tkt {native:.3} must not lose to x86's tkt-mcs-mcs {cross:.3}"
+    );
+}
+
+#[test]
+fn kyoto_cabinet_cross_validates_leveldb_ranking() {
+    // Fig. 10: the LevelDB-selected lock also wins under Kyoto Cabinet.
+    let machine = Machine::paper_armv8().with_hierarchy(platforms::paper_armv8_4level());
+    let h = machine.hierarchy.clone();
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Clh,
+        LockKind::Ticket,
+        LockKind::Ticket,
+    ];
+    let cpus = placement::compact(&machine, 127);
+    let wl = Workload::kyoto_cabinet();
+    let clof =
+        clof_sim::run(&machine, &ModelSpec::clof(h.clone(), &kinds), &cpus, wl, opts())
+            .throughput_per_us();
+    let full = Machine::paper_armv8();
+    let cna = clof_sim::run(&full, &ModelSpec::cna(&full), &cpus, wl, opts())
+        .throughput_per_us();
+    assert!(
+        clof > cna,
+        "Kyoto: CLoF<4>-Arm {clof:.4} must beat CNA {cna:.4}"
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use clof::{DynClofLock, LockKind};
+use clof_topology::cluster::{cluster_heatmap, cohort_speedups, ClusterOptions};
+use clof_topology::{config, Heatmap, Hierarchy};
+
+/// Strategy: a regular hierarchy with 1–3 non-system levels over up to
+/// 32 CPUs, expressed as nested group sizes.
+fn regular_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    // Factors multiply innermost-outward; ncpus = product * top.
+    (1usize..=3, 2usize..=4, 1usize..=2, 1usize..=2).prop_map(|(depth, f0, f1, f2)| {
+        let factors = [f0, f0 * (f1 + 1), f0 * (f1 + 1) * (f2 + 1)];
+        let ncpus = factors[depth - 1] * 2;
+        let mut shape: Vec<(String, usize)> = Vec::new();
+        for (i, &f) in factors[..depth].iter().enumerate() {
+            shape.push((format!("l{i}"), f));
+        }
+        let shape_refs: Vec<(&str, usize)> =
+            shape.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        Hierarchy::regular(&shape_refs, ncpus).expect("regular shapes are valid")
+    })
+}
+
+fn fair_kind() -> impl Strategy<Value = LockKind> {
+    prop_oneof![
+        Just(LockKind::Ticket),
+        Just(LockKind::Mcs),
+        Just(LockKind::Clh),
+        Just(LockKind::Hemlock),
+        Just(LockKind::HemlockCtr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any fair composition over any regular hierarchy preserves mutual
+    /// exclusion under real threads spanning the cohorts.
+    #[test]
+    fn composed_lock_mutual_exclusion(
+        hierarchy in regular_hierarchy(),
+        seed_kinds in proptest::collection::vec(fair_kind(), 4),
+    ) {
+        let levels = hierarchy.level_count();
+        let kinds: Vec<LockKind> =
+            (0..levels).map(|i| seed_kinds[i % seed_kinds.len()]).collect();
+        let lock = std::sync::Arc::new(DynClofLock::build(&hierarchy, &kinds).unwrap());
+        let n = hierarchy.ncpus();
+        let cpus = [0, n / 3, (2 * n) / 3, n - 1];
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for &cpu in &cpus {
+            let lock = std::sync::Arc::clone(&lock);
+            let counter = std::sync::Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                for _ in 0..150 {
+                    handle.acquire();
+                    let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                    counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        prop_assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            cpus.len() * 150
+        );
+    }
+
+    /// The config text format round-trips any regular hierarchy.
+    #[test]
+    fn config_roundtrip(hierarchy in regular_hierarchy()) {
+        let text = config::to_text(&hierarchy);
+        let back = config::from_text(&text).unwrap();
+        prop_assert_eq!(hierarchy, back);
+    }
+
+    /// Clustering a level-derived heatmap recovers the shared-level
+    /// structure whenever the level speeds are separated (>25% bands).
+    #[test]
+    fn cluster_recovers_structure(hierarchy in regular_hierarchy()) {
+        let levels = hierarchy.level_count();
+        // Geometric speeds: 4x per level, far beyond the band gap.
+        let heatmap = Heatmap::from_fn(hierarchy.ncpus(), |a, b| {
+            if a == b {
+                0.0
+            } else {
+                4f64.powi((levels - 1 - hierarchy.shared_level(a, b)) as i32)
+            }
+        });
+        let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
+        for a in 0..hierarchy.ncpus() {
+            for b in 0..hierarchy.ncpus() {
+                prop_assert_eq!(
+                    found.shared_level(a, b),
+                    hierarchy.shared_level(a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+        // Table 2 then reads exact speedups back.
+        let speedups = cohort_speedups(&heatmap, &found);
+        let (_, system) = speedups.last().unwrap();
+        prop_assert!((system - 1.0).abs() < 1e-9);
+    }
+
+    /// `shared_level` is symmetric, reflexive-innermost, and consistent
+    /// with cohort membership.
+    #[test]
+    fn shared_level_laws(hierarchy in regular_hierarchy(), a in 0usize..64, b in 0usize..64) {
+        let n = hierarchy.ncpus();
+        let (a, b) = (a % n, b % n);
+        prop_assert_eq!(hierarchy.shared_level(a, b), hierarchy.shared_level(b, a));
+        prop_assert_eq!(hierarchy.shared_level(a, a), 0);
+        let l = hierarchy.shared_level(a, b);
+        prop_assert_eq!(hierarchy.cohort(l, a), hierarchy.cohort(l, b));
+        if l > 0 {
+            prop_assert_ne!(hierarchy.cohort(l - 1, a), hierarchy.cohort(l - 1, b));
+        }
+    }
+
+    /// The simulator is deterministic and every thread completes work.
+    #[test]
+    fn simulator_determinism(seed in any::<u64>(), threads in 2usize..12) {
+        use clof_sim::{engine::{run, RunOptions}, Machine, ModelSpec, Workload};
+        let machine = Machine::paper_armv8();
+        let spec = ModelSpec::hmcs(machine.hierarchy.clone());
+        let cpus: Vec<usize> = (0..threads).map(|t| t * 10 % machine.ncpus()).collect();
+        let opts = RunOptions { duration_ns: 1_000_000, warmup_ns: 100_000, seed };
+        let a = run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts);
+        let b = run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(&a.per_thread, &b.per_thread);
+        prop_assert!(a.per_thread.iter().all(|&c| c > 0));
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration of the CLoF workflow (paper Figure 5):
+//! heatmap → clustering → hierarchy config → generation → scripted
+//! benchmark → selection → deployment of a real lock.
+
+use clof::{rank, scripted_benchmark, DynClofLock, LockKind, Policy};
+use clof_sim::engine::RunOptions;
+use clof_sim::workload::placement;
+use clof_sim::{Machine, ModelSpec, Workload};
+use clof_topology::cluster::{cluster_heatmap, ClusterOptions};
+use clof_topology::config;
+
+fn quick_opts() -> RunOptions {
+    RunOptions {
+        duration_ns: 2_000_000,
+        warmup_ns: 200_000,
+        seed: 11,
+    }
+}
+
+#[test]
+fn full_workflow_on_simulated_armv8() {
+    // Discovery.
+    let machine = Machine::paper_armv8();
+    let heatmap = machine.synthetic_heatmap();
+    // Name the discovered levels as the paper does for this machine
+    // (naming is part of the manual heatmap reading CLoF automates away
+    // structurally, not nominally).
+    let opts = ClusterOptions {
+        level_names: vec!["cache".into(), "numa".into(), "package".into()],
+        ..ClusterOptions::default()
+    };
+    let discovered = cluster_heatmap(&heatmap, &opts).unwrap();
+    assert_eq!(
+        discovered.level_names(),
+        machine.hierarchy.level_names(),
+        "clustering recovers the machine hierarchy"
+    );
+
+    // Tuning: 3-level form, serialized and re-parsed (the config file
+    // users edit).
+    let tuned = discovered.select_levels(&["cache", "numa"]).unwrap();
+    let text = config::to_text(&tuned);
+    let reparsed = config::from_text(&text).unwrap();
+    assert_eq!(tuned, reparsed);
+
+    // Generation + scripted benchmark + selection.
+    let machine = machine.with_hierarchy(tuned.clone());
+    let combos = clof::compositions(&LockKind::PAPER_ARM, tuned.level_count());
+    assert_eq!(combos.len(), 64);
+    let grid = [1usize, 16, 127];
+    let results = scripted_benchmark(&combos, &grid, |combo, threads| {
+        let spec = ModelSpec::clof(tuned.clone(), combo);
+        let cpus = placement::compact(&machine, threads);
+        clof_sim::run(
+            &machine,
+            &spec,
+            &cpus,
+            Workload::leveldb_readrandom(),
+            quick_opts(),
+        )
+        .throughput_per_us()
+    });
+    let hc = rank(&results, Policy::HighContention);
+    let lc = rank(&results, Policy::LowContention);
+
+    // Both selections must beat the worst lock decisively at their
+    // favoured end of the contention range.
+    let worst = hc.worst();
+    let hc_best = hc.best();
+    assert!(
+        hc_best.points.last().unwrap().1 > 1.5 * worst.points.last().unwrap().1,
+        "HC-best ({}) must dominate the worst ({}) at max contention",
+        hc_best.name(),
+        worst.name()
+    );
+
+    // Deploy the LC-best as a real lock and hammer it across cohorts.
+    let lock = DynClofLock::build(&tuned, &lc.best().composition).unwrap();
+    let lock = std::sync::Arc::new(lock);
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut threads = Vec::new();
+    for cpu in [0usize, 5, 40, 127] {
+        let lock = std::sync::Arc::clone(&lock);
+        let counter = std::sync::Arc::clone(&counter);
+        threads.push(std::thread::spawn(move || {
+            let mut handle = lock.handle(cpu);
+            for _ in 0..500 {
+                handle.acquire();
+                let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                handle.release();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2000);
+}
+
+#[test]
+fn host_discovery_feeds_the_generator() {
+    // Whatever this host's sysfs reports must be buildable into locks.
+    let hierarchy = match clof_topology::sysfs::discover() {
+        Ok(h) => h,
+        Err(_) => clof_topology::Hierarchy::flat(2).unwrap(), // CI fallback
+    };
+    let kinds = vec![LockKind::Mcs; hierarchy.level_count()];
+    let lock = DynClofLock::build(&hierarchy, &kinds).unwrap();
+    let mut handle = lock.handle(0);
+    handle.acquire();
+    handle.release();
+}
