@@ -1,168 +1,192 @@
-//! Criterion micro-benchmarks of the *real* lock implementations on the
-//! host: uncontended latency per algorithm, contended hand-off, and the
-//! static-vs-dynamic composition ablation.
+//! Micro-benchmarks of the *real* lock implementations on the host:
+//! uncontended latency per algorithm, contended hand-off, and the
+//! static-vs-dynamic composition ablation. Runs on `clof-testkit`'s
+//! criterion-lite runner, so no external dependency is needed.
+//!
+//! Gated behind the off-by-default `criterion` feature so plain builds
+//! and tests skip the measurement loops entirely:
+//!
+//! ```text
+//! cargo bench --bench locks_micro --features criterion
+//! ```
 //!
 //! These complement the simulator figures: the simulator predicts
 //! machine-scale behaviour; these measure the actual atomics on whatever
 //! host runs them.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+#[cfg(feature = "criterion")]
+mod micro {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+    use clof_testkit::bench::Criterion;
+    use clof_testkit::criterion_group;
 
-use clof::compose::{build3, Leaf};
-use clof::{ClofParams, DynClofLock, LockKind};
-use clof_baselines::{CnaLock, HmcsLock, ShflLock};
-use clof_locks::{
-    AndersonLock, BackoffLock, ClhLock, Hemlock, HemlockCtr, McsLock, RawLock, TicketLock,
-    TtasLock,
-};
-use clof_topology::platforms;
+    use clof::compose::{build3, Leaf};
+    use clof::{ClofParams, DynClofLock, LockKind};
+    use clof_baselines::{CnaLock, HmcsLock, ShflLock};
+    use clof_locks::{
+        AndersonLock, BackoffLock, ClhLock, Hemlock, HemlockCtr, McsLock, RawLock, TicketLock,
+        TtasLock,
+    };
+    use clof_topology::platforms;
 
-fn uncontended<L: RawLock>(c: &mut Criterion, name: &str) {
-    let lock = L::default();
-    let mut ctx = L::Context::default();
-    c.bench_function(&format!("uncontended/{name}"), |b| {
-        b.iter(|| {
-            lock.acquire(&mut ctx);
-            lock.release(&mut ctx);
-        })
-    });
-}
-
-fn bench_uncontended(c: &mut Criterion) {
-    uncontended::<TicketLock>(c, "tkt");
-    uncontended::<McsLock>(c, "mcs");
-    uncontended::<ClhLock>(c, "clh");
-    uncontended::<Hemlock>(c, "hem");
-    uncontended::<HemlockCtr>(c, "hem-ctr");
-    uncontended::<AndersonLock>(c, "anderson");
-    uncontended::<TtasLock>(c, "ttas");
-    uncontended::<BackoffLock>(c, "bo");
-}
-
-/// One background contender keeps the lock busy half the time; measures
-/// the contended acquire/release path.
-fn contended<L: RawLock>(c: &mut Criterion, name: &str) {
-    let lock = Arc::new(L::default());
-    let stop = Arc::new(AtomicBool::new(false));
-    let bg = {
-        let lock = Arc::clone(&lock);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let mut ctx = L::Context::default();
-            while !stop.load(Ordering::Relaxed) {
+    fn uncontended<L: RawLock>(c: &mut Criterion, name: &str) {
+        let lock = L::default();
+        let mut ctx = L::Context::default();
+        c.bench_function(&format!("uncontended/{name}"), |b| {
+            b.iter(|| {
                 lock.acquire(&mut ctx);
                 lock.release(&mut ctx);
-                std::thread::yield_now();
-            }
-        })
-    };
-    let mut ctx = L::Context::default();
-    c.bench_function(&format!("contended2/{name}"), |b| {
-        b.iter(|| {
-            lock.acquire(&mut ctx);
-            lock.release(&mut ctx);
-        })
-    });
-    stop.store(true, Ordering::Relaxed);
-    bg.join().expect("background contender");
+            })
+        });
+    }
+
+    fn bench_uncontended(c: &mut Criterion) {
+        uncontended::<TicketLock>(c, "tkt");
+        uncontended::<McsLock>(c, "mcs");
+        uncontended::<ClhLock>(c, "clh");
+        uncontended::<Hemlock>(c, "hem");
+        uncontended::<HemlockCtr>(c, "hem-ctr");
+        uncontended::<AndersonLock>(c, "anderson");
+        uncontended::<TtasLock>(c, "ttas");
+        uncontended::<BackoffLock>(c, "bo");
+    }
+
+    /// One background contender keeps the lock busy half the time; measures
+    /// the contended acquire/release path.
+    fn contended<L: RawLock>(c: &mut Criterion, name: &str) {
+        let lock = Arc::new(L::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let bg = {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ctx = L::Context::default();
+                while !stop.load(Ordering::Relaxed) {
+                    lock.acquire(&mut ctx);
+                    lock.release(&mut ctx);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut ctx = L::Context::default();
+        c.bench_function(&format!("contended2/{name}"), |b| {
+            b.iter(|| {
+                lock.acquire(&mut ctx);
+                lock.release(&mut ctx);
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        bg.join().expect("background contender");
+    }
+
+    fn bench_contended(c: &mut Criterion) {
+        contended::<TicketLock>(c, "tkt");
+        contended::<McsLock>(c, "mcs");
+        contended::<ClhLock>(c, "clh");
+        contended::<Hemlock>(c, "hem");
+    }
+
+    /// Static generics (monomorphized `Clof<L, H>`) vs runtime enum dispatch
+    /// (`DynClofLock`) for the same 3-level composition — the paper's "no
+    /// virtual function pointers" claim, quantified.
+    fn bench_static_vs_dyn(c: &mut Criterion) {
+        let h = platforms::tiny();
+        let static_tree =
+            build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).expect("3 levels");
+        let mut static_handle = static_tree.handle(0);
+        c.bench_function("compose/static/mcs-clh-tkt", |b| {
+            b.iter(|| {
+                static_handle.acquire();
+                static_handle.release();
+            })
+        });
+
+        let dyn_lock = DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
+            .expect("build");
+        let mut dyn_handle = dyn_lock.handle(0);
+        c.bench_function("compose/dyn/mcs-clh-tkt", |b| {
+            b.iter(|| {
+                dyn_handle.acquire();
+                dyn_handle.release();
+            })
+        });
+
+        // Composition depth cost: flat basic lock for reference.
+        let flat = Leaf::<McsLock>::new();
+        let mut ctx = <Leaf<McsLock> as clof::HierLock>::Context::default();
+        c.bench_function("compose/flat/mcs", |b| {
+            b.iter(|| {
+                clof::HierLock::acquire(&flat, &mut ctx);
+                clof::HierLock::release(&flat, &mut ctx);
+            })
+        });
+    }
+
+    /// The paper-6 fast-path extension: uncontended latency with and without
+    /// the TAS gate.
+    fn bench_fastpath(c: &mut Criterion) {
+        let h = platforms::tiny();
+        let fast = clof::FastClof::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
+            .expect("build");
+        let mut handle = fast.handle(0);
+        c.bench_function("fastpath/tas+mcs-clh-tkt/uncontended", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+    }
+
+    /// Uncontended baselines through the same 2-level hierarchy.
+    fn bench_baselines(c: &mut Criterion) {
+        let h = platforms::two_level(8, 2);
+        let hmcs = HmcsLock::new(&h, 128);
+        let mut handle = hmcs.handle(0);
+        c.bench_function("baseline/hmcs2/uncontended", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        let cna = Arc::new(CnaLock::new(&h));
+        let mut handle = cna.handle(0);
+        c.bench_function("baseline/cna/uncontended", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        let shfl = Arc::new(ShflLock::new(&h));
+        let mut handle = shfl.handle(0);
+        c.bench_function("baseline/shfl/uncontended", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+    }
+
+    criterion_group!(
+        benches,
+        bench_uncontended,
+        bench_contended,
+        bench_static_vs_dyn,
+        bench_fastpath,
+        bench_baselines
+    );
 }
 
-fn bench_contended(c: &mut Criterion) {
-    contended::<TicketLock>(c, "tkt");
-    contended::<McsLock>(c, "mcs");
-    contended::<ClhLock>(c, "clh");
-    contended::<Hemlock>(c, "hem");
+#[cfg(feature = "criterion")]
+fn main() {
+    micro::benches();
 }
 
-/// Static generics (monomorphized `Clof<L, H>`) vs runtime enum dispatch
-/// (`DynClofLock`) for the same 3-level composition — the paper's "no
-/// virtual function pointers" claim, quantified.
-fn bench_static_vs_dyn(c: &mut Criterion) {
-    let h = platforms::tiny();
-    let static_tree =
-        build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).expect("3 levels");
-    let mut static_handle = static_tree.handle(0);
-    c.bench_function("compose/static/mcs-clh-tkt", |b| {
-        b.iter(|| {
-            static_handle.acquire();
-            static_handle.release();
-        })
-    });
-
-    let dyn_lock =
-        DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).expect("build");
-    let mut dyn_handle = dyn_lock.handle(0);
-    c.bench_function("compose/dyn/mcs-clh-tkt", |b| {
-        b.iter(|| {
-            dyn_handle.acquire();
-            dyn_handle.release();
-        })
-    });
-
-    // Composition depth cost: flat basic lock for reference.
-    let flat = Leaf::<McsLock>::new();
-    let mut ctx = <Leaf<McsLock> as clof::HierLock>::Context::default();
-    c.bench_function("compose/flat/mcs", |b| {
-        b.iter(|| {
-            clof::HierLock::acquire(&flat, &mut ctx);
-            clof::HierLock::release(&flat, &mut ctx);
-        })
-    });
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "locks_micro is feature-gated; run with \
+         `cargo bench -p clof-bench --bench locks_micro --features criterion`"
+    );
 }
-
-/// The paper-6 fast-path extension: uncontended latency with and without
-/// the TAS gate.
-fn bench_fastpath(c: &mut Criterion) {
-    let h = platforms::tiny();
-    let fast = clof::FastClof::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
-        .expect("build");
-    let mut handle = fast.handle(0);
-    c.bench_function("fastpath/tas+mcs-clh-tkt/uncontended", |b| {
-        b.iter(|| {
-            handle.acquire();
-            handle.release();
-        })
-    });
-}
-
-/// Uncontended baselines through the same 2-level hierarchy.
-fn bench_baselines(c: &mut Criterion) {
-    let h = platforms::two_level(8, 2);
-    let hmcs = HmcsLock::new(&h, 128);
-    let mut handle = hmcs.handle(0);
-    c.bench_function("baseline/hmcs2/uncontended", |b| {
-        b.iter(|| {
-            handle.acquire();
-            handle.release();
-        })
-    });
-    let cna = Arc::new(CnaLock::new(&h));
-    let mut handle = cna.handle(0);
-    c.bench_function("baseline/cna/uncontended", |b| {
-        b.iter(|| {
-            handle.acquire();
-            handle.release();
-        })
-    });
-    let shfl = Arc::new(ShflLock::new(&h));
-    let mut handle = shfl.handle(0);
-    c.bench_function("baseline/shfl/uncontended", |b| {
-        b.iter(|| {
-            handle.acquire();
-            handle.release();
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_uncontended,
-    bench_contended,
-    bench_static_vs_dyn,
-    bench_fastpath,
-    bench_baselines
-);
-criterion_main!(benches);

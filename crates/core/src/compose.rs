@@ -130,6 +130,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         if use_counter {
             self.meta.dec_waiters();
         }
+        clof_locks::chaos::point("clof-acquire-low-won");
         if !self.meta.has_high_lock() {
             self.meta.debug_ctx_enter();
             // SAFETY: We own the low lock, so the context invariant grants
@@ -150,9 +151,11 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         if waiters && self.meta.keep_local() {
             // Pass: leave the high lock acquired for our cohort successor.
             self.meta.pass_high_lock();
+            clof_locks::chaos::point("clof-release-pass");
             self.low.release(ctx);
         } else {
             self.meta.clear_high_lock();
+            clof_locks::chaos::point("clof-release-up");
             self.meta.debug_ctx_enter();
             // SAFETY: As in `acquire` — we still own the low lock.
             let high_ctx = unsafe { self.meta.high_ctx() };

@@ -108,6 +108,9 @@ impl DynNode {
         self.low.acquire(ctx);
         self.meta.dec_waiters();
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        // Window between winning the low lock and inspecting the pass
+        // flag left by the previous owner.
+        clof_locks::chaos::point("dyn-acquire-low-won");
         if !self.meta.has_high_lock() {
             self.meta.debug_ctx_enter();
             // SAFETY: We own the low lock; the context invariant grants
@@ -134,10 +137,14 @@ impl DynNode {
         if waiters && self.meta.keep_local() {
             self.stats.passes.fetch_add(1, Ordering::Relaxed);
             self.meta.pass_high_lock();
+            // Window between setting the pass flag and releasing the low
+            // lock that publishes it to the successor.
+            clof_locks::chaos::point("dyn-release-pass");
             self.low.release(ctx);
         } else {
             self.stats.releases_up.fetch_add(1, Ordering::Relaxed);
             self.meta.clear_high_lock();
+            clof_locks::chaos::point("dyn-release-up");
             self.meta.debug_ctx_enter();
             // SAFETY: As in `acquire`; we still own the low lock. Release
             // order high → low is required by the context invariant

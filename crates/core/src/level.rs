@@ -50,8 +50,10 @@ pub struct LevelMeta<C> {
     /// ownership transfer happens through the low lock's release→acquire
     /// synchronization.
     high_ctx: UnsafeCell<C>,
-    /// Debug-only detector for context-invariant violations.
-    #[cfg(debug_assertions)]
+    /// Detector for context-invariant violations; compiled in debug
+    /// builds and whenever the `testkit` feature is on (the stress
+    /// oracle's context-invariant checker, paper §4.1).
+    #[cfg(any(debug_assertions, feature = "testkit"))]
     ctx_busy: AtomicBool,
 }
 
@@ -69,7 +71,7 @@ impl<C: Default> LevelMeta<C> {
             handovers: AtomicU32::new(0),
             threshold: params.keep_local_threshold.max(1),
             high_ctx: UnsafeCell::new(C::default()),
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "testkit"))]
             ctx_busy: AtomicBool::new(false),
         }
     }
@@ -155,7 +157,7 @@ impl<C> LevelMeta<C> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn high_ctx(&self) -> &mut C {
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "testkit"))]
         {
             // Detect overlapping uses in tests: `acquire`/`release` of the
             // high lock bracket their use of the context with this flag.
@@ -164,11 +166,11 @@ impl<C> LevelMeta<C> {
         unsafe { &mut *self.high_ctx.get() }
     }
 
-    /// Marks the high context busy (debug builds): panics on overlap,
-    /// i.e. on a context-invariant violation.
+    /// Marks the high context busy (debug or `testkit` builds): panics
+    /// on overlap, i.e. on a context-invariant violation.
     #[inline]
     pub fn debug_ctx_enter(&self) {
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "testkit"))]
         {
             let was = self.ctx_busy.swap(true, Ordering::Relaxed);
             assert!(
@@ -178,10 +180,10 @@ impl<C> LevelMeta<C> {
         }
     }
 
-    /// Marks the high context idle again (debug builds).
+    /// Marks the high context idle again (debug or `testkit` builds).
     #[inline]
     pub fn debug_ctx_exit(&self) {
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "testkit"))]
         {
             self.ctx_busy.store(false, Ordering::Relaxed);
         }
@@ -255,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "testkit"))]
     #[should_panic(expected = "context invariant violated")]
     fn debug_ctx_detects_overlap() {
         let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());

@@ -433,7 +433,8 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use clof_testkit::gen::{any_u8, one_of, vec_of, zip, Gen};
+        use clof_testkit::{props, tk_assert_eq, Config};
 
         #[derive(Debug, Clone)]
         enum Op {
@@ -443,23 +444,22 @@ mod tests {
             Scan(u8, u8),
         }
 
-        fn op() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
-                any::<u8>().prop_map(Op::Delete),
-                any::<u8>().prop_map(Op::Get),
-                (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
-            ]
+        fn op() -> Gen<Op> {
+            one_of(vec![
+                zip(any_u8(), any_u8()).map(|(k, v)| Op::Put(k, v)),
+                any_u8().map(Op::Delete),
+                any_u8().map(Op::Get),
+                zip(any_u8(), any_u8()).map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+            ])
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
+        props! {
+            config: Config::with_cases(32);
 
             /// MiniDb behaves exactly like a `BTreeMap` reference model
             /// under arbitrary operation sequences, across flushes and
             /// compactions (tiny memtable forces constant maintenance).
-            #[test]
-            fn matches_btreemap_model(ops in proptest::collection::vec(op(), 1..120)) {
+            fn matches_btreemap_model(ops in vec_of(op(), 1, 120)) {
                 let db = MiniDb::open(
                     &platforms::tiny(),
                     &LockChoice::Clof(vec![
@@ -484,7 +484,7 @@ mod tests {
                             model.remove(&vec![k]);
                         }
                         Op::Get(k) => {
-                            prop_assert_eq!(h.get(&[k]), model.get(&vec![k]).cloned());
+                            tk_assert_eq!(h.get(&[k]), model.get(&vec![k]).cloned());
                         }
                         Op::Scan(a, b) => {
                             let got = h.scan(&[a], &[b], usize::MAX);
@@ -492,7 +492,7 @@ mod tests {
                                 .range(vec![a]..vec![b])
                                 .map(|(k, v)| (k.clone(), v.clone()))
                                 .collect();
-                            prop_assert_eq!(got, want);
+                            tk_assert_eq!(got, want);
                         }
                     }
                 }

@@ -1,0 +1,162 @@
+//! Seeded schedule perturbation for deterministic interleaving fuzzing.
+//!
+//! Hierarchical-lock bugs live in rare interleavings of the hand-off
+//! paths — windows a free-running `cargo test` on a small host almost
+//! never opens. This module plants *injection points* inside the
+//! acquire/release paths of every lock (and, via `clof-core`'s `testkit`
+//! feature, inside the composition protocol). When enabled, each point
+//! consults a global SplitMix64 stream seeded by the test harness and,
+//! with configured probability, perturbs the schedule: either
+//! [`std::thread::yield_now`] (descheduling the current thread exactly
+//! inside the race window) or a bounded `spin_loop` delay (stretching the
+//! window without a syscall).
+//!
+//! The whole machinery is compiled only under `cfg(any(test, feature =
+//! "testkit"))`; production builds of `clof-locks` see an empty inline
+//! function and pay nothing. When compiled in but *disabled* (the
+//! default), a point costs one relaxed atomic load.
+//!
+//! Determinism caveat: the injection *decisions* are a pure function of
+//! the seed and the global arrival order of points, so a seed reliably
+//! reproduces a failure class on the same host, but the OS scheduler
+//! still owns thread placement. The oracle in `clof-testkit` therefore
+//! treats a seed as the replay key for a whole stress run, not for one
+//! exact trace.
+
+#[cfg(any(test, feature = "testkit"))]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static STATE: AtomicU64 = AtomicU64::new(0);
+    /// Perturbation probability is `1/DENOM` per point.
+    static DENOM: AtomicU32 = AtomicU32::new(8);
+    /// Upper bound on injected spin-delay bursts.
+    static MAX_SPIN: AtomicU32 = AtomicU32::new(128);
+    /// Number of perturbations actually injected (diagnostics).
+    static HITS: AtomicU64 = AtomicU64::new(0);
+
+    /// SplitMix64 output function over a Weyl-sequence state.
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn configure(seed: u64, denom: u32, max_spin: u32) {
+        STATE.store(seed, Ordering::Relaxed);
+        DENOM.store(denom.max(1), Ordering::Relaxed);
+        MAX_SPIN.store(max_spin.max(1), Ordering::Relaxed);
+        HITS.store(0, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn hits() -> u64 {
+        HITS.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn point(_site: &'static str) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        perturb();
+    }
+
+    #[cold]
+    fn perturb() {
+        // Each arrival advances the Weyl sequence; the golden-ratio
+        // increment keeps successive draws decorrelated even though the
+        // fetch_add interleaving is scheduler-dependent.
+        let s = STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let z = mix(s);
+        let denom = DENOM.load(Ordering::Relaxed) as u64;
+        if z % denom != 0 {
+            return;
+        }
+        HITS.fetch_add(1, Ordering::Relaxed);
+        if z & 0x100 != 0 {
+            std::thread::yield_now();
+        } else {
+            let burst = (z >> 9) as u32 % MAX_SPIN.load(Ordering::Relaxed) + 1;
+            for _ in 0..burst {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Enables injection with the given seed.
+///
+/// `denom` sets the perturbation probability to `1/denom` per point;
+/// `max_spin` bounds injected spin-delay bursts. Typically driven through
+/// `clof-testkit`'s oracle, which also serializes chaos-using tests so
+/// concurrent tests don't share the stream.
+#[cfg(any(test, feature = "testkit"))]
+pub fn configure(seed: u64, denom: u32, max_spin: u32) {
+    imp::configure(seed, denom, max_spin);
+}
+
+/// Disables injection; points return to a single relaxed load.
+#[cfg(any(test, feature = "testkit"))]
+pub fn disable() {
+    imp::disable();
+}
+
+/// Whether injection is currently enabled.
+#[cfg(any(test, feature = "testkit"))]
+pub fn is_enabled() -> bool {
+    imp::is_enabled()
+}
+
+/// Perturbations injected since the last [`configure`].
+#[cfg(any(test, feature = "testkit"))]
+pub fn hits() -> u64 {
+    imp::hits()
+}
+
+/// An injection point. No-op unless chaos is compiled in *and* enabled.
+///
+/// Placed inside the race windows of every lock's acquire/release path
+/// (e.g. between MCS's tail swap and predecessor link, between a ticket
+/// release's grant load and store) and, in `clof-core`, around the
+/// high-lock hand-off protocol.
+#[inline(always)]
+pub fn point(site: &'static str) {
+    #[cfg(any(test, feature = "testkit"))]
+    imp::point(site);
+    #[cfg(not(any(test, feature = "testkit")))]
+    let _ = site;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the chaos stream is global state, and the
+    // test harness runs tests of this module concurrently.
+    #[test]
+    fn lifecycle_disabled_noop_enabled_perturbs() {
+        disable();
+        assert!(!is_enabled());
+        for _ in 0..100 {
+            point("test-site");
+        }
+        configure(42, 2, 16);
+        assert!(is_enabled());
+        for _ in 0..10_000 {
+            point("test-site");
+        }
+        assert!(hits() > 0, "no perturbation in 10k points at p=1/2");
+        disable();
+    }
+}

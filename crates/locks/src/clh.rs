@@ -141,6 +141,7 @@ impl RawLock for ClhLock {
         // AcqRel: Release publishes our `locked = true` with the node;
         // Acquire orders us after the predecessor's publication.
         let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
+        crate::chaos::point("clh-acquire-enqueued");
         let mut backoff = Backoff::new();
         // SAFETY: `pred` stays alive while we spin: its owner either is
         // the lock itself (dummy) or cannot reuse/free it before we stop
@@ -158,6 +159,7 @@ impl RawLock for ClhLock {
             .pred
             .take()
             .expect("ClhLock::release called without a matching acquire");
+        crate::chaos::point("clh-release-window");
         // SAFETY: Our node is still ours to signal through; the successor
         // (or nobody) is spinning on it. Release publishes the critical
         // section to the successor's Acquire spin.

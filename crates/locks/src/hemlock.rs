@@ -176,6 +176,7 @@ impl<const CTR: bool> RawLock for HemlockGeneric<CTR> {
             return;
         }
         let token = self.lock_token();
+        crate::chaos::point("hem-acquire-queued");
         // SAFETY: `pred` is a cell published by its owner; the owner's
         // release spins until our acknowledgement below, so the cell stays
         // alive (and its context may not be dropped) until then.
@@ -205,6 +206,7 @@ impl<const CTR: bool> RawLock for HemlockGeneric<CTR> {
         }
         // SAFETY: Our own cell, alive while the context is.
         let grant = unsafe { &(*ctx.cell.as_ptr()).grant };
+        crate::chaos::point("hem-release-pre-grant");
         // Publish the grant: our successor identifies the lock by address.
         Self::grant_store(grant, self.lock_token(), Ordering::Release);
         let mut backoff = Backoff::new();

@@ -48,6 +48,7 @@
 
 pub mod anderson;
 pub mod backoff_lock;
+pub mod chaos;
 pub mod clh;
 pub mod hemlock;
 pub mod mcs;

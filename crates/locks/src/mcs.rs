@@ -130,6 +130,9 @@ impl RawLock for McsLock {
         if pred.is_null() {
             return;
         }
+        // The classic MCS window: we are in the queue but not yet linked
+        // to our predecessor, whose release must wait for the link.
+        crate::chaos::point("mcs-acquire-unlinked");
         // SAFETY: `pred` was published by its owner, whose release cannot
         // complete (and whose context cannot be legally reused or dropped)
         // before observing `pred.next != null`, which only happens via the
@@ -149,6 +152,7 @@ impl RawLock for McsLock {
         // is the queue head.
         let node_ref = unsafe { &*node };
         let mut next = node_ref.next.load(Ordering::Acquire);
+        crate::chaos::point("mcs-release-next-read");
         if next.is_null() {
             // No known successor: try to swing tail back to empty.
             // Release publishes the critical section to the next acquirer

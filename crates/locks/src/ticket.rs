@@ -66,6 +66,7 @@ impl RawLock for TicketLock {
 
     fn acquire(&self, _ctx: &mut NoContext) {
         let my = self.ticket.fetch_add(1, Ordering::Relaxed);
+        crate::chaos::point("tkt-acquire-ticketed");
         let mut backoff = Backoff::new();
         // The Acquire load synchronizes with the Release store in
         // `release`, ordering the critical section after the previous one.
@@ -79,6 +80,7 @@ impl RawLock for TicketLock {
         // the Release store publishes the critical section to the next
         // owner's Acquire load.
         let g = self.grant.load(Ordering::Relaxed);
+        crate::chaos::point("tkt-release-window");
         self.grant.store(g.wrapping_add(1), Ordering::Release);
     }
 

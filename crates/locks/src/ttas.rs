@@ -64,6 +64,9 @@ impl RawLock for TtasLock {
             while self.locked.load(Ordering::Relaxed) {
                 backoff.snooze();
             }
+            // Window between observing unlocked and attempting the swap;
+            // the swap makes losing the race safe, merely wasteful.
+            crate::chaos::point("ttas-acquire-window");
             // Test-and-set phase; Acquire pairs with the Release in
             // `release` to order the critical sections.
             if !self.locked.swap(true, Ordering::Acquire) {

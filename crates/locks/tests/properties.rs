@@ -4,17 +4,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use clof_locks::{
     AndersonLock, Backoff, ClhLock, Hemlock, HemlockCtr, McsLock, RawLock, RawLockMutex,
     TicketLock, TtasLock,
 };
+use clof_testkit::gen::{vec_of, Gen};
+use clof_testkit::{props, tk_assert, tk_assert_eq, Config};
 
 /// Interleaved lock/unlock schedule across a small thread pool: whatever
 /// the schedule, the protected non-atomic counter must equal the number
 /// of critical sections.
-fn schedule_holds_mutex<L: RawLock>(per_thread_ops: &[u8]) {
+fn schedule_holds_mutex<L: RawLock>(per_thread_ops: &[u8]) -> Result<(), String> {
     let lock = Arc::new(L::default());
     let counter = Arc::new(AtomicUsize::new(0));
     let mut threads = Vec::new();
@@ -37,56 +37,53 @@ fn schedule_holds_mutex<L: RawLock>(per_thread_ops: &[u8]) {
         t.join().unwrap();
     }
     let expected: usize = per_thread_ops.iter().map(|&o| o as usize).sum();
-    assert_eq!(counter.load(Ordering::Relaxed), expected);
+    tk_assert_eq!(counter.load(Ordering::Relaxed), expected);
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn schedules() -> Gen<Vec<u8>> {
+    vec_of(Gen::<u8>::int_range(0, 40), 1, 5)
+}
 
-    #[test]
-    fn ticket_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<TicketLock>(&ops);
+props! {
+    config: Config::with_cases(12);
+
+    fn ticket_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<TicketLock>(&ops)?;
     }
 
-    #[test]
-    fn mcs_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<McsLock>(&ops);
+    fn mcs_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<McsLock>(&ops)?;
     }
 
-    #[test]
-    fn clh_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<ClhLock>(&ops);
+    fn clh_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<ClhLock>(&ops)?;
     }
 
-    #[test]
-    fn hemlock_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<Hemlock>(&ops);
+    fn hemlock_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<Hemlock>(&ops)?;
     }
 
-    #[test]
-    fn hemlock_ctr_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<HemlockCtr>(&ops);
+    fn hemlock_ctr_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<HemlockCtr>(&ops)?;
     }
 
-    #[test]
-    fn anderson_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<AndersonLock>(&ops);
+    fn anderson_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<AndersonLock>(&ops)?;
     }
 
-    #[test]
-    fn ttas_mutex_any_schedule(ops in proptest::collection::vec(0u8..40, 1..5)) {
-        schedule_holds_mutex::<TtasLock>(&ops);
+    fn ttas_mutex_any_schedule(ops in schedules()) {
+        schedule_holds_mutex::<TtasLock>(&ops)?;
     }
 
     /// Backoff never panics and always reaches the yielding regime.
-    #[test]
-    fn backoff_total(function_steps in 0usize..200) {
+    fn backoff_total(steps in Gen::<usize>::int_range(0, 200)) {
         let mut b = Backoff::new();
-        for _ in 0..function_steps {
+        for _ in 0..steps {
             b.snooze();
         }
-        if function_steps > 10 {
-            prop_assert!(b.is_yielding());
+        if steps > 10 {
+            tk_assert!(b.is_yielding());
         }
     }
 }

@@ -1,0 +1,44 @@
+//! Shows what a property failure looks like: the report carries the
+//! case seed, the shrunk counterexample, and a copy-pasteable replay
+//! command line.
+//!
+//! ```text
+//! cargo run -p clof-testkit --example props_replay_demo
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use clof_testkit::gen::vec_of;
+use clof_testkit::{check_with, Config, Gen};
+
+fn main() {
+    let cfg = Config {
+        cases: 64,
+        ..Config::default()
+    };
+    // Deliberately false property: "no vector sums past 100".
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        check_with(
+            &cfg,
+            "demo_sum_below_100",
+            &vec_of(Gen::<u32>::int_range(0, 50), 0, 12),
+            |xs: &Vec<u32>| {
+                let sum: u32 = xs.iter().sum();
+                if sum > 100 {
+                    Err(format!("sum {sum} exceeds 100"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+    }))
+    .expect_err("the property is false and must fail");
+
+    let report = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    println!("--- failure report ---\n{report}");
+    assert!(report.contains("replay: CLOF_TESTKIT_SEED="));
+    assert!(report.contains("shrunk input"));
+}

@@ -1,0 +1,191 @@
+//! Criterion-lite: a tiny micro-benchmark runner with a drop-in subset
+//! of the criterion API (`Criterion::bench_function`, `Bencher::iter`,
+//! [`criterion_group!`]/[`criterion_main!`]), so the workspace's bench
+//! targets build and run with zero external dependencies.
+//!
+//! Methodology is deliberately simple: calibrate an iteration count until
+//! one sample exceeds a minimum duration, then take a fixed number of
+//! samples at that count and report the median, minimum and maximum
+//! nanoseconds per iteration. That is enough to compare lock algorithms
+//! on one host; it does not try to match criterion's outlier analysis.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::time::{Duration, Instant};
+
+/// One measurement: median/min/max ns per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id as passed to `bench_function`.
+    pub name: String,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// The benchmark driver; collects and prints measurements.
+pub struct Criterion {
+    /// Minimum duration one calibrated sample must reach.
+    pub min_sample: Duration,
+    /// Samples taken per benchmark after calibration.
+    pub samples: u32,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CLOF_BENCH_MIN_MS shortens runs for smoke-testing bench targets.
+        let min_ms = std::env::var("CLOF_BENCH_MIN_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(20);
+        Criterion {
+            min_sample: Duration::from_millis(min_ms.max(1)),
+            samples: 7,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    /// The return value is passed through [`std::hint::black_box`] so the
+    /// measured work is not optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    /// Measures `f` and prints one summary line, criterion-style.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        // Calibrate: grow the batch until one sample is long enough to
+        // dominate timer overhead.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.min_sample || iters >= 1 << 30 {
+                break;
+            }
+            // Jump roughly to the target, never more than 64x at once.
+            let ratio = self.min_sample.as_nanos() as f64
+                / b.elapsed.as_nanos().max(1) as f64;
+            let factor = (ratio * 1.2).clamp(2.0, 64.0);
+            iters = ((iters as f64) * factor) as u64;
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters,
+        };
+        println!(
+            "{name:<44} {median:>10.1} ns/iter  (min {min:.1}, max {max:.1}, {iters} it/sample)",
+            name = m.name,
+            median = m.median_ns,
+            min = m.min_ns,
+            max = m.max_ns,
+            iters = m.iters,
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements taken so far, in execution order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Bundles benchmark functions (each `fn(&mut Criterion)`) into one
+/// group runner, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            min_sample: Duration::from_micros(200),
+            samples: 3,
+            results: Vec::new(),
+        };
+        let mut acc = 0u64;
+        c.bench_function("noop-ish", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        let m = &c.results()[0];
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        fn bench_one(c: &mut Criterion) {
+            c.bench_function("macro-smoke", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(smoke_group, bench_one);
+        smoke_group();
+    }
+}

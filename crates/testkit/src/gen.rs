@@ -1,0 +1,310 @@
+//! Composable deterministic value generators with greedy shrinking.
+//!
+//! A [`Gen<T>`] bundles two pure functions: *generate* (a function of a
+//! [`TestRng`] stream) and *shrink* (smaller candidate inputs for a
+//! failing value). This is the proptest/QuickCheck split in its simplest
+//! form — no registry dependency, no macros required, values are plain
+//! `Clone + Debug` types.
+//!
+//! Shrinking is **greedy**: the runner walks the candidate list in order
+//! and restarts from the first candidate that still fails, so combinators
+//! put their "most aggressively smaller" candidates first (halving before
+//! decrementing, dropping half a vector before single elements).
+//! Combinators that map through arbitrary functions ([`Gen::map`],
+//! [`one_of`]) cannot shrink through the function and return no
+//! candidates — range, vector, element and tuple generators carry the
+//! shrinking weight, which in practice is where it matters.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// A deterministic generator of `T` values plus a shrinker.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut TestRng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// A generator from a raw sampling function; no shrinking.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Gen {
+            run: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Always produces `value`.
+    pub fn constant(value: T) -> Self {
+        Gen::from_fn(move |_| value.clone())
+    }
+
+    /// Replaces the shrinker.
+    pub fn with_shrink(self, f: impl Fn(&T) -> Vec<T> + 'static) -> Self {
+        Gen {
+            run: self.run,
+            shrink: Rc::new(f),
+        }
+    }
+
+    /// Samples one value.
+    pub fn sample(&self, rng: &mut TestRng) -> T {
+        (self.run)(rng)
+    }
+
+    /// Shrink candidates for `value`, most aggressive first.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps generated values through `f`. Shrinking does not survive the
+    /// mapping (there is no inverse); map late, shrink early.
+    pub fn map<U: Clone + 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let run = self.run;
+        Gen {
+            run: Rc::new(move |rng| f((run)(rng))),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+}
+
+macro_rules! int_gen {
+    ($($ty:ty),*) => {$(
+        impl Gen<$ty> {
+            /// Uniform generator over `lo..hi` (half-open), shrinking
+            /// toward `lo` by halving the distance.
+            pub fn int_range(lo: $ty, hi: $ty) -> Gen<$ty> {
+                assert!(lo < hi, "empty range {lo}..{hi}");
+                let g = Gen::from_fn(move |rng| {
+                    rng.in_range(lo as i128, hi as i128) as $ty
+                });
+                g.with_shrink(move |&v| {
+                    let mut out = Vec::new();
+                    let mut dist = (v as i128) - (lo as i128);
+                    // lo first (most aggressive), then geometric approach.
+                    while dist > 0 {
+                        out.push(((v as i128) - dist) as $ty);
+                        dist /= 2;
+                    }
+                    out.dedup();
+                    out
+                })
+            }
+        }
+    )*};
+}
+
+int_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform `u64` over the full domain (the `any::<u64>()` workhorse for
+/// seeds), shrinking toward 0.
+pub fn any_u64() -> Gen<u64> {
+    Gen::from_fn(|rng| rng.next_u64()).with_shrink(|&v| {
+        let mut out = Vec::new();
+        let mut d = v;
+        while d > 0 {
+            out.push(v - d);
+            d /= 2;
+        }
+        out.dedup();
+        out
+    })
+}
+
+/// Uniform `u8` over the full domain, shrinking toward 0.
+pub fn any_u8() -> Gen<u8> {
+    Gen::from_fn(|rng| rng.next_u64() as u8).with_shrink(|&v| {
+        let mut out = Vec::new();
+        let mut d = v;
+        while d > 0 {
+            out.push(v - d);
+            d /= 2;
+        }
+        out.dedup();
+        out
+    })
+}
+
+/// Picks uniformly among generators. No cross-choice shrinking.
+pub fn one_of<T: Clone + 'static>(choices: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!choices.is_empty(), "one_of of nothing");
+    Gen::from_fn(move |rng| {
+        let i = rng.below(choices.len() as u64) as usize;
+        choices[i].sample(rng)
+    })
+}
+
+/// Picks uniformly among concrete values, shrinking toward earlier
+/// entries (order your list simplest-first).
+pub fn element_of<T: Clone + PartialEq + 'static>(values: Vec<T>) -> Gen<T> {
+    assert!(!values.is_empty(), "element_of of nothing");
+    let pool = values.clone();
+    Gen::from_fn(move |rng| {
+        let i = rng.below(values.len() as u64) as usize;
+        values[i].clone()
+    })
+    .with_shrink(move |v| {
+        match pool.iter().position(|p| p == v) {
+            Some(i) => pool[..i].to_vec(),
+            None => Vec::new(),
+        }
+    })
+}
+
+/// Vectors of `elem` with length in `min_len..max_len` (half-open).
+///
+/// Shrinks by dropping the back half, dropping single elements (front
+/// first), then shrinking individual elements — in that order, respecting
+/// `min_len`.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len < max_len, "empty length range");
+    let sampler = elem.clone();
+    Gen::from_fn(move |rng| {
+        let len = rng.in_range(min_len as i128, max_len as i128) as usize;
+        (0..len).map(|_| sampler.sample(rng)).collect()
+    })
+    .with_shrink(move |v: &Vec<T>| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        // Halve.
+        if v.len() / 2 >= min_len && v.len() > min_len {
+            out.push(v[..v.len() / 2].to_vec());
+        }
+        // Drop one element at a time (cap the fan-out on long vectors).
+        if v.len() > min_len {
+            for i in 0..v.len().min(8) {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Shrink elements in place (first candidate per position).
+        for i in 0..v.len().min(8) {
+            if let Some(smaller) = elem.shrink(&v[i]).into_iter().next() {
+                let mut copy = v.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
+    })
+}
+
+/// Pairs two generators; shrinks each side while holding the other.
+pub fn zip<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (sa, sb) = (a.clone(), b.clone());
+    Gen::from_fn(move |rng| (sa.sample(rng), sb.sample(rng))).with_shrink(move |(va, vb)| {
+        let mut out: Vec<(A, B)> = a
+            .shrink(va)
+            .into_iter()
+            .map(|na| (na, vb.clone()))
+            .collect();
+        out.extend(b.shrink(vb).into_iter().map(|nb| (va.clone(), nb)));
+        out
+    })
+}
+
+/// Shrink-search driver: starting from a failing `value`, repeatedly
+/// replaces it with the first shrink candidate that still fails, up to
+/// `budget` prop evaluations. Returns the final value and the number of
+/// successful shrink steps.
+pub fn shrink_to_minimal<T: Clone + Debug + 'static>(
+    gen: &Gen<T>,
+    mut value: T,
+    budget: u32,
+    still_fails: &mut dyn FnMut(&T) -> bool,
+) -> (T, u32) {
+    let mut steps = 0u32;
+    let mut evals = 0u32;
+    'outer: loop {
+        for candidate in gen.shrink(&value) {
+            evals += 1;
+            if evals > budget {
+                break 'outer;
+            }
+            if still_fails(&candidate) {
+                value = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds_and_shrinks_toward_lo() {
+        let g = Gen::<u32>::int_range(10, 50);
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = g.sample(&mut r);
+            assert!((10..50).contains(&v));
+        }
+        let candidates = g.shrink(&40);
+        assert_eq!(candidates.first(), Some(&10));
+        assert!(candidates.iter().all(|&c| (10..40).contains(&c)));
+    }
+
+    #[test]
+    fn vec_of_respects_length_and_shrinks_shorter() {
+        let g = vec_of(Gen::<u8>::int_range(0, 10), 2, 6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.sample(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let candidates = g.shrink(&vec![5, 5, 5, 5]);
+        assert!(candidates.iter().any(|c| c.len() == 2)); // halved
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn element_of_shrinks_to_earlier_entries() {
+        let g = element_of(vec!["a", "b", "c"]);
+        assert_eq!(g.shrink(&"c"), vec!["a", "b"]);
+        assert!(g.shrink(&"a").is_empty());
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let g = zip(Gen::<u8>::int_range(0, 10), Gen::<u8>::int_range(0, 10));
+        let candidates = g.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn shrink_to_minimal_reaches_boundary() {
+        // Failing predicate: v >= 7. Minimal failing value is 7.
+        let g = Gen::<u32>::int_range(0, 100);
+        let (min, steps) = shrink_to_minimal(&g, 93, 1000, &mut |&v| v >= 7);
+        assert_eq!(min, 7);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = vec_of(Gen::<u64>::int_range(0, 1 << 40), 1, 10);
+        let a = g.sample(&mut TestRng::new(11));
+        let b = g.sample(&mut TestRng::new(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic pseudo-random source: SplitMix64.
+//!
+//! SplitMix64 (Steele, Lea & Flood's `splittable` mix, the stream used to
+//! seed xoshiro generators) is tiny, passes BigCrush on its output
+//! function, and — unlike `std`'s hasher-based randomness — is a pure
+//! function of its 64-bit seed, which is the whole point: every generated
+//! test case can be replayed from one printed number.
+
+/// A seeded SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream; equal seeds yield equal streams forever.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Uses the widening-multiply trick (Lemire); the slight modulo bias
+    /// of the fallback path is irrelevant at test-case scale.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[lo, hi)` over `i128`-safe integer ranges.
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u128;
+        let draw = if span > u64::MAX as u128 {
+            ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span
+        } else {
+            self.below(span as u64) as u128
+        };
+        lo + draw as i128
+    }
+
+    /// True with probability `1/denom`.
+    pub fn chance(&mut self, denom: u64) -> bool {
+        self.below(denom.max(1)) == 0
+    }
+
+    /// Derives an independent stream (for per-thread or per-case seeds).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(99);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_covers_extremes() {
+        let mut rng = TestRng::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.in_range(-2, 3);
+            assert!((-2..3).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut a = TestRng::new(5);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+}

@@ -1,0 +1,114 @@
+//! Domain generators for CLoF structures: hierarchies, lock kinds, and
+//! composed-lock shapes.
+//!
+//! These mirror the strategies previously embedded in individual test
+//! files so every crate draws the *same* distribution of hierarchies and
+//! compositions, and a seed printed by one suite reproduces in another.
+
+use clof::LockKind;
+use clof_topology::Hierarchy;
+
+use crate::gen::{element_of, vec_of, zip, Gen};
+
+/// A regular hierarchy with 1–3 non-system levels over up to 72 CPUs,
+/// expressed as nested group sizes, shrinking toward fewer/smaller
+/// levels.
+pub fn regular_hierarchy() -> Gen<Hierarchy> {
+    // Factors multiply innermost-outward; ncpus = product * 2. Same shape
+    // family the old proptest strategy drew from.
+    let depth = Gen::<usize>::int_range(1, 4);
+    let f0 = Gen::<usize>::int_range(2, 5);
+    let f1 = Gen::<usize>::int_range(1, 3);
+    let f2 = Gen::<usize>::int_range(1, 3);
+    zip(zip(depth, f0), zip(f1, f2)).map(|((depth, f0), (f1, f2))| {
+        let factors = [f0, f0 * (f1 + 1), f0 * (f1 + 1) * (f2 + 1)];
+        build_regular(&factors[..depth])
+    })
+}
+
+/// Builds a regular hierarchy from innermost-outward cumulative group
+/// sizes, with 2 top-level groups.
+pub fn build_regular(factors: &[usize]) -> Hierarchy {
+    let ncpus = factors.last().copied().unwrap_or(1) * 2;
+    let shape: Vec<(String, usize)> = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (format!("l{i}"), f))
+        .collect();
+    let shape_refs: Vec<(&str, usize)> = shape.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    Hierarchy::regular(&shape_refs, ncpus).expect("regular shapes are valid")
+}
+
+/// One of the starvation-free basic locks, shrinking toward `Ticket`.
+pub fn fair_kind() -> Gen<LockKind> {
+    element_of(vec![
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Clh,
+        LockKind::Hemlock,
+        LockKind::HemlockCtr,
+        LockKind::Anderson,
+    ])
+}
+
+/// Any basic lock kind (including the unfair TTAS/backoff), shrinking
+/// toward `Ticket`.
+pub fn any_kind() -> Gen<LockKind> {
+    element_of(LockKind::ALL.to_vec())
+}
+
+/// A vector of fair kinds suitable for seeding per-level choices.
+pub fn fair_kind_vec(len: usize) -> Gen<Vec<LockKind>> {
+    vec_of(fair_kind(), len, len + 1)
+}
+
+/// Per-level kind assignment for a hierarchy with `levels` lock levels:
+/// cycles a 4-long seed vector like the paper's generated compositions.
+pub fn kinds_for_levels(seed_kinds: &[LockKind], levels: usize) -> Vec<LockKind> {
+    (0..levels)
+        .map(|i| seed_kinds[i % seed_kinds.len()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn hierarchies_are_valid_and_bounded() {
+        let g = regular_hierarchy();
+        let mut rng = TestRng::new(42);
+        for _ in 0..100 {
+            let h = g.sample(&mut rng);
+            assert!(h.ncpus() >= 2);
+            assert!(h.ncpus() <= 72, "ncpus {} too large", h.ncpus());
+            assert!((1..=4).contains(&h.level_count()));
+        }
+    }
+
+    #[test]
+    fn fair_kinds_are_fair() {
+        let g = fair_kind();
+        let mut rng = TestRng::new(7);
+        for _ in 0..50 {
+            assert!(g.sample(&mut rng).is_fair());
+        }
+    }
+
+    #[test]
+    fn kind_shrinks_toward_ticket() {
+        let g = fair_kind();
+        let candidates = g.shrink(&LockKind::Hemlock);
+        assert_eq!(candidates.first(), Some(&LockKind::Ticket));
+    }
+
+    #[test]
+    fn kinds_for_levels_cycles() {
+        let seeds = [LockKind::Mcs, LockKind::Clh];
+        assert_eq!(
+            kinds_for_levels(&seeds, 3),
+            vec![LockKind::Mcs, LockKind::Clh, LockKind::Mcs]
+        );
+    }
+}

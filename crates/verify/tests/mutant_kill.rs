@@ -1,0 +1,96 @@
+//! Mutant-kill regression suite: the model checker must keep *catching*
+//! the known-bad CLoF variants. If a refactor of `checker.rs` or
+//! `models.rs` ever makes one of these mutants pass, the checker itself
+//! has rotted — these tests turn that silent loss of power into a loud
+//! failure.
+//!
+//! Each test pins down not just "some failure" but the *kind* of failure
+//! the paper predicts: the inverted-release mutant must die on the
+//! §4.1.3 context invariant specifically, and the unfair-root mutant
+//! must die on starvation (Theorem 4.1's caveat), with sane traces.
+
+use clof_verify::models::{clof_model, ClofModelCfg};
+use clof_verify::{check, CheckResult};
+
+/// Baseline: the clean induction-step model still verifies. Without this
+/// anchor a checker that rejects *everything* would also "kill" the
+/// mutants below.
+#[test]
+fn clean_induction_step_still_passes() {
+    let outcome = check(&clof_model(&ClofModelCfg::induction_step()));
+    assert_eq!(outcome.result, CheckResult::Ok);
+    assert!(outcome.states > 1, "exploration must actually run");
+}
+
+/// The §4.1.3 bug: releasing the low lock before the high one lets the
+/// successor race the releaser on the shared high-lock context. The
+/// checker must report the *context invariant* — not mutual exclusion,
+/// not deadlock — with a non-empty counterexample trace.
+#[test]
+fn inverted_release_mutant_is_killed_by_context_invariant() {
+    let mut cfg = ClofModelCfg::induction_step();
+    cfg.inverted_release = true;
+    let outcome = check(&clof_model(&cfg));
+    match outcome.result {
+        CheckResult::InvariantViolated { invariant, trace } => {
+            assert_eq!(invariant, "context-invariant");
+            assert!(
+                !trace.is_empty(),
+                "counterexample must come with a replayable trace"
+            );
+        }
+        other => panic!("inverted-release mutant escaped: {other:?}"),
+    }
+}
+
+/// The inverted-release bug is not an artifact of the 2-level induction
+/// step: it must also be caught in a deeper composition.
+#[test]
+fn inverted_release_mutant_is_killed_at_depth_three() {
+    let mut cfg = ClofModelCfg::deep(3);
+    cfg.inverted_release = true;
+    let outcome = check(&clof_model(&cfg));
+    assert!(
+        matches!(
+            outcome.result,
+            CheckResult::InvariantViolated { ref invariant, .. }
+                if invariant == "context-invariant"
+        ),
+        "deep inverted-release mutant escaped: {:?}",
+        outcome.result
+    );
+}
+
+/// Theorem 4.1's caveat: an unfair (TTAS-style) system-level lock lets
+/// one cohort starve. The looping model must report starvation of some
+/// thread — and must *not* misclassify it as deadlock or an invariant.
+#[test]
+fn unfair_root_mutant_is_killed_by_starvation() {
+    let mut cfg = ClofModelCfg::induction_step();
+    cfg.unfair_root = true;
+    cfg.iterations = 0; // loop forever: starvation analysis needs cycles
+    let outcome = check(&clof_model(&cfg));
+    match outcome.result {
+        CheckResult::Starvation { tid } => {
+            assert!(
+                tid < cfg.paths.len(),
+                "starving thread id {tid} out of range"
+            );
+        }
+        other => panic!("unfair-root mutant escaped: {other:?}"),
+    }
+}
+
+/// The unfair-root mutant's *terminating* variant stays safe (mutual
+/// exclusion holds; unfairness is a liveness bug only). This pins the
+/// checker's precision: killing mutants is worthless if it also flags
+/// behaviours the paper says are merely unfair, not unsafe.
+#[test]
+fn unfair_root_mutant_is_safe_when_terminating() {
+    let mut cfg = ClofModelCfg::induction_step();
+    cfg.unfair_root = true;
+    // iterations left at 1: bounded runs always terminate, so the only
+    // possible failures would be safety violations — there must be none.
+    let outcome = check(&clof_model(&cfg));
+    assert_eq!(outcome.result, CheckResult::Ok);
+}

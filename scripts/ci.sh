@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Offline CI gate for the CLoF workspace.
+#
+# Runs, in order:
+#   1. tier-1: `cargo build --release && cargo test -q` (root package);
+#   2. the clof-testkit unit suite (property engine + oracle self-tests);
+#   3. a 16-seed smoke subset of the schedule-fuzzing stress oracle.
+#
+# Everything builds from vendored/in-repo code only — no network, no
+# external dev-dependencies — so this is safe for air-gapped runners.
+# Each phase runs under a hard timeout so a livelocked lock (the exact
+# bug class the oracle hunts) fails the build instead of hanging it.
+#
+# Env knobs:
+#   CI_TIMEOUT_SECS   per-phase timeout (default 1800)
+#   CLOF_TESTKIT_SEED override the property-engine base seed for replay
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TIMEOUT_SECS="${CI_TIMEOUT_SECS:-1800}"
+
+# Portable-ish hard timeout: use coreutils `timeout` when present,
+# otherwise run unguarded (busybox-only hosts still get the gate).
+if command -v timeout >/dev/null 2>&1; then
+    RUN="timeout $TIMEOUT_SECS"
+else
+    echo "ci.sh: no 'timeout' binary; running without a hard timeout" >&2
+    RUN=""
+fi
+
+phase() {
+    echo
+    echo "==== ci: $1 ===="
+    shift
+    # shellcheck disable=SC2086 # RUN is intentionally word-split
+    $RUN "$@"
+}
+
+phase "tier-1 release build" cargo build --release
+phase "tier-1 test suite" cargo test -q
+phase "testkit unit suite" cargo test -q -p clof-testkit
+
+# Smoke subset of the stress oracle: the broken-lock acceptance test is
+# itself a 16-seed fuzz run, plus one fair-composition matrix slice.
+phase "stress-oracle smoke (16 seeds)" \
+    cargo test -q --test stress_oracle -- \
+    broken_lock_is_caught_with_replayable_seed \
+    fair_composition_gap_is_bounded \
+    oracle_matrix_ticket
+
+echo
+echo "==== ci: all phases green ===="

@@ -1,89 +1,49 @@
-//! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Property-based tests over the core data structures and invariants,
+//! driven by the in-repo `clof-testkit` engine (replay any failure with
+//! the printed `CLOF_TESTKIT_SEED`).
 
 use clof::{DynClofLock, LockKind};
+use clof_testkit::gen::{any_u64, vec_of, zip, Gen};
+use clof_testkit::strategies::{fair_kind, kinds_for_levels, regular_hierarchy};
+use clof_testkit::{props, run_stress, tk_assert, tk_assert_eq, tk_assert_ne, Config, StressOptions};
 use clof_topology::cluster::{cluster_heatmap, cohort_speedups, ClusterOptions};
 use clof_topology::{config, Heatmap, Hierarchy};
 
-/// Strategy: a regular hierarchy with 1–3 non-system levels over up to
-/// 32 CPUs, expressed as nested group sizes.
-fn regular_hierarchy() -> impl Strategy<Value = Hierarchy> {
-    // Factors multiply innermost-outward; ncpus = product * top.
-    (1usize..=3, 2usize..=4, 1usize..=2, 1usize..=2).prop_map(|(depth, f0, f1, f2)| {
-        let factors = [f0, f0 * (f1 + 1), f0 * (f1 + 1) * (f2 + 1)];
-        let ncpus = factors[depth - 1] * 2;
-        let mut shape: Vec<(String, usize)> = Vec::new();
-        for (i, &f) in factors[..depth].iter().enumerate() {
-            shape.push((format!("l{i}"), f));
-        }
-        let shape_refs: Vec<(&str, usize)> =
-            shape.iter().map(|(n, s)| (n.as_str(), *s)).collect();
-        Hierarchy::regular(&shape_refs, ncpus).expect("regular shapes are valid")
-    })
-}
-
-fn fair_kind() -> impl Strategy<Value = LockKind> {
-    prop_oneof![
-        Just(LockKind::Ticket),
-        Just(LockKind::Mcs),
-        Just(LockKind::Clh),
-        Just(LockKind::Hemlock),
-        Just(LockKind::HemlockCtr),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    config: Config::with_cases(24);
 
     /// Any fair composition over any regular hierarchy preserves mutual
-    /// exclusion under real threads spanning the cohorts.
-    #[test]
+    /// exclusion under real threads spanning the cohorts — checked by the
+    /// testkit oracle (owner cell, torn-counter pair, context invariant)
+    /// with chaos injection inside the lock paths.
     fn composed_lock_mutual_exclusion(
         hierarchy in regular_hierarchy(),
-        seed_kinds in proptest::collection::vec(fair_kind(), 4),
+        seed_kinds in vec_of(fair_kind(), 4, 5),
     ) {
-        let levels = hierarchy.level_count();
-        let kinds: Vec<LockKind> =
-            (0..levels).map(|i| seed_kinds[i % seed_kinds.len()]).collect();
+        let kinds = kinds_for_levels(&seed_kinds, hierarchy.level_count());
         let lock = std::sync::Arc::new(DynClofLock::build(&hierarchy, &kinds).unwrap());
         let n = hierarchy.ncpus();
         let cpus = [0, n / 3, (2 * n) / 3, n - 1];
-        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let mut threads = Vec::new();
-        for &cpu in &cpus {
-            let lock = std::sync::Arc::clone(&lock);
-            let counter = std::sync::Arc::clone(&counter);
-            threads.push(std::thread::spawn(move || {
-                let mut handle = lock.handle(cpu);
-                for _ in 0..150 {
-                    handle.acquire();
-                    let v = counter.load(std::sync::atomic::Ordering::Relaxed);
-                    counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
-                    handle.release();
-                }
-            }));
-        }
-        for t in threads {
-            t.join().unwrap();
-        }
-        prop_assert_eq!(
-            counter.load(std::sync::atomic::Ordering::Relaxed),
-            cpus.len() * 150
-        );
+        let opts = StressOptions {
+            threads: cpus.len(),
+            iters: 60,
+            label: lock.name().to_string(),
+            ..StressOptions::default()
+        };
+        let report = run_stress(&opts, |tid| lock.handle(cpus[tid]));
+        tk_assert!(report.passed(), "{}", report.render());
+        tk_assert_eq!(report.total_acquisitions, cpus.len() as u64 * 60);
     }
 
     /// The config text format round-trips any regular hierarchy.
-    #[test]
     fn config_roundtrip(hierarchy in regular_hierarchy()) {
         let text = config::to_text(&hierarchy);
         let back = config::from_text(&text).unwrap();
-        prop_assert_eq!(hierarchy, back);
+        tk_assert_eq!(hierarchy, back);
     }
 
     /// Clustering a level-derived heatmap recovers the shared-level
     /// structure whenever the level speeds are separated (>25% bands).
-    #[test]
     fn cluster_recovers_structure(hierarchy in regular_hierarchy()) {
         let levels = hierarchy.level_count();
         // Geometric speeds: 4x per level, far beyond the band gap.
@@ -97,7 +57,7 @@ proptest! {
         let found = cluster_heatmap(&heatmap, &ClusterOptions::default()).unwrap();
         for a in 0..hierarchy.ncpus() {
             for b in 0..hierarchy.ncpus() {
-                prop_assert_eq!(
+                tk_assert_eq!(
                     found.shared_level(a, b),
                     hierarchy.shared_level(a, b),
                     "pair ({}, {})", a, b
@@ -107,36 +67,54 @@ proptest! {
         // Table 2 then reads exact speedups back.
         let speedups = cohort_speedups(&heatmap, &found);
         let (_, system) = speedups.last().unwrap();
-        prop_assert!((system - 1.0).abs() < 1e-9);
+        tk_assert!((system - 1.0).abs() < 1e-9);
     }
 
     /// `shared_level` is symmetric, reflexive-innermost, and consistent
     /// with cohort membership.
-    #[test]
-    fn shared_level_laws(hierarchy in regular_hierarchy(), a in 0usize..64, b in 0usize..64) {
+    fn shared_level_laws(
+        hierarchy in regular_hierarchy(),
+        a in Gen::<usize>::int_range(0, 64),
+        b in Gen::<usize>::int_range(0, 64),
+    ) {
         let n = hierarchy.ncpus();
         let (a, b) = (a % n, b % n);
-        prop_assert_eq!(hierarchy.shared_level(a, b), hierarchy.shared_level(b, a));
-        prop_assert_eq!(hierarchy.shared_level(a, a), 0);
+        tk_assert_eq!(hierarchy.shared_level(a, b), hierarchy.shared_level(b, a));
+        tk_assert_eq!(hierarchy.shared_level(a, a), 0);
         let l = hierarchy.shared_level(a, b);
-        prop_assert_eq!(hierarchy.cohort(l, a), hierarchy.cohort(l, b));
+        tk_assert_eq!(hierarchy.cohort(l, a), hierarchy.cohort(l, b));
         if l > 0 {
-            prop_assert_ne!(hierarchy.cohort(l - 1, a), hierarchy.cohort(l - 1, b));
+            tk_assert_ne!(hierarchy.cohort(l - 1, a), hierarchy.cohort(l - 1, b));
         }
     }
 
     /// The simulator is deterministic and every thread completes work.
-    #[test]
-    fn simulator_determinism(seed in any::<u64>(), threads in 2usize..12) {
+    fn simulator_determinism(
+        pair in zip(any_u64(), Gen::<usize>::int_range(2, 12)),
+    ) {
         use clof_sim::{engine::{run, RunOptions}, Machine, ModelSpec, Workload};
+        let (seed, threads) = pair;
         let machine = Machine::paper_armv8();
         let spec = ModelSpec::hmcs(machine.hierarchy.clone());
         let cpus: Vec<usize> = (0..threads).map(|t| t * 10 % machine.ncpus()).collect();
         let opts = RunOptions { duration_ns: 1_000_000, warmup_ns: 100_000, seed };
         let a = run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts);
         let b = run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts);
-        prop_assert_eq!(a.completed, b.completed);
-        prop_assert_eq!(&a.per_thread, &b.per_thread);
-        prop_assert!(a.per_thread.iter().all(|&c| c > 0));
+        tk_assert_eq!(a.completed, b.completed);
+        tk_assert_eq!(&a.per_thread, &b.per_thread);
+        tk_assert!(a.per_thread.iter().all(|&c| c > 0));
+    }
+}
+
+/// The hierarchy generator itself stays inside the domain every property
+/// above assumes (non-empty, at most 3 lock levels plus the system root).
+#[test]
+fn hierarchy_generator_domain() {
+    let g = regular_hierarchy();
+    let mut rng = clof_testkit::TestRng::new(clof_testkit::check::DEFAULT_SEED);
+    for _ in 0..200 {
+        let h: Hierarchy = g.sample(&mut rng);
+        assert!(h.ncpus() >= 2 && h.level_count() >= 1);
+        assert!(LockKind::PAPER_ARM.len() >= h.level_count().min(3));
     }
 }

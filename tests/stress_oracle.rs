@@ -1,0 +1,160 @@
+//! Schedule-fuzzed stress-oracle matrix over composed locks: every
+//! `LockKind` × {2,3}-level hierarchy × {4,8} threads, 64 seeds total
+//! (2 per matrix cell), with chaos injection inside the lock paths.
+//!
+//! Asserted per run: mutual exclusion (owner cell + torn-counter pair),
+//! the paper's §4.1 context invariant (the `testkit`-gated `ctx_busy`
+//! detector panics inside acquire/release and the oracle converts that
+//! into a violation), and — in the dedicated fairness test — a bounded
+//! acquisition gap. A failing run prints its seed; replay by running the
+//! same test again (the matrix is deterministic) and grepping for that
+//! seed, or by driving `run_stress` with it directly.
+
+use std::sync::Arc;
+
+use clof::{ClofParams, DynClofLock, LockKind};
+use clof_testkit::oracle::mutants::BrokenTas;
+use clof_testkit::strategies::build_regular;
+use clof_testkit::{fuzz_seeds, run_stress, seed_batch, RawHandle, StressOptions};
+use clof_topology::Hierarchy;
+
+/// 2 seeds per (kind, hierarchy, threads) cell; 8 kinds × 2 × 2 × 2 = 64.
+const SEEDS_PER_CELL: usize = 2;
+const ITERS: u64 = 25;
+
+fn hierarchies() -> Vec<Hierarchy> {
+    vec![
+        build_regular(&[2, 4]),    // 2 levels, 8 CPUs
+        build_regular(&[2, 4, 8]), // 3 levels, 16 CPUs
+    ]
+}
+
+/// Runs the full {hierarchy} × {threads} × {seeds} cell block for one
+/// leaf-to-root homogeneous composition of `kind`.
+fn oracle_matrix(kind: LockKind) {
+    for hierarchy in hierarchies() {
+        let kinds = vec![kind; hierarchy.level_count()];
+        // Unfair kinds are deliberately included: the oracle checks
+        // mutual exclusion and the context invariant for them too (only
+        // fairness is out of scope for ttas/bo).
+        let lock = Arc::new(
+            DynClofLock::build_with(&hierarchy, &kinds, ClofParams::default(), true)
+                .expect("composition builds"),
+        );
+        for threads in [4usize, 8] {
+            let n = hierarchy.ncpus();
+            let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+            let seeds = seed_batch(
+                0xC10F_0000 ^ (kind as u64) << 8 ^ (hierarchy.level_count() as u64) << 4
+                    ^ threads as u64,
+                SEEDS_PER_CELL,
+            );
+            let opts = StressOptions {
+                threads,
+                iters: ITERS,
+                label: format!("{}×{}lvl×{}t", lock.name(), hierarchy.level_count(), threads),
+                ..StressOptions::default()
+            };
+            let lock = Arc::clone(&lock);
+            let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| lock.handle(cpus[tid]));
+            outcome.assert_passed();
+            assert_eq!(
+                outcome.total_acquisitions,
+                SEEDS_PER_CELL as u64 * threads as u64 * ITERS
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_matrix_ticket() {
+    oracle_matrix(LockKind::Ticket);
+}
+
+#[test]
+fn oracle_matrix_mcs() {
+    oracle_matrix(LockKind::Mcs);
+}
+
+#[test]
+fn oracle_matrix_clh() {
+    oracle_matrix(LockKind::Clh);
+}
+
+#[test]
+fn oracle_matrix_hemlock() {
+    oracle_matrix(LockKind::Hemlock);
+}
+
+#[test]
+fn oracle_matrix_hemlock_ctr() {
+    oracle_matrix(LockKind::HemlockCtr);
+}
+
+#[test]
+fn oracle_matrix_anderson() {
+    oracle_matrix(LockKind::Anderson);
+}
+
+#[test]
+fn oracle_matrix_ttas() {
+    oracle_matrix(LockKind::Ttas);
+}
+
+#[test]
+fn oracle_matrix_backoff() {
+    oracle_matrix(LockKind::Backoff);
+}
+
+/// Bounded acquisition gap for a fair composition: with a small
+/// keep-local threshold, no thread waits through more than a small
+/// multiple of `threads × H` foreign acquisitions. (The gap is measured
+/// end-to-end, so the bound carries slack for time spent outside the
+/// queue; it is a starvation tripwire, not a FIFO proof.)
+#[test]
+fn fair_composition_gap_is_bounded() {
+    let hierarchy = build_regular(&[2, 4]);
+    let params = ClofParams {
+        keep_local_threshold: 2,
+    };
+    let kinds = vec![LockKind::Ticket; hierarchy.level_count()];
+    let lock = Arc::new(
+        DynClofLock::build_with(&hierarchy, &kinds, params, false).expect("fair composition"),
+    );
+    let threads = 4usize;
+    let cpus: Vec<usize> = (0..threads).map(|t| t * hierarchy.ncpus() / threads).collect();
+    let opts = StressOptions {
+        threads,
+        iters: 80,
+        seed: 0xFA1B_0C50,
+        chaos_denom: 0, // pure scheduling; chaos would stretch gaps artificially
+        max_gap: Some(64),
+        label: "tkt-tkt gap bound".into(),
+        ..StressOptions::default()
+    };
+    let report = run_stress(&opts, |tid| lock.handle(cpus[tid]));
+    assert!(report.passed(), "{}", report.render());
+}
+
+/// End-to-end acceptance: a deliberately broken lock is caught within a
+/// 16-seed budget and the failure names a replayable seed.
+#[test]
+fn broken_lock_is_caught_with_replayable_seed() {
+    let lock = Arc::new(BrokenTas::default());
+    let seeds = seed_batch(0xDEAD_10CC, 16);
+    let opts = StressOptions {
+        threads: 4,
+        iters: 40,
+        label: "broken-tas".into(),
+        ..StressOptions::default()
+    };
+    let outcome = fuzz_seeds(&opts, &seeds, |_seed, _tid| RawHandle::new(&lock));
+    let report = outcome
+        .failure
+        .expect("the oracle must catch a lock with no atomic RMW");
+    let rendered = report.render();
+    assert!(
+        rendered.contains("replay with seed 0x"),
+        "failure report must name its seed:\n{rendered}"
+    );
+}
