@@ -7,6 +7,9 @@
 //! clof select    [--machine x86|armv8] [--levels 3|4] [--policy hc|lc] [--quick]
 //! clof simulate  [--machine x86|armv8] --lock tkt-clh-tkt-tkt --threads N
 //!                [--workload leveldb|kyoto] [--threshold H]
+//! clof stats     [--machine x86|armv8] --lock tkt-clh-tkt-tkt
+//!                [--threads N] [--iters N] [--threshold H]
+//!                [--format table|json|prometheus]       # needs --features obs
 //! ```
 //!
 //! All simulation-backed commands run on the built-in paper machine
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "generate" => generate(&args[1..]),
         "select" => select(&args[1..]),
         "simulate" => simulate(&args[1..]),
+        "stats" => stats(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -58,7 +62,11 @@ commands:
                                                   run the scripted benchmark and pick the best lock
   simulate  [--machine x86|armv8] --lock NAME --threads N
             [--workload leveldb|kyoto] [--threshold H]
-                                                  simulate one lock at one contention level";
+                                                  simulate one lock at one contention level
+  stats     [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
+            [--threshold H] [--format table|json|prometheus]
+                                                  hammer a real composed lock and print its
+                                                  telemetry (requires --features obs)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -174,7 +182,116 @@ fn select(args: &[String]) -> Result<(), String> {
     for (threads, tp) in &selection.best().points {
         println!("  best @ {threads:>3} threads: {tp:.3} iter/us");
     }
+    // With telemetry compiled in, profile both policy finalists on the
+    // *real* composed lock (not the simulator) and print the per-level
+    // pass rates and tail latency a deployment would observe.
+    #[cfg(feature = "obs")]
+    {
+        println!();
+        println!("finalist telemetry (real lock, 8 threads x 20000 iters):");
+        for (tag, name) in [("HC", hc.best().name()), ("LC", lc.best().name())] {
+            let kinds = parse_composition(&name).map_err(|e| e.to_string())?;
+            let snap = profile_real_lock(&machine.hierarchy, &kinds, 128, 8, 20_000)?;
+            for level in &snap.levels {
+                println!(
+                    "  {tag}-best {name} level {}: pass rate {:5.1}%  p99 acquire {} ns",
+                    level.level,
+                    level.pass_rate() * 100.0,
+                    level.acquire_ns.p99()
+                );
+            }
+        }
+    }
     Ok(())
+}
+
+/// Builds the named composition as a real `DynClofLock`, hammers it from
+/// `threads` threads spread compactly over the hierarchy, and returns
+/// the telemetry snapshot at quiescence.
+#[cfg(feature = "obs")]
+fn profile_real_lock(
+    hierarchy: &clof_topology::Hierarchy,
+    kinds: &[clof::LockKind],
+    threshold: u32,
+    threads: usize,
+    iters: u64,
+) -> Result<clof::obs::LockSnapshot, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let params = clof::ClofParams {
+        keep_local_threshold: threshold,
+    };
+    let lock = Arc::new(
+        clof::DynClofLock::build_with(hierarchy, kinds, params, true).map_err(|e| e.to_string())?,
+    );
+    let shared = Arc::new(AtomicU64::new(0));
+    let ncpus = hierarchy.ncpus();
+    let mut workers = Vec::new();
+    for t in 0..threads {
+        let lock = Arc::clone(&lock);
+        let shared = Arc::clone(&shared);
+        let cpu = t * ncpus / threads.max(1);
+        workers.push(std::thread::spawn(move || {
+            let mut handle = lock.handle(cpu);
+            for _ in 0..iters {
+                handle.acquire();
+                shared.fetch_add(1, Ordering::Relaxed);
+                handle.release();
+            }
+        }));
+    }
+    for w in workers {
+        w.join().map_err(|_| "profiling thread panicked".to_string())?;
+    }
+    let expected = threads as u64 * iters;
+    let got = shared.load(Ordering::Relaxed);
+    if got != expected {
+        return Err(format!("lost updates under profile: {got} != {expected}"));
+    }
+    Ok(lock.obs_snapshot())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = args;
+        Err("`stats` needs lock telemetry compiled in; rebuild with `--features obs`".to_string())
+    }
+    #[cfg(feature = "obs")]
+    {
+        let machine = tuned_machine(args)?;
+        let lock = flag_value(args, "--lock").ok_or("missing --lock NAME (e.g. tkt-clh-tkt)")?;
+        let kinds = parse_composition(lock).map_err(|e| e.to_string())?;
+        if kinds.len() != machine.hierarchy.level_count() {
+            return Err(format!(
+                "`{lock}` names {} levels but the hierarchy has {} ({:?}); pass --levels",
+                kinds.len(),
+                machine.hierarchy.level_count(),
+                machine.hierarchy.level_names()
+            ));
+        }
+        let threads: usize = flag_value(args, "--threads")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|e| format!("bad --threads: {e}"))?;
+        let iters: u64 = flag_value(args, "--iters")
+            .unwrap_or("20000")
+            .parse()
+            .map_err(|e| format!("bad --iters: {e}"))?;
+        let threshold: u32 = flag_value(args, "--threshold")
+            .unwrap_or("128")
+            .parse()
+            .map_err(|e| format!("bad --threshold: {e}"))?;
+        let snap = profile_real_lock(&machine.hierarchy, &kinds, threshold, threads, iters)?;
+        match flag_value(args, "--format").unwrap_or("table") {
+            "table" => print!("{}", clof_bench::report::obs_report(&snap).render()),
+            "json" => println!("{}", clof::obs::render_json(&snap)),
+            "prometheus" | "prom" => print!("{}", clof::obs::render_prometheus(&snap)),
+            other => return Err(format!("unknown format `{other}` (table | json | prometheus)")),
+        }
+        Ok(())
+    }
 }
 
 fn simulate(args: &[String]) -> Result<(), String> {

@@ -118,6 +118,61 @@ impl Report {
     }
 }
 
+/// Renders a lock-telemetry snapshot as a per-level [`Report`]: one row
+/// per hierarchy level (innermost first) with acquisition counts, the
+/// pass rate, keep-local resets, waiter-hint hits, and acquire-latency
+/// quantiles. Hold-time quantiles and event-ring totals, which are
+/// lock-wide rather than per-level, go in the notes.
+#[cfg(feature = "obs")]
+pub fn obs_report(snap: &clof::obs::LockSnapshot) -> Report {
+    let mut r = Report::new(
+        "obs",
+        &format!("lock telemetry: {}", snap.name),
+        &[
+            "level",
+            "acquires",
+            "contended",
+            "pass-rate",
+            "declined",
+            "resets",
+            "hint-hits",
+            "acq-p50(ns)",
+            "acq-p99(ns)",
+            "acq-max(ns)",
+        ],
+    );
+    for level in &snap.levels {
+        r.row([
+            level.level.to_string(),
+            level.acquires.to_string(),
+            level.contended_acquires.to_string(),
+            format!("{:.1}%", level.pass_rate() * 100.0),
+            level.passes_declined.to_string(),
+            level.keep_local_resets.to_string(),
+            level.hint_fast_hits.to_string(),
+            level.acquire_ns.p50().to_string(),
+            level.acquire_ns.p99().to_string(),
+            level.acquire_ns.max.to_string(),
+        ]);
+    }
+    if snap.hold_ns.count != 0 {
+        r.note(format!(
+            "hold time: p50 {} ns, p99 {} ns, max {} ns over {} sections",
+            snap.hold_ns.p50(),
+            snap.hold_ns.p99(),
+            snap.hold_ns.max,
+            snap.hold_ns.count
+        ));
+    }
+    if snap.events_recorded != 0 {
+        r.note(format!(
+            "pass events: {} recorded, {} beyond ring capacity",
+            snap.events_recorded, snap.events_dropped
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +201,25 @@ mod tests {
         assert!(csv.starts_with("# hello\n"));
         assert!(csv.contains("\"with,comma\""));
         assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_report_renders_per_level_rows() {
+        let counters = clof::obs::LevelCounters::new();
+        counters.record_acquire(false);
+        counters.record_acquire(true);
+        counters.record_pass_taken();
+        counters.record_pass_declined(false);
+        let snap = clof::obs::LockSnapshot {
+            name: "tkt-tkt".into(),
+            levels: vec![counters.snapshot(0)],
+            ..Default::default()
+        };
+        let s = obs_report(&snap).render();
+        assert!(s.contains("lock telemetry: tkt-tkt"));
+        assert!(s.contains("pass-rate"));
+        assert!(s.contains("50.0%"), "{s}");
     }
 
     #[test]

@@ -42,16 +42,29 @@ pub trait HierLock: Send + Sync + 'static {
 
     /// Number of levels below (and including) this node.
     fn levels() -> usize;
+
+    /// Visits every node's telemetry counters, bottom-up: the callback
+    /// receives `(level, node_address, counters)`. The address lets
+    /// callers dedupe shared upper nodes reached from several leaves
+    /// (the static side records counters only — histograms and the
+    /// event ring need the per-lock plumbing [`crate::DynClofLock`]
+    /// has; use the dynamic form for full traces).
+    #[cfg(feature = "obs")]
+    fn visit_obs(&self, level: usize, visit: &mut dyn FnMut(usize, usize, &clof_obs::LevelCounters));
 }
 
 /// Base case of the recursion: a bare basic lock (the system-level lock).
 #[derive(Debug, Default)]
-pub struct Leaf<L: RawLock>(L);
+pub struct Leaf<L: RawLock> {
+    low: L,
+    #[cfg(feature = "obs")]
+    obs: clof_obs::LevelCounters,
+}
 
 impl<L: RawLock> Leaf<L> {
     /// Wraps a basic lock as the root of a composition.
     pub fn new() -> Self {
-        Leaf(L::default())
+        Self::default()
     }
 }
 
@@ -60,12 +73,14 @@ impl<L: RawLock> HierLock for Leaf<L> {
 
     #[inline]
     fn acquire(&self, ctx: &mut L::Context) {
-        self.0.acquire(ctx);
+        self.low.acquire(ctx);
+        #[cfg(feature = "obs")]
+        self.obs.record_acquire(false);
     }
 
     #[inline]
     fn release(&self, ctx: &mut L::Context) {
-        self.0.release(ctx);
+        self.low.release(ctx);
     }
 
     fn fair() -> bool {
@@ -79,6 +94,15 @@ impl<L: RawLock> HierLock for Leaf<L> {
     fn levels() -> usize {
         1
     }
+
+    #[cfg(feature = "obs")]
+    fn visit_obs(
+        &self,
+        level: usize,
+        visit: &mut dyn FnMut(usize, usize, &clof_obs::LevelCounters),
+    ) {
+        visit(level, self as *const Self as usize, &self.obs);
+    }
 }
 
 /// Inductive case: `CLoF(l, L)` — low lock `L`, high lock `H`.
@@ -90,6 +114,8 @@ pub struct Clof<L: RawLock, H: HierLock> {
     low: L,
     meta: LevelMeta<H::Context>,
     high: Arc<H>,
+    #[cfg(feature = "obs")]
+    obs: clof_obs::LevelCounters,
 }
 
 impl<L: RawLock, H: HierLock> Clof<L, H> {
@@ -104,6 +130,8 @@ impl<L: RawLock, H: HierLock> Clof<L, H> {
             low: L::default(),
             meta: LevelMeta::new(params),
             high,
+            #[cfg(feature = "obs")]
+            obs: clof_obs::LevelCounters::new(),
         }
     }
 
@@ -131,6 +159,8 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
             self.meta.dec_waiters();
         }
         clof_locks::chaos::point("clof-acquire-low-won");
+        #[cfg(feature = "obs")]
+        self.obs.record_acquire(self.meta.has_high_lock());
         if !self.meta.has_high_lock() {
             self.meta.debug_ctx_enter();
             // SAFETY: We own the low lock, so the context invariant grants
@@ -144,16 +174,24 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
 
     /// `lockgen(rel(CLoF(l, L), c))` from Figure 8.
     fn release(&self, ctx: &mut L::Context) {
-        let waiters = self
-            .low
-            .has_waiters_hint(ctx)
-            .unwrap_or_else(|| self.meta.has_waiters());
+        let hint = self.low.has_waiters_hint(ctx);
+        #[cfg(feature = "obs")]
+        if hint.is_some() {
+            self.obs.record_hint_hit();
+        }
+        let waiters = hint.unwrap_or_else(|| self.meta.has_waiters());
         if waiters && self.meta.keep_local() {
             // Pass: leave the high lock acquired for our cohort successor.
+            #[cfg(feature = "obs")]
+            self.obs.record_pass_taken();
             self.meta.pass_high_lock();
             clof_locks::chaos::point("clof-release-pass");
             self.low.release(ctx);
         } else {
+            // `waiters` here means the decline was forced by the
+            // keep_local threshold, not by an empty cohort.
+            #[cfg(feature = "obs")]
+            self.obs.record_pass_declined(waiters);
             self.meta.clear_high_lock();
             clof_locks::chaos::point("clof-release-up");
             self.meta.debug_ctx_enter();
@@ -179,19 +217,29 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
     fn levels() -> usize {
         1 + H::levels()
     }
+
+    #[cfg(feature = "obs")]
+    fn visit_obs(
+        &self,
+        level: usize,
+        visit: &mut dyn FnMut(usize, usize, &clof_obs::LevelCounters),
+    ) {
+        visit(level, self as *const Self as usize, &self.obs);
+        self.high.visit_obs(level + 1, visit);
+    }
 }
 
 /// Whether `L` reports waiters natively (compile-time constant per type).
+///
+/// Reads [`LockInfo::waiter_hint`](clof_locks::LockInfo) directly, so new
+/// locks (and locks whose hint was previously missed by a name-keyed
+/// list — Anderson always answered `Some` yet used to be treated as
+/// hintless here, paying the read-indicator traffic for nothing) are
+/// classified by their own declaration. The `native_hint_matches_info`
+/// test pins the constant to the run-time behaviour for every kind.
 #[inline]
 fn has_native_hint<L: RawLock>() -> bool {
-    // All queue/ticket locks in `clof-locks` provide hints; the property
-    // is encoded in `LockInfo` indirectly: no-context global-spin locks
-    // without hints return `None` at run time. We probe the INFO table:
-    // the four paper locks and TTAS/BO either hint (tkt/mcs/clh/hem) or
-    // not (ttas/bo). Probing a fresh instance would be wasteful, so the
-    // set is keyed by name here, kept in sync by the
-    // `native_hint_matches_info` test.
-    matches!(L::INFO.name, "tkt" | "mcs" | "clh" | "hem" | "hem-ctr")
+    L::INFO.waiter_hint
 }
 
 /// A machine-wide tree of composed locks of static type `T`, one leaf node
@@ -236,6 +284,37 @@ impl<T: HierLock> ClofTree<T> {
     /// Number of leaf cohorts.
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// Telemetry snapshot: per-level counters summed across cohorts
+    /// (exact at quiescence).
+    ///
+    /// The static composition records counters only — latency histograms
+    /// and the pass-event ring live on [`crate::DynClofLock`], whose
+    /// nodes share per-lock collector state; monomorphized nodes have
+    /// nowhere lock-wide to hang it without widening every handle.
+    #[cfg(feature = "obs")]
+    pub fn obs_snapshot(&self) -> clof_obs::LockSnapshot {
+        let mut levels: Vec<clof_obs::LevelSnapshot> = (0..T::levels())
+            .map(|level| clof_obs::LevelSnapshot {
+                level,
+                ..Default::default()
+            })
+            .collect();
+        let mut seen: Vec<usize> = Vec::new();
+        for leaf in &self.leaves {
+            leaf.visit_obs(0, &mut |level, addr, counters| {
+                if !seen.contains(&addr) {
+                    seen.push(addr);
+                    levels[level].merge(&counters.snapshot(level));
+                }
+            });
+        }
+        clof_obs::LockSnapshot {
+            name: self.name.clone(),
+            levels,
+            ..Default::default()
+        }
     }
 }
 
@@ -365,9 +444,13 @@ mod tests {
 
     #[test]
     fn native_hint_matches_info() {
-        // Keep `has_native_hint` in sync with the actual implementations:
-        // probe each lock held uncontended.
-        use clof_locks::{BackoffLock, Hemlock, HemlockCtr, RawLock, TtasLock};
+        // Keep `LockInfo::waiter_hint` (which `has_native_hint` reads) in
+        // sync with the actual implementations: probe each lock held
+        // uncontended. Anderson is the regression case — it always
+        // answers `Some`, but a previous name-keyed version of
+        // `has_native_hint` omitted it and kept the redundant
+        // read-indicator traffic.
+        use clof_locks::{AndersonLock, BackoffLock, Hemlock, HemlockCtr, RawLock, TtasLock};
         fn probe<L: RawLock>() -> bool {
             let lock = L::default();
             let mut ctx = L::Context::default();
@@ -383,6 +466,11 @@ mod tests {
         assert_eq!(probe::<HemlockCtr>(), has_native_hint::<HemlockCtr>());
         assert_eq!(probe::<TtasLock>(), has_native_hint::<TtasLock>());
         assert_eq!(probe::<BackoffLock>(), has_native_hint::<BackoffLock>());
+        assert_eq!(probe::<AndersonLock>(), has_native_hint::<AndersonLock>());
+        assert!(
+            has_native_hint::<AndersonLock>(),
+            "Anderson provides a native hint and must skip the waiter counter"
+        );
     }
 
     #[test]

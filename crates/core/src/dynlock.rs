@@ -18,6 +18,166 @@ use crate::error::ClofError;
 use crate::kind::{AnyContext, AnyLock, LockKind};
 use crate::level::{ClofParams, LevelMeta};
 
+use self::nodeobs::{HoldObs, LockObs, NodeObs};
+
+/// Telemetry plumbing for the dynamic composition, in the style of the
+/// `clof-locks` chaos module: the enabled and disabled variants expose
+/// the same names, and with the `obs` feature off every type is
+/// zero-sized and every method an empty `#[inline]` body the optimizer
+/// erases — call sites stay free of `cfg` noise.
+#[cfg(feature = "obs")]
+mod nodeobs {
+    use std::sync::Arc;
+
+    use clof_obs::{now_ns, thread_tag, EventRing, LevelCounters, LogHistogram, PassKind};
+
+    /// Per-lock collector state shared by every node of one
+    /// [`DynClofLock`](super::DynClofLock).
+    #[derive(Debug, Default)]
+    pub(super) struct LockObs {
+        pub(super) ring: Arc<EventRing>,
+        pub(super) hold_ns: Arc<LogHistogram>,
+    }
+
+    impl LockObs {
+        pub(super) fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    /// Per-node recording state: the node's level, its counters and
+    /// acquire-latency histogram, and a handle on the lock-wide ring.
+    #[derive(Debug)]
+    pub(super) struct NodeObs {
+        level: u8,
+        pub(super) counters: LevelCounters,
+        pub(super) acquire_ns: LogHistogram,
+        ring: Arc<EventRing>,
+    }
+
+    impl NodeObs {
+        pub(super) fn new(level: usize, lock: &LockObs) -> Self {
+            NodeObs {
+                level: level as u8,
+                counters: LevelCounters::new(),
+                acquire_ns: LogHistogram::new(),
+                ring: Arc::clone(&lock.ring),
+            }
+        }
+
+        /// Timestamp taken before the low-lock acquire.
+        #[inline]
+        pub(super) fn start(&self) -> u64 {
+            now_ns()
+        }
+
+        #[inline]
+        pub(super) fn record_acquire(&self, inherited: bool, start: u64) {
+            self.counters.record_acquire(inherited);
+            self.acquire_ns.record(now_ns().saturating_sub(start));
+        }
+
+        #[inline]
+        pub(super) fn record_pass(&self) {
+            self.counters.record_pass_taken();
+            self.ring.record(self.level, PassKind::Pass, thread_tag());
+        }
+
+        #[inline]
+        pub(super) fn record_release_up(&self, threshold_hit: bool) {
+            self.counters.record_pass_declined(threshold_hit);
+            self.ring
+                .record(self.level, PassKind::ReleaseUp, thread_tag());
+        }
+
+        #[inline]
+        pub(super) fn record_hint_hit(&self) {
+            self.counters.record_hint_hit();
+        }
+    }
+
+    /// Critical-section hold-time tracker carried by each handle.
+    #[derive(Debug)]
+    pub(super) struct HoldObs {
+        hist: Arc<LogHistogram>,
+        acquired_at: u64,
+    }
+
+    impl HoldObs {
+        pub(super) fn new(lock: &LockObs) -> Self {
+            HoldObs {
+                hist: Arc::clone(&lock.hold_ns),
+                acquired_at: 0,
+            }
+        }
+
+        #[inline]
+        pub(super) fn acquired(&mut self) {
+            self.acquired_at = now_ns();
+        }
+
+        #[inline]
+        pub(super) fn released(&mut self) {
+            self.hist.record(now_ns().saturating_sub(self.acquired_at));
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod nodeobs {
+    #[derive(Debug, Default)]
+    pub(super) struct LockObs;
+
+    impl LockObs {
+        pub(super) fn new() -> Self {
+            LockObs
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct NodeObs;
+
+    impl NodeObs {
+        #[inline]
+        pub(super) fn new(_level: usize, _lock: &LockObs) -> Self {
+            NodeObs
+        }
+
+        #[inline(always)]
+        pub(super) fn start(&self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub(super) fn record_acquire(&self, _inherited: bool, _start: u64) {}
+
+        #[inline(always)]
+        pub(super) fn record_pass(&self) {}
+
+        #[inline(always)]
+        pub(super) fn record_release_up(&self, _threshold_hit: bool) {}
+
+        #[inline(always)]
+        pub(super) fn record_hint_hit(&self) {}
+    }
+
+    #[derive(Debug)]
+    pub(super) struct HoldObs;
+
+    impl HoldObs {
+        #[inline]
+        pub(super) fn new(_lock: &LockObs) -> Self {
+            HoldObs
+        }
+
+        #[inline(always)]
+        pub(super) fn acquired(&mut self) {}
+
+        #[inline(always)]
+        pub(super) fn released(&mut self) {}
+    }
+}
+
 /// Hand-off statistics of one cohort node (relaxed counters — exact
 /// totals at quiescence, approximate snapshots while running).
 #[derive(Debug, Default)]
@@ -64,7 +224,16 @@ pub struct DynNode {
     meta: LevelMeta<()>,
     high_ctx: UnsafeCell<Option<AnyContext>>,
     high: Option<Arc<DynNode>>,
+    /// Whether acquires must maintain the read-indicator counter. False
+    /// when the low lock natively answers `has_waiters` (the paper's
+    /// §4.1.2 custom hint, [`LockInfo::waiter_hint`]): the release path
+    /// will never consult the counter then, so maintaining it is pure
+    /// coherence traffic on the acquire fast path.
+    ///
+    /// [`LockInfo::waiter_hint`]: clof_locks::LockInfo
+    counter_waiters: bool,
     stats: NodeStats,
+    obs: NodeObs,
 }
 
 // SAFETY: `high_ctx` is protected by the low lock exactly like the static
@@ -75,24 +244,28 @@ unsafe impl Sync for DynNode {}
 unsafe impl Send for DynNode {}
 
 impl DynNode {
-    fn root(kind: LockKind, params: ClofParams) -> Self {
+    fn root(kind: LockKind, params: ClofParams, level: usize, obs: &LockObs) -> Self {
         DynNode {
             low: AnyLock::new(kind),
             meta: LevelMeta::new(params),
             high_ctx: UnsafeCell::new(None),
             high: None,
+            counter_waiters: !kind.info().waiter_hint,
             stats: NodeStats::default(),
+            obs: NodeObs::new(level, obs),
         }
     }
 
-    fn child(kind: LockKind, high: Arc<DynNode>, params: ClofParams) -> Self {
+    fn child(kind: LockKind, high: Arc<DynNode>, params: ClofParams, level: usize, obs: &LockObs) -> Self {
         let high_ctx = high.low.new_context();
         DynNode {
             low: AnyLock::new(kind),
             meta: LevelMeta::new(params),
             high_ctx: UnsafeCell::new(Some(high_ctx)),
             high: Some(high),
+            counter_waiters: !kind.info().waiter_hint,
             stats: NodeStats::default(),
+            obs: NodeObs::new(level, obs),
         }
     }
 
@@ -100,17 +273,28 @@ impl DynNode {
     fn acquire(&self, ctx: &mut AnyContext) {
         let Some(high) = &self.high else {
             // Base case: the system-level basic lock.
+            let start = self.obs.start();
             self.low.acquire(ctx);
             self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_acquire(false, start);
             return;
         };
-        self.meta.inc_waiters();
+        let start = self.obs.start();
+        // The read-indicator bracket is skipped entirely when the low
+        // lock natively reports waiters (paper §4.1.2) — the release
+        // path takes the hint branch unconditionally then.
+        if self.counter_waiters {
+            self.meta.inc_waiters();
+        }
         self.low.acquire(ctx);
-        self.meta.dec_waiters();
+        if self.counter_waiters {
+            self.meta.dec_waiters();
+        }
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         // Window between winning the low lock and inspecting the pass
         // flag left by the previous owner.
         clof_locks::chaos::point("dyn-acquire-low-won");
+        self.obs.record_acquire(self.meta.has_high_lock(), start);
         if !self.meta.has_high_lock() {
             self.meta.debug_ctx_enter();
             // SAFETY: We own the low lock; the context invariant grants
@@ -130,12 +314,14 @@ impl DynNode {
             self.low.release(ctx);
             return;
         };
-        let waiters = self
-            .low
-            .has_waiters_hint(ctx)
-            .unwrap_or_else(|| self.meta.has_waiters());
+        let hint = self.low.has_waiters_hint(ctx);
+        if hint.is_some() {
+            self.obs.record_hint_hit();
+        }
+        let waiters = hint.unwrap_or_else(|| self.meta.has_waiters());
         if waiters && self.meta.keep_local() {
             self.stats.passes.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_pass();
             self.meta.pass_high_lock();
             // Window between setting the pass flag and releasing the low
             // lock that publishes it to the successor.
@@ -143,6 +329,9 @@ impl DynNode {
             self.low.release(ctx);
         } else {
             self.stats.releases_up.fetch_add(1, Ordering::Relaxed);
+            // `waiters` still true here means keep_local hit its
+            // threshold — a forced surrender, not an idle cohort.
+            self.obs.record_release_up(waiters);
             self.meta.clear_high_lock();
             clof_locks::chaos::point("dyn-release-up");
             self.meta.debug_ctx_enter();
@@ -173,6 +362,7 @@ pub struct DynClofLock {
     cpu_to_leaf: Vec<usize>,
     composition: Vec<LockKind>,
     name: String,
+    obs: LockObs,
 }
 
 impl std::fmt::Debug for DynClofLock {
@@ -229,10 +419,11 @@ impl DynClofLock {
             }
         }
         let levels = hierarchy.level_count();
+        let obs = LockObs::new();
         // Build from the root (outermost level) down.
         let root_kind = locks[levels - 1];
         let mut upper: Vec<Arc<DynNode>> =
-            vec![Arc::new(DynNode::root(root_kind, params[levels - 1]))];
+            vec![Arc::new(DynNode::root(root_kind, params[levels - 1], levels - 1, &obs))];
         for level in (0..levels - 1).rev() {
             let mut nodes = Vec::with_capacity(hierarchy.cohort_count(level));
             for cohort in 0..hierarchy.cohort_count(level) {
@@ -242,6 +433,8 @@ impl DynClofLock {
                     locks[level],
                     Arc::clone(&upper[parent_cohort]),
                     params[level],
+                    level,
+                    &obs,
                 )));
             }
             upper = nodes;
@@ -254,6 +447,7 @@ impl DynClofLock {
             cpu_to_leaf,
             composition: locks.to_vec(),
             name: crate::generator::composition_name(locks),
+            obs,
         })
     }
 
@@ -265,7 +459,11 @@ impl DynClofLock {
     pub fn handle(&self, cpu: CpuId) -> DynHandle {
         let leaf = Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]);
         let ctx = leaf.low.new_context();
-        DynHandle { leaf, ctx }
+        DynHandle {
+            leaf,
+            ctx,
+            hold: HoldObs::new(&self.obs),
+        }
     }
 
     /// Composition in the paper's notation, e.g. `"tkt-clh-tkt"`.
@@ -329,24 +527,72 @@ impl DynClofLock {
         }
         out
     }
+
+    /// Full telemetry snapshot: per-level counters and acquire-latency
+    /// histograms (summed across cohorts), whole-lock hold-time
+    /// histogram, and the surviving pass-event trace — everything
+    /// [`clof_obs::render_json`]/[`clof_obs::render_prometheus`] and the
+    /// `Display` impl consume. Exact at quiescence, approximate while
+    /// threads are mid-acquire (same contract as [`Self::stats`]).
+    #[cfg(feature = "obs")]
+    pub fn obs_snapshot(&self) -> clof_obs::LockSnapshot {
+        let mut levels: Vec<clof_obs::LevelSnapshot> = (0..self.composition.len())
+            .map(|level| clof_obs::LevelSnapshot {
+                level,
+                ..Default::default()
+            })
+            .collect();
+        let mut seen: Vec<*const DynNode> = Vec::new();
+        for leaf in &self.leaves {
+            let mut level = 0usize;
+            let mut cur: &Arc<DynNode> = leaf;
+            loop {
+                let ptr = Arc::as_ptr(cur);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    let mut snap = cur.obs.counters.snapshot(level);
+                    snap.acquire_ns = cur.obs.acquire_ns.snapshot();
+                    levels[level].merge(&snap);
+                }
+                match &cur.high {
+                    Some(high) => {
+                        cur = high;
+                        level += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        clof_obs::LockSnapshot {
+            name: self.name.clone(),
+            levels,
+            hold_ns: self.obs.hold_ns.snapshot(),
+            events_recorded: self.obs.ring.recorded(),
+            events_dropped: self.obs.ring.dropped(),
+            events: self.obs.ring.drain(),
+        }
+    }
 }
 
 /// A per-thread handle: the leaf node plus this thread's leaf context.
 pub struct DynHandle {
     leaf: Arc<DynNode>,
     ctx: AnyContext,
+    hold: HoldObs,
 }
 
 impl DynHandle {
     /// Acquires the composed lock.
     pub fn acquire(&mut self) {
         self.leaf.acquire(&mut self.ctx);
+        self.hold.acquired();
     }
 
     /// Releases the composed lock.
     ///
     /// Must only be called while held through this handle.
     pub fn release(&mut self) {
+        self.hold.released();
         self.leaf.release(&mut self.ctx);
     }
 }
@@ -568,6 +814,65 @@ mod tests {
             false,
         );
         assert!(err.is_err());
+    }
+
+    /// Queues a waiter on CPU 1 while CPU 0 holds, and reports the leaf
+    /// cohort's read-indicator count observed during the wait.
+    fn waiter_count_while_queued(lock: &Arc<DynClofLock>) -> u32 {
+        let mut holder = lock.handle(0);
+        holder.acquire();
+        let started = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let lock = Arc::clone(lock);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut handle = lock.handle(1);
+                started.store(1, Ordering::Release);
+                handle.acquire();
+                handle.release();
+            })
+        };
+        while started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        // Grace period: the waiter is parked in the leaf's low-lock
+        // acquire (CPUs 0 and 1 share the leaf cohort on `tiny`).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let count = lock.leaves[lock.cpu_to_leaf[0]].meta.waiter_count();
+        holder.release();
+        waiter.join().unwrap();
+        count
+    }
+
+    #[test]
+    fn hinting_low_lock_skips_read_indicator() {
+        // Regression: a low lock with a native waiter hint (tkt) must
+        // not maintain the read-indicator counter at all — the release
+        // path always takes the hint branch, so `inc`/`dec_waiters`
+        // would be pure wasted coherence traffic.
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket])
+                .unwrap(),
+        );
+        assert_eq!(waiter_count_while_queued(&lock), 0);
+    }
+
+    #[test]
+    fn hintless_low_lock_maintains_read_indicator() {
+        // Counterpart: TTAS answers no hint, so the counter path must
+        // still run and see the queued waiter.
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build_with(
+                &h,
+                &[LockKind::Ttas, LockKind::Ticket, LockKind::Ticket],
+                ClofParams::default(),
+                true,
+            )
+            .unwrap(),
+        );
+        assert_eq!(waiter_count_while_queued(&lock), 1);
     }
 
     #[test]

@@ -103,6 +103,17 @@ impl FastClof {
         )
     }
 
+    /// Telemetry snapshot of the slow path (the composition); the TAS
+    /// gate itself contributes only [`Self::path_counters`]. The
+    /// snapshot's name carries the `tas+` prefix so exports distinguish
+    /// the fast-path variant.
+    #[cfg(feature = "obs")]
+    pub fn obs_snapshot(&self) -> clof_obs::LockSnapshot {
+        let mut snap = self.slow.obs_snapshot();
+        snap.name = self.name();
+        snap
+    }
+
     #[inline]
     fn try_top(&self) -> bool {
         // Test-and-test-and-set to keep the failed fast path cheap.

@@ -73,4 +73,11 @@ pub use kind::LockKind;
 pub use level::ClofParams;
 pub use mutex::{ClofMutex, ClofMutexGuard, ClofMutexHandle};
 pub use rwlock::{ClofRwLock, ClofRwWriter};
-pub use select::{rank, scripted_benchmark, BenchResult, Policy, Selection};
+pub use select::{rank, scripted_benchmark, BenchResult, CandidateObs, Policy, Selection};
+
+/// Re-export of the telemetry crate (`obs` feature only), so downstream
+/// users never need a direct `clof-obs` dependency: snapshots come from
+/// [`DynClofLock::obs_snapshot`] / [`ClofTree::obs_snapshot`] and render
+/// via [`obs::render_json`] / [`obs::render_prometheus`].
+#[cfg(feature = "obs")]
+pub use clof_obs as obs;

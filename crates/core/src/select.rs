@@ -11,6 +11,24 @@
 
 use crate::kind::LockKind;
 
+/// Telemetry summary of one candidate, attached to its [`BenchResult`]
+/// when the benchmark runs with the `obs` feature enabled.
+///
+/// The fields are the two numbers the paper's selection narrative keeps
+/// reaching for: how *local* the composition managed to stay (innermost
+/// pass rate — high under HC, irrelevant under LC) and what tail latency
+/// that locality cost (p99 time to win the innermost low lock). The type
+/// itself is unconditional — plain data, no `clof-obs` dependency — so
+/// results serialize the same with the feature off (`obs: None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateObs {
+    /// Fraction of release decisions at the innermost level that passed
+    /// the lock within the cohort, in `[0, 1]`.
+    pub pass_rate: f64,
+    /// 99th-percentile acquire latency at the innermost level, in ns.
+    pub p99_acquire_ns: u64,
+}
+
 /// Throughput of one composition over the contention grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchResult {
@@ -18,6 +36,8 @@ pub struct BenchResult {
     pub composition: Vec<LockKind>,
     /// `(threads, throughput)` pairs, ascending thread count.
     pub points: Vec<(usize, f64)>,
+    /// Telemetry summary, when the benchmark collected one.
+    pub obs: Option<CandidateObs>,
 }
 
 impl BenchResult {
@@ -95,6 +115,14 @@ impl Selection {
 
 /// Ranks benchmark results under `policy` (best first).
 ///
+/// Throughput score decides the order. Exact score ties — common when a
+/// coarse grid quantizes several compositions to the same number — break
+/// **deterministically** toward the lower innermost-level p99 acquire
+/// latency when both candidates carry telemetry ([`BenchResult::obs`]):
+/// between two equally fast locks, prefer the one with the better tail.
+/// Candidates without telemetry compare equal and keep their input order
+/// (the sort is stable), so rankings are reproducible with `obs` off too.
+///
 /// # Panics
 ///
 /// Panics if `results` is empty or a score is NaN.
@@ -105,6 +133,10 @@ pub fn rank(results: &[BenchResult], policy: Policy) -> Selection {
         b.score(&policy)
             .partial_cmp(&a.score(&policy))
             .expect("scores must not be NaN")
+            .then_with(|| match (&a.obs, &b.obs) {
+                (Some(oa), Some(ob)) => oa.p99_acquire_ns.cmp(&ob.p99_acquire_ns),
+                _ => std::cmp::Ordering::Equal,
+            })
     });
     Selection { ranked, policy }
 }
@@ -129,6 +161,7 @@ pub fn scripted_benchmark(
                 .iter()
                 .map(|&t| (t, evaluate(combo, t)))
                 .collect(),
+            obs: None,
         })
         .collect()
 }
@@ -141,6 +174,7 @@ mod tests {
         BenchResult {
             composition: kinds.to_vec(),
             points: points.to_vec(),
+            obs: None,
         }
     }
 
@@ -185,6 +219,44 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].points.len(), 3);
         assert_eq!(results[0].points[2].0, 16);
+    }
+
+    #[test]
+    fn equal_scores_break_toward_lower_p99() {
+        let mut a = result(&[LockKind::Mcs], &[(1, 5.0), (8, 5.0)]);
+        let mut b = result(&[LockKind::Ticket], &[(1, 5.0), (8, 5.0)]);
+        a.obs = Some(CandidateObs {
+            pass_rate: 0.9,
+            p99_acquire_ns: 4_000,
+        });
+        b.obs = Some(CandidateObs {
+            pass_rate: 0.5,
+            p99_acquire_ns: 900,
+        });
+        // Identical throughput everywhere; b's better tail must win,
+        // regardless of input order.
+        let sel = rank(&[a.clone(), b.clone()], Policy::Uniform);
+        assert_eq!(sel.best().composition, b.composition);
+        let sel = rank(&[b.clone(), a.clone()], Policy::Uniform);
+        assert_eq!(sel.best().composition, b.composition);
+        // Higher score still beats better p99.
+        let mut c = result(&[LockKind::Clh], &[(1, 6.0), (8, 6.0)]);
+        c.obs = Some(CandidateObs {
+            pass_rate: 0.1,
+            p99_acquire_ns: 1_000_000,
+        });
+        let sel = rank(&[a, b, c.clone()], Policy::Uniform);
+        assert_eq!(sel.best().composition, c.composition);
+    }
+
+    #[test]
+    fn missing_telemetry_keeps_input_order_on_ties() {
+        let a = result(&[LockKind::Mcs], &[(1, 5.0)]);
+        let b = result(&[LockKind::Ticket], &[(1, 5.0)]);
+        let sel = rank(&[a.clone(), b.clone()], Policy::Uniform);
+        assert_eq!(sel.ranked[0].composition, a.composition);
+        let sel = rank(&[b.clone(), a], Policy::Uniform);
+        assert_eq!(sel.ranked[0].composition, b.composition);
     }
 
     #[test]

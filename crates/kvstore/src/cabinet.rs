@@ -113,6 +113,13 @@ impl CabinetDb {
             handle: self.inner.handle(cpu),
         }
     }
+
+    /// Telemetry snapshot of the store's lock (`None` for lock choices
+    /// that do not record telemetry); see [`DbMutex::stats`].
+    #[cfg(feature = "obs")]
+    pub fn stats(&self) -> Option<clof::obs::LockSnapshot> {
+        self.inner.stats()
+    }
 }
 
 /// Per-thread handle on a [`CabinetDb`].

@@ -86,6 +86,21 @@ impl<T> DbMutex<T> {
         })
     }
 
+    /// Telemetry snapshot of the underlying lock, when it is one that
+    /// records telemetry: the CLoF variants ([`LockChoice::Clof`],
+    /// [`LockChoice::ClofFast`], [`LockChoice::Basic`]) return per-level
+    /// counters and latency distributions; the baselines and
+    /// [`LockChoice::Std`] return `None` — their internals are not
+    /// instrumented, which is the point of comparing against them.
+    #[cfg(feature = "obs")]
+    pub fn stats(&self) -> Option<clof::obs::LockSnapshot> {
+        match &self.lock {
+            LockImpl::Clof(l) => Some(l.obs_snapshot()),
+            LockImpl::ClofFast(l) => Some(l.obs_snapshot()),
+            LockImpl::Hmcs(_) | LockImpl::Cna(_) | LockImpl::Shfl(_) | LockImpl::Std(_) => None,
+        }
+    }
+
     /// A handle for a thread running on `cpu`.
     pub fn handle(self: &Arc<Self>, cpu: CpuId) -> DbHandle<T> {
         let inner = match &self.lock {

@@ -92,6 +92,7 @@ impl RawLock for AndersonLock {
         fair: true,
         local_spinning: true,
         needs_context: true,
+        waiter_hint: true,
     };
 
     fn acquire(&self, ctx: &mut AndersonContext) {

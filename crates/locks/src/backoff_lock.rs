@@ -52,6 +52,7 @@ impl RawLock for BackoffLock {
         fair: false,
         local_spinning: false,
         needs_context: false,
+        waiter_hint: false,
     };
 
     fn acquire(&self, _ctx: &mut NoContext) {

@@ -131,6 +131,7 @@ impl RawLock for ClhLock {
         fair: true,
         local_spinning: true,
         needs_context: true,
+        waiter_hint: true,
     };
 
     fn acquire(&self, ctx: &mut ClhContext) {

@@ -166,6 +166,7 @@ impl<const CTR: bool> RawLock for HemlockGeneric<CTR> {
         fair: true,
         local_spinning: true,
         needs_context: true,
+        waiter_hint: true,
     };
 
     fn acquire(&self, ctx: &mut HemContext) {

@@ -113,6 +113,7 @@ impl RawLock for McsLock {
         fair: true,
         local_spinning: true,
         needs_context: true,
+        waiter_hint: true,
     };
 
     fn acquire(&self, ctx: &mut McsContext) {

@@ -23,6 +23,17 @@ pub struct LockInfo {
     /// Whether the lock requires a per-thread context object
     /// (`CtxLockType` in the paper's grammar).
     pub needs_context: bool,
+    /// Whether [`RawLock::has_waiters_hint`] always returns `Some` for
+    /// this algorithm (the paper's optional custom `has_waiters`,
+    /// §4.1.2).
+    ///
+    /// The composition layer uses this constant to skip the generic
+    /// read-indicator counter entirely — maintaining `inc_waiters` /
+    /// `dec_waiters` when the release path will consult the native hint
+    /// anyway is pure wasted coherence traffic. Must agree with the
+    /// run-time behaviour of `has_waiters_hint`; `clof-core`'s
+    /// `native_hint_matches_info` test pins the two together.
+    pub waiter_hint: bool,
 }
 
 /// Context of a no-context lock (`NoCtxLockType` in the paper's grammar).

@@ -62,6 +62,7 @@ impl RawLock for TicketLock {
         fair: true,
         local_spinning: false,
         needs_context: false,
+        waiter_hint: true,
     };
 
     fn acquire(&self, _ctx: &mut NoContext) {

@@ -55,6 +55,7 @@ impl RawLock for TtasLock {
         fair: false,
         local_spinning: false,
         needs_context: false,
+        waiter_hint: false,
     };
 
     fn acquire(&self, _ctx: &mut NoContext) {

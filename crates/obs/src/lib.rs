@@ -1,0 +1,96 @@
+//! Lock telemetry for the CLoF composition layer.
+//!
+//! CLoF *selects* locks from measurements, but throughput alone cannot
+//! explain **why** a composition wins: how often the high lock is passed
+//! within a cohort, how often `keep_local` hits its threshold, what the
+//! per-level acquisition-latency distribution looks like. This crate is
+//! the in-tree answer — the same internal statistics the Compact
+//! NUMA-Aware Locks line of work argues from (intra-node hand-offs vs.
+//! remote transfers), recorded by the composition protocol itself.
+//!
+//! Pieces, all zero-dependency and lock-free on the write path:
+//!
+//! * [`LevelCounters`] — relaxed atomic counters for one hierarchy
+//!   level: acquires, contended (pass-inheriting) acquires, lock passes
+//!   taken/declined, `keep_local` threshold resets, native waiter-hint
+//!   fast-path hits.
+//! * [`LogHistogram`] — a power-of-two-bucketed (HDR-style) histogram
+//!   for acquire latency and critical-section hold time, with merge and
+//!   p50/p90/p99/max queries.
+//! * [`EventRing`] — a fixed-capacity MPSC ring of timestamped
+//!   lock-passing events, so a failing fairness run can be replayed as a
+//!   hand-off trace.
+//! * [`LockSnapshot`] + [`render_json`]/[`render_prometheus`] — a
+//!   point-in-time copy of everything above, with text exporters and a
+//!   human-readable `Display`.
+//!
+//! `clof-core` records into these types only when compiled with its
+//! `obs` cargo feature; the default build carries no `clof-obs` symbols
+//! at all (the same strictly-compile-time gating as the `testkit` chaos
+//! hooks).
+//!
+//! [`render_json`]: export::render_json
+//! [`render_prometheus`]: export::render_prometheus
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod export;
+pub mod hist;
+pub mod ring;
+
+pub use counters::{LevelCounters, LevelSnapshot};
+pub use export::{render_json, render_prometheus, LockSnapshot};
+pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
+pub use ring::{EventRing, PassEvent, PassKind};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process-wide observation epoch (the first call).
+///
+/// Monotonic (backed by [`Instant`]); cheap enough to bracket every
+/// acquire. All timestamps in this crate — histogram samples and ring
+/// events — share this epoch, so traces from different locks in one
+/// process are directly comparable.
+#[inline]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// A small dense id for the calling thread (for ring events).
+///
+/// Ids are assigned on first use per thread, starting at 0; they are
+/// process-global, not per-lock. (`std::thread::ThreadId` has no stable
+/// integer accessor, and ring slots want a fixed-width field.)
+#[inline]
+pub fn thread_tag() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static TAG: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_tags_are_distinct_per_thread() {
+        let mine = thread_tag();
+        assert_eq!(mine, thread_tag(), "stable within a thread");
+        let other = std::thread::spawn(thread_tag).join().unwrap();
+        assert_ne!(mine, other);
+    }
+}

@@ -1,0 +1,268 @@
+//! Fixed-capacity MPSC ring of lock-passing events.
+//!
+//! Writers are the releasing threads inside the composition protocol, so
+//! the write path must be wait-free and allocation-free: claim a slot
+//! with one `fetch_add` on a global cursor, then publish through the
+//! slot's sequence word (seqlock-style: odd while writing, even+ticket
+//! when done). The ring keeps the **latest** `capacity` events — older
+//! slots are overwritten, and `dropped()` reports how many.
+//!
+//! The reader ([`EventRing::drain`]) is best-effort: a slot being
+//! overwritten mid-read is detected by the sequence re-check and
+//! skipped. Draining while writers are active loses in-flight events,
+//! which is the right trade for telemetry; drain at quiescence for exact
+//! traces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::now_ns;
+
+/// What a lock-passing event records about the release decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// The high lock was passed within the cohort (stayed local).
+    Pass,
+    /// The high lock was released upward toward the root.
+    ReleaseUp,
+}
+
+/// One timestamped hand-off decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassEvent {
+    /// Nanoseconds since the process observation epoch ([`now_ns`]).
+    pub timestamp_ns: u64,
+    /// Hierarchy level of the deciding node (0 = innermost).
+    pub level: u8,
+    /// Dense process-wide tag of the releasing thread
+    /// ([`crate::thread_tag`]).
+    pub thread: u32,
+    /// Pass vs. release-to-root.
+    pub kind: PassKind,
+}
+
+/// Slot layout: `seq` (odd = write in progress; even = `2 * ticket + 2`
+/// of the event it holds), `ts`, and the packed level/kind/thread word.
+struct Slot {
+    seq: AtomicU64,
+    ts: AtomicU64,
+    packed: AtomicU64,
+}
+
+/// Packs level/kind/thread into one word: `level | kind << 8 | thread << 32`.
+fn pack(level: u8, kind: PassKind, thread: u32) -> u64 {
+    let k = match kind {
+        PassKind::Pass => 0u64,
+        PassKind::ReleaseUp => 1u64,
+    };
+    level as u64 | (k << 8) | ((thread as u64) << 32)
+}
+
+fn unpack(word: u64) -> (u8, PassKind, u32) {
+    let level = (word & 0xff) as u8;
+    let kind = if (word >> 8) & 1 == 0 {
+        PassKind::Pass
+    } else {
+        PassKind::ReleaseUp
+    };
+    let thread = (word >> 32) as u32;
+    (level, kind, thread)
+}
+
+/// A concurrent ring buffer of [`PassEvent`]s keeping the most recent
+/// `capacity` (rounded up to a power of two, minimum 8).
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    cursor: AtomicU64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EventRing {
+    /// Default capacity when callers have no opinion.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A ring holding the latest `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                ts: AtomicU64::new(0),
+                packed: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            slots,
+            mask: (cap - 1) as u64,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// A ring with [`EventRing::DEFAULT_CAPACITY`] slots.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotone; may exceed `capacity`).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten before they could be drained.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one event, stamped with [`now_ns`] now. Wait-free.
+    #[inline]
+    pub fn record(&self, level: u8, kind: PassKind, thread: u32) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let seq = 2 * ticket + 2;
+        // Mark write-in-progress (odd). Release orders it before the data
+        // for the reader's first load; failure to observe just drops the
+        // slot from a concurrent drain.
+        slot.seq.store(seq - 1, Ordering::Release);
+        slot.ts.store(now_ns(), Ordering::Relaxed);
+        slot.packed
+            .store(pack(level, kind, thread), Ordering::Relaxed);
+        // Publish (even): Release orders the data before the new seq.
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Copies out the currently-held events, oldest first (sorted by
+    /// timestamp). Slots caught mid-write are skipped; the ring is not
+    /// cleared. Exact at quiescence.
+    pub fn drain(&self) -> Vec<PassEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq0 = slot.seq.load(Ordering::Acquire);
+            if seq0 == 0 || seq0 % 2 == 1 {
+                continue; // never written, or write in progress
+            }
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let packed = slot.packed.load(Ordering::Relaxed);
+            // Torn-read check: a concurrent overwrite bumped seq.
+            if slot.seq.load(Ordering::Acquire) != seq0 {
+                continue;
+            }
+            let (level, kind, thread) = unpack(packed);
+            out.push(PassEvent {
+                timestamp_ns: ts,
+                level,
+                thread,
+                kind,
+            });
+        }
+        out.sort_by_key(|e| e.timestamp_ns);
+        out
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for level in [0u8, 1, 2, 255] {
+            for kind in [PassKind::Pass, PassKind::ReleaseUp] {
+                for thread in [0u32, 1, 7, u32::MAX] {
+                    assert_eq!(unpack(pack(level, kind, thread)), (level, kind, thread));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(100).capacity(), 128);
+        assert_eq!(EventRing::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn drain_returns_recorded_events_in_timestamp_order() {
+        let ring = EventRing::with_capacity(64);
+        ring.record(0, PassKind::Pass, 3);
+        ring.record(1, PassKind::ReleaseUp, 4);
+        ring.record(0, PassKind::Pass, 3);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        assert_eq!(events[0].level, 0);
+        assert_eq!(events[0].kind, PassKind::Pass);
+        assert_eq!(events[1].level, 1);
+        assert_eq!(events[1].kind, PassKind::ReleaseUp);
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.dropped(), 0);
+        // Drain does not clear.
+        assert_eq!(ring.drain().len(), 3);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_events() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..20u32 {
+            ring.record(0, PassKind::Pass, i);
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 8);
+        // Latest capacity-many writers survive: tags 12..20.
+        let mut tags: Vec<u32> = events.iter().map(|e| e.thread).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (12..20).collect::<Vec<_>>());
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 12);
+    }
+
+    #[test]
+    fn concurrent_writers_drain_cleanly_at_quiescence() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::with_capacity(1024));
+        let threads = 4;
+        let per = 200u32;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    ring.record(1, PassKind::Pass, t);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), (threads * per) as usize);
+        assert!(events.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        for t in 0..threads {
+            assert_eq!(
+                events.iter().filter(|e| e.thread == t).count(),
+                per as usize
+            );
+        }
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`bench`] — criterion-lite micro-benchmark runner with drop-in
 //!   [`criterion_group!`]/[`criterion_main!`] macros for the workspace's
 //!   bench targets.
+//! * [`obscheck`] — quiescent-counter invariants for lock telemetry
+//!   ([`assert_stats_consistent`](obscheck::assert_stats_consistent)),
+//!   stated over plain numbers so they apply under any feature set.
 //!
 //! Determinism story: generators and the fuzzer's *decisions* are pure
 //! functions of seeds; actual thread interleavings still belong to the
@@ -39,11 +42,13 @@
 pub mod bench;
 pub mod check;
 pub mod gen;
+pub mod obscheck;
 pub mod oracle;
 pub mod rng;
 pub mod strategies;
 
 pub use check::{check, check_with, Config};
+pub use obscheck::{assert_stats_consistent, LevelTally};
 pub use gen::Gen;
 pub use oracle::{
     fuzz_seeds, run_stress, seed_batch, FuzzOutcome, OracleHandle, RawHandle, StressOptions,

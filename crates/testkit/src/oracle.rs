@@ -569,6 +569,7 @@ pub mod mutants {
             fair: false,
             local_spinning: false,
             needs_context: false,
+            waiter_hint: false,
         };
 
         fn acquire(&self, _ctx: &mut NoContext) {
@@ -608,6 +609,7 @@ pub mod mutants {
             fair: true,
             local_spinning: false,
             needs_context: false,
+            waiter_hint: false,
         };
 
         fn acquire(&self, _ctx: &mut NoContext) {

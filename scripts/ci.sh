@@ -4,7 +4,11 @@
 # Runs, in order:
 #   1. tier-1: `cargo build --release && cargo test -q` (root package);
 #   2. the clof-testkit unit suite (property engine + oracle self-tests);
-#   3. a 16-seed smoke subset of the schedule-fuzzing stress oracle.
+#   3. a 16-seed smoke subset of the schedule-fuzzing stress oracle;
+#   4. the obs phase: telemetry release build, the telemetry-vs-oracle
+#      suite, a 16-seed oracle smoke with telemetry on, and the
+#      zero-cost assertion that the default dependency graph carries no
+#      clof-obs at all.
 #
 # Everything builds from vendored/in-repo code only — no network, no
 # external dev-dependencies — so this is safe for air-gapped runners.
@@ -49,6 +53,23 @@ phase "stress-oracle smoke (16 seeds)" \
     broken_lock_is_caught_with_replayable_seed \
     fair_composition_gap_is_bounded \
     oracle_matrix_ticket
+
+# Telemetry phase: everything above must also hold with `obs` compiled
+# in, and the default build must not even link clof-obs (zero-cost when
+# disabled — checked on the dependency graph, where it is structural).
+phase "obs release build" cargo build --release --features obs
+phase "obs unit suite (clof-obs)" cargo test -q -p clof-obs
+phase "obs telemetry-vs-oracle suite" \
+    cargo test -q --features obs --test obs_stats
+phase "obs oracle smoke (16 seeds)" \
+    cargo test -q --features obs --test stress_oracle -- \
+    broken_lock_is_caught_with_replayable_seed \
+    oracle_matrix_ticket
+phase "obs zero-cost dependency check" \
+    sh -c 'if cargo tree -e normal | grep -q clof-obs; then
+               echo "clof-obs leaked into the default dependency graph" >&2
+               exit 1
+           fi'
 
 echo
 echo "==== ci: all phases green ===="

@@ -1,0 +1,158 @@
+//! Telemetry vs. oracle cross-check: runs the schedule-fuzzing stress
+//! oracle over 2- and 3-level compositions with the `obs` feature on,
+//! then holds the lock's own counters to the oracle's externally
+//! counted totals via `clof-testkit`'s quiescent-counter invariants
+//! (`assert_stats_consistent`), plus the histogram and event-ring
+//! properties the counters imply:
+//!
+//! * acquire-latency histogram sample counts equal per-level acquires;
+//! * the hold-time histogram counts every critical section once;
+//! * drained pass events have monotone timestamps, name only non-root
+//!   levels, and their total equals the non-root release decisions.
+//!
+//! Run with `cargo test --features obs --test obs_stats`.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+
+use clof::obs::{LevelSnapshot, LockSnapshot};
+use clof::{ClofParams, DynClofLock, LockKind};
+use clof_testkit::strategies::build_regular;
+use clof_testkit::{assert_stats_consistent, fuzz_seeds, seed_batch, LevelTally, StressOptions};
+
+/// Copies the telemetry snapshot into the testkit's plain-data tallies.
+fn tallies(levels: &[LevelSnapshot]) -> Vec<LevelTally> {
+    levels
+        .iter()
+        .map(|l| LevelTally {
+            acquires: l.acquires,
+            contended_acquires: l.contended_acquires,
+            passes_taken: l.passes_taken,
+            passes_declined: l.passes_declined,
+            keep_local_resets: l.keep_local_resets,
+            hist_count: l.acquire_ns.count,
+        })
+        .collect()
+}
+
+/// Fuzzes `kinds` over a regular hierarchy of `shape` and returns the
+/// telemetry snapshot with the oracle's external acquisition total.
+fn stressed_snapshot(
+    kinds: &[LockKind],
+    shape: &[usize],
+    threads: usize,
+    seeds: usize,
+    iters: u64,
+) -> (LockSnapshot, u64) {
+    let hierarchy = build_regular(shape);
+    let lock = Arc::new(
+        DynClofLock::build_with(&hierarchy, kinds, ClofParams::default(), true)
+            .expect("composition builds"),
+    );
+    let n = hierarchy.ncpus();
+    let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+    let opts = StressOptions {
+        threads,
+        iters,
+        label: format!("obs:{}", lock.name()),
+        ..StressOptions::default()
+    };
+    let seeds = seed_batch(0x0B50_57A7 ^ kinds.len() as u64, seeds);
+    let shared = Arc::clone(&lock);
+    let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| shared.handle(cpus[tid]));
+    outcome.assert_passed();
+    (lock.obs_snapshot(), outcome.total_acquisitions)
+}
+
+#[test]
+fn two_level_counters_match_oracle() {
+    let (snap, total) = stressed_snapshot(
+        &[LockKind::Ticket, LockKind::Ticket],
+        &[4],
+        4,
+        4,
+        40,
+    );
+    assert_eq!(snap.levels.len(), 2);
+    assert!(total > 0);
+    assert_stats_consistent(&tallies(&snap.levels), total);
+    assert_eq!(
+        snap.hold_ns.count, total,
+        "hold-time histogram must count every critical section once"
+    );
+}
+
+#[test]
+fn three_level_mixed_counters_match_oracle() {
+    let (snap, total) = stressed_snapshot(
+        &[LockKind::Ticket, LockKind::Mcs, LockKind::Clh],
+        &[2, 4],
+        8,
+        2,
+        30,
+    );
+    assert_eq!(snap.levels.len(), 3);
+    assert_stats_consistent(&tallies(&snap.levels), total);
+    // tkt and mcs publish a waiter hint, so every release decision at
+    // their (non-root) levels resolves through the hint fast path.
+    for level in &snap.levels[..2] {
+        assert_eq!(
+            level.hint_fast_hits, level.acquires,
+            "level {}: hinting low lock must skip the read-indicator on every release",
+            level.level
+        );
+    }
+}
+
+#[test]
+fn hintless_level_never_records_hint_hits() {
+    let (snap, total) = stressed_snapshot(
+        &[LockKind::Ttas, LockKind::Ticket],
+        &[4],
+        4,
+        2,
+        30,
+    );
+    assert_stats_consistent(&tallies(&snap.levels), total);
+    assert_eq!(
+        snap.levels[0].hint_fast_hits, 0,
+        "ttas has no waiter hint; its level must fall back to the read-indicator"
+    );
+}
+
+#[test]
+fn ring_events_are_monotone_and_name_non_root_levels() {
+    let (snap, _total) = stressed_snapshot(
+        &[LockKind::Ticket, LockKind::Mcs, LockKind::Ticket],
+        &[2, 4],
+        8,
+        2,
+        30,
+    );
+    assert!(snap.events_recorded > 0, "contended run must log pass events");
+    assert!(!snap.events.is_empty());
+    // Every pass event is a non-root release decision, so the ring total
+    // equals the non-root decision count.
+    let decisions: u64 = snap.levels[..snap.levels.len() - 1]
+        .iter()
+        .map(|l| l.passes_taken + l.passes_declined)
+        .sum();
+    assert_eq!(snap.events_recorded, decisions);
+    let root = (snap.levels.len() - 1) as u8;
+    let mut prev = 0u64;
+    for event in &snap.events {
+        assert!(
+            event.timestamp_ns >= prev,
+            "drained events must be timestamp-ordered"
+        );
+        prev = event.timestamp_ns;
+        assert!(event.level < root, "the root level takes no pass decision");
+    }
+    // The drain keeps at most the ring capacity; nothing is double-counted.
+    assert!(snap.events.len() as u64 <= snap.events_recorded);
+    assert_eq!(
+        snap.events_dropped,
+        snap.events_recorded - snap.events.len() as u64
+    );
+}
