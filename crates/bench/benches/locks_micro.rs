@@ -168,13 +168,48 @@ mod micro {
         });
     }
 
+    /// Telemetry hot-path cost (needs `--features criterion,obs`): the
+    /// same uncontended dynamic composition with the span tracer off
+    /// (one relaxed load per transition) and on (plus one per-thread
+    /// ring write per span). The paper-relevant claim is that the off
+    /// state is indistinguishable from an obs-less build and the on
+    /// state stays within a handful of ns per transition.
+    #[cfg(feature = "obs")]
+    fn bench_obs_overhead(c: &mut Criterion) {
+        use clof::obs::trace;
+        let h = platforms::tiny();
+        let lock = DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
+            .expect("build");
+        let mut handle = lock.handle(0);
+        trace::disable();
+        c.bench_function("obs/dyn/mcs-clh-tkt/trace-off", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        trace::enable(4096);
+        c.bench_function("obs/dyn/mcs-clh-tkt/trace-on", |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        trace::disable();
+        trace::clear();
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn bench_obs_overhead(_c: &mut Criterion) {}
+
     criterion_group!(
         benches,
         bench_uncontended,
         bench_contended,
         bench_static_vs_dyn,
         bench_fastpath,
-        bench_baselines
+        bench_baselines,
+        bench_obs_overhead
     );
 }
 

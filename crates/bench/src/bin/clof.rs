@@ -10,6 +10,10 @@
 //! clof stats     [--machine x86|armv8] --lock tkt-clh-tkt-tkt
 //!                [--threads N] [--iters N] [--threshold H]
 //!                [--format table|json|prometheus]       # needs --features obs
+//! clof trace     [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
+//!                [--threshold H] [--out FILE] [--buffer N]  # needs --features obs
+//! clof top       [--machine x86|armv8] --lock NAME [--threads N] [--threshold H]
+//!                [--interval-ms N] [--duration-ms N] [--stall-ms N] [--once]
 //! ```
 //!
 //! All simulation-backed commands run on the built-in paper machine
@@ -36,6 +40,8 @@ fn main() -> ExitCode {
         "select" => select(&args[1..]),
         "simulate" => simulate(&args[1..]),
         "stats" => stats(&args[1..]),
+        "trace" => trace(&args[1..]),
+        "top" => top(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +72,17 @@ commands:
   stats     [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
             [--threshold H] [--format table|json|prometheus]
                                                   hammer a real composed lock and print its
-                                                  telemetry (requires --features obs)";
+                                                  telemetry (requires --features obs)
+  trace     [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
+            [--threshold H] [--out FILE] [--buffer N]
+                                                  record a causal span trace of a real run,
+                                                  export Chrome/Perfetto JSON, and print the
+                                                  hand-off analysis (requires --features obs)
+  top       [--machine x86|armv8] --lock NAME [--threads N] [--threshold H]
+            [--interval-ms N] [--duration-ms N] [--stall-ms N] [--once]
+                                                  live windowed telemetry of a hammered lock
+                                                  with a starvation watchdog; --once prints a
+                                                  single window and exits (requires --features obs)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -290,6 +306,205 @@ fn stats(args: &[String]) -> Result<(), String> {
             "prometheus" | "prom" => print!("{}", clof::obs::render_prometheus(&snap)),
             other => return Err(format!("unknown format `{other}` (table | json | prometheus)")),
         }
+        Ok(())
+    }
+}
+
+/// Shared argument parsing for the telemetry commands: machine, lock
+/// kinds (validated against the hierarchy's level count), threads,
+/// threshold.
+#[cfg(feature = "obs")]
+fn telemetry_args(
+    args: &[String],
+    default_threads: &str,
+) -> Result<(Machine, Vec<LockKind>, usize, u32), String> {
+    let machine = tuned_machine(args)?;
+    let lock = flag_value(args, "--lock").ok_or("missing --lock NAME (e.g. tkt-clh-tkt)")?;
+    let kinds = parse_composition(lock).map_err(|e| e.to_string())?;
+    if kinds.len() != machine.hierarchy.level_count() {
+        return Err(format!(
+            "`{lock}` names {} levels but the hierarchy has {} ({:?}); pass --levels",
+            kinds.len(),
+            machine.hierarchy.level_count(),
+            machine.hierarchy.level_names()
+        ));
+    }
+    let threads: usize = flag_value(args, "--threads")
+        .unwrap_or(default_threads)
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    let threshold: u32 = flag_value(args, "--threshold")
+        .unwrap_or("128")
+        .parse()
+        .map_err(|e| format!("bad --threshold: {e}"))?;
+    Ok((machine, kinds, threads, threshold))
+}
+
+fn trace(args: &[String]) -> Result<(), String> {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = args;
+        Err("`trace` needs lock telemetry compiled in; rebuild with `--features obs`".to_string())
+    }
+    #[cfg(feature = "obs")]
+    {
+        use clof::obs::trace;
+
+        let (machine, kinds, threads, threshold) = telemetry_args(args, "4")?;
+        let iters: u64 = flag_value(args, "--iters")
+            .unwrap_or("5000")
+            .parse()
+            .map_err(|e| format!("bad --iters: {e}"))?;
+        let buffer: usize = flag_value(args, "--buffer")
+            .unwrap_or("65536")
+            .parse()
+            .map_err(|e| format!("bad --buffer: {e}"))?;
+        let out = flag_value(args, "--out").unwrap_or("clof-trace.json");
+
+        trace::enable(buffer);
+        let profiled = profile_real_lock(&machine.hierarchy, &kinds, threshold, threads, iters);
+        trace::disable();
+        let snap = profiled?;
+        let recorded = trace::snapshot();
+        std::fs::write(out, clof::obs::render_chrome_trace(&recorded))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+
+        let analysis = clof::obs::analyze(&recorded);
+        print!(
+            "{}",
+            clof_bench::report::obs_report_with_analysis(&snap, &analysis).render()
+        );
+        println!(
+            "wrote {} span events ({} dropped) to {out} — load in Perfetto or chrome://tracing",
+            recorded.events.len(),
+            recorded.dropped
+        );
+        // On a complete trace the §4.1 keep-local bound is a hard
+        // invariant; a violation is a composition bug, so fail loudly.
+        analysis.check_chain_bound(u64::from(threshold))?;
+        Ok(())
+    }
+}
+
+fn top(args: &[String]) -> Result<(), String> {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = args;
+        Err("`top` needs lock telemetry compiled in; rebuild with `--features obs`".to_string())
+    }
+    #[cfg(feature = "obs")]
+    {
+        use std::io::IsTerminal;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let (machine, kinds, threads, threshold) = telemetry_args(args, "8")?;
+        let interval_ms: u64 = flag_value(args, "--interval-ms")
+            .unwrap_or("500")
+            .parse()
+            .map_err(|e| format!("bad --interval-ms: {e}"))?;
+        let duration_ms: u64 = flag_value(args, "--duration-ms")
+            .unwrap_or("3000")
+            .parse()
+            .map_err(|e| format!("bad --duration-ms: {e}"))?;
+        let stall_ms: u64 = flag_value(args, "--stall-ms")
+            .unwrap_or("1000")
+            .parse()
+            .map_err(|e| format!("bad --stall-ms: {e}"))?;
+        let once = has_flag(args, "--once");
+
+        let params = clof::ClofParams {
+            keep_local_threshold: threshold,
+        };
+        let lock = Arc::new(
+            clof::DynClofLock::build_with(&machine.hierarchy, &kinds, params, true)
+                .map_err(|e| e.to_string())?,
+        );
+        let name = lock.name();
+
+        // Hammer the lock until told to stop; `top` samples alongside.
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        let ncpus = machine.hierarchy.ncpus();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            let cpu = t * ncpus / threads.max(1);
+            workers.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                while !stop.load(Ordering::Relaxed) {
+                    handle.acquire();
+                    total.fetch_add(1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+
+        // Starvation watchdog over the workers' progress epochs, with
+        // per-level queue hints in the diagnostic dump.
+        let diag_lock = Arc::clone(&lock);
+        let watchdog = clof::obs::Watchdog::new(clof::obs::WatchdogConfig {
+            stall_ns: stall_ms.saturating_mul(1_000_000),
+            poll: Duration::from_millis(interval_ms.max(1)),
+        })
+        .with_diag(move || {
+            let hints: Vec<String> = diag_lock
+                .queue_hints()
+                .into_iter()
+                .map(|(level, waiters)| format!("L{level}:{waiters}"))
+                .collect();
+            format!("queued waiters by level [{}]", hints.join(" "))
+        })
+        .spawn(|report| eprintln!("{report}"));
+
+        let ansi = std::io::stdout().is_terminal() && !once;
+        let mut sampler = clof::obs::Sampler::new();
+        sampler.tick(lock.obs_snapshot());
+        let rounds = if once {
+            1
+        } else {
+            (duration_ms / interval_ms.max(1)).max(1)
+        };
+        for round in 0..rounds {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            let Some(rates) = sampler.tick(lock.obs_snapshot()) else {
+                continue;
+            };
+            if ansi {
+                // In-place refresh on a live terminal.
+                print!("\x1b[2J\x1b[H");
+            }
+            if ansi || round == 0 {
+                println!("clof top — {name} (H = {threshold}, {threads} threads)");
+            }
+            println!("{rates}");
+            if ansi {
+                for level in &rates.delta.levels {
+                    println!(
+                        "  L{}: {:>9} acquires  {:>9} passes  {:>7} ups  pass rate {:5.1}%",
+                        level.level,
+                        level.acquires,
+                        level.passes_taken,
+                        level.passes_declined,
+                        level.pass_rate() * 100.0
+                    );
+                }
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().map_err(|_| "worker thread panicked".to_string())?;
+        }
+        let stalls = watchdog.stop();
+        println!(
+            "{} acquisitions observed; {} stall report(s)",
+            total.load(Ordering::Relaxed),
+            stalls
+        );
         Ok(())
     }
 }

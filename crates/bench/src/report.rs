@@ -173,6 +173,52 @@ pub fn obs_report(snap: &clof::obs::LockSnapshot) -> Report {
     r
 }
 
+/// [`obs_report`] extended with the causal-trace analysis: per-level
+/// wait attribution, pass-chain statistics against the keep-local bound,
+/// and the hold-share fairness summary, appended as notes under the
+/// counter table so one report carries both views of the same run.
+#[cfg(feature = "obs")]
+pub fn obs_report_with_analysis(
+    snap: &clof::obs::LockSnapshot,
+    analysis: &clof::obs::TraceAnalysis,
+) -> Report {
+    let mut r = obs_report(snap);
+    r.note(format!(
+        "trace: {} critical sections, {} ns total hold{}",
+        analysis.holds,
+        analysis.hold_ns,
+        if analysis.truncated {
+            " (truncated: span buffers wrapped)"
+        } else {
+            ""
+        }
+    ));
+    for level in &analysis.levels {
+        r.note(format!(
+            "trace L{} wait: {} spans ({} inherited), mean {} ns, max {} ns",
+            level.level,
+            level.spans,
+            level.inherited,
+            level.mean_wait_ns(),
+            level.max_wait_ns
+        ));
+    }
+    for chain in &analysis.chains {
+        r.note(format!(
+            "trace L{} pass-chains: {} closed ({} open), mean {:.1}, max {}, {} forced cuts",
+            chain.level, chain.chains, chain.open_chains, chain.mean(), chain.max, chain.forced_cuts
+        ));
+    }
+    if !analysis.fairness.per_thread.is_empty() {
+        r.note(format!(
+            "trace fairness: jain {:.4}, max hold share {:.1}%",
+            analysis.fairness.jain,
+            analysis.fairness.max_share() * 100.0
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +266,34 @@ mod tests {
         assert!(s.contains("lock telemetry: tkt-tkt"));
         assert!(s.contains("pass-rate"));
         assert!(s.contains("50.0%"), "{s}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_report_with_analysis_appends_trace_notes() {
+        use clof::obs::{SpanEvent, SpanKind, Trace};
+        let trace = Trace {
+            events: vec![SpanEvent {
+                start_ns: 100,
+                end_ns: 600,
+                level: 0,
+                node: 0,
+                thread: 1,
+                kind: SpanKind::Hold,
+                flow_in: 0,
+                flow_out: 0,
+            }],
+            recorded: 1,
+            dropped: 0,
+        };
+        let analysis = clof::obs::analyze(&trace);
+        let snap = clof::obs::LockSnapshot {
+            name: "tkt-tkt".into(),
+            ..Default::default()
+        };
+        let s = obs_report_with_analysis(&snap, &analysis).render();
+        assert!(s.contains("trace: 1 critical sections"), "{s}");
+        assert!(s.contains("trace fairness: jain"), "{s}");
     }
 
     #[test]

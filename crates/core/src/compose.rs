@@ -15,6 +15,189 @@ use clof_topology::Hierarchy;
 use crate::error::ClofError;
 use crate::level::{ClofParams, LevelMeta};
 
+/// Telemetry plumbing for the static composition, paired exactly like
+/// `dynlock::nodeobs`: with the `obs` feature off every type here is
+/// zero-sized and every method an empty `#[inline]` body, so call sites
+/// carry no `cfg` noise and the default build carries no symbols.
+///
+/// The static side records counters and trace spans; latency histograms
+/// and the pass-event ring stay dynamic-only (monomorphized nodes have
+/// no lock-wide collector to hang them on).
+#[cfg(feature = "obs")]
+mod staticobs {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use clof_obs::trace::{self, SpanKind};
+    use clof_obs::{now_ns, thread_tag, watchdog, LevelCounters};
+
+    /// Per-node recording state: counters plus the tracer's level/node
+    /// identity and the hand-off flow cell.
+    #[derive(Debug)]
+    pub struct NodeObs {
+        /// Hierarchy level; 0 until the builder tags it via
+        /// [`set_level`](Self::set_level) (type recursion alone cannot
+        /// know its distance from the root).
+        level: u8,
+        /// Process-unique cohort tag ([`trace::node_tag`]).
+        node: u32,
+        /// Flow id parked by a pass for its inheritor; travels through
+        /// the low lock's release→acquire edge like the pass flag.
+        flow: AtomicU64,
+        pub(super) counters: LevelCounters,
+    }
+
+    impl Default for NodeObs {
+        fn default() -> Self {
+            NodeObs {
+                level: 0,
+                node: trace::node_tag(),
+                flow: AtomicU64::new(0),
+                counters: LevelCounters::new(),
+            }
+        }
+    }
+
+    impl NodeObs {
+        pub(super) fn set_level(&mut self, level: usize) {
+            self.level = level as u8;
+        }
+
+        /// Timestamp taken before the low-lock acquire; 0 when tracing
+        /// is off (the static side has no latency histogram to feed).
+        #[inline]
+        pub(super) fn start(&self) -> u64 {
+            if trace::is_enabled() {
+                now_ns()
+            } else {
+                0
+            }
+        }
+
+        #[inline]
+        pub(super) fn record_acquire(&self, inherited: bool, start: u64) {
+            self.counters.record_acquire(inherited);
+            if trace::is_enabled() && start != 0 {
+                let flow_in = if inherited {
+                    self.flow.swap(0, Ordering::Relaxed)
+                } else {
+                    0
+                };
+                trace::record(
+                    start,
+                    now_ns(),
+                    self.level,
+                    self.node,
+                    SpanKind::Wait { inherited },
+                    flow_in,
+                    0,
+                );
+            }
+        }
+
+        #[inline]
+        pub(super) fn record_pass(&self) {
+            self.counters.record_pass_taken();
+            if trace::is_enabled() {
+                let at = now_ns();
+                let flow = trace::next_flow_id();
+                self.flow.store(flow, Ordering::Relaxed);
+                trace::record(at, at, self.level, self.node, SpanKind::Pass, 0, flow);
+            }
+        }
+
+        #[inline]
+        pub(super) fn record_release_up(&self, forced: bool) {
+            self.counters.record_pass_declined(forced);
+            if trace::is_enabled() {
+                let at = now_ns();
+                trace::record(
+                    at,
+                    at,
+                    self.level,
+                    self.node,
+                    SpanKind::ReleaseUp { forced },
+                    0,
+                    0,
+                );
+            }
+        }
+
+        #[inline]
+        pub(super) fn record_hint_hit(&self) {
+            self.counters.record_hint_hit();
+        }
+    }
+
+    /// Whole-lock hold span + watchdog progress, carried per handle.
+    #[derive(Debug, Default)]
+    pub struct HoldSpan {
+        acquired_at: u64,
+    }
+
+    impl HoldSpan {
+        #[inline]
+        pub(super) fn waiting(&mut self) {
+            watchdog::note_wait(thread_tag());
+        }
+
+        #[inline]
+        pub(super) fn acquired(&mut self) {
+            watchdog::note_hold(thread_tag());
+            self.acquired_at = if trace::is_enabled() { now_ns() } else { 0 };
+        }
+
+        #[inline]
+        pub(super) fn released(&mut self) {
+            if trace::is_enabled() && self.acquired_at != 0 {
+                trace::record(self.acquired_at, now_ns(), 0, 0, SpanKind::Hold, 0, 0);
+            }
+            watchdog::note_idle(thread_tag());
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod staticobs {
+    #[derive(Debug, Default)]
+    pub struct NodeObs;
+
+    impl NodeObs {
+        #[inline(always)]
+        pub(super) fn set_level(&mut self, _level: usize) {}
+
+        #[inline(always)]
+        pub(super) fn start(&self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub(super) fn record_acquire(&self, _inherited: bool, _start: u64) {}
+
+        #[inline(always)]
+        pub(super) fn record_pass(&self) {}
+
+        #[inline(always)]
+        pub(super) fn record_release_up(&self, _forced: bool) {}
+
+        #[inline(always)]
+        pub(super) fn record_hint_hit(&self) {}
+    }
+
+    #[derive(Debug, Default)]
+    pub struct HoldSpan;
+
+    impl HoldSpan {
+        #[inline(always)]
+        pub(super) fn waiting(&mut self) {}
+
+        #[inline(always)]
+        pub(super) fn acquired(&mut self) {}
+
+        #[inline(always)]
+        pub(super) fn released(&mut self) {}
+    }
+}
+
 /// A node of a composed lock hierarchy.
 ///
 /// Implemented by [`Leaf`] (base case: a basic lock) and [`Clof`]
@@ -57,14 +240,21 @@ pub trait HierLock: Send + Sync + 'static {
 #[derive(Debug, Default)]
 pub struct Leaf<L: RawLock> {
     low: L,
-    #[cfg(feature = "obs")]
-    obs: clof_obs::LevelCounters,
+    obs: staticobs::NodeObs,
 }
 
 impl<L: RawLock> Leaf<L> {
     /// Wraps a basic lock as the root of a composition.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Tags this node with its hierarchy level for telemetry (the type
+    /// recursion cannot know it; builders do). No-op without `obs`.
+    #[must_use]
+    pub fn at_level(mut self, level: usize) -> Self {
+        self.obs.set_level(level);
+        self
     }
 }
 
@@ -73,9 +263,9 @@ impl<L: RawLock> HierLock for Leaf<L> {
 
     #[inline]
     fn acquire(&self, ctx: &mut L::Context) {
+        let start = self.obs.start();
         self.low.acquire(ctx);
-        #[cfg(feature = "obs")]
-        self.obs.record_acquire(false);
+        self.obs.record_acquire(false, start);
     }
 
     #[inline]
@@ -101,7 +291,7 @@ impl<L: RawLock> HierLock for Leaf<L> {
         level: usize,
         visit: &mut dyn FnMut(usize, usize, &clof_obs::LevelCounters),
     ) {
-        visit(level, self as *const Self as usize, &self.obs);
+        visit(level, self as *const Self as usize, &self.obs.counters);
     }
 }
 
@@ -114,8 +304,7 @@ pub struct Clof<L: RawLock, H: HierLock> {
     low: L,
     meta: LevelMeta<H::Context>,
     high: Arc<H>,
-    #[cfg(feature = "obs")]
-    obs: clof_obs::LevelCounters,
+    obs: staticobs::NodeObs,
 }
 
 impl<L: RawLock, H: HierLock> Clof<L, H> {
@@ -130,9 +319,16 @@ impl<L: RawLock, H: HierLock> Clof<L, H> {
             low: L::default(),
             meta: LevelMeta::new(params),
             high,
-            #[cfg(feature = "obs")]
-            obs: clof_obs::LevelCounters::new(),
+            obs: staticobs::NodeObs::default(),
         }
+    }
+
+    /// Tags this node with its hierarchy level for telemetry (the type
+    /// recursion cannot know it; builders do). No-op without `obs`.
+    #[must_use]
+    pub fn at_level(mut self, level: usize) -> Self {
+        self.obs.set_level(level);
+        self
     }
 
     /// The shared high node.
@@ -151,6 +347,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         // paper's optional custom `has_waiters` (§4.1.2). `L::INFO` is a
         // constant, so the branch is resolved at monomorphization time.
         let use_counter = !has_native_hint::<L>();
+        let start = self.obs.start();
         if use_counter {
             self.meta.inc_waiters();
         }
@@ -159,8 +356,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
             self.meta.dec_waiters();
         }
         clof_locks::chaos::point("clof-acquire-low-won");
-        #[cfg(feature = "obs")]
-        self.obs.record_acquire(self.meta.has_high_lock());
+        self.obs.record_acquire(self.meta.has_high_lock(), start);
         if !self.meta.has_high_lock() {
             self.meta.debug_ctx_enter();
             // SAFETY: We own the low lock, so the context invariant grants
@@ -175,23 +371,20 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
     /// `lockgen(rel(CLoF(l, L), c))` from Figure 8.
     fn release(&self, ctx: &mut L::Context) {
         let hint = self.low.has_waiters_hint(ctx);
-        #[cfg(feature = "obs")]
         if hint.is_some() {
             self.obs.record_hint_hit();
         }
         let waiters = hint.unwrap_or_else(|| self.meta.has_waiters());
         if waiters && self.meta.keep_local() {
             // Pass: leave the high lock acquired for our cohort successor.
-            #[cfg(feature = "obs")]
-            self.obs.record_pass_taken();
+            self.obs.record_pass();
             self.meta.pass_high_lock();
             clof_locks::chaos::point("clof-release-pass");
             self.low.release(ctx);
         } else {
             // `waiters` here means the decline was forced by the
             // keep_local threshold, not by an empty cohort.
-            #[cfg(feature = "obs")]
-            self.obs.record_pass_declined(waiters);
+            self.obs.record_release_up(waiters);
             self.meta.clear_high_lock();
             clof_locks::chaos::point("clof-release-up");
             self.meta.debug_ctx_enter();
@@ -224,7 +417,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         level: usize,
         visit: &mut dyn FnMut(usize, usize, &clof_obs::LevelCounters),
     ) {
-        visit(level, self as *const Self as usize, &self.obs);
+        visit(level, self as *const Self as usize, &self.obs.counters);
         self.high.visit_obs(level + 1, visit);
     }
 }
@@ -273,6 +466,7 @@ impl<T: HierLock> ClofTree<T> {
         ClofHandle {
             node: Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]),
             ctx: T::Context::default(),
+            hold: staticobs::HoldSpan::default(),
         }
     }
 
@@ -323,18 +517,22 @@ impl<T: HierLock> ClofTree<T> {
 pub struct ClofHandle<T: HierLock> {
     node: Arc<T>,
     ctx: T::Context,
+    hold: staticobs::HoldSpan,
 }
 
 impl<T: HierLock> ClofHandle<T> {
     /// Acquires the composed lock.
     pub fn acquire(&mut self) {
+        self.hold.waiting();
         self.node.acquire(&mut self.ctx);
+        self.hold.acquired();
     }
 
     /// Releases the composed lock.
     ///
     /// Must only be called while held through this handle.
     pub fn release(&mut self) {
+        self.hold.released();
         self.node.release(&mut self.ctx);
     }
 }
@@ -353,7 +551,7 @@ fn check_levels(hierarchy: &Hierarchy, expected: usize) -> Result<(), ClofError>
 /// NUMA-oblivious behaviour).
 pub fn build1<L0: RawLock>(hierarchy: &Hierarchy) -> Result<ClofTree<Leaf<L0>>, ClofError> {
     check_levels(hierarchy, 1)?;
-    let root = Arc::new(Leaf::<L0>::new());
+    let root = Arc::new(Leaf::<L0>::new().at_level(0));
     Ok(ClofTree::new(
         vec![root],
         vec![0; hierarchy.ncpus()],
@@ -366,9 +564,9 @@ pub fn build2<L0: RawLock, L1: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Leaf<L1>>>, ClofError> {
     check_levels(hierarchy, 2)?;
-    let root = Arc::new(Leaf::<L1>::new());
+    let root = Arc::new(Leaf::<L1>::new().at_level(1));
     let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
-        .map(|_| Arc::new(Clof::<L0, _>::with_params(Arc::clone(&root), params)))
+        .map(|_| Arc::new(Clof::<L0, _>::with_params(Arc::clone(&root), params).at_level(0)))
         .collect();
     let map = (0..hierarchy.ncpus())
         .map(|c| hierarchy.cohort(0, c))
@@ -382,9 +580,9 @@ pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Leaf<L2>>>>, ClofError> {
     check_levels(hierarchy, 3)?;
-    let root = Arc::new(Leaf::<L2>::new());
+    let root = Arc::new(Leaf::<L2>::new().at_level(2));
     let mids: Vec<_> = (0..hierarchy.cohort_count(1))
-        .map(|_| Arc::new(Clof::<L1, _>::with_params(Arc::clone(&root), params)))
+        .map(|_| Arc::new(Clof::<L1, _>::with_params(Arc::clone(&root), params).at_level(1)))
         .collect();
     let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
         .map(|cohort| {
@@ -396,7 +594,7 @@ pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
                 .next()
                 .expect("cohorts are non-empty");
             let mid = hierarchy.cohort(1, cpu);
-            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&mids[mid]), params))
+            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&mids[mid]), params).at_level(0))
         })
         .collect();
     let map = (0..hierarchy.ncpus())
@@ -411,22 +609,22 @@ pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Clof<L2, Leaf<L3>>>>>, ClofError> {
     check_levels(hierarchy, 4)?;
-    let root = Arc::new(Leaf::<L3>::new());
+    let root = Arc::new(Leaf::<L3>::new().at_level(3));
     let l2: Vec<_> = (0..hierarchy.cohort_count(2))
-        .map(|_| Arc::new(Clof::<L2, _>::with_params(Arc::clone(&root), params)))
+        .map(|_| Arc::new(Clof::<L2, _>::with_params(Arc::clone(&root), params).at_level(2)))
         .collect();
     let l1: Vec<_> = (0..hierarchy.cohort_count(1))
         .map(|cohort| {
             let cpu = hierarchy.cohort_members(1, cohort)[0];
             let up = hierarchy.cohort(2, cpu);
-            Arc::new(Clof::<L1, _>::with_params(Arc::clone(&l2[up]), params))
+            Arc::new(Clof::<L1, _>::with_params(Arc::clone(&l2[up]), params).at_level(1))
         })
         .collect();
     let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
         .map(|cohort| {
             let cpu = hierarchy.cohort_members(0, cohort)[0];
             let up = hierarchy.cohort(1, cpu);
-            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&l1[up]), params))
+            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&l1[up]), params).at_level(0))
         })
         .collect();
     let map = (0..hierarchy.ncpus())

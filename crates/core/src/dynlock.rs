@@ -27,9 +27,11 @@ use self::nodeobs::{HoldObs, LockObs, NodeObs};
 /// erases — call sites stay free of `cfg` noise.
 #[cfg(feature = "obs")]
 mod nodeobs {
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
-    use clof_obs::{now_ns, thread_tag, EventRing, LevelCounters, LogHistogram, PassKind};
+    use clof_obs::trace::{self, SpanKind};
+    use clof_obs::{now_ns, thread_tag, watchdog, EventRing, LevelCounters, LogHistogram, PassKind};
 
     /// Per-lock collector state shared by every node of one
     /// [`DynClofLock`](super::DynClofLock).
@@ -50,6 +52,15 @@ mod nodeobs {
     #[derive(Debug)]
     pub(super) struct NodeObs {
         level: u8,
+        /// Process-unique cohort tag for the tracer (sibling cohorts
+        /// share a level; spans must not interleave across them).
+        node: u32,
+        /// Hand-off flow id parked by a pass for its inheritor. Written
+        /// under the low lock just before the release that publishes the
+        /// pass flag; read (and cleared) by the inheriting acquire — the
+        /// causality edge rides the same release→acquire synchronization
+        /// as the pass flag itself.
+        flow: AtomicU64,
         pub(super) counters: LevelCounters,
         pub(super) acquire_ns: LogHistogram,
         ring: Arc<EventRing>,
@@ -59,6 +70,8 @@ mod nodeobs {
         pub(super) fn new(level: usize, lock: &LockObs) -> Self {
             NodeObs {
                 level: level as u8,
+                node: trace::node_tag(),
+                flow: AtomicU64::new(0),
                 counters: LevelCounters::new(),
                 acquire_ns: LogHistogram::new(),
                 ring: Arc::clone(&lock.ring),
@@ -73,14 +86,37 @@ mod nodeobs {
 
         #[inline]
         pub(super) fn record_acquire(&self, inherited: bool, start: u64) {
+            let end = now_ns();
             self.counters.record_acquire(inherited);
-            self.acquire_ns.record(now_ns().saturating_sub(start));
+            self.acquire_ns.record(end.saturating_sub(start));
+            if trace::is_enabled() {
+                let flow_in = if inherited {
+                    self.flow.swap(0, Ordering::Relaxed)
+                } else {
+                    0
+                };
+                trace::record(
+                    start,
+                    end,
+                    self.level,
+                    self.node,
+                    SpanKind::Wait { inherited },
+                    flow_in,
+                    0,
+                );
+            }
         }
 
         #[inline]
         pub(super) fn record_pass(&self) {
             self.counters.record_pass_taken();
             self.ring.record(self.level, PassKind::Pass, thread_tag());
+            if trace::is_enabled() {
+                let at = now_ns();
+                let flow = trace::next_flow_id();
+                self.flow.store(flow, Ordering::Relaxed);
+                trace::record(at, at, self.level, self.node, SpanKind::Pass, 0, flow);
+            }
         }
 
         #[inline]
@@ -88,6 +124,20 @@ mod nodeobs {
             self.counters.record_pass_declined(threshold_hit);
             self.ring
                 .record(self.level, PassKind::ReleaseUp, thread_tag());
+            if trace::is_enabled() {
+                let at = now_ns();
+                trace::record(
+                    at,
+                    at,
+                    self.level,
+                    self.node,
+                    SpanKind::ReleaseUp {
+                        forced: threshold_hit,
+                    },
+                    0,
+                    0,
+                );
+            }
         }
 
         #[inline]
@@ -96,7 +146,9 @@ mod nodeobs {
         }
     }
 
-    /// Critical-section hold-time tracker carried by each handle.
+    /// Critical-section hold-time tracker carried by each handle; also
+    /// publishes the thread's progress phase for the starvation
+    /// watchdog.
     #[derive(Debug)]
     pub(super) struct HoldObs {
         hist: Arc<LogHistogram>,
@@ -111,14 +163,26 @@ mod nodeobs {
             }
         }
 
+        /// Entering the composed acquire (before any spinning).
+        #[inline]
+        pub(super) fn waiting(&mut self) {
+            watchdog::note_wait(thread_tag());
+        }
+
         #[inline]
         pub(super) fn acquired(&mut self) {
             self.acquired_at = now_ns();
+            watchdog::note_hold(thread_tag());
         }
 
         #[inline]
         pub(super) fn released(&mut self) {
-            self.hist.record(now_ns().saturating_sub(self.acquired_at));
+            let end = now_ns();
+            self.hist.record(end.saturating_sub(self.acquired_at));
+            if trace::is_enabled() {
+                trace::record(self.acquired_at, end, 0, 0, SpanKind::Hold, 0, 0);
+            }
+            watchdog::note_idle(thread_tag());
         }
     }
 }
@@ -169,6 +233,9 @@ mod nodeobs {
         pub(super) fn new(_lock: &LockObs) -> Self {
             HoldObs
         }
+
+        #[inline(always)]
+        pub(super) fn waiting(&mut self) {}
 
         #[inline(always)]
         pub(super) fn acquired(&mut self) {}
@@ -569,8 +636,40 @@ impl DynClofLock {
             hold_ns: self.obs.hold_ns.snapshot(),
             events_recorded: self.obs.ring.recorded(),
             events_dropped: self.obs.ring.dropped(),
-            events: self.obs.ring.drain(),
+            events: self.obs.ring.events(),
         }
+    }
+
+    /// Per-level waiter counts right now: `(level, queued_waiters)`
+    /// summed over cohorts, innermost first. Approximate by nature (it
+    /// races running acquires) — meant as the queue-shape hint in a
+    /// starvation watchdog's diagnostic dump. Levels whose low lock
+    /// natively hints waiters keep no read-indicator counter and always
+    /// report 0 here.
+    #[cfg(feature = "obs")]
+    pub fn queue_hints(&self) -> Vec<(usize, u32)> {
+        let mut out: Vec<(usize, u32)> =
+            (0..self.composition.len()).map(|l| (l, 0)).collect();
+        let mut seen: Vec<*const DynNode> = Vec::new();
+        for leaf in &self.leaves {
+            let mut level = 0usize;
+            let mut cur: &Arc<DynNode> = leaf;
+            loop {
+                let ptr = Arc::as_ptr(cur);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    out[level].1 += cur.meta.waiter_count();
+                }
+                match &cur.high {
+                    Some(high) => {
+                        cur = high;
+                        level += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        out
     }
 }
 
@@ -584,6 +683,7 @@ pub struct DynHandle {
 impl DynHandle {
     /// Acquires the composed lock.
     pub fn acquire(&mut self) {
+        self.hold.waiting();
         self.leaf.acquire(&mut self.ctx);
         self.hold.acquired();
     }

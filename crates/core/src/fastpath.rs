@@ -25,6 +25,73 @@ use crate::error::ClofError;
 use crate::kind::LockKind;
 use crate::level::ClofParams;
 
+/// Telemetry for the TAS gate, paired like `dynlock::nodeobs`: ZST
+/// no-ops without the `obs` feature.
+///
+/// The gate emits `Gate` spans (acquire entry → gate won, flagged
+/// fast/slow) and watchdog progress. It deliberately emits no `Hold`
+/// span: the slow path holds the composition while spinning on the
+/// gate, so a gate-hold span would overlap the composition's own hold
+/// spans and break the analyzer's total-order check. Ownership-timeline
+/// analysis of a `FastClof` trace therefore describes the slow-path
+/// composition; gate decisions are the `Gate` spans.
+#[cfg(feature = "obs")]
+mod gateobs {
+    use clof_obs::trace::{self, SpanKind};
+    use clof_obs::{now_ns, thread_tag, watchdog};
+
+    #[derive(Debug, Default)]
+    pub(super) struct GateObs;
+
+    impl GateObs {
+        /// Acquire entry: publish `Waiting` and timestamp the gate wait.
+        #[inline]
+        pub(super) fn start(&mut self) -> u64 {
+            watchdog::note_wait(thread_tag());
+            if trace::is_enabled() {
+                now_ns()
+            } else {
+                0
+            }
+        }
+
+        /// Gate won (either path).
+        #[inline]
+        pub(super) fn record_gate(&mut self, start: u64, fast: bool) {
+            watchdog::note_hold(thread_tag());
+            if trace::is_enabled() && start != 0 {
+                let at = now_ns();
+                trace::record(start, at, 0, 0, SpanKind::Gate { fast }, 0, 0);
+            }
+        }
+
+        /// Gate released.
+        #[inline]
+        pub(super) fn record_release(&mut self) {
+            watchdog::note_idle(thread_tag());
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod gateobs {
+    #[derive(Debug, Default)]
+    pub(super) struct GateObs;
+
+    impl GateObs {
+        #[inline(always)]
+        pub(super) fn start(&mut self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub(super) fn record_gate(&mut self, _start: u64, _fast: bool) {}
+
+        #[inline(always)]
+        pub(super) fn record_release(&mut self) {}
+    }
+}
+
 /// A CLoF lock with a test-and-set fast path.
 ///
 /// # Examples
@@ -87,6 +154,7 @@ impl FastClof {
         FastClofHandle {
             lock: Arc::clone(self),
             slow: self.slow.handle(cpu),
+            obs: gateobs::GateObs::default(),
         }
     }
 
@@ -125,13 +193,16 @@ impl FastClof {
 pub struct FastClofHandle {
     lock: Arc<FastClof>,
     slow: DynHandle,
+    obs: gateobs::GateObs,
 }
 
 impl FastClofHandle {
     /// Acquires the lock (one `swap` when uncontended).
     pub fn acquire(&mut self) {
+        let start = self.obs.start();
         if self.lock.try_top() {
             self.lock.fast_acquires.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_gate(start, true);
             return;
         }
         // Slow path: order through the CLoF composition, then, as the
@@ -144,12 +215,14 @@ impl FastClofHandle {
         }
         self.slow.release();
         self.lock.slow_acquires.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_gate(start, false);
     }
 
     /// Releases the lock.
     ///
     /// Must only be called while held through this handle.
     pub fn release(&mut self) {
+        self.obs.record_release();
         self.lock.top.store(false, Ordering::Release);
     }
 }

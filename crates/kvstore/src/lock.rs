@@ -101,6 +101,19 @@ impl<T> DbMutex<T> {
         }
     }
 
+    /// Windowed telemetry: feeds the current [`Self::stats`] snapshot to
+    /// `sampler` and returns the rates since the sampler's previous
+    /// tick. `None` on the first tick (it only sets the baseline) and
+    /// for lock choices that do not record telemetry.
+    ///
+    /// Keep one [`clof::obs::Sampler`] per observer; it is cumulative
+    /// state, not lock state, so independent observers can sample the
+    /// same store at different cadences.
+    #[cfg(feature = "obs")]
+    pub fn stats_window(&self, sampler: &mut clof::obs::Sampler) -> Option<clof::obs::WindowRates> {
+        sampler.tick(self.stats()?)
+    }
+
     /// A handle for a thread running on `cpu`.
     pub fn handle(self: &Arc<Self>, cpu: CpuId) -> DbHandle<T> {
         let inner = match &self.lock {
@@ -208,6 +221,35 @@ mod tests {
         let h = platforms::tiny();
         let err = DbMutex::new((), &h, &LockChoice::Clof(vec![LockKind::Mcs]));
         assert!(err.is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stats_window_reports_rates_between_ticks() {
+        let h = platforms::tiny();
+        let m = Arc::new(
+            DbMutex::new(
+                0usize,
+                &h,
+                &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            )
+            .unwrap(),
+        );
+        let mut sampler = clof::obs::Sampler::new();
+        // First tick is baseline only.
+        assert!(m.stats_window(&mut sampler).is_none());
+        let mut handle = m.handle(0);
+        for _ in 0..100 {
+            handle.with(|v| *v += 1);
+        }
+        let rates = m.stats_window(&mut sampler).expect("second tick");
+        assert_eq!(rates.delta.total_acquires(), 100);
+        assert!(rates.acquires_per_sec > 0.0);
+        // Uninstrumented choices never produce a window.
+        let std = Arc::new(DbMutex::new(0usize, &h, &LockChoice::Std).unwrap());
+        let mut s2 = clof::obs::Sampler::new();
+        assert!(std.stats_window(&mut s2).is_none());
+        assert!(std.stats_window(&mut s2).is_none());
     }
 
     #[test]

@@ -204,6 +204,13 @@ impl MiniDb {
     pub fn stats(&self) -> Option<clof::obs::LockSnapshot> {
         self.inner.stats()
     }
+
+    /// Windowed lock-telemetry rates since `sampler`'s previous tick;
+    /// see [`DbMutex::stats_window`].
+    #[cfg(feature = "obs")]
+    pub fn stats_window(&self, sampler: &mut clof::obs::Sampler) -> Option<clof::obs::WindowRates> {
+        self.inner.stats_window(sampler)
+    }
 }
 
 /// Per-thread handle on a [`MiniDb`].

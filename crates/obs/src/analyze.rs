@@ -1,0 +1,507 @@
+//! Trace analysis: ownership timeline, pass-chain distribution, wait
+//! attribution, and a fairness CDF from a [`Trace`].
+//!
+//! The properties checked here are the ones the paper argues, restated
+//! over observed spans instead of code:
+//!
+//! * **Mutual exclusion** — whole-lock `Hold` spans must form a total
+//!   order ([`ownership_timeline`]); two overlapping holds mean either a
+//!   broken lock or an interleaved trace of two different locks.
+//! * **Bounded hand-off chains** — within one cohort node, consecutive
+//!   `Pass` decisions form a chain that `keep_local` must cut at *H*
+//!   passes (§4.3); [`ChainStats::max`] makes the bound checkable.
+//! * **Fairness** — the per-thread distribution of completed holds,
+//!   summarized as a CDF plus Jain's fairness index.
+//!
+//! Exact claims require a complete trace ([`Trace::is_complete`]); on a
+//! wrapped ring the analysis still runs but flags itself
+//! [`TraceAnalysis::truncated`] and the chain bound becomes advisory
+//! (a dropped `ReleaseUp` can merge two chains into a long false one).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{SpanKind, Trace};
+
+/// Wait-time attribution for one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelWait {
+    /// Hierarchy level (0 = innermost).
+    pub level: u8,
+    /// Wait spans observed at this level.
+    pub spans: u64,
+    /// How many of them inherited a passed high lock.
+    pub inherited: u64,
+    /// Total time spent waiting at this level (ns).
+    pub total_wait_ns: u64,
+    /// Longest single wait (ns).
+    pub max_wait_ns: u64,
+}
+
+impl LevelWait {
+    /// Mean wait at this level (ns; 0 when empty).
+    pub fn mean_wait_ns(&self) -> u64 {
+        if self.spans == 0 {
+            0
+        } else {
+            self.total_wait_ns / self.spans
+        }
+    }
+}
+
+/// Pass-chain length distribution for one hierarchy level.
+///
+/// A chain is a maximal run of consecutive `Pass` decisions at one
+/// cohort node; it is cut by a `ReleaseUp` (counted with length 0 when
+/// no pass preceded it — the cohort surrendered immediately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Hierarchy level the chains live at.
+    pub level: u8,
+    /// Completed chains (terminated by a `ReleaseUp`).
+    pub chains: u64,
+    /// Chains still open at trace end (no terminating `ReleaseUp` seen).
+    pub open_chains: u64,
+    /// Total passes across all chains.
+    pub total_passes: u64,
+    /// Longest chain observed (passes; open chains included).
+    pub max: u64,
+    /// Chains cut by the threshold (`ReleaseUp { forced: true }`).
+    pub forced_cuts: u64,
+    /// Length histogram: `lengths[l]` = chains of exactly `l` passes,
+    /// saturating into the last bucket.
+    pub lengths: Vec<u64>,
+}
+
+impl ChainStats {
+    /// Mean completed-chain length (passes; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.chains == 0 {
+            0.0
+        } else {
+            self.total_passes as f64 / self.chains as f64
+        }
+    }
+}
+
+/// Per-thread completed-hold counts, as a fairness summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessCdf {
+    /// `(thread, holds)` sorted by holds ascending.
+    pub per_thread: Vec<(u32, u64)>,
+    /// Jain's fairness index over the hold counts (1.0 = perfectly
+    /// fair, `1/n` = one thread took everything; 1.0 when empty).
+    pub jain: f64,
+}
+
+impl FairnessCdf {
+    /// Share of total holds owned by the most-served thread (0 when
+    /// empty). 1/n under perfect fairness.
+    pub fn max_share(&self) -> f64 {
+        let total: u64 = self.per_thread.iter().map(|&(_, h)| h).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.per_thread
+            .iter()
+            .map(|&(_, h)| h as f64 / total as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Everything [`analyze`] derives from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Completed whole-lock holds in the trace.
+    pub holds: u64,
+    /// Total hold time (ns).
+    pub hold_ns: u64,
+    /// The ring wrapped somewhere: counts are lower bounds and the
+    /// chain bound is advisory, not exact.
+    pub truncated: bool,
+    /// Wait attribution per level, innermost first.
+    pub levels: Vec<LevelWait>,
+    /// Pass-chain distribution per level (levels with passes or
+    /// release-ups only), innermost first.
+    pub chains: Vec<ChainStats>,
+    /// Per-thread hold fairness.
+    pub fairness: FairnessCdf,
+}
+
+impl TraceAnalysis {
+    /// Longest pass chain observed at any level (0 when none).
+    pub fn max_chain(&self) -> u64 {
+        self.chains.iter().map(|c| c.max).max().unwrap_or(0)
+    }
+
+    /// Checks the `keep_local` bound: every chain at every level is at
+    /// most `h` passes. `Err` carries a human-readable violation. Only
+    /// meaningful on a complete trace; truncated traces return `Ok`
+    /// with the check skipped (and `truncated` already says so).
+    pub fn check_chain_bound(&self, h: u64) -> Result<(), String> {
+        if self.truncated {
+            return Ok(());
+        }
+        for c in &self.chains {
+            if c.max > h {
+                return Err(format!(
+                    "level {}: pass chain of {} exceeds keep_local bound {}",
+                    c.level, c.max, h
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Plain-text report (one line per level + fairness summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace analysis: {} holds, {:.3} ms held{}",
+            self.holds,
+            self.hold_ns as f64 / 1e6,
+            if self.truncated {
+                " (TRUNCATED: ring wrapped, counts are lower bounds)"
+            } else {
+                ""
+            }
+        );
+        for l in &self.levels {
+            let _ = writeln!(
+                out,
+                "  L{} wait: {:>8} spans ({} inherited)  mean {:>8} ns  max {:>10} ns",
+                l.level,
+                l.spans,
+                l.inherited,
+                l.mean_wait_ns(),
+                l.max_wait_ns
+            );
+        }
+        for c in &self.chains {
+            let _ = writeln!(
+                out,
+                "  L{} chains: {:>6} closed ({} open)  mean {:>6.1}  max {:>4}  threshold cuts {}",
+                c.level, c.chains, c.open_chains, c.mean(), c.max, c.forced_cuts
+            );
+        }
+        if !self.fairness.per_thread.is_empty() {
+            let _ = writeln!(
+                out,
+                "  fairness: jain {:.4}  max-share {:.3}  threads {}",
+                self.fairness.jain,
+                self.fairness.max_share(),
+                self.fairness.per_thread.len()
+            );
+            let n = self.fairness.per_thread.len();
+            let total: u64 = self.fairness.per_thread.iter().map(|&(_, h)| h).sum();
+            if total > 0 {
+                let mut cum = 0u64;
+                let mut cdf = String::new();
+                for (i, &(_, h)) in self.fairness.per_thread.iter().enumerate() {
+                    cum += h;
+                    // Quartile points of the CDF keep the line short.
+                    if (i + 1) * 4 % n < 4 && ((i + 1) * 4 / n) > (i * 4) / n {
+                        let _ = write!(
+                            cdf,
+                            " p{:.0}={:.3}",
+                            (i + 1) as f64 / n as f64 * 100.0,
+                            cum as f64 / total as f64
+                        );
+                    }
+                }
+                let _ = writeln!(out, "  hold-share CDF:{cdf}");
+            }
+        }
+        out
+    }
+}
+
+/// Reconstructs the whole-lock ownership timeline: every completed
+/// `Hold` span as `(start_ns, end_ns, thread)`, time-sorted. `Err` if
+/// two holds overlap — the trace then does not describe one mutex
+/// (broken lock, or two locks traced at once).
+pub fn ownership_timeline(trace: &Trace) -> Result<Vec<(u64, u64, u32)>, String> {
+    let mut holds: Vec<(u64, u64, u32)> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == SpanKind::Hold)
+        .map(|e| (e.start_ns, e.end_ns, e.thread))
+        .collect();
+    holds.sort();
+    for w in holds.windows(2) {
+        let (_, end_a, thread_a) = w[0];
+        let (start_b, _, thread_b) = w[1];
+        if start_b < end_a {
+            return Err(format!(
+                "holds overlap: thread {thread_a} until {end_a} ns vs thread {thread_b} from {start_b} ns"
+            ));
+        }
+    }
+    Ok(holds)
+}
+
+/// Length histogram bucket count (chains of `CHAIN_HIST_MAX..` share
+/// the last bucket).
+const CHAIN_HIST_MAX: usize = 256;
+
+/// Analyzes a trace: wait attribution, pass-chain distribution, and
+/// fairness. Pure function of the trace — no tracer state touched.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let mut holds = 0u64;
+    let mut hold_ns = 0u64;
+    let mut levels: BTreeMap<u8, LevelWait> = BTreeMap::new();
+    let mut per_thread: BTreeMap<u32, u64> = BTreeMap::new();
+    // Chain state per (level, node): current run length of consecutive
+    // passes. Separated per node so sibling cohorts of one level never
+    // interleave into a false chain.
+    let mut runs: BTreeMap<(u8, u32), u64> = BTreeMap::new();
+    let mut stats: BTreeMap<u8, ChainStats> = BTreeMap::new();
+
+    fn chain_stats(stats: &mut BTreeMap<u8, ChainStats>, level: u8) -> &mut ChainStats {
+        stats.entry(level).or_insert_with(|| ChainStats {
+            level,
+            chains: 0,
+            open_chains: 0,
+            total_passes: 0,
+            max: 0,
+            forced_cuts: 0,
+            lengths: vec![0; CHAIN_HIST_MAX + 1],
+        })
+    }
+
+    for e in &trace.events {
+        match e.kind {
+            SpanKind::Hold => {
+                holds += 1;
+                hold_ns += e.duration_ns();
+                *per_thread.entry(e.thread).or_insert(0) += 1;
+            }
+            SpanKind::Wait { inherited } => {
+                let l = levels.entry(e.level).or_insert_with(|| LevelWait {
+                    level: e.level,
+                    spans: 0,
+                    inherited: 0,
+                    total_wait_ns: 0,
+                    max_wait_ns: 0,
+                });
+                l.spans += 1;
+                l.inherited += inherited as u64;
+                let d = e.duration_ns();
+                l.total_wait_ns += d;
+                l.max_wait_ns = l.max_wait_ns.max(d);
+            }
+            SpanKind::Pass => {
+                let run = runs.entry((e.level, e.node)).or_insert(0);
+                *run += 1;
+                let s = chain_stats(&mut stats, e.level);
+                s.total_passes += 1;
+                s.max = s.max.max(*run);
+            }
+            SpanKind::ReleaseUp { forced } => {
+                let run = runs.remove(&(e.level, e.node)).unwrap_or(0);
+                let s = chain_stats(&mut stats, e.level);
+                s.chains += 1;
+                s.forced_cuts += forced as u64;
+                s.lengths[(run as usize).min(CHAIN_HIST_MAX)] += 1;
+            }
+            SpanKind::Gate { .. } => {}
+        }
+    }
+
+    // Runs with no terminating ReleaseUp were cut by trace end.
+    for ((level, _), run) in runs {
+        let s = chain_stats(&mut stats, level);
+        s.open_chains += 1;
+        s.lengths[(run as usize).min(CHAIN_HIST_MAX)] += 1;
+    }
+
+    let mut per_thread: Vec<(u32, u64)> = per_thread.into_iter().collect();
+    per_thread.sort_by_key(|&(t, h)| (h, t));
+    let jain = {
+        let n = per_thread.len() as f64;
+        let sum: f64 = per_thread.iter().map(|&(_, h)| h as f64).sum();
+        let sq: f64 = per_thread.iter().map(|&(_, h)| (h as f64) * (h as f64)).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sq)
+        }
+    };
+
+    TraceAnalysis {
+        holds,
+        hold_ns,
+        truncated: !trace.is_complete(),
+        levels: levels.into_values().collect(),
+        chains: stats.into_values().collect(),
+        fairness: FairnessCdf { per_thread, jain },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanEvent;
+
+    fn ev(start: u64, end: u64, level: u8, node: u32, thread: u32, kind: SpanKind) -> SpanEvent {
+        SpanEvent {
+            start_ns: start,
+            end_ns: end,
+            level,
+            node,
+            thread,
+            kind,
+            flow_in: 0,
+            flow_out: 0,
+        }
+    }
+
+    fn trace(events: Vec<SpanEvent>) -> Trace {
+        let recorded = events.len() as u64;
+        Trace {
+            events,
+            recorded,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn ownership_timeline_orders_disjoint_holds() {
+        let t = trace(vec![
+            ev(10, 20, 0, 0, 1, SpanKind::Hold),
+            ev(0, 10, 0, 0, 0, SpanKind::Hold),
+            ev(20, 25, 0, 0, 2, SpanKind::Hold),
+        ]);
+        let tl = ownership_timeline(&t).expect("disjoint holds are a total order");
+        assert_eq!(tl, vec![(0, 10, 0), (10, 20, 1), (20, 25, 2)]);
+    }
+
+    #[test]
+    fn ownership_timeline_rejects_overlap() {
+        let t = trace(vec![
+            ev(0, 15, 0, 0, 0, SpanKind::Hold),
+            ev(10, 20, 0, 0, 1, SpanKind::Hold),
+        ]);
+        let err = ownership_timeline(&t).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn chains_count_consecutive_passes_per_node() {
+        // Node 1: pass, pass, release-up (chain of 2, forced).
+        // Node 2 (same level): one pass interleaved — must not extend
+        // node 1's chain; left open at trace end.
+        let t = trace(vec![
+            ev(1, 1, 0, 1, 0, SpanKind::Pass),
+            ev(2, 2, 0, 2, 5, SpanKind::Pass),
+            ev(3, 3, 0, 1, 1, SpanKind::Pass),
+            ev(4, 4, 0, 1, 2, SpanKind::ReleaseUp { forced: true }),
+        ]);
+        let a = analyze(&t);
+        assert_eq!(a.chains.len(), 1);
+        let c = &a.chains[0];
+        assert_eq!(c.level, 0);
+        assert_eq!(c.chains, 1);
+        assert_eq!(c.open_chains, 1);
+        assert_eq!(c.total_passes, 3);
+        assert_eq!(c.max, 2, "sibling node must not extend the chain");
+        assert_eq!(c.forced_cuts, 1);
+        assert_eq!(c.lengths[2], 1, "closed chain of 2");
+        assert_eq!(c.lengths[1], 1, "open chain of 1");
+        assert_eq!(a.max_chain(), 2);
+    }
+
+    #[test]
+    fn immediate_release_up_is_a_zero_length_chain() {
+        let t = trace(vec![ev(1, 1, 1, 3, 0, SpanKind::ReleaseUp { forced: false })]);
+        let a = analyze(&t);
+        assert_eq!(a.chains[0].chains, 1);
+        assert_eq!(a.chains[0].lengths[0], 1);
+        assert_eq!(a.chains[0].max, 0);
+    }
+
+    #[test]
+    fn chain_bound_check_flags_violations_on_complete_traces() {
+        let mut events = Vec::new();
+        for i in 0..5u64 {
+            events.push(ev(i, i, 0, 1, 0, SpanKind::Pass));
+        }
+        events.push(ev(9, 9, 0, 1, 0, SpanKind::ReleaseUp { forced: true }));
+        let t = trace(events);
+        let a = analyze(&t);
+        assert!(a.check_chain_bound(5).is_ok());
+        let err = a.check_chain_bound(4).unwrap_err();
+        assert!(err.contains("exceeds keep_local bound 4"), "{err}");
+
+        // A truncated trace skips the check (advisory only).
+        let mut tr = analyze(&t);
+        tr.truncated = true;
+        assert!(tr.check_chain_bound(1).is_ok());
+    }
+
+    #[test]
+    fn wait_attribution_splits_levels_and_inheritance() {
+        let t = trace(vec![
+            ev(0, 100, 0, 1, 0, SpanKind::Wait { inherited: false }),
+            ev(0, 50, 0, 1, 1, SpanKind::Wait { inherited: true }),
+            ev(0, 400, 1, 2, 0, SpanKind::Wait { inherited: false }),
+        ]);
+        let a = analyze(&t);
+        assert_eq!(a.levels.len(), 2);
+        assert_eq!(a.levels[0].level, 0);
+        assert_eq!(a.levels[0].spans, 2);
+        assert_eq!(a.levels[0].inherited, 1);
+        assert_eq!(a.levels[0].total_wait_ns, 150);
+        assert_eq!(a.levels[0].mean_wait_ns(), 75);
+        assert_eq!(a.levels[0].max_wait_ns, 100);
+        assert_eq!(a.levels[1].level, 1);
+        assert_eq!(a.levels[1].total_wait_ns, 400);
+    }
+
+    #[test]
+    fn fairness_is_perfect_when_equal_and_low_when_skewed() {
+        let fair = analyze(&trace(vec![
+            ev(0, 1, 0, 0, 0, SpanKind::Hold),
+            ev(1, 2, 0, 0, 1, SpanKind::Hold),
+            ev(2, 3, 0, 0, 2, SpanKind::Hold),
+            ev(3, 4, 0, 0, 3, SpanKind::Hold),
+        ]));
+        assert!((fair.fairness.jain - 1.0).abs() < 1e-9);
+        assert!((fair.fairness.max_share() - 0.25).abs() < 1e-9);
+
+        let mut events: Vec<SpanEvent> = (0..9u64)
+            .map(|i| ev(i, i + 1, 0, 0, 0, SpanKind::Hold))
+            .collect();
+        events.push(ev(9, 10, 0, 0, 1, SpanKind::Hold));
+        let skew = analyze(&trace(events));
+        assert!(skew.fairness.jain < 0.65, "jain {}", skew.fairness.jain);
+        assert!((skew.fairness.max_share() - 0.9).abs() < 1e-9);
+        // Sorted ascending: the starved thread first.
+        assert_eq!(skew.fairness.per_thread[0], (1, 1));
+    }
+
+    #[test]
+    fn truncated_traces_are_flagged() {
+        let mut t = trace(vec![ev(0, 1, 0, 0, 0, SpanKind::Hold)]);
+        t.dropped = 3;
+        let a = analyze(&t);
+        assert!(a.truncated);
+        assert!(a.render().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let t = trace(vec![
+            ev(0, 10, 0, 1, 0, SpanKind::Wait { inherited: false }),
+            ev(10, 20, 0, 0, 0, SpanKind::Hold),
+            ev(20, 20, 0, 1, 0, SpanKind::Pass),
+            ev(21, 21, 0, 1, 1, SpanKind::ReleaseUp { forced: false }),
+        ]);
+        let out = analyze(&t).render();
+        assert!(out.contains("trace analysis: 1 holds"), "{out}");
+        assert!(out.contains("L0 wait"), "{out}");
+        assert!(out.contains("L0 chains"), "{out}");
+        assert!(out.contains("jain"), "{out}");
+    }
+}

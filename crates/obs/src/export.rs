@@ -205,6 +205,12 @@ pub fn render_prometheus(snap: &LockSnapshot) -> String {
          clof_pass_events_total{{lock=\"{lock}\"}} {}\n",
         snap.events_recorded
     ));
+    out.push_str(&format!(
+        "# HELP clof_pass_events_dropped_total Ring events overwritten before export (truncated trace detector).\n\
+         # TYPE clof_pass_events_dropped_total counter\n\
+         clof_pass_events_dropped_total{{lock=\"{lock}\"}} {}\n",
+        snap.events_dropped
+    ));
     out
 }
 
@@ -304,7 +310,7 @@ mod tests {
             hold_ns: hold.snapshot(),
             events_recorded: ring.recorded(),
             events_dropped: ring.dropped(),
-            events: ring.drain(),
+            events: ring.events(),
         }
     }
 
@@ -420,6 +426,43 @@ mod tests {
         assert!(prom.contains("clof_passes_taken_total{lock=\"tkt>mcs\",level=\"0\"} 50"));
         assert!(prom.contains("clof_acquire_latency_ns_bucket{lock=\"tkt>mcs\",level=\"0\",le=\"+Inf\"} 4"));
         assert!(prom.contains("clof_hold_time_ns_count{lock=\"tkt>mcs\"} 1"));
+        assert!(prom.contains("clof_pass_events_total{lock=\"tkt>mcs\"} 2"));
+        assert!(prom.contains("clof_pass_events_dropped_total{lock=\"tkt>mcs\"} 0"));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_both_exporters() {
+        let mut s = sample_snapshot();
+        s.events_recorded = 100;
+        s.events_dropped = 37;
+        let prom = render_prometheus(&s);
+        check_prometheus(&prom);
+        assert!(prom.contains("clof_pass_events_dropped_total{lock=\"tkt>mcs\"} 37"));
+        let json = render_json(&s);
+        assert!(json.contains("\"dropped\":37"));
+    }
+
+    #[test]
+    fn rendering_a_snapshot_twice_is_identical() {
+        // Regression for destructive rendering: assembling from
+        // `EventRing::events()` and re-rendering must not change output.
+        let ring = EventRing::with_capacity(8);
+        ring.record(0, PassKind::Pass, 1);
+        ring.record(1, PassKind::ReleaseUp, 2);
+        let snap_once = |ring: &EventRing| LockSnapshot {
+            name: "twice".into(),
+            levels: vec![LevelCounters::new().snapshot(0)],
+            hold_ns: LogHistogram::new().snapshot(),
+            events_recorded: ring.recorded(),
+            events_dropped: ring.dropped(),
+            events: ring.events(),
+        };
+        let a = snap_once(&ring);
+        let b = snap_once(&ring);
+        assert_eq!(render_json(&a), render_json(&b));
+        assert_eq!(render_prometheus(&a), render_prometheus(&b));
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.events.len(), 2, "events survive both renders");
     }
 
     #[test]

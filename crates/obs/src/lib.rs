@@ -24,6 +24,22 @@
 //!   point-in-time copy of everything above, with text exporters and a
 //!   human-readable `Display`.
 //!
+//! The online layer on top (PR 3):
+//!
+//! * [`trace`] — per-thread lock-free span buffers recording
+//!   acquire/hold/release transitions with hand-off causality edges,
+//!   exported as Chrome trace-event JSON ([`render_chrome_trace`]) for
+//!   Perfetto.
+//! * [`analyze`] — ownership-timeline reconstruction, pass-chain length
+//!   distribution (the `keep_local` *H* bound, checkable), per-level
+//!   wait attribution, and a fairness CDF from a [`Trace`].
+//! * [`window`] — [`LockSnapshot::delta`] and a [`Sampler`] turning
+//!   cumulative snapshots into per-window rates ([`WindowRates`]) so
+//!   telemetry is usable mid-run.
+//! * [`watchdog`] — per-thread progress epochs plus a background
+//!   [`Watchdog`] flagging waiters stalled past a threshold, with a
+//!   diagnostic dump.
+//!
 //! `clof-core` records into these types only when compiled with its
 //! `obs` cargo feature; the default build carries no `clof-obs` symbols
 //! at all (the same strictly-compile-time gating as the `testkit` chaos
@@ -34,15 +50,23 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod counters;
 pub mod export;
 pub mod hist;
 pub mod ring;
+pub mod trace;
+pub mod watchdog;
+pub mod window;
 
+pub use analyze::{analyze, ownership_timeline, ChainStats, FairnessCdf, LevelWait, TraceAnalysis};
 pub use counters::{LevelCounters, LevelSnapshot};
 pub use export::{render_json, render_prometheus, LockSnapshot};
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use ring::{EventRing, PassEvent, PassKind};
+pub use trace::{render_chrome_trace, SpanEvent, SpanKind, Trace};
+pub use watchdog::{ProgressRegistry, StallReport, Watchdog, WatchdogConfig, WatchdogGuard};
+pub use window::{Sampler, WindowRates};
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;

@@ -7,11 +7,13 @@
 //! when done). The ring keeps the **latest** `capacity` events — older
 //! slots are overwritten, and `dropped()` reports how many.
 //!
-//! The reader ([`EventRing::drain`]) is best-effort: a slot being
-//! overwritten mid-read is detected by the sequence re-check and
-//! skipped. Draining while writers are active loses in-flight events,
-//! which is the right trade for telemetry; drain at quiescence for exact
-//! traces.
+//! Readers come in two flavors: [`EventRing::events`] snapshots without
+//! disturbing the ring (exporters may render the same events any number
+//! of times), while [`EventRing::drain`] consumes — it empties the ring
+//! so a hand-off replay sees each event exactly once. Both are
+//! best-effort under concurrency: a slot being overwritten mid-read is
+//! detected by the sequence re-check and skipped; read at quiescence for
+//! exact traces.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -146,9 +148,10 @@ impl EventRing {
     }
 
     /// Copies out the currently-held events, oldest first (sorted by
-    /// timestamp). Slots caught mid-write are skipped; the ring is not
-    /// cleared. Exact at quiescence.
-    pub fn drain(&self) -> Vec<PassEvent> {
+    /// timestamp), **without clearing the ring** — rendering a snapshot
+    /// twice yields identical output. Slots caught mid-write are
+    /// skipped. Exact at quiescence.
+    pub fn events(&self) -> Vec<PassEvent> {
         let mut out = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             let seq0 = slot.seq.load(Ordering::Acquire);
@@ -170,6 +173,20 @@ impl EventRing {
             });
         }
         out.sort_by_key(|e| e.timestamp_ns);
+        out
+    }
+
+    /// [`events`](Self::events), then empties the ring: a second drain
+    /// returns nothing. For hand-off replay, where each event should be
+    /// consumed exactly once; exporters use the non-consuming
+    /// [`events`](Self::events) instead. `recorded()`/`dropped()` are
+    /// monotone and unaffected. Only exact at quiescence (a concurrent
+    /// writer may publish into a cleared slot and survive).
+    pub fn drain(&self) -> Vec<PassEvent> {
+        let out = self.events();
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Release);
+        }
         out
     }
 }
@@ -203,12 +220,12 @@ mod tests {
     }
 
     #[test]
-    fn drain_returns_recorded_events_in_timestamp_order() {
+    fn events_returns_recorded_events_in_timestamp_order() {
         let ring = EventRing::with_capacity(64);
         ring.record(0, PassKind::Pass, 3);
         ring.record(1, PassKind::ReleaseUp, 4);
         ring.record(0, PassKind::Pass, 3);
-        let events = ring.drain();
+        let events = ring.events();
         assert_eq!(events.len(), 3);
         assert!(events.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
         assert_eq!(events[0].level, 0);
@@ -217,8 +234,24 @@ mod tests {
         assert_eq!(events[1].kind, PassKind::ReleaseUp);
         assert_eq!(ring.recorded(), 3);
         assert_eq!(ring.dropped(), 0);
-        // Drain does not clear.
-        assert_eq!(ring.drain().len(), 3);
+        // events() does not clear: a second read is identical.
+        assert_eq!(ring.events(), events);
+    }
+
+    #[test]
+    fn drain_consumes_exactly_once() {
+        let ring = EventRing::with_capacity(64);
+        ring.record(0, PassKind::Pass, 1);
+        ring.record(1, PassKind::ReleaseUp, 2);
+        assert_eq!(ring.events().len(), 2, "snapshot before drain");
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.drain().is_empty(), "drain consumes");
+        assert!(ring.events().is_empty());
+        // Monotone counters survive the drain; the ring is reusable.
+        assert_eq!(ring.recorded(), 2);
+        ring.record(0, PassKind::Pass, 3);
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.recorded(), 3);
     }
 
     #[test]

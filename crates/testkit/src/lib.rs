@@ -48,7 +48,7 @@ pub mod rng;
 pub mod strategies;
 
 pub use check::{check, check_with, Config};
-pub use obscheck::{assert_stats_consistent, LevelTally};
+pub use obscheck::{assert_stats_consistent, assert_total_order, LevelTally};
 pub use gen::Gen;
 pub use oracle::{
     fuzz_seeds, run_stress, seed_batch, FuzzOutcome, OracleHandle, RawHandle, StressOptions,

@@ -101,6 +101,42 @@ pub fn assert_stats_consistent(levels: &[LevelTally], total_acquisitions: u64) {
     }
 }
 
+/// Asserts that `intervals` (as `(start, end)` pairs, any order) form a
+/// total order: each interval well-formed (`start <= end`) and no two
+/// intervals overlapping. This is the mutual-exclusion shape of an
+/// ownership timeline reconstructed from a span trace — stated over
+/// plain numbers for the same reason as [`assert_stats_consistent`].
+///
+/// Intervals may share endpoints (`end == next.start`): a hand-off at
+/// the same timestamp tick is legal on coarse clocks.
+///
+/// # Panics
+///
+/// Panics with the offending pair on the first violation.
+pub fn assert_total_order(intervals: &[(u64, u64)]) {
+    let mut sorted: Vec<(u64, u64)> = intervals.to_vec();
+    sorted.sort_unstable();
+    for (i, iv) in sorted.iter().enumerate() {
+        assert!(
+            iv.0 <= iv.1,
+            "interval {i} is ill-formed: start {} > end {}",
+            iv.0,
+            iv.1
+        );
+        if i > 0 {
+            let prev = sorted[i - 1];
+            assert!(
+                prev.1 <= iv.0,
+                "intervals overlap: [{}, {}] and [{}, {}]",
+                prev.0,
+                prev.1,
+                iv.0,
+                iv.1
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +201,24 @@ mod tests {
         let mut t = two_level(100, 40);
         t[1].passes_taken = 1;
         assert_stats_consistent(&t, 100);
+    }
+
+    #[test]
+    fn disjoint_intervals_are_a_total_order() {
+        // Unsorted on purpose; touching endpoints allowed.
+        assert_total_order(&[(10, 20), (0, 10), (25, 25), (20, 24)]);
+        assert_total_order(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals overlap")]
+    fn overlapping_intervals_are_caught() {
+        assert_total_order(&[(0, 10), (9, 15)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ill-formed")]
+    fn inverted_interval_is_caught() {
+        assert_total_order(&[(5, 3)]);
     }
 }

@@ -1,6 +1,8 @@
-//! Lock telemetry demo: a 3-level composed lock hammered by 8 threads,
-//! then its per-level counters, latency distributions and pass-event
-//! trace, in all three export formats.
+//! Lock telemetry demo: a 3-level composed lock hammered by 8 threads
+//! with the causal span tracer on, live windowed rates while it runs,
+//! then counters, latency distributions, the trace analysis, all three
+//! export formats, a Perfetto-loadable trace file, and finally the
+//! starvation watchdog catching a deliberately hogged lock.
 //!
 //! Run with:
 //!
@@ -10,8 +12,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use clof::obs::{render_json, render_prometheus};
+use clof::obs::{
+    analyze, render_chrome_trace, render_json, render_prometheus, trace, Sampler, Watchdog,
+    WatchdogConfig,
+};
 use clof::{ClofParams, DynClofLock, LockKind};
 use clof_topology::platforms;
 
@@ -32,6 +38,11 @@ fn main() {
         .expect("tiny hierarchy accepts 3-level compositions"),
     );
 
+    // Record causal spans for the whole run. The per-thread buffers are
+    // sized small on purpose so the demo also shows what a truncated
+    // trace looks like in the analysis.
+    trace::enable(8192);
+
     const ITERS: u64 = 20_000;
     let shared = Arc::new(AtomicU64::new(0));
     let mut threads = Vec::new();
@@ -50,6 +61,18 @@ fn main() {
             }
         }));
     }
+
+    // Live windowed telemetry while the hammer runs: cumulative
+    // snapshots in, per-window rates out.
+    println!("=== live windowed rates (100 ms cadence) ===");
+    let mut sampler = Sampler::new();
+    sampler.tick(lock.obs_snapshot());
+    while threads.iter().any(|t| !t.is_finished()) {
+        std::thread::sleep(Duration::from_millis(100));
+        if let Some(rates) = sampler.tick(lock.obs_snapshot()) {
+            println!("{rates}");
+        }
+    }
     for t in threads {
         t.join().unwrap();
     }
@@ -57,7 +80,10 @@ fn main() {
         shared.load(Ordering::Relaxed),
         ITERS * hierarchy.ncpus() as u64
     );
+    println!();
 
+    trace::disable();
+    let span_trace = trace::snapshot();
     let snap = lock.obs_snapshot();
 
     println!("=== human summary ===");
@@ -90,10 +116,66 @@ fn main() {
     println!("  ({} recorded, {} dropped)", snap.events_recorded, snap.events_dropped);
     println!();
 
+    println!("=== causal span trace ===");
+    let trace_path = std::env::temp_dir().join("clof_obs_demo_trace.json");
+    std::fs::write(&trace_path, render_chrome_trace(&span_trace)).expect("write trace file");
+    println!(
+        "{} span events recorded, {} dropped; Perfetto/chrome://tracing JSON at {}",
+        span_trace.events.len(),
+        span_trace.dropped,
+        trace_path.display()
+    );
+    print!("{}", analyze(&span_trace).render());
+    println!();
+
     println!("=== JSON ===");
     println!("{}", render_json(&snap));
     println!();
 
     println!("=== Prometheus ===");
     print!("{}", render_prometheus(&snap));
+    println!();
+
+    // Finally the watchdog: hog the lock from the main thread while a
+    // contender waits, and let the monitor flag the stall (with the
+    // lock's own queue hints as diagnostic context).
+    println!("=== starvation watchdog ===");
+    let watchdog = Watchdog::new(WatchdogConfig {
+        stall_ns: 50_000_000, // 50 ms is "starved" for a demo
+        poll: Duration::from_millis(10),
+    })
+    .with_diag({
+        let lock = Arc::clone(&lock);
+        move || {
+            let hints: Vec<String> = lock
+                .queue_hints()
+                .into_iter()
+                .map(|(level, waiters)| format!("L{level}:{waiters}"))
+                .collect();
+            format!("queued waiters by level [{}]", hints.join(" "))
+        }
+    })
+    .spawn(|report| println!("  {report}"));
+
+    let mut holder = lock.handle(0);
+    holder.acquire();
+    let contender = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut handle = lock.handle(4);
+            handle.acquire();
+            handle.release();
+        })
+    };
+    // Hold until the watchdog fires (bounded, so a broken watchdog
+    // cannot hang the demo).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while watchdog.stalls() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    holder.release();
+    contender.join().unwrap();
+    let stalls = watchdog.stop();
+    println!("  watchdog flagged {stalls} stall report(s) while the lock was hogged");
+    assert!(stalls >= 1, "watchdog missed a 50ms+ stall");
 }

@@ -5,10 +5,15 @@
 #   1. tier-1: `cargo build --release && cargo test -q` (root package);
 #   2. the clof-testkit unit suite (property engine + oracle self-tests);
 #   3. a 16-seed smoke subset of the schedule-fuzzing stress oracle;
-#   4. the obs phase: telemetry release build, the telemetry-vs-oracle
-#      suite, a 16-seed oracle smoke with telemetry on, and the
-#      zero-cost assertion that the default dependency graph carries no
-#      clof-obs at all.
+#   4. the default-build `clof` binary, asserted free of tracer symbols
+#      (the "traceEvents" exporter string only exists behind `obs`) —
+#      checked before any obs build can overwrite the binary;
+#   5. the obs phase: telemetry release build, the telemetry-vs-oracle
+#      suite, the trace-vs-oracle and histogram property suites, a
+#      16-seed oracle smoke with telemetry on, kvstore windowed stats,
+#      a `clof top --once` smoke, a `clof trace` export/analyze
+#      round-trip, and the zero-cost assertion that the default
+#      dependency graph (root and clof-bench) carries no clof-obs.
 #
 # Everything builds from vendored/in-repo code only — no network, no
 # external dev-dependencies — so this is safe for air-gapped runners.
@@ -54,6 +59,17 @@ phase "stress-oracle smoke (16 seeds)" \
     fair_composition_gap_is_bounded \
     oracle_matrix_ticket
 
+# Default-build binary check: the tracer's exporter is the only code
+# that emits the literal "traceEvents", so its absence from the default
+# `clof` binary proves no tracer code was compiled in. This must run
+# before the obs phases, which overwrite target/release/clof.
+phase "default clof binary build" cargo build --release -p clof-bench
+phase "default binary carries no tracer symbols" \
+    sh -c 'if grep -qa traceEvents target/release/clof; then
+               echo "tracer export symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
+
 # Telemetry phase: everything above must also hold with `obs` compiled
 # in, and the default build must not even link clof-obs (zero-cost when
 # disabled — checked on the dependency graph, where it is structural).
@@ -61,13 +77,40 @@ phase "obs release build" cargo build --release --features obs
 phase "obs unit suite (clof-obs)" cargo test -q -p clof-obs
 phase "obs telemetry-vs-oracle suite" \
     cargo test -q --features obs --test obs_stats
+phase "obs trace-vs-oracle + histogram properties" \
+    cargo test -q --features obs --test trace_oracle --test obs_hist_props
+phase "obs kvstore windowed stats" \
+    cargo test -q -p clof-kvstore --features obs
 phase "obs oracle smoke (16 seeds)" \
     cargo test -q --features obs --test stress_oracle -- \
     broken_lock_is_caught_with_replayable_seed \
     oracle_matrix_ticket
+
+# Live telemetry smoke: build the obs-enabled CLI once, prove the tracer
+# marker is now present, take one `top` window, and round-trip a span
+# trace through the Chrome exporter and the analyzer (the trace command
+# itself fails if the keep-local chain bound is violated).
+phase "obs clof binary build" cargo build --release -p clof-bench --features obs
+phase "obs binary carries tracer symbols" \
+    grep -qa traceEvents target/release/clof
+phase "clof top --once smoke" \
+    ./target/release/clof top --machine armv8 --levels 3 --lock tkt-clh-tkt \
+    --threads 4 --interval-ms 200 --once
+phase "clof trace export/analyze round-trip" \
+    sh -c 'out="${TMPDIR:-/tmp}/clof-ci-trace.json"
+           ./target/release/clof trace --machine armv8 --levels 3 \
+               --lock tkt-clh-tkt --threads 4 --iters 2000 --out "$out"
+           grep -q "traceEvents" "$out"
+           grep -q "\"ph\":\"X\"" "$out"
+           rm -f "$out"'
+
 phase "obs zero-cost dependency check" \
     sh -c 'if cargo tree -e normal | grep -q clof-obs; then
                echo "clof-obs leaked into the default dependency graph" >&2
+               exit 1
+           fi
+           if cargo tree -e normal -p clof-bench | grep -q clof-obs; then
+               echo "clof-obs leaked into the default clof-bench graph" >&2
                exit 1
            fi'
 

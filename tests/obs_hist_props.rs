@@ -1,0 +1,88 @@
+//! Property tests for the log-bucketed latency histogram's edge cases,
+//! driven by the in-repo `clof-testkit` engine: empty and single-sample
+//! behaviour, power-of-two bucket boundaries, quantile laws, and merge
+//! against combined recording.
+//!
+//! Run with `cargo test --features obs --test obs_hist_props`.
+
+#![cfg(feature = "obs")]
+
+use clof::obs::{HistSnapshot, LogHistogram};
+use clof_testkit::gen::{any_u64, vec_of, Gen};
+use clof_testkit::{props, tk_assert, tk_assert_eq, Config};
+
+fn recorded(samples: &[u64]) -> HistSnapshot {
+    let h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+props! {
+    config: Config::with_cases(48);
+
+    /// An empty histogram answers zero everywhere: count, mean, max, and
+    /// every quantile (not a panic, not a garbage bucket bound).
+    fn empty_histogram_is_all_zero(q in Gen::<u64>::int_range(0, 100)) {
+        let snap = LogHistogram::new().snapshot();
+        tk_assert_eq!(snap.count, 0);
+        tk_assert_eq!(snap.mean(), 0);
+        tk_assert_eq!(snap.max, 0);
+        tk_assert_eq!(snap.quantile(q as f64 / 100.0), 0);
+        tk_assert!(snap.cumulative().is_empty());
+    }
+
+    /// One sample is every statistic: any quantile of a single-sample
+    /// histogram is the sample itself (the bucket upper bound is capped
+    /// by the exact max), as are mean and max.
+    fn single_sample_is_every_quantile(v in any_u64(), q in Gen::<u64>::int_range(0, 100)) {
+        let snap = recorded(&[v]);
+        tk_assert_eq!(snap.count, 1);
+        tk_assert_eq!(snap.max, v);
+        tk_assert_eq!(snap.mean(), v);
+        tk_assert_eq!(snap.quantile(q as f64 / 100.0), v);
+    }
+
+    /// Power-of-two boundaries land exactly: `2^k` fills bucket `k`
+    /// (whose inclusive upper bound it is) and `2^k + 1` spills into
+    /// bucket `k + 1` — the `[2^(i-1), 2^i)` coverage contract.
+    fn power_of_two_boundaries(k in Gen::<u64>::int_range(1, 62)) {
+        let k = k as usize;
+        let at = recorded(&[1u64 << k]);
+        tk_assert_eq!(at.buckets[k], 1, "2^{} belongs to bucket {}", k, k);
+        tk_assert_eq!(at.buckets.iter().sum::<u64>(), 1);
+        let above = recorded(&[(1u64 << k) + 1]);
+        tk_assert_eq!(above.buckets[k + 1], 1, "2^{} + 1 spills upward", k);
+    }
+
+    /// Quantiles are monotone in `q`, upper estimates of the data, and
+    /// exact at the extremes: `quantile(1.0) == max` and every quantile
+    /// is at least the smallest sample.
+    fn quantile_laws(samples in vec_of(any_u64(), 1, 40)) {
+        let snap = recorded(&samples);
+        tk_assert_eq!(snap.count, samples.len() as u64);
+        tk_assert_eq!(snap.max, *samples.iter().max().unwrap());
+        tk_assert_eq!(snap.quantile(1.0), snap.max);
+        let lo = snap.quantile(0.01);
+        let mid = snap.quantile(0.5);
+        let hi = snap.quantile(0.99);
+        tk_assert!(lo <= mid && mid <= hi, "quantiles must be monotone");
+        tk_assert!(hi <= snap.max, "estimates are capped by the exact max");
+        tk_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    /// Merging two disjoint histograms equals recording both sample sets
+    /// into one — bucket-exact, including count, sum, and max. Samples
+    /// stay in the realistic nanosecond range (`merge` sums are checked
+    /// arithmetic, and a century is only ~2^61 ns).
+    fn merge_of_disjoint_matches_combined(
+        a in vec_of(Gen::<u64>::int_range(0, 1 << 50), 0, 25),
+        b in vec_of(Gen::<u64>::int_range(0, 1 << 50), 0, 25),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        tk_assert_eq!(merged, recorded(&combined));
+    }
+}

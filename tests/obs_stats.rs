@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use clof::obs::{LevelSnapshot, LockSnapshot};
+use clof::obs::{render_json, render_prometheus, LevelSnapshot, LockSnapshot};
 use clof::{ClofParams, DynClofLock, LockKind};
 use clof_testkit::strategies::build_regular;
 use clof_testkit::{assert_stats_consistent, fuzz_seeds, seed_batch, LevelTally, StressOptions};
@@ -119,6 +119,43 @@ fn hintless_level_never_records_hint_hits() {
         snap.levels[0].hint_fast_hits, 0,
         "ttas has no waiter hint; its level must fall back to the read-indicator"
     );
+}
+
+#[test]
+fn snapshot_rendering_is_non_destructive() {
+    // `obs_snapshot` reads the event ring without consuming it, so two
+    // back-to-back snapshots at quiescence — and every export rendered
+    // from them — are identical. Guards against a regression to the old
+    // drain-on-read behaviour, where the first observer stole the trace.
+    let hierarchy = build_regular(&[4]);
+    let lock = Arc::new(
+        DynClofLock::build_with(
+            &hierarchy,
+            &[LockKind::Ticket, LockKind::Ticket],
+            ClofParams::default(),
+            true,
+        )
+        .expect("composition builds"),
+    );
+    let opts = StressOptions {
+        threads: 4,
+        iters: 40,
+        label: format!("obs-rerender:{}", lock.name()),
+        ..StressOptions::default()
+    };
+    let seeds = seed_batch(0x5EED_0B5E, 2);
+    let shared = Arc::clone(&lock);
+    let cpus: Vec<usize> = (0..4).map(|t| t * hierarchy.ncpus() / 4).collect();
+    fuzz_seeds(&opts, &seeds, |_seed, tid| shared.handle(cpus[tid])).assert_passed();
+
+    let first = lock.obs_snapshot();
+    let second = lock.obs_snapshot();
+    assert_eq!(first.events.len(), second.events.len());
+    assert_eq!(first.events_recorded, second.events_recorded);
+    assert_eq!(first.events_dropped, second.events_dropped);
+    assert_eq!(render_json(&first), render_json(&second));
+    assert_eq!(render_prometheus(&first), render_prometheus(&second));
+    assert_eq!(first.to_string(), second.to_string());
 }
 
 #[test]

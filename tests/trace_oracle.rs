@@ -1,0 +1,141 @@
+//! Trace-vs-oracle cross-check: replays the schedule-fuzzing stress
+//! oracle with the causal span tracer on, then holds the reconstructed
+//! trace to what the oracle proved externally:
+//!
+//! * the ownership timeline (hold spans) is a total order — mutual
+//!   exclusion as seen *by the trace*, checked with the testkit's
+//!   plain-number `assert_total_order`;
+//! * one hold span per oracle-counted acquisition (complete traces);
+//! * pass-chain lengths respect the keep-local bound H on a 2-level
+//!   stress run (the §4.1 starvation-freedom argument, observed).
+//!
+//! The tracer is process-global, so these tests serialize behind a
+//! local mutex. Run with `cargo test --features obs --test trace_oracle`.
+
+#![cfg(feature = "obs")]
+
+use std::sync::{Arc, Mutex};
+
+use clof::obs::{analyze, ownership_timeline, trace, Trace};
+use clof::{ClofParams, DynClofLock, LockKind};
+use clof_testkit::strategies::build_regular;
+use clof_testkit::{assert_total_order, fuzz_seeds, seed_batch, StressOptions};
+
+/// The tracer is process-global; tests take it one at a time.
+static TRACER: Mutex<()> = Mutex::new(());
+
+/// Fuzzes `kinds` over a regular hierarchy of `shape` with tracing on;
+/// returns the recorded trace and the oracle's acquisition total.
+fn traced_stress(
+    kinds: &[LockKind],
+    shape: &[usize],
+    threads: usize,
+    seeds: usize,
+    iters: u64,
+    threshold: u32,
+) -> (Trace, u64) {
+    let hierarchy = build_regular(shape);
+    let params = ClofParams {
+        keep_local_threshold: threshold,
+    };
+    let lock = Arc::new(
+        DynClofLock::build_with(&hierarchy, kinds, params, true).expect("composition builds"),
+    );
+    let n = hierarchy.ncpus();
+    let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+    let opts = StressOptions {
+        threads,
+        iters,
+        label: format!("trace:{}", lock.name()),
+        ..StressOptions::default()
+    };
+    let seeds = seed_batch(0x7AC3_0AC1 ^ kinds.len() as u64, seeds);
+    trace::enable(1 << 16);
+    let shared = Arc::clone(&lock);
+    let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| shared.handle(cpus[tid]));
+    trace::disable();
+    outcome.assert_passed();
+    (trace::snapshot(), outcome.total_acquisitions)
+}
+
+#[test]
+fn ownership_timeline_is_a_total_order_matching_the_oracle() {
+    let _tracer = TRACER.lock().unwrap_or_else(|p| p.into_inner());
+    let (recorded, total) = traced_stress(
+        &[LockKind::Ticket, LockKind::Mcs, LockKind::Ticket],
+        &[2, 4],
+        4,
+        3,
+        40,
+        128,
+    );
+    assert!(
+        recorded.is_complete(),
+        "buffers must be sized to capture the whole run ({} dropped)",
+        recorded.dropped
+    );
+    let timeline = ownership_timeline(&recorded).expect("hold spans must not overlap");
+    assert_eq!(
+        timeline.len() as u64,
+        total,
+        "one hold span per oracle-counted acquisition"
+    );
+    let intervals: Vec<(u64, u64)> = timeline.iter().map(|&(s, e, _)| (s, e)).collect();
+    assert_total_order(&intervals);
+}
+
+#[test]
+fn pass_chains_respect_the_keep_local_bound() {
+    let _tracer = TRACER.lock().unwrap_or_else(|p| p.into_inner());
+    // The acceptance setup: a 2-level stress run against the default
+    // H = 128, plus a tighter run where H actually binds.
+    let (recorded, _) = traced_stress(
+        &[LockKind::Ticket, LockKind::Ticket],
+        &[4],
+        4,
+        2,
+        150,
+        128,
+    );
+    assert!(recorded.is_complete(), "{} dropped", recorded.dropped);
+    let analysis = analyze(&recorded);
+    analysis
+        .check_chain_bound(128)
+        .expect("H = 128 bound must hold on a complete trace");
+
+    let (tight, _) = traced_stress(&[LockKind::Ticket, LockKind::Ticket], &[4], 4, 2, 150, 4);
+    assert!(tight.is_complete(), "{} dropped", tight.dropped);
+    let tight_analysis = analyze(&tight);
+    tight_analysis
+        .check_chain_bound(4)
+        .expect("H = 4 bound must hold on a complete trace");
+    assert!(
+        tight_analysis.max_chain() <= 4,
+        "max chain {} exceeds H = 4",
+        tight_analysis.max_chain()
+    );
+}
+
+#[test]
+fn traced_wait_spans_cover_every_acquisition() {
+    let _tracer = TRACER.lock().unwrap_or_else(|p| p.into_inner());
+    let (recorded, total) = traced_stress(
+        &[LockKind::Ticket, LockKind::Clh],
+        &[4],
+        4,
+        2,
+        60,
+        128,
+    );
+    assert!(recorded.is_complete(), "{} dropped", recorded.dropped);
+    let analysis = analyze(&recorded);
+    // Level-0 wait spans are the innermost low-lock acquisitions: one
+    // per lock round-trip, matching the oracle's external count.
+    let l0 = analysis
+        .levels
+        .iter()
+        .find(|l| l.level == 0)
+        .expect("level 0 waits recorded");
+    assert_eq!(l0.spans, total, "one L0 wait span per acquisition");
+    assert_eq!(analysis.holds, total, "one hold span per acquisition");
+}
