@@ -118,10 +118,78 @@ mod micro {
         let mut ctx = <Leaf<McsLock> as clof::HierLock>::Context::default();
         c.bench_function("compose/flat/mcs", |b| {
             b.iter(|| {
-                clof::HierLock::acquire(&flat, &mut ctx);
+                clof::HierLock::acquire(&flat, &mut ctx, 0);
                 clof::HierLock::release(&flat, &mut ctx);
             })
         });
+    }
+
+    /// Dyn-compose hot-path pairs: the HC/LC finalist shapes, uncontended
+    /// and contended, through the default `handle()` dispatch tier. These
+    /// are the before/after pair `scripts/bench_compare.sh` records in
+    /// `BENCH_PR4.json`: on a pre-PR tree `handle()` is the enum-dispatch
+    /// path, on the current tree it is the monomorphized finalist tier.
+    fn dyn_pair(c: &mut Criterion, kinds: &[LockKind], name: &str) {
+        let h = platforms::tiny();
+        let lock =
+            Arc::new(DynClofLock::build_with(&h, kinds, ClofParams::default(), true).expect("build"));
+        let mut handle = lock.handle(0);
+        c.bench_function(&format!("dyn/{name}/uncontended"), |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+
+        // Contended: one same-leaf background contender keeps the lock
+        // busy (same shape as `contended2/*`), so the release path takes
+        // real pass/release-up decisions whenever the contender is
+        // queued. More background threads would only measure the host
+        // scheduler on small machines: with fair locks every queued
+        // waiter needs a `sched_yield` round-trip before the measured
+        // thread can make progress.
+        let stop = Arc::new(AtomicBool::new(false));
+        let bg = {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut handle = lock.handle(1);
+                while !stop.load(Ordering::Relaxed) {
+                    handle.acquire();
+                    handle.release();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        c.bench_function(&format!("dyn/{name}/contended"), |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        bg.join().expect("background contender");
+
+        // Ablation control: the same lock through the generic enum-tree
+        // handle, isolating the monomorphized tier's dispatch win from
+        // the striping/padding effects (shared by both tiers).
+        let mut generic = lock.handle_generic(0);
+        c.bench_function(&format!("dyn/{name}/generic-uncontended"), |b| {
+            b.iter(|| {
+                generic.acquire();
+                generic.release();
+            })
+        });
+    }
+
+    fn bench_dyn_pairs(c: &mut Criterion) {
+        dyn_pair(c, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket], "mcs-clh-tkt");
+        dyn_pair(c, &[LockKind::Clh, LockKind::Clh, LockKind::Ticket], "clh-clh-tkt");
+        dyn_pair(
+            c,
+            &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+            "tkt-tkt-tkt",
+        );
     }
 
     /// The paper-6 fast-path extension: uncontended latency with and without
@@ -207,6 +275,7 @@ mod micro {
         bench_uncontended,
         bench_contended,
         bench_static_vs_dyn,
+        bench_dyn_pairs,
         bench_fastpath,
         bench_baselines,
         bench_obs_overhead

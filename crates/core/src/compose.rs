@@ -210,7 +210,12 @@ pub trait HierLock: Send + Sync + 'static {
 
     /// Acquires every level from this node up to the system lock (or up
     /// to wherever a passed high lock short-circuits the climb).
-    fn acquire(&self, ctx: &mut Self::Context);
+    ///
+    /// `slot` is the caller's child position under this node (CPU index
+    /// within a leaf cohort, or sibling-cohort index for upper levels);
+    /// it selects the read-indicator stripe the acquire registers on.
+    /// Nodes recursing upward pass their own sibling slot.
+    fn acquire(&self, ctx: &mut Self::Context, slot: u32);
 
     /// Releases this node: passes the high lock within the cohort when
     /// allowed, otherwise releases high levels first, then this level.
@@ -262,7 +267,7 @@ impl<L: RawLock> HierLock for Leaf<L> {
     type Context = L::Context;
 
     #[inline]
-    fn acquire(&self, ctx: &mut L::Context) {
+    fn acquire(&self, ctx: &mut L::Context, _slot: u32) {
         let start = self.obs.start();
         self.low.acquire(ctx);
         self.obs.record_acquire(false, start);
@@ -304,6 +309,9 @@ pub struct Clof<L: RawLock, H: HierLock> {
     low: L,
     meta: LevelMeta<H::Context>,
     high: Arc<H>,
+    /// This node's sibling index under its parent — the stripe its
+    /// upward acquires register on in the parent's read indicator.
+    slot: u32,
     obs: staticobs::NodeObs,
 }
 
@@ -313,12 +321,20 @@ impl<L: RawLock, H: HierLock> Clof<L, H> {
         Self::with_params(high, ClofParams::default())
     }
 
-    /// Creates a cohort node with explicit parameters.
+    /// Creates a cohort node with explicit parameters (fan-in 1, slot 0).
     pub fn with_params(high: Arc<H>, params: ClofParams) -> Self {
+        Self::with_layout(high, params, 1, 0)
+    }
+
+    /// Creates a cohort node with explicit parameters and layout: `fanin`
+    /// sizes the striped read indicator (children below this node), and
+    /// `slot` is this node's sibling index under `high`.
+    pub fn with_layout(high: Arc<H>, params: ClofParams, fanin: usize, slot: u32) -> Self {
         Clof {
             low: L::default(),
-            meta: LevelMeta::new(params),
+            meta: LevelMeta::with_fanin(params, fanin),
             high,
+            slot,
             obs: staticobs::NodeObs::default(),
         }
     }
@@ -341,7 +357,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
     type Context = L::Context;
 
     /// `lockgen(acq(CLoF(l, L), c))` from Figure 8.
-    fn acquire(&self, ctx: &mut L::Context) {
+    fn acquire(&self, ctx: &mut L::Context, slot: u32) {
         // Read-indicator bracket; skipped entirely (including the
         // counter) when the basic lock offers a native waiter hint — the
         // paper's optional custom `has_waiters` (§4.1.2). `L::INFO` is a
@@ -349,11 +365,11 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         let use_counter = !has_native_hint::<L>();
         let start = self.obs.start();
         if use_counter {
-            self.meta.inc_waiters();
+            self.meta.inc_waiters(slot);
         }
         self.low.acquire(ctx);
         if use_counter {
-            self.meta.dec_waiters();
+            self.meta.dec_waiters(slot);
         }
         clof_locks::chaos::point("clof-acquire-low-won");
         self.obs.record_acquire(self.meta.has_high_lock(), start);
@@ -363,7 +379,7 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
             // us exclusive use of the high context; the previous user's
             // writes are visible via the low lock's release→acquire edge.
             let high_ctx = unsafe { self.meta.high_ctx() };
-            self.high.acquire(high_ctx);
+            self.high.acquire(high_ctx, self.slot);
             self.meta.debug_ctx_exit();
         }
     }
@@ -445,14 +461,21 @@ fn has_native_hint<L: RawLock>() -> bool {
 pub struct ClofTree<T: HierLock> {
     leaves: Vec<Arc<T>>,
     cpu_to_leaf: Vec<usize>,
+    /// Each CPU's index within its leaf cohort — the read-indicator
+    /// stripe its handle registers on.
+    cpu_to_stripe: Vec<u32>,
     name: String,
 }
 
 impl<T: HierLock> ClofTree<T> {
-    fn new(leaves: Vec<Arc<T>>, cpu_to_leaf: Vec<usize>) -> Self {
+    fn new(leaves: Vec<Arc<T>>, hierarchy: &Hierarchy) -> Self {
+        let cpu_to_leaf = (0..hierarchy.ncpus())
+            .map(|c| hierarchy.cohort(0, c))
+            .collect();
         ClofTree {
             leaves,
             cpu_to_leaf,
+            cpu_to_stripe: cpu_stripes(hierarchy),
             name: T::name(),
         }
     }
@@ -466,6 +489,7 @@ impl<T: HierLock> ClofTree<T> {
         ClofHandle {
             node: Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]),
             ctx: T::Context::default(),
+            stripe: self.cpu_to_stripe[cpu],
             hold: staticobs::HoldSpan::default(),
         }
     }
@@ -517,6 +541,7 @@ impl<T: HierLock> ClofTree<T> {
 pub struct ClofHandle<T: HierLock> {
     node: Arc<T>,
     ctx: T::Context,
+    stripe: u32,
     hold: staticobs::HoldSpan,
 }
 
@@ -524,7 +549,7 @@ impl<T: HierLock> ClofHandle<T> {
     /// Acquires the composed lock.
     pub fn acquire(&mut self) {
         self.hold.waiting();
-        self.node.acquire(&mut self.ctx);
+        self.node.acquire(&mut self.ctx, self.stripe);
         self.hold.acquired();
     }
 
@@ -547,15 +572,55 @@ fn check_levels(hierarchy: &Hierarchy, expected: usize) -> Result<(), ClofError>
     Ok(())
 }
 
+/// Each CPU's index within its leaf cohort — the stripe its handle's
+/// `inc`/`dec_waiters` bracket registers on.
+pub(crate) fn cpu_stripes(hierarchy: &Hierarchy) -> Vec<u32> {
+    let mut out = vec![0u32; hierarchy.ncpus()];
+    for cohort in 0..hierarchy.cohort_count(0) {
+        for (i, cpu) in hierarchy.cohort_members(0, cohort).into_iter().enumerate() {
+            out[cpu] = i as u32;
+        }
+    }
+    out
+}
+
+/// `(fanin, slot)` per cohort at `level`: fan-in is how many children
+/// feed the node (CPUs at level 0, child cohorts above) and sizes its
+/// read-indicator stripes; slot is the cohort's sibling index under its
+/// parent — the stripe it registers on when climbing. The outermost
+/// level keeps slot 0 (the root is a bare [`Leaf`], no indicator).
+pub(crate) fn cohort_layout(hierarchy: &Hierarchy, level: usize) -> Vec<(usize, u32)> {
+    let n = hierarchy.cohort_count(level);
+    let mut fanin = vec![0usize; n];
+    if level == 0 {
+        for (cohort, f) in fanin.iter_mut().enumerate() {
+            *f = hierarchy.cohort_members(0, cohort).len();
+        }
+    } else {
+        for child in 0..hierarchy.cohort_count(level - 1) {
+            let cpu = hierarchy.cohort_members(level - 1, child)[0];
+            fanin[hierarchy.cohort(level, cpu)] += 1;
+        }
+    }
+    let mut slot = vec![0u32; n];
+    if level + 1 < hierarchy.level_count() {
+        let mut next = vec![0u32; hierarchy.cohort_count(level + 1)];
+        for (cohort, s) in slot.iter_mut().enumerate() {
+            let cpu = hierarchy.cohort_members(level, cohort)[0];
+            let parent = hierarchy.cohort(level + 1, cpu);
+            *s = next[parent];
+            next[parent] += 1;
+        }
+    }
+    fanin.into_iter().zip(slot).collect()
+}
+
 /// Builds a 1-level "composition": just the system lock (degenerate case,
 /// NUMA-oblivious behaviour).
 pub fn build1<L0: RawLock>(hierarchy: &Hierarchy) -> Result<ClofTree<Leaf<L0>>, ClofError> {
     check_levels(hierarchy, 1)?;
     let root = Arc::new(Leaf::<L0>::new().at_level(0));
-    Ok(ClofTree::new(
-        vec![root],
-        vec![0; hierarchy.ncpus()],
-    ))
+    Ok(ClofTree::new(vec![root], hierarchy))
 }
 
 /// Builds a 2-level composition `l0-l1` over a 2-level hierarchy.
@@ -565,13 +630,16 @@ pub fn build2<L0: RawLock, L1: RawLock>(
 ) -> Result<ClofTree<Clof<L0, Leaf<L1>>>, ClofError> {
     check_levels(hierarchy, 2)?;
     let root = Arc::new(Leaf::<L1>::new().at_level(1));
-    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
-        .map(|_| Arc::new(Clof::<L0, _>::with_params(Arc::clone(&root), params).at_level(0)))
+    let layout = cohort_layout(hierarchy, 0);
+    let leaves: Vec<_> = layout
+        .into_iter()
+        .map(|(fanin, slot)| {
+            Arc::new(
+                Clof::<L0, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(0),
+            )
+        })
         .collect();
-    let map = (0..hierarchy.ncpus())
-        .map(|c| hierarchy.cohort(0, c))
-        .collect();
-    Ok(ClofTree::new(leaves, map))
+    Ok(ClofTree::new(leaves, hierarchy))
 }
 
 /// Builds a 3-level composition `l0-l1-l2` over a 3-level hierarchy.
@@ -581,26 +649,29 @@ pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Leaf<L2>>>>, ClofError> {
     check_levels(hierarchy, 3)?;
     let root = Arc::new(Leaf::<L2>::new().at_level(2));
-    let mids: Vec<_> = (0..hierarchy.cohort_count(1))
-        .map(|_| Arc::new(Clof::<L1, _>::with_params(Arc::clone(&root), params).at_level(1)))
-        .collect();
-    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
-        .map(|cohort| {
-            // The mid-level cohort above this leaf cohort: take any member
-            // CPU and look up its level-1 cohort.
-            let cpu = hierarchy
-                .cohort_members(0, cohort)
-                .into_iter()
-                .next()
-                .expect("cohorts are non-empty");
-            let mid = hierarchy.cohort(1, cpu);
-            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&mids[mid]), params).at_level(0))
+    let mids: Vec<_> = cohort_layout(hierarchy, 1)
+        .into_iter()
+        .map(|(fanin, slot)| {
+            Arc::new(
+                Clof::<L1, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(1),
+            )
         })
         .collect();
-    let map = (0..hierarchy.ncpus())
-        .map(|c| hierarchy.cohort(0, c))
+    let leaves: Vec<_> = cohort_layout(hierarchy, 0)
+        .into_iter()
+        .enumerate()
+        .map(|(cohort, (fanin, slot))| {
+            // The mid-level cohort above this leaf cohort: take any member
+            // CPU and look up its level-1 cohort.
+            let cpu = hierarchy.cohort_members(0, cohort)[0];
+            let mid = hierarchy.cohort(1, cpu);
+            Arc::new(
+                Clof::<L0, _>::with_layout(Arc::clone(&mids[mid]), params, fanin, slot)
+                    .at_level(0),
+            )
+        })
         .collect();
-    Ok(ClofTree::new(leaves, map))
+    Ok(ClofTree::new(leaves, hierarchy))
 }
 
 /// Builds a 4-level composition `l0-l1-l2-l3` over a 4-level hierarchy.
@@ -610,27 +681,37 @@ pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Clof<L2, Leaf<L3>>>>>, ClofError> {
     check_levels(hierarchy, 4)?;
     let root = Arc::new(Leaf::<L3>::new().at_level(3));
-    let l2: Vec<_> = (0..hierarchy.cohort_count(2))
-        .map(|_| Arc::new(Clof::<L2, _>::with_params(Arc::clone(&root), params).at_level(2)))
+    let l2: Vec<_> = cohort_layout(hierarchy, 2)
+        .into_iter()
+        .map(|(fanin, slot)| {
+            Arc::new(
+                Clof::<L2, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(2),
+            )
+        })
         .collect();
-    let l1: Vec<_> = (0..hierarchy.cohort_count(1))
-        .map(|cohort| {
+    let l1: Vec<_> = cohort_layout(hierarchy, 1)
+        .into_iter()
+        .enumerate()
+        .map(|(cohort, (fanin, slot))| {
             let cpu = hierarchy.cohort_members(1, cohort)[0];
             let up = hierarchy.cohort(2, cpu);
-            Arc::new(Clof::<L1, _>::with_params(Arc::clone(&l2[up]), params).at_level(1))
+            Arc::new(
+                Clof::<L1, _>::with_layout(Arc::clone(&l2[up]), params, fanin, slot).at_level(1),
+            )
         })
         .collect();
-    let leaves: Vec<_> = (0..hierarchy.cohort_count(0))
-        .map(|cohort| {
+    let leaves: Vec<_> = cohort_layout(hierarchy, 0)
+        .into_iter()
+        .enumerate()
+        .map(|(cohort, (fanin, slot))| {
             let cpu = hierarchy.cohort_members(0, cohort)[0];
             let up = hierarchy.cohort(1, cpu);
-            Arc::new(Clof::<L0, _>::with_params(Arc::clone(&l1[up]), params).at_level(0))
+            Arc::new(
+                Clof::<L0, _>::with_layout(Arc::clone(&l1[up]), params, fanin, slot).at_level(0),
+            )
         })
         .collect();
-    let map = (0..hierarchy.ncpus())
-        .map(|c| hierarchy.cohort(0, c))
-        .collect();
-    Ok(ClofTree::new(leaves, map))
+    Ok(ClofTree::new(leaves, hierarchy))
 }
 
 #[cfg(test)]

@@ -14,10 +14,12 @@ use std::sync::Arc;
 
 use clof_topology::{CpuId, Hierarchy};
 
+use crate::compose::{cohort_layout, cpu_stripes};
 use crate::error::ClofError;
 use crate::kind::{AnyContext, AnyLock, LockKind};
 use crate::level::{ClofParams, LevelMeta};
 
+use self::fastdisp::FastTier;
 use self::nodeobs::{HoldObs, LockObs, NodeObs};
 
 /// Telemetry plumbing for the dynamic composition, in the style of the
@@ -257,6 +259,33 @@ struct NodeStats {
     releases_up: AtomicU64,
 }
 
+impl NodeStats {
+    /// All three counters are owner-only: bumped while holding the
+    /// node's low lock, so a plain load + store replaces the locked RMW
+    /// (successive owners are ordered by the lock's release→acquire
+    /// edge, which also publishes the store).
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_acquisition(&self) {
+        Self::bump(&self.acquisitions);
+    }
+
+    #[inline]
+    fn note_pass(&self) {
+        Self::bump(&self.passes);
+    }
+
+    #[inline]
+    fn note_release_up(&self) {
+        Self::bump(&self.releases_up);
+    }
+}
+
 /// Per-level aggregate of [`DynClofLock::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelStats {
@@ -299,6 +328,9 @@ pub struct DynNode {
     ///
     /// [`LockInfo::waiter_hint`]: clof_locks::LockInfo
     counter_waiters: bool,
+    /// This node's sibling index under its parent — the stripe its
+    /// upward acquires register on in the parent's read indicator.
+    slot: u32,
     stats: NodeStats,
     obs: NodeObs,
 }
@@ -311,38 +343,50 @@ unsafe impl Sync for DynNode {}
 unsafe impl Send for DynNode {}
 
 impl DynNode {
-    fn root(kind: LockKind, params: ClofParams, level: usize, obs: &LockObs) -> Self {
+    fn root(kind: LockKind, params: ClofParams, fanin: usize, level: usize, obs: &LockObs) -> Self {
         DynNode {
             low: AnyLock::new(kind),
-            meta: LevelMeta::new(params),
+            meta: LevelMeta::with_fanin(params, fanin),
             high_ctx: UnsafeCell::new(None),
             high: None,
             counter_waiters: !kind.info().waiter_hint,
+            slot: 0,
             stats: NodeStats::default(),
             obs: NodeObs::new(level, obs),
         }
     }
 
-    fn child(kind: LockKind, high: Arc<DynNode>, params: ClofParams, level: usize, obs: &LockObs) -> Self {
+    fn child(
+        kind: LockKind,
+        high: Arc<DynNode>,
+        params: ClofParams,
+        fanin: usize,
+        slot: u32,
+        level: usize,
+        obs: &LockObs,
+    ) -> Self {
         let high_ctx = high.low.new_context();
         DynNode {
             low: AnyLock::new(kind),
-            meta: LevelMeta::new(params),
+            meta: LevelMeta::with_fanin(params, fanin),
             high_ctx: UnsafeCell::new(Some(high_ctx)),
             high: Some(high),
             counter_waiters: !kind.info().waiter_hint,
+            slot,
             stats: NodeStats::default(),
             obs: NodeObs::new(level, obs),
         }
     }
 
-    /// Recursive `lockgen` acquire (paper Figure 8).
-    fn acquire(&self, ctx: &mut AnyContext) {
+    /// Recursive `lockgen` acquire (paper Figure 8). `stripe` is the
+    /// caller's child position under this node (CPU index within a leaf
+    /// cohort at level 0, the child's sibling slot above).
+    fn acquire(&self, ctx: &mut AnyContext, stripe: u32) {
         let Some(high) = &self.high else {
             // Base case: the system-level basic lock.
             let start = self.obs.start();
             self.low.acquire(ctx);
-            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.stats.note_acquisition();
             self.obs.record_acquire(false, start);
             return;
         };
@@ -351,13 +395,13 @@ impl DynNode {
         // lock natively reports waiters (paper §4.1.2) — the release
         // path takes the hint branch unconditionally then.
         if self.counter_waiters {
-            self.meta.inc_waiters();
+            self.meta.inc_waiters(stripe);
         }
         self.low.acquire(ctx);
         if self.counter_waiters {
-            self.meta.dec_waiters();
+            self.meta.dec_waiters(stripe);
         }
-        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.stats.note_acquisition();
         // Window between winning the low lock and inspecting the pass
         // flag left by the previous owner.
         clof_locks::chaos::point("dyn-acquire-low-won");
@@ -368,9 +412,9 @@ impl DynNode {
             // exclusive use of the high context, and the previous user's
             // writes are visible through the low lock's release→acquire
             // synchronization.
-            let slot = unsafe { &mut *self.high_ctx.get() };
-            let high_ctx = slot.as_mut().expect("non-root nodes have a high context");
-            high.acquire(high_ctx);
+            let cell = unsafe { &mut *self.high_ctx.get() };
+            let high_ctx = cell.as_mut().expect("non-root nodes have a high context");
+            high.acquire(high_ctx, self.slot);
             self.meta.debug_ctx_exit();
         }
     }
@@ -387,7 +431,7 @@ impl DynNode {
         }
         let waiters = hint.unwrap_or_else(|| self.meta.has_waiters());
         if waiters && self.meta.keep_local() {
-            self.stats.passes.fetch_add(1, Ordering::Relaxed);
+            self.stats.note_pass();
             self.obs.record_pass();
             self.meta.pass_high_lock();
             // Window between setting the pass flag and releasing the low
@@ -395,7 +439,7 @@ impl DynNode {
             clof_locks::chaos::point("dyn-release-pass");
             self.low.release(ctx);
         } else {
-            self.stats.releases_up.fetch_add(1, Ordering::Relaxed);
+            self.stats.note_release_up();
             // `waiters` still true here means keep_local hit its
             // threshold — a forced surrender, not an idle cohort.
             self.obs.record_release_up(waiters);
@@ -406,8 +450,8 @@ impl DynNode {
             // order high → low is required by the context invariant
             // (paper §4.1.3): releasing low first would let a successor
             // race us on this context.
-            let slot = unsafe { &mut *self.high_ctx.get() };
-            let high_ctx = slot.as_mut().expect("non-root nodes have a high context");
+            let cell = unsafe { &mut *self.high_ctx.get() };
+            let high_ctx = cell.as_mut().expect("non-root nodes have a high context");
             high.release(high_ctx);
             self.meta.debug_ctx_exit();
             self.low.release(ctx);
@@ -427,6 +471,17 @@ impl DynNode {
 pub struct DynClofLock {
     leaves: Vec<Arc<DynNode>>,
     cpu_to_leaf: Vec<usize>,
+    /// Each CPU's index within its leaf cohort — the read-indicator
+    /// stripe its handle registers on.
+    cpu_to_stripe: Vec<u32>,
+    /// Every node of the tree in construction order, tagged with its
+    /// level: the traversal list for `stats`/`obs_snapshot`/
+    /// `queue_hints`, visiting each node exactly once without the old
+    /// quadratic `seen` scan over leaf-to-root chains.
+    nodes: Vec<(usize, Arc<DynNode>)>,
+    /// Monomorphized dispatch for finalist compositions; `None` falls
+    /// back to the enum tree.
+    fast: Option<FastTier>,
     composition: Vec<LockKind>,
     name: String,
     obs: LockObs,
@@ -487,31 +542,50 @@ impl DynClofLock {
         }
         let levels = hierarchy.level_count();
         let obs = LockObs::new();
-        // Build from the root (outermost level) down.
+        // Build from the root (outermost level) down, collecting every
+        // node in construction order for the linear traversals.
+        let mut all_nodes: Vec<(usize, Arc<DynNode>)> = Vec::new();
         let root_kind = locks[levels - 1];
-        let mut upper: Vec<Arc<DynNode>> =
-            vec![Arc::new(DynNode::root(root_kind, params[levels - 1], levels - 1, &obs))];
+        let root_fanin = cohort_layout(hierarchy, levels - 1)[0].0;
+        let mut upper: Vec<Arc<DynNode>> = vec![Arc::new(DynNode::root(
+            root_kind,
+            params[levels - 1],
+            root_fanin,
+            levels - 1,
+            &obs,
+        ))];
+        all_nodes.push((levels - 1, Arc::clone(&upper[0])));
         for level in (0..levels - 1).rev() {
+            let layout = cohort_layout(hierarchy, level);
             let mut nodes = Vec::with_capacity(hierarchy.cohort_count(level));
-            for cohort in 0..hierarchy.cohort_count(level) {
+            for (cohort, &(fanin, slot)) in layout.iter().enumerate() {
                 let cpu = hierarchy.cohort_members(level, cohort)[0];
                 let parent_cohort = hierarchy.cohort(level + 1, cpu);
-                nodes.push(Arc::new(DynNode::child(
+                let node = Arc::new(DynNode::child(
                     locks[level],
                     Arc::clone(&upper[parent_cohort]),
                     params[level],
+                    fanin,
+                    slot,
                     level,
                     &obs,
-                )));
+                ));
+                all_nodes.push((level, Arc::clone(&node)));
+                nodes.push(node);
             }
             upper = nodes;
         }
-        let cpu_to_leaf = (0..hierarchy.ncpus())
-            .map(|c| hierarchy.cohort(0, c))
-            .collect();
+        // No handles exist yet, so the fast tier may resolve typed
+        // pointers into the node-resident context cells race-free.
+        let fast = FastTier::resolve(&upper, locks);
         Ok(DynClofLock {
+            fast,
             leaves: upper,
-            cpu_to_leaf,
+            cpu_to_leaf: (0..hierarchy.ncpus())
+                .map(|c| hierarchy.cohort(0, c))
+                .collect(),
+            cpu_to_stripe: cpu_stripes(hierarchy),
+            nodes: all_nodes,
             composition: locks.to_vec(),
             name: crate::generator::composition_name(locks),
             obs,
@@ -520,17 +594,60 @@ impl DynClofLock {
 
     /// A per-thread handle entering at `cpu`'s leaf cohort.
     ///
+    /// Finalist compositions get a monomorphized handle (statically
+    /// dispatched node walk, no per-op enum `match`); everything else
+    /// gets the generic enum-tree handle. Both speak the identical
+    /// protocol on the same shared nodes, so handles of either tier
+    /// interoperate freely on one lock.
+    ///
     /// # Panics
     ///
     /// Panics if `cpu` is outside the hierarchy used to build the lock.
     pub fn handle(&self, cpu: CpuId) -> DynHandle {
-        let leaf = Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]);
-        let ctx = leaf.low.new_context();
+        let leaf_idx = self.cpu_to_leaf[cpu];
+        let stripe = self.cpu_to_stripe[cpu];
+        let leaf = Arc::clone(&self.leaves[leaf_idx]);
+        let inner = match &self.fast {
+            Some(tier) => tier.handle(leaf_idx, leaf, stripe),
+            None => HandleInner::generic(leaf, stripe),
+        };
         DynHandle {
-            leaf,
-            ctx,
+            inner,
             hold: HoldObs::new(&self.obs),
         }
+    }
+
+    /// A handle forced onto the generic enum-dispatch tier even when the
+    /// composition has a monomorphized fast path — the ablation control
+    /// for benchmarks, and a mixed-tier stressor for the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the hierarchy used to build the lock.
+    pub fn handle_generic(&self, cpu: CpuId) -> DynHandle {
+        let leaf = Arc::clone(&self.leaves[self.cpu_to_leaf[cpu]]);
+        DynHandle {
+            inner: HandleInner::generic(leaf, self.cpu_to_stripe[cpu]),
+            hold: HoldObs::new(&self.obs),
+        }
+    }
+
+    /// Which dispatch tier [`handle`](Self::handle) returns for this
+    /// composition.
+    pub fn dispatch_tier(&self) -> DispatchTier {
+        if self.fast.is_some() {
+            DispatchTier::Monomorphized
+        } else {
+            DispatchTier::Generic
+        }
+    }
+
+    /// Read-indicator count currently registered at `cpu`'s leaf cohort,
+    /// summed over stripes. Racy by nature (diagnostics); leaf levels
+    /// whose low lock hints waiters natively keep no counter and always
+    /// report 0.
+    pub fn leaf_waiter_count(&self, cpu: CpuId) -> u32 {
+        self.leaves[self.cpu_to_leaf[cpu]].meta.waiter_count()
     }
 
     /// Composition in the paper's notation, e.g. `"tkt-clh-tkt"`.
@@ -568,29 +685,11 @@ impl DynClofLock {
                 releases_up: 0,
             })
             .collect();
-        // Walk each distinct node once, leaf chains upward.
-        let mut seen: Vec<*const DynNode> = Vec::new();
-        for leaf in &self.leaves {
-            let mut level = 0usize;
-            let mut cur: &Arc<DynNode> = leaf;
-            loop {
-                let ptr = Arc::as_ptr(cur);
-                if !seen.contains(&(ptr as *const DynNode)) {
-                    seen.push(ptr);
-                    out[level].acquisitions +=
-                        cur.stats.acquisitions.load(Ordering::Relaxed);
-                    out[level].passes += cur.stats.passes.load(Ordering::Relaxed);
-                    out[level].releases_up +=
-                        cur.stats.releases_up.load(Ordering::Relaxed);
-                }
-                match &cur.high {
-                    Some(high) => {
-                        cur = high;
-                        level += 1;
-                    }
-                    None => break,
-                }
-            }
+        // The construction-order node list holds each node exactly once.
+        for (level, node) in &self.nodes {
+            out[*level].acquisitions += node.stats.acquisitions.load(Ordering::Relaxed);
+            out[*level].passes += node.stats.passes.load(Ordering::Relaxed);
+            out[*level].releases_up += node.stats.releases_up.load(Ordering::Relaxed);
         }
         out
     }
@@ -609,26 +708,10 @@ impl DynClofLock {
                 ..Default::default()
             })
             .collect();
-        let mut seen: Vec<*const DynNode> = Vec::new();
-        for leaf in &self.leaves {
-            let mut level = 0usize;
-            let mut cur: &Arc<DynNode> = leaf;
-            loop {
-                let ptr = Arc::as_ptr(cur);
-                if !seen.contains(&ptr) {
-                    seen.push(ptr);
-                    let mut snap = cur.obs.counters.snapshot(level);
-                    snap.acquire_ns = cur.obs.acquire_ns.snapshot();
-                    levels[level].merge(&snap);
-                }
-                match &cur.high {
-                    Some(high) => {
-                        cur = high;
-                        level += 1;
-                    }
-                    None => break,
-                }
-            }
+        for (level, node) in &self.nodes {
+            let mut snap = node.obs.counters.snapshot(*level);
+            snap.acquire_ns = node.obs.acquire_ns.snapshot();
+            levels[*level].merge(&snap);
         }
         clof_obs::LockSnapshot {
             name: self.name.clone(),
@@ -650,33 +733,453 @@ impl DynClofLock {
     pub fn queue_hints(&self) -> Vec<(usize, u32)> {
         let mut out: Vec<(usize, u32)> =
             (0..self.composition.len()).map(|l| (l, 0)).collect();
-        let mut seen: Vec<*const DynNode> = Vec::new();
-        for leaf in &self.leaves {
-            let mut level = 0usize;
-            let mut cur: &Arc<DynNode> = leaf;
-            loop {
-                let ptr = Arc::as_ptr(cur);
-                if !seen.contains(&ptr) {
-                    seen.push(ptr);
-                    out[level].1 += cur.meta.waiter_count();
-                }
-                match &cur.high {
-                    Some(high) => {
-                        cur = high;
-                        level += 1;
-                    }
-                    None => break,
-                }
-            }
+        for (level, node) in &self.nodes {
+            out[*level].1 += node.meta.waiter_count();
         }
         out
     }
 }
 
-/// A per-thread handle: the leaf node plus this thread's leaf context.
+/// Which code path [`DynClofLock::handle`] dispatches through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchTier {
+    /// A finalist composition: statically-typed node walk, no per-op
+    /// enum `match`.
+    Monomorphized,
+    /// The generic enum tree (exhaustive-generator territory).
+    Generic,
+}
+
+/// The monomorphized fast-dispatch tier.
+///
+/// The exhaustive generator needs the enum tree — `N^M` compositions
+/// cannot all be monomorphized. But `select` only ever ships a handful
+/// of finalists, and those pay the per-op `AnyLock`/`AnyContext` match
+/// on every level transition for no reason. This module re-types the
+/// *already built* enum tree for the finalist shapes: at construction
+/// (before any handle exists) it resolves typed pointers to each level's
+/// lock and node-resident high context, and handles then run a
+/// statically-dispatched replica of `DynNode::acquire`/`release` —
+/// identical protocol, same shared state, same chaos points — behind
+/// the same `DynClofLock` API. Fast and generic handles interoperate on
+/// one lock because neither owns any protocol state privately.
+mod fastdisp {
+    use std::ptr::NonNull;
+    use std::sync::Arc;
+
+    use clof_locks::{ClhLock, Hemlock, McsLock, TicketLock};
+
+    use super::{DynNode, HandleInner};
+    use crate::kind::{LockKind, TypedLock};
+
+    /// Typed pointers for one level of a finalist chain.
+    struct Level<L: TypedLock> {
+        node: NonNull<DynNode>,
+        lock: NonNull<L>,
+    }
+
+    impl<L: TypedLock> Clone for Level<L> {
+        fn clone(&self) -> Self {
+            Level {
+                node: self.node,
+                lock: self.lock,
+            }
+        }
+    }
+
+    impl<L: TypedLock> Level<L> {
+        fn resolve(node: &Arc<DynNode>) -> Option<Self> {
+            Some(Level {
+                node: NonNull::from(&**node),
+                lock: NonNull::from(L::from_any(&node.low)?),
+            })
+        }
+    }
+
+    /// Resolved 3-level template for one leaf: node/lock pointers per
+    /// level plus the node-resident contexts the upper levels are
+    /// acquired through. Contexts live inside `DynNode::high_ctx` cells
+    /// (stable addresses behind `Arc`s) and are only dereferenced while
+    /// owning the level below, per the context invariant.
+    pub(super) struct Fast3<L0: TypedLock, L1: TypedLock, L2: TypedLock> {
+        l0: Level<L0>,
+        l1: Level<L1>,
+        c1: NonNull<L1::Context>,
+        l2: Level<L2>,
+        c2: NonNull<L2::Context>,
+    }
+
+    impl<L0: TypedLock, L1: TypedLock, L2: TypedLock> Clone for Fast3<L0, L1, L2> {
+        fn clone(&self) -> Self {
+            Fast3 {
+                l0: self.l0.clone(),
+                l1: self.l1.clone(),
+                c1: self.c1,
+                l2: self.l2.clone(),
+                c2: self.c2,
+            }
+        }
+    }
+
+    // SAFETY: The pointers target nodes owned by the `DynClofLock`'s
+    // `Arc` chain (handles additionally pin the chain through their leaf
+    // `Arc`), and the context cells are accessed only under the context
+    // invariant — exactly the discipline `DynNode`'s own `Sync` impl
+    // relies on.
+    unsafe impl<L0: TypedLock, L1: TypedLock, L2: TypedLock> Send for Fast3<L0, L1, L2> {}
+    unsafe impl<L0: TypedLock, L1: TypedLock, L2: TypedLock> Sync for Fast3<L0, L1, L2> {}
+
+    impl<L0: TypedLock, L1: TypedLock, L2: TypedLock> Fast3<L0, L1, L2> {
+        /// Resolves the typed template for `leaf`'s 3-level chain.
+        ///
+        /// Must run before any handle exists (no concurrent context
+        /// users); returns `None` — generic fallback — if any level's
+        /// kind fails to downcast or the chain depth is not 3.
+        fn resolve(leaf: &Arc<DynNode>) -> Option<Self> {
+            let l0 = Level::<L0>::resolve(leaf)?;
+            let mid = leaf.high.as_ref()?;
+            let l1 = Level::<L1>::resolve(mid)?;
+            // SAFETY: construction-time exclusive access (no handles yet).
+            let c1 = unsafe { &mut *leaf.high_ctx.get() };
+            let c1 = NonNull::from(L1::ctx_from_any(c1.as_mut()?)?);
+            let root = mid.high.as_ref()?;
+            if root.high.is_some() {
+                return None;
+            }
+            let l2 = Level::<L2>::resolve(root)?;
+            // SAFETY: as above.
+            let c2 = unsafe { &mut *mid.high_ctx.get() };
+            let c2 = NonNull::from(L2::ctx_from_any(c2.as_mut()?)?);
+            Some(Fast3 {
+                l0,
+                l1,
+                c1,
+                l2,
+                c2,
+            })
+        }
+    }
+
+    /// Resolved 2-level template, same contract as [`Fast3`].
+    pub(super) struct Fast2<L0: TypedLock, L1: TypedLock> {
+        l0: Level<L0>,
+        l1: Level<L1>,
+        c1: NonNull<L1::Context>,
+    }
+
+    impl<L0: TypedLock, L1: TypedLock> Clone for Fast2<L0, L1> {
+        fn clone(&self) -> Self {
+            Fast2 {
+                l0: self.l0.clone(),
+                l1: self.l1.clone(),
+                c1: self.c1,
+            }
+        }
+    }
+
+    // SAFETY: See `Fast3`.
+    unsafe impl<L0: TypedLock, L1: TypedLock> Send for Fast2<L0, L1> {}
+    unsafe impl<L0: TypedLock, L1: TypedLock> Sync for Fast2<L0, L1> {}
+
+    impl<L0: TypedLock, L1: TypedLock> Fast2<L0, L1> {
+        fn resolve(leaf: &Arc<DynNode>) -> Option<Self> {
+            let l0 = Level::<L0>::resolve(leaf)?;
+            let root = leaf.high.as_ref()?;
+            if root.high.is_some() {
+                return None;
+            }
+            let l1 = Level::<L1>::resolve(root)?;
+            // SAFETY: construction-time exclusive access (no handles yet).
+            let c1 = unsafe { &mut *leaf.high_ctx.get() };
+            let c1 = NonNull::from(L1::ctx_from_any(c1.as_mut()?)?);
+            Some(Fast2 { l0, l1, c1 })
+        }
+    }
+
+    /// Statically-dispatched replica of `DynNode::acquire`'s inductive
+    /// case: identical step order on the same shared node state, with
+    /// the `counter_waiters` branch resolved at monomorphization
+    /// (`L::INFO.waiter_hint` matches the node's flag by construction).
+    /// `climb` acquires the next level up.
+    #[inline]
+    fn acquire_level<L: TypedLock>(
+        node: &DynNode,
+        lock: &L,
+        ctx: &mut L::Context,
+        stripe: u32,
+        climb: impl FnOnce(),
+    ) {
+        let start = node.obs.start();
+        if !L::INFO.waiter_hint {
+            node.meta.inc_waiters(stripe);
+        }
+        lock.acquire(ctx);
+        if !L::INFO.waiter_hint {
+            node.meta.dec_waiters(stripe);
+        }
+        node.stats.note_acquisition();
+        clof_locks::chaos::point("dyn-acquire-low-won");
+        node.obs.record_acquire(node.meta.has_high_lock(), start);
+        if !node.meta.has_high_lock() {
+            node.meta.debug_ctx_enter();
+            climb();
+            node.meta.debug_ctx_exit();
+        }
+    }
+
+    /// Base case: the system-level basic lock.
+    #[inline]
+    fn acquire_root<L: TypedLock>(node: &DynNode, lock: &L, ctx: &mut L::Context) {
+        let start = node.obs.start();
+        lock.acquire(ctx);
+        node.stats.note_acquisition();
+        node.obs.record_acquire(false, start);
+    }
+
+    /// Statically-dispatched replica of `DynNode::release`'s inductive
+    /// case; `climb` releases the next level up (taken on release-up
+    /// only, before the low release — paper §4.1.3 order).
+    #[inline]
+    fn release_level<L: TypedLock>(
+        node: &DynNode,
+        lock: &L,
+        ctx: &mut L::Context,
+        climb: impl FnOnce(),
+    ) {
+        let hint = lock.has_waiters_hint(ctx);
+        if hint.is_some() {
+            node.obs.record_hint_hit();
+        }
+        let waiters = hint.unwrap_or_else(|| node.meta.has_waiters());
+        if waiters && node.meta.keep_local() {
+            node.stats.note_pass();
+            node.obs.record_pass();
+            node.meta.pass_high_lock();
+            clof_locks::chaos::point("dyn-release-pass");
+            lock.release(ctx);
+        } else {
+            node.stats.note_release_up();
+            node.obs.record_release_up(waiters);
+            node.meta.clear_high_lock();
+            clof_locks::chaos::point("dyn-release-up");
+            node.meta.debug_ctx_enter();
+            climb();
+            node.meta.debug_ctx_exit();
+            lock.release(ctx);
+        }
+    }
+
+    /// Per-thread fast handle over a [`Fast3`] template: owns the leaf
+    /// context and its indicator stripe; the leaf `Arc` pins the whole
+    /// chain (each node holds its parent).
+    pub(super) struct Fast3Handle<L0: TypedLock, L1: TypedLock, L2: TypedLock> {
+        t: Fast3<L0, L1, L2>,
+        ctx0: L0::Context,
+        stripe: u32,
+        _leaf: Arc<DynNode>,
+    }
+
+    impl<L0: TypedLock, L1: TypedLock, L2: TypedLock> Fast3Handle<L0, L1, L2> {
+        pub(super) fn new(t: &Fast3<L0, L1, L2>, leaf: Arc<DynNode>, stripe: u32) -> Self {
+            Fast3Handle {
+                t: t.clone(),
+                ctx0: L0::Context::default(),
+                stripe,
+                _leaf: leaf,
+            }
+        }
+
+        #[inline]
+        pub(super) fn acquire(&mut self) {
+            // SAFETY: Node and lock pointers are pinned by `_leaf`'s
+            // parent chain; the upper contexts are dereferenced only
+            // inside the `climb` closures, i.e. while owning the level
+            // below them (context invariant), and `debug_ctx_enter`
+            // still guards the bracket in testkit/debug builds.
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let n1 = self.t.l1.node.as_ref();
+                let n2 = self.t.l2.node.as_ref();
+                let (l1, l2) = (self.t.l1.lock.as_ref(), self.t.l2.lock.as_ref());
+                let (c1, c2) = (self.t.c1, self.t.c2);
+                acquire_level(n0, self.t.l0.lock.as_ref(), &mut self.ctx0, self.stripe, || {
+                    acquire_level(n1, l1, &mut *c1.as_ptr(), n0.slot, || {
+                        acquire_root(n2, l2, &mut *c2.as_ptr());
+                    });
+                });
+            }
+        }
+
+        #[inline]
+        pub(super) fn release(&mut self) {
+            // SAFETY: As in `acquire`; release climbs only while still
+            // owning the lower level (high before low, paper §4.1.3).
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let n1 = self.t.l1.node.as_ref();
+                let (l1, l2) = (self.t.l1.lock.as_ref(), self.t.l2.lock.as_ref());
+                let (c1, c2) = (self.t.c1, self.t.c2);
+                release_level(n0, self.t.l0.lock.as_ref(), &mut self.ctx0, || {
+                    release_level(n1, l1, &mut *c1.as_ptr(), || {
+                        l2.release(&mut *c2.as_ptr());
+                    });
+                });
+            }
+        }
+    }
+
+    /// Per-thread fast handle over a [`Fast2`] template.
+    pub(super) struct Fast2Handle<L0: TypedLock, L1: TypedLock> {
+        t: Fast2<L0, L1>,
+        ctx0: L0::Context,
+        stripe: u32,
+        _leaf: Arc<DynNode>,
+    }
+
+    impl<L0: TypedLock, L1: TypedLock> Fast2Handle<L0, L1> {
+        pub(super) fn new(t: &Fast2<L0, L1>, leaf: Arc<DynNode>, stripe: u32) -> Self {
+            Fast2Handle {
+                t: t.clone(),
+                ctx0: L0::Context::default(),
+                stripe,
+                _leaf: leaf,
+            }
+        }
+
+        #[inline]
+        pub(super) fn acquire(&mut self) {
+            // SAFETY: See `Fast3Handle::acquire`.
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let n1 = self.t.l1.node.as_ref();
+                let l1 = self.t.l1.lock.as_ref();
+                let c1 = self.t.c1;
+                acquire_level(n0, self.t.l0.lock.as_ref(), &mut self.ctx0, self.stripe, || {
+                    acquire_root(n1, l1, &mut *c1.as_ptr());
+                });
+            }
+        }
+
+        #[inline]
+        pub(super) fn release(&mut self) {
+            // SAFETY: See `Fast3Handle::release`.
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let l1 = self.t.l1.lock.as_ref();
+                let c1 = self.t.c1;
+                release_level(n0, self.t.l0.lock.as_ref(), &mut self.ctx0, || {
+                    l1.release(&mut *c1.as_ptr());
+                });
+            }
+        }
+    }
+
+    /// The finalist set: one pre-resolved template vector (indexed by
+    /// leaf) per composition `select` ships — the HC/LC winners from
+    /// EXPERIMENTS.md plus the homogeneous shapes the stress oracle
+    /// leans on.
+    pub(super) enum FastTier {
+        McsClhTkt(Vec<Fast3<McsLock, ClhLock, TicketLock>>),
+        ClhClhTkt(Vec<Fast3<ClhLock, ClhLock, TicketLock>>),
+        ClhClhHem(Vec<Fast3<ClhLock, ClhLock, Hemlock>>),
+        TktTktTkt(Vec<Fast3<TicketLock, TicketLock, TicketLock>>),
+        TktTkt(Vec<Fast2<TicketLock, TicketLock>>),
+        McsTkt(Vec<Fast2<McsLock, TicketLock>>),
+        ClhTkt(Vec<Fast2<ClhLock, TicketLock>>),
+    }
+
+    impl FastTier {
+        /// Resolves the fast tier for `locks` if it is a finalist shape;
+        /// `None` keeps the generic enum dispatch. Must be called during
+        /// lock construction, before any handle exists.
+        pub(super) fn resolve(leaves: &[Arc<DynNode>], locks: &[LockKind]) -> Option<FastTier> {
+            use LockKind::{Clh, Hemlock as Hem, Mcs, Ticket};
+            fn all3<L0: TypedLock, L1: TypedLock, L2: TypedLock>(
+                leaves: &[Arc<DynNode>],
+            ) -> Option<Vec<Fast3<L0, L1, L2>>> {
+                leaves.iter().map(Fast3::resolve).collect()
+            }
+            fn all2<L0: TypedLock, L1: TypedLock>(
+                leaves: &[Arc<DynNode>],
+            ) -> Option<Vec<Fast2<L0, L1>>> {
+                leaves.iter().map(Fast2::resolve).collect()
+            }
+            match locks {
+                [Mcs, Clh, Ticket] => Some(FastTier::McsClhTkt(all3(leaves)?)),
+                [Clh, Clh, Ticket] => Some(FastTier::ClhClhTkt(all3(leaves)?)),
+                [Clh, Clh, Hem] => Some(FastTier::ClhClhHem(all3(leaves)?)),
+                [Ticket, Ticket, Ticket] => Some(FastTier::TktTktTkt(all3(leaves)?)),
+                [Ticket, Ticket] => Some(FastTier::TktTkt(all2(leaves)?)),
+                [Mcs, Ticket] => Some(FastTier::McsTkt(all2(leaves)?)),
+                [Clh, Ticket] => Some(FastTier::ClhTkt(all2(leaves)?)),
+                _ => None,
+            }
+        }
+
+        /// Builds the fast handle for `leaf_idx`.
+        pub(super) fn handle(
+            &self,
+            leaf_idx: usize,
+            leaf: Arc<DynNode>,
+            stripe: u32,
+        ) -> HandleInner {
+            match self {
+                FastTier::McsClhTkt(t) => {
+                    HandleInner::McsClhTkt(Fast3Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::ClhClhTkt(t) => {
+                    HandleInner::ClhClhTkt(Fast3Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::ClhClhHem(t) => {
+                    HandleInner::ClhClhHem(Fast3Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::TktTktTkt(t) => {
+                    HandleInner::TktTktTkt(Fast3Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::TktTkt(t) => {
+                    HandleInner::TktTkt(Fast2Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::McsTkt(t) => {
+                    HandleInner::McsTkt(Fast2Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+                FastTier::ClhTkt(t) => {
+                    HandleInner::ClhTkt(Fast2Handle::new(&t[leaf_idx], leaf, stripe))
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch state of one handle: either the generic enum walk or a
+/// monomorphized finalist walk.
+enum HandleInner {
+    Generic {
+        leaf: Arc<DynNode>,
+        ctx: AnyContext,
+        stripe: u32,
+    },
+    McsClhTkt(fastdisp::Fast3Handle<clof_locks::McsLock, clof_locks::ClhLock, clof_locks::TicketLock>),
+    ClhClhTkt(fastdisp::Fast3Handle<clof_locks::ClhLock, clof_locks::ClhLock, clof_locks::TicketLock>),
+    ClhClhHem(fastdisp::Fast3Handle<clof_locks::ClhLock, clof_locks::ClhLock, clof_locks::Hemlock>),
+    TktTktTkt(
+        fastdisp::Fast3Handle<clof_locks::TicketLock, clof_locks::TicketLock, clof_locks::TicketLock>,
+    ),
+    TktTkt(fastdisp::Fast2Handle<clof_locks::TicketLock, clof_locks::TicketLock>),
+    McsTkt(fastdisp::Fast2Handle<clof_locks::McsLock, clof_locks::TicketLock>),
+    ClhTkt(fastdisp::Fast2Handle<clof_locks::ClhLock, clof_locks::TicketLock>),
+}
+
+impl HandleInner {
+    fn generic(leaf: Arc<DynNode>, stripe: u32) -> Self {
+        let ctx = leaf.low.new_context();
+        HandleInner::Generic { leaf, ctx, stripe }
+    }
+}
+
+/// A per-thread handle: the leaf entry point plus this thread's leaf
+/// context, dispatched through the tier `handle()` selected.
 pub struct DynHandle {
-    leaf: Arc<DynNode>,
-    ctx: AnyContext,
+    inner: HandleInner,
     hold: HoldObs,
 }
 
@@ -684,7 +1187,18 @@ impl DynHandle {
     /// Acquires the composed lock.
     pub fn acquire(&mut self) {
         self.hold.waiting();
-        self.leaf.acquire(&mut self.ctx);
+        // The only per-op dispatch: one match at the handle, not one per
+        // level transition.
+        match &mut self.inner {
+            HandleInner::Generic { leaf, ctx, stripe } => leaf.acquire(ctx, *stripe),
+            HandleInner::McsClhTkt(h) => h.acquire(),
+            HandleInner::ClhClhTkt(h) => h.acquire(),
+            HandleInner::ClhClhHem(h) => h.acquire(),
+            HandleInner::TktTktTkt(h) => h.acquire(),
+            HandleInner::TktTkt(h) => h.acquire(),
+            HandleInner::McsTkt(h) => h.acquire(),
+            HandleInner::ClhTkt(h) => h.acquire(),
+        }
         self.hold.acquired();
     }
 
@@ -693,7 +1207,16 @@ impl DynHandle {
     /// Must only be called while held through this handle.
     pub fn release(&mut self) {
         self.hold.released();
-        self.leaf.release(&mut self.ctx);
+        match &mut self.inner {
+            HandleInner::Generic { leaf, ctx, .. } => leaf.release(ctx),
+            HandleInner::McsClhTkt(h) => h.release(),
+            HandleInner::ClhClhTkt(h) => h.release(),
+            HandleInner::ClhClhHem(h) => h.release(),
+            HandleInner::TktTktTkt(h) => h.release(),
+            HandleInner::TktTkt(h) => h.release(),
+            HandleInner::McsTkt(h) => h.release(),
+            HandleInner::ClhTkt(h) => h.release(),
+        }
     }
 }
 
@@ -981,5 +1504,182 @@ mod tests {
         let lock = Arc::new(DynClofLock::build(&h, &[LockKind::Clh]).unwrap());
         assert_eq!(lock.name(), "clh");
         assert_eq!(hammer(&lock, &[0, 1, 2, 3], 1000), 4000);
+    }
+
+    #[test]
+    fn finalist_compositions_get_monomorphized_dispatch() {
+        let h3 = platforms::tiny();
+        for kinds in [
+            [LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+            [LockKind::Clh, LockKind::Clh, LockKind::Ticket],
+            [LockKind::Clh, LockKind::Clh, LockKind::Hemlock],
+            [LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+        ] {
+            let lock = DynClofLock::build(&h3, &kinds).unwrap();
+            assert_eq!(
+                lock.dispatch_tier(),
+                DispatchTier::Monomorphized,
+                "{}",
+                lock.name()
+            );
+        }
+        let h2 = clof_topology::platforms::two_level(8, 2);
+        for kinds in [
+            [LockKind::Ticket, LockKind::Ticket],
+            [LockKind::Mcs, LockKind::Ticket],
+            [LockKind::Clh, LockKind::Ticket],
+        ] {
+            let lock = DynClofLock::build(&h2, &kinds).unwrap();
+            assert_eq!(
+                lock.dispatch_tier(),
+                DispatchTier::Monomorphized,
+                "{}",
+                lock.name()
+            );
+        }
+        // Non-finalists stay on the generic enum tree.
+        for kinds in [
+            [LockKind::Hemlock, LockKind::Mcs, LockKind::Clh],
+            [LockKind::Ticket, LockKind::Clh, LockKind::Ticket],
+        ] {
+            let lock = DynClofLock::build(&h3, &kinds).unwrap();
+            assert_eq!(lock.dispatch_tier(), DispatchTier::Generic, "{}", lock.name());
+        }
+        let flat = clof_topology::Hierarchy::flat(4).unwrap();
+        let lock = DynClofLock::build(&flat, &[LockKind::Ticket]).unwrap();
+        assert_eq!(lock.dispatch_tier(), DispatchTier::Generic);
+    }
+
+    #[test]
+    fn fast_and_generic_handles_interoperate() {
+        // Both tiers run the identical protocol on the same shared
+        // nodes, so a mixed population must preserve mutual exclusion
+        // and produce the same aggregate stats as a uniform one.
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        assert_eq!(lock.dispatch_tier(), DispatchTier::Monomorphized);
+        const ITERS: usize = 800;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for (i, cpu) in [0usize, 1, 4, 7].into_iter().enumerate() {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                let mut handle = if i % 2 == 0 {
+                    lock.handle(cpu)
+                } else {
+                    lock.handle_generic(cpu)
+                };
+                for _ in 0..ITERS {
+                    handle.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * ITERS);
+        // Every leaf acquisition is counted exactly once regardless of
+        // which tier performed it.
+        assert_eq!(lock.stats()[0].acquisitions, 4 * ITERS as u64);
+    }
+
+    #[test]
+    fn stats_visit_every_node_exactly_once_on_asymmetric_hierarchy() {
+        // Regression for the traversal rewrite: the old pointer-dedup
+        // walk was quadratic and easy to get wrong on trees where
+        // cohort counts differ per branch. Build an asymmetric tree —
+        // leaf cohorts of size 3/2/1, mid cohorts of size 2/1 (in leaf
+        // cohorts) — and check the per-level aggregates against an
+        // exact hand count.
+        let h = clof_topology::Hierarchy::from_levels(
+            vec![
+                ("core".to_string(), vec![0, 0, 0, 1, 1, 2]),
+                ("numa".to_string(), vec![0, 0, 0, 0, 0, 1]),
+            ],
+            6,
+        )
+        .unwrap();
+        assert_eq!(h.level_count(), 3);
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket])
+                .unwrap(),
+        );
+        // One uncontended acquire per CPU: every leaf climbs to the
+        // root each time (no waiters anywhere), so per level the
+        // acquisition count equals the number of ops and every pass
+        // count is zero. A node missed by the traversal would lose its
+        // cohort's share; a node visited twice would overshoot.
+        for cpu in 0..6 {
+            let mut handle = lock.handle(cpu);
+            handle.acquire();
+            handle.release();
+        }
+        let stats = lock.stats();
+        assert_eq!(stats.len(), 3);
+        for level in &stats {
+            assert_eq!(level.acquisitions, 6, "{stats:?}");
+            assert_eq!(level.passes, 0, "{stats:?}");
+            // The root has no level above it to release up to.
+            let expected_up = if level.level == 2 { 0 } else { 6 };
+            assert_eq!(level.releases_up, expected_up, "{stats:?}");
+        }
+        // The construction-order list holds exactly one entry per
+        // cohort per level: 3 leaves + 2 mids + 1 root.
+        assert_eq!(lock.nodes.len(), 6);
+        let per_level: Vec<usize> = (0..3)
+            .map(|l| lock.nodes.iter().filter(|(level, _)| *level == l).count())
+            .collect();
+        assert_eq!(per_level, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn striped_indicator_keeps_hintless_leaf_visible_per_cpu() {
+        // Each CPU in a leaf cohort lands on its own stripe; a waiter
+        // parked from any of them must be visible to `has_waiters`.
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build_with(
+                &h,
+                &[LockKind::Ttas, LockKind::Ticket, LockKind::Ticket],
+                ClofParams::default(),
+                true,
+            )
+            .unwrap(),
+        );
+        // CPUs 0 and 1 share leaf cohort 0 on `tiny` but use distinct
+        // stripes; queue a waiter from each in turn.
+        for waiter_cpu in [0usize, 1] {
+            let mut holder = lock.handle(if waiter_cpu == 0 { 1 } else { 0 });
+            holder.acquire();
+            let started = Arc::new(AtomicUsize::new(0));
+            let waiter = {
+                let lock = Arc::clone(&lock);
+                let started = Arc::clone(&started);
+                std::thread::spawn(move || {
+                    let mut handle = lock.handle(waiter_cpu);
+                    started.store(1, Ordering::Release);
+                    handle.acquire();
+                    handle.release();
+                })
+            };
+            while started.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(
+                lock.leaf_waiter_count(waiter_cpu),
+                1,
+                "stripe for cpu {waiter_cpu} lost its waiter"
+            );
+            assert!(lock.leaves[lock.cpu_to_leaf[waiter_cpu]].meta.has_waiters());
+            holder.release();
+            waiter.join().unwrap();
+        }
     }
 }

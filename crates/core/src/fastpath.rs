@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use clof_locks::Backoff;
+use clof_locks::{Backoff, CachePadded};
 use clof_topology::{CpuId, Hierarchy};
 
 use crate::dynlock::{DynClofLock, DynHandle};
@@ -111,15 +111,29 @@ mod gateobs {
 /// handle.release();
 /// ```
 pub struct FastClof {
-    /// The gate that actually protects the critical section.
-    top: AtomicBool,
+    /// The gate that actually protects the critical section. Every
+    /// contender `swap`s this word, so it gets a cache line to itself:
+    /// gate traffic must not invalidate the path counters (below) or
+    /// the composition's read-mostly topology.
+    top: CachePadded<AtomicBool>,
+    /// Path counters (diagnostics). Written only by the thread that just
+    /// won the gate — successive owners are ordered by the gate's
+    /// release→acquire hand-off — so plain load + store suffices, and
+    /// one shared line for both is fine (same writer).
+    paths: CachePadded<PathCounters>,
     /// NUMA-aware ordering of contenders.
     slow: DynClofLock,
-    /// Fast-path hits (diagnostics; relaxed).
-    fast_acquires: AtomicU64,
-    /// Slow-path acquisitions (diagnostics; relaxed).
-    slow_acquires: AtomicU64,
 }
+
+#[derive(Debug, Default)]
+struct PathCounters {
+    fast: AtomicU64,
+    slow: AtomicU64,
+}
+
+// The gate word and the owner-written counters may not share a line.
+const _: () = assert!(std::mem::size_of::<CachePadded<AtomicBool>>() == clof_locks::CACHE_LINE);
+const _: () = assert!(std::mem::size_of::<CachePadded<PathCounters>>() == clof_locks::CACHE_LINE);
 
 impl FastClof {
     /// Builds the fast-path lock over `locks` on `hierarchy`.
@@ -138,10 +152,9 @@ impl FastClof {
         params: ClofParams,
     ) -> Result<Arc<Self>, ClofError> {
         Ok(Arc::new(FastClof {
-            top: AtomicBool::new(false),
+            top: CachePadded::new(AtomicBool::new(false)),
+            paths: CachePadded::new(PathCounters::default()),
             slow: DynClofLock::build_with(hierarchy, locks, params, false)?,
-            fast_acquires: AtomicU64::new(0),
-            slow_acquires: AtomicU64::new(0),
         }))
     }
 
@@ -166,9 +179,17 @@ impl FastClof {
     /// `(fast_path_acquires, slow_path_acquires)` so far.
     pub fn path_counters(&self) -> (u64, u64) {
         (
-            self.fast_acquires.load(Ordering::Relaxed),
-            self.slow_acquires.load(Ordering::Relaxed),
+            self.paths.fast.load(Ordering::Relaxed),
+            self.paths.slow.load(Ordering::Relaxed),
         )
+    }
+
+    /// Owner-only counter bump: callers hold the gate, so successive
+    /// increments are ordered by its release→acquire edge.
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
     }
 
     /// Telemetry snapshot of the slow path (the composition); the TAS
@@ -201,7 +222,7 @@ impl FastClofHandle {
     pub fn acquire(&mut self) {
         let start = self.obs.start();
         if self.lock.try_top() {
-            self.lock.fast_acquires.fetch_add(1, Ordering::Relaxed);
+            FastClof::bump(&self.lock.paths.fast);
             self.obs.record_gate(start, true);
             return;
         }
@@ -214,7 +235,7 @@ impl FastClofHandle {
             backoff.snooze();
         }
         self.slow.release();
-        self.lock.slow_acquires.fetch_add(1, Ordering::Relaxed);
+        FastClof::bump(&self.lock.paths.slow);
         self.obs.record_gate(start, false);
     }
 

@@ -134,6 +134,49 @@ pub enum AnyContext {
     Anderson(AndersonContext),
 }
 
+/// Compile-time downcast from the enum-dispatched lock and context to a
+/// concrete [`RawLock`] type — the glue the monomorphized fast-dispatch
+/// tier (`dynlock`) uses to re-type an already-built enum node tree so
+/// the finalist compositions run without per-op `match`es.
+pub(crate) trait TypedLock: RawLock {
+    /// The concrete lock inside `any`, if the variant matches.
+    fn from_any(any: &AnyLock) -> Option<&Self>;
+
+    /// The concrete context inside `any`, if the variant matches.
+    fn ctx_from_any(any: &mut AnyContext) -> Option<&mut Self::Context>;
+}
+
+macro_rules! typed_lock {
+    ($ty:ty, $lockvar:ident, $ctxvar:ident) => {
+        impl TypedLock for $ty {
+            #[inline]
+            fn from_any(any: &AnyLock) -> Option<&Self> {
+                match any {
+                    AnyLock::$lockvar(lock) => Some(lock),
+                    _ => None,
+                }
+            }
+
+            #[inline]
+            fn ctx_from_any(any: &mut AnyContext) -> Option<&mut Self::Context> {
+                match any {
+                    AnyContext::$ctxvar(ctx) => Some(ctx),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+typed_lock!(TicketLock, Ticket, None);
+typed_lock!(TtasLock, Ttas, None);
+typed_lock!(BackoffLock, Backoff, None);
+typed_lock!(McsLock, Mcs, Mcs);
+typed_lock!(ClhLock, Clh, Clh);
+typed_lock!(Hemlock, Hemlock, Hem);
+typed_lock!(HemlockCtr, HemlockCtr, Hem);
+typed_lock!(AndersonLock, Anderson, Anderson);
+
 macro_rules! dispatch {
     ($self:expr, $ctx:expr, $lock:ident, $c:ident => $body:expr) => {
         match ($self, $ctx) {

@@ -5,9 +5,38 @@
 //! (paper §4.1.1): a waiter read-indicator, the `has_high_lock` pass flag,
 //! the `keep_local` counter, and the context through which this cohort
 //! acquires/releases the high lock.
+//!
+//! # Memory layout
+//!
+//! The metadata is split by *who writes it*:
+//!
+//! * The read-indicator is **striped**: one 128-byte-aligned counter per
+//!   child slot (sibling cohort below this node, or CPU within a leaf
+//!   cohort). A waiter's `inc`/`dec` bracket touches only its own
+//!   stripe, so concurrent arrivals from different children never
+//!   contend on a cache line — the same core-local bookkeeping CNA and
+//!   Fissile locks use to survive contention.
+//! * Owner-written state (`has_high_lock`, the `keep_local` counter, the
+//!   high context) shares one padded block: it is only ever accessed by
+//!   the current low-lock owner, so packing it densely is free while
+//!   padding it keeps waiter traffic off it.
+//!
+//! `has_waiters` (owner-only, off the waiters' critical path) sums the
+//! stripes with an early-exit scan. Staleness stays tolerable exactly as
+//! in §4.1.2: a missed waiter only causes an early high-lock release,
+//! never a safety violation.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use clof_locks::{CachePadded, CACHE_LINE};
+
+/// Upper bound on read-indicator stripes per level node.
+///
+/// Stripes cost one cache line each; past a handful the scan cost of
+/// `has_waiters` outweighs the isolation win, so fan-ins larger than
+/// this hash multiple children onto one stripe (`slot & mask`).
+pub const MAX_WAITER_STRIPES: usize = 8;
 
 /// Tunable parameters of a composed lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,15 +56,8 @@ impl Default for ClofParams {
     }
 }
 
-/// Metadata attached to one cohort's low lock.
-///
-/// `C` is the *high* lock's context type; the cell is handed from owner to
-/// owner of the low lock.
-pub struct LevelMeta<C> {
-    /// Read indicator: number of threads between `inc_waiters` and
-    /// `dec_waiters` (paper §4.1.2, after Calciu et al.'s read
-    /// indicator).
-    waiters: AtomicU32,
+/// Owner-written metadata words; packed into one [`CachePadded`] block.
+struct OwnerState<C> {
     /// The `has_high_lock` flag: set by `pass_high_lock`, cleared by
     /// `clear_high_lock`.
     high_held: AtomicBool,
@@ -57,29 +79,73 @@ pub struct LevelMeta<C> {
     ctx_busy: AtomicBool,
 }
 
+// Layout contract: the owner block (for context-free compositions) fits
+// in one cache line, and a stripe owns exactly one.
+const _: () = {
+    assert!(std::mem::size_of::<CachePadded<OwnerState<()>>>() == CACHE_LINE);
+    assert!(std::mem::align_of::<CachePadded<OwnerState<()>>>() == CACHE_LINE);
+    assert!(std::mem::size_of::<CachePadded<AtomicU32>>() == CACHE_LINE);
+    assert!(MAX_WAITER_STRIPES.is_power_of_two());
+};
+
+/// Metadata attached to one cohort's low lock.
+///
+/// `C` is the *high* lock's context type; the cell is handed from owner to
+/// owner of the low lock.
+pub struct LevelMeta<C> {
+    /// Striped read indicator: number of threads between `inc_waiters`
+    /// and `dec_waiters` (paper §4.1.2, after Calciu et al.'s read
+    /// indicator), sharded by child slot.
+    stripes: Box<[CachePadded<AtomicU32>]>,
+    /// `stripes.len() - 1`; stripe selection is `slot & stripe_mask`.
+    stripe_mask: u32,
+    /// Owner-only words, isolated from the waiter stripes.
+    owner: CachePadded<OwnerState<C>>,
+}
+
 // SAFETY: `LevelMeta` acts like a mutex-protected cell for `C` (the low
 // lock is the mutex); all other fields are atomics. `C: Send` suffices, as
 // no `&C` is ever shared across threads concurrently.
 unsafe impl<C: Send> Sync for LevelMeta<C> {}
 
 impl<C: Default> LevelMeta<C> {
-    /// Creates metadata with the given keep-local threshold.
+    /// Creates metadata with the given keep-local threshold and a single
+    /// indicator stripe (fan-in 1).
     pub fn new(params: ClofParams) -> Self {
+        Self::with_fanin(params, 1)
+    }
+
+    /// Creates metadata sized for `fanin` children (sibling cohorts or
+    /// CPUs sharing a leaf): one indicator stripe per child slot, rounded
+    /// up to a power of two and capped at [`MAX_WAITER_STRIPES`].
+    pub fn with_fanin(params: ClofParams, fanin: usize) -> Self {
+        let stripes = fanin
+            .max(1)
+            .next_power_of_two()
+            .min(MAX_WAITER_STRIPES);
         LevelMeta {
-            waiters: AtomicU32::new(0),
-            high_held: AtomicBool::new(false),
-            handovers: AtomicU32::new(0),
-            threshold: params.keep_local_threshold.max(1),
-            high_ctx: UnsafeCell::new(C::default()),
-            #[cfg(any(debug_assertions, feature = "testkit"))]
-            ctx_busy: AtomicBool::new(false),
+            stripes: (0..stripes)
+                .map(|_| CachePadded::new(AtomicU32::new(0)))
+                .collect(),
+            stripe_mask: stripes as u32 - 1,
+            owner: CachePadded::new(OwnerState {
+                high_held: AtomicBool::new(false),
+                handovers: AtomicU32::new(0),
+                threshold: params.keep_local_threshold.max(1),
+                high_ctx: UnsafeCell::new(C::default()),
+                #[cfg(any(debug_assertions, feature = "testkit"))]
+                ctx_busy: AtomicBool::new(false),
+            }),
         }
     }
 }
 
 impl<C> LevelMeta<C> {
     /// `inc_waiters`: announce this thread is about to acquire the low
-    /// lock.
+    /// lock. `slot` identifies the caller's child position (sibling
+    /// cohort index, or CPU index within a leaf cohort) and selects the
+    /// stripe; the matching [`dec_waiters`](Self::dec_waiters) must pass
+    /// the same slot.
     ///
     /// All metadata accesses are intentionally `Relaxed`: the paper's
     /// VSync analysis found that every access introduced by the auxiliary
@@ -89,41 +155,51 @@ impl<C> LevelMeta<C> {
     /// waiter counter tolerates staleness (a missed waiter only causes an
     /// early high-lock release, never a safety violation).
     #[inline]
-    pub fn inc_waiters(&self) {
-        self.waiters.fetch_add(1, Ordering::Relaxed);
+    pub fn inc_waiters(&self, slot: u32) {
+        self.stripe(slot).fetch_add(1, Ordering::Relaxed);
     }
 
     /// `dec_waiters`: the thread finished acquiring the low lock.
     #[inline]
-    pub fn dec_waiters(&self) {
-        self.waiters.fetch_sub(1, Ordering::Relaxed);
+    pub fn dec_waiters(&self, slot: u32) {
+        self.stripe(slot).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn stripe(&self, slot: u32) -> &AtomicU32 {
+        // SAFETY-free speed: the mask keeps the index in range by
+        // construction (stripe count is a power of two).
+        &self.stripes[(slot & self.stripe_mask) as usize]
     }
 
     /// `has_waiters`: is any thread of this cohort waiting on the low
-    /// lock?
+    /// lock? Owner-only (release path), so the stripe scan is off the
+    /// waiters' critical path; it exits at the first non-zero stripe.
     #[inline]
     pub fn has_waiters(&self) -> bool {
-        self.waiters.load(Ordering::Relaxed) > 0
+        self.stripes
+            .iter()
+            .any(|s| s.load(Ordering::Relaxed) > 0)
     }
 
     /// `has_high_lock`: did the previous owner pass the high lock to this
     /// cohort?
     #[inline]
     pub fn has_high_lock(&self) -> bool {
-        self.high_held.load(Ordering::Relaxed)
+        self.owner.high_held.load(Ordering::Relaxed)
     }
 
     /// `pass_high_lock`: leave the high lock acquired for the next
     /// low-lock owner.
     #[inline]
     pub fn pass_high_lock(&self) {
-        self.high_held.store(true, Ordering::Relaxed);
+        self.owner.high_held.store(true, Ordering::Relaxed);
     }
 
     /// `clear_high_lock`: the high lock is about to be released.
     #[inline]
     pub fn clear_high_lock(&self) {
-        self.high_held.store(false, Ordering::Relaxed);
+        self.owner.high_held.store(false, Ordering::Relaxed);
     }
 
     /// `keep_local`: may the high lock stay in this cohort for one more
@@ -134,14 +210,17 @@ impl<C> LevelMeta<C> {
     /// other cohorts exactly as HMCS does (§4.1.2).
     #[inline]
     pub fn keep_local(&self) -> bool {
-        // Only the current low-lock owner calls this, so the RMW never
-        // actually contends; it is atomic because successive owners are
-        // different threads.
-        let n = self.handovers.fetch_add(1, Ordering::Relaxed) + 1;
-        if n >= self.threshold {
-            self.handovers.store(0, Ordering::Relaxed);
+        // Only the current low-lock owner calls this, so a plain load +
+        // store replaces the locked RMW; the counter stays atomic only
+        // because successive owners are different threads, and the low
+        // lock's release→acquire edge publishes each owner's store to
+        // the next.
+        let n = self.owner.handovers.load(Ordering::Relaxed) + 1;
+        if n >= self.owner.threshold {
+            self.owner.handovers.store(0, Ordering::Relaxed);
             false
         } else {
+            self.owner.handovers.store(n, Ordering::Relaxed);
             true
         }
     }
@@ -157,13 +236,8 @@ impl<C> LevelMeta<C> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn high_ctx(&self) -> &mut C {
-        #[cfg(any(debug_assertions, feature = "testkit"))]
-        {
-            // Detect overlapping uses in tests: `acquire`/`release` of the
-            // high lock bracket their use of the context with this flag.
-        }
         // SAFETY: Exclusivity per the function's safety contract.
-        unsafe { &mut *self.high_ctx.get() }
+        unsafe { &mut *self.owner.high_ctx.get() }
     }
 
     /// Marks the high context busy (debug or `testkit` builds): panics
@@ -172,7 +246,7 @@ impl<C> LevelMeta<C> {
     pub fn debug_ctx_enter(&self) {
         #[cfg(any(debug_assertions, feature = "testkit"))]
         {
-            let was = self.ctx_busy.swap(true, Ordering::Relaxed);
+            let was = self.owner.ctx_busy.swap(true, Ordering::Relaxed);
             assert!(
                 !was,
                 "context invariant violated: concurrent use of a high-lock context"
@@ -185,18 +259,26 @@ impl<C> LevelMeta<C> {
     pub fn debug_ctx_exit(&self) {
         #[cfg(any(debug_assertions, feature = "testkit"))]
         {
-            self.ctx_busy.store(false, Ordering::Relaxed);
+            self.owner.ctx_busy.store(false, Ordering::Relaxed);
         }
     }
 
-    /// Current waiter-count snapshot (diagnostics).
+    /// Current waiter-count snapshot summed over stripes (diagnostics).
     pub fn waiter_count(&self) -> u32 {
-        self.waiters.load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of indicator stripes (diagnostics / layout tests).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
     }
 
     /// The configured keep-local threshold.
     pub fn threshold(&self) -> u32 {
-        self.threshold
+        self.owner.threshold
     }
 }
 
@@ -208,13 +290,59 @@ mod tests {
     fn waiter_counter_round_trips() {
         let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
         assert!(!meta.has_waiters());
-        meta.inc_waiters();
-        meta.inc_waiters();
+        meta.inc_waiters(0);
+        meta.inc_waiters(0);
         assert!(meta.has_waiters());
         assert_eq!(meta.waiter_count(), 2);
-        meta.dec_waiters();
-        meta.dec_waiters();
+        meta.dec_waiters(0);
+        meta.dec_waiters(0);
         assert!(!meta.has_waiters());
+    }
+
+    #[test]
+    fn stripes_scale_with_fanin_and_cap() {
+        let m1: LevelMeta<()> = LevelMeta::new(ClofParams::default());
+        assert_eq!(m1.stripe_count(), 1);
+        let m3: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 3);
+        assert_eq!(m3.stripe_count(), 4);
+        let m8: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 8);
+        assert_eq!(m8.stripe_count(), 8);
+        let m64: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 64);
+        assert_eq!(m64.stripe_count(), MAX_WAITER_STRIPES);
+        let m0: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 0);
+        assert_eq!(m0.stripe_count(), 1);
+    }
+
+    #[test]
+    fn distinct_slots_hit_distinct_stripes() {
+        let meta: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 4);
+        meta.inc_waiters(0);
+        meta.inc_waiters(1);
+        meta.inc_waiters(3);
+        assert_eq!(meta.waiter_count(), 3);
+        assert!(meta.has_waiters());
+        // Slots beyond the stripe count wrap via the mask instead of
+        // indexing out of bounds.
+        meta.inc_waiters(7);
+        assert_eq!(meta.waiter_count(), 4);
+        for slot in [0, 1, 3, 7] {
+            meta.dec_waiters(slot);
+        }
+        assert!(!meta.has_waiters());
+        assert_eq!(meta.waiter_count(), 0);
+    }
+
+    #[test]
+    fn any_single_stripe_is_visible() {
+        // The early-exit scan must see a waiter regardless of which
+        // stripe it registered on.
+        let meta: LevelMeta<()> = LevelMeta::with_fanin(ClofParams::default(), 8);
+        for slot in 0..8 {
+            meta.inc_waiters(slot);
+            assert!(meta.has_waiters(), "slot {slot} invisible");
+            meta.dec_waiters(slot);
+            assert!(!meta.has_waiters());
+        }
     }
 
     #[test]
@@ -236,6 +364,27 @@ mod tests {
         assert!(meta.keep_local());
         assert!(!meta.keep_local()); // third call hits H = 3
         assert!(meta.keep_local()); // counter was reset
+    }
+
+    #[test]
+    fn keep_local_denies_every_h_calls_over_long_runs() {
+        // The load+store rewrite must preserve the H-bound shape: over
+        // any window of `threshold` consecutive calls, at least one
+        // returns false, and the denial pattern is exactly periodic for
+        // a single-threaded caller.
+        for threshold in [1u32, 2, 3, 7, 128] {
+            let meta: LevelMeta<()> = LevelMeta::new(ClofParams {
+                keep_local_threshold: threshold,
+            });
+            let calls = (threshold as usize) * 5 + 3;
+            let results: Vec<bool> = (0..calls).map(|_| meta.keep_local()).collect();
+            for window in results.windows(threshold as usize) {
+                assert!(
+                    window.iter().any(|kept| !kept),
+                    "H={threshold}: window of {threshold} calls all kept local"
+                );
+            }
+        }
     }
 
     #[test]

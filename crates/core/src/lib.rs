@@ -65,12 +65,12 @@ pub mod rwlock;
 pub mod select;
 
 pub use compose::{Clof, ClofHandle, ClofTree, HierLock, Leaf};
-pub use dynlock::{DynClofLock, DynHandle, LevelStats};
+pub use dynlock::{DispatchTier, DynClofLock, DynHandle, LevelStats};
 pub use error::ClofError;
 pub use fastpath::{FastClof, FastClofHandle};
 pub use generator::{compositions, composition_name, generate_all, parse_composition};
 pub use kind::LockKind;
-pub use level::ClofParams;
+pub use level::{ClofParams, MAX_WAITER_STRIPES};
 pub use mutex::{ClofMutex, ClofMutexGuard, ClofMutexHandle};
 pub use rwlock::{ClofRwLock, ClofRwWriter};
 pub use select::{rank, scripted_benchmark, BenchResult, CandidateObs, Policy, Selection};

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
+use crate::pad::CachePadded;
 use crate::raw::{LockInfo, RawLock};
 use crate::spin::Backoff;
 
@@ -19,11 +20,6 @@ use crate::spin::Backoff;
 /// and would deadlock, so `acquire` asserts the bound in debug builds via
 /// the ticket distance.
 pub const ANDERSON_SLOTS: usize = 128;
-
-/// Padding wrapper so each slot flag sits on its own cache line.
-#[repr(align(128))]
-#[derive(Debug)]
-struct PaddedFlag(AtomicBool);
 
 /// Per-slot context: remembers which array slot the holder occupies.
 #[derive(Debug, Default)]
@@ -50,10 +46,14 @@ pub struct AndersonContext {
 /// ```
 #[derive(Debug)]
 pub struct AndersonLock {
-    flags: Box<[PaddedFlag]>,
-    next: AtomicU32,
-    /// Oldest outstanding slot (diagnostics / waiter hint).
-    owner: AtomicU32,
+    /// Each slot flag on its own cache line: a waiter spins only on its
+    /// slot and never stalls its neighbours.
+    flags: Box<[CachePadded<AtomicBool>]>,
+    /// Waiter-written ticket dispenser (every acquire RMWs it); padded
+    /// away from `owner` so dispensing never invalidates the hint word.
+    next: CachePadded<AtomicU32>,
+    /// Oldest outstanding slot (diagnostics / waiter hint); owner-written.
+    owner: CachePadded<AtomicU32>,
 }
 
 impl Default for AndersonLock {
@@ -61,12 +61,12 @@ impl Default for AndersonLock {
         let mut flags = Vec::with_capacity(ANDERSON_SLOTS);
         for i in 0..ANDERSON_SLOTS {
             // Slot 0 starts granted: the first acquirer passes through.
-            flags.push(PaddedFlag(AtomicBool::new(i == 0)));
+            flags.push(CachePadded::new(AtomicBool::new(i == 0)));
         }
         AndersonLock {
             flags: flags.into_boxed_slice(),
-            next: AtomicU32::new(0),
-            owner: AtomicU32::new(0),
+            next: CachePadded::new(AtomicU32::new(0)),
+            owner: CachePadded::new(AtomicU32::new(0)),
         }
     }
 }
@@ -104,20 +104,24 @@ impl RawLock for AndersonLock {
         let slot = ticket as usize % ANDERSON_SLOTS;
         let mut backoff = Backoff::new();
         // Acquire pairs with the Release store in `release`.
-        while !self.flags[slot].0.load(Ordering::Acquire) {
+        while !self.flags[slot].load(Ordering::Acquire) {
             backoff.snooze();
         }
         // Reset our flag for the next lap of the ring.
-        self.flags[slot].0.store(false, Ordering::Relaxed);
+        self.flags[slot].store(false, Ordering::Relaxed);
         ctx.slot = slot;
     }
 
     fn release(&self, ctx: &mut AndersonContext) {
-        self.owner.fetch_add(1, Ordering::Relaxed);
+        // Only the current owner advances `owner`, and successive owners
+        // are ordered by the slot flag's release→acquire hand-off, so a
+        // plain load + store replaces the locked RMW.
+        let o = self.owner.load(Ordering::Relaxed);
+        self.owner.store(o.wrapping_add(1), Ordering::Relaxed);
         let next = (ctx.slot + 1) % ANDERSON_SLOTS;
         // Release publishes the critical section to the successor's
         // Acquire spin.
-        self.flags[next].0.store(true, Ordering::Release);
+        self.flags[next].store(true, Ordering::Release);
     }
 
     fn has_waiters_hint(&self, _ctx: &Self::Context) -> Option<bool> {

@@ -52,6 +52,7 @@ pub mod chaos;
 pub mod clh;
 pub mod hemlock;
 pub mod mcs;
+pub mod pad;
 pub mod raw;
 pub mod spin;
 pub mod ticket;
@@ -62,6 +63,7 @@ pub use backoff_lock::BackoffLock;
 pub use clh::{ClhContext, ClhLock};
 pub use hemlock::{HemContext, Hemlock, HemlockCtr};
 pub use mcs::{McsContext, McsLock};
+pub use pad::{CachePadded, CACHE_LINE};
 pub use raw::{LockInfo, NoContext, RawLock};
 pub use spin::Backoff;
 pub use ticket::TicketLock;

@@ -1,0 +1,118 @@
+//! Cache-line isolation: the [`CachePadded`] wrapper.
+//!
+//! Composed locks are all about keeping coherence traffic inside the
+//! smallest hardware domain that can serve it. That effort is wasted if
+//! logically-independent words share a cache line: a waiter spinning on
+//! its own stripe still stalls the owner writing the grant word two
+//! bytes away (false sharing). `CachePadded<T>` gives `T` a full
+//! 128-byte line of its own — 128 rather than 64 because recent Intel
+//! parts prefetch cache lines in adjacent pairs and Apple/ARM big cores
+//! use 128-byte lines outright, so 64-byte isolation still ping-pongs
+//! there. The same constant is used by crossbeam and by this crate's
+//! Anderson slot ring.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Alignment (and therefore minimum size) of a [`CachePadded`] value.
+pub const CACHE_LINE: usize = 128;
+
+/// Pads and aligns `T` to [`CACHE_LINE`] bytes so it owns its cache
+/// line(s) exclusively.
+///
+/// Use it to separate fields written by different parties — e.g. a
+/// lock's waiter-written word from its owner-written word — so a write
+/// to one never invalidates the other's line.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::AtomicU32;
+/// use clof_locks::CachePadded;
+///
+/// struct Indicator {
+///     stripes: [CachePadded<AtomicU32>; 4],
+/// }
+/// assert_eq!(std::mem::size_of::<CachePadded<AtomicU32>>(), 128);
+/// assert_eq!(std::mem::align_of::<CachePadded<AtomicU32>>(), 128);
+/// ```
+#[derive(Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+// Layout contract: alignment is the pad constant, and size rounds up to
+// a whole number of lines, so adjacent array elements never share one.
+const _: () = {
+    assert!(std::mem::align_of::<CachePadded<u8>>() == CACHE_LINE);
+    assert!(std::mem::size_of::<CachePadded<u8>>() == CACHE_LINE);
+    assert!(std::mem::size_of::<CachePadded<[u8; 129]>>() == 2 * CACHE_LINE);
+};
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line(s).
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn layout_is_line_exclusive() {
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU32>>(), CACHE_LINE);
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU32>>(), CACHE_LINE);
+        // Arrays of padded values put each element on its own line.
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert_eq!(b - a, CACHE_LINE);
+    }
+
+    #[test]
+    fn value_semantics_pass_through() {
+        let padded = CachePadded::new(AtomicU32::new(7));
+        padded.store(9, Ordering::Relaxed);
+        assert_eq!(padded.load(Ordering::Relaxed), 9);
+        assert_eq!(padded.into_inner().into_inner(), 9);
+        let from: CachePadded<u64> = 3u64.into();
+        assert_eq!(*from, 3);
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::pad::CachePadded;
 use crate::raw::{LockInfo, NoContext, RawLock};
 use crate::spin::Backoff;
 
@@ -28,9 +29,14 @@ use crate::spin::Backoff;
 /// ```
 #[derive(Debug, Default)]
 pub struct TicketLock {
-    ticket: AtomicU32,
-    grant: AtomicU32,
+    /// Waiter-written: every acquire RMWs it. Padded so the dispenser
+    /// line never invalidates `grant`, which all waiters spin on.
+    ticket: CachePadded<AtomicU32>,
+    /// Owner-written, waiter-read.
+    grant: CachePadded<AtomicU32>,
 }
+
+const _: () = assert!(std::mem::size_of::<TicketLock>() == 2 * crate::pad::CACHE_LINE);
 
 impl TicketLock {
     /// Creates an unlocked ticket lock.

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::pad::CachePadded;
 use crate::raw::{LockInfo, NoContext, RawLock};
 use crate::spin::Backoff;
 
@@ -26,8 +27,14 @@ use crate::spin::Backoff;
 /// ```
 #[derive(Debug, Default)]
 pub struct TtasLock {
-    locked: AtomicBool,
+    /// The single flag every contender spins on and swaps; padded so a
+    /// TTAS embedded in larger lock state (a composed-lock node, the
+    /// `FastClof` gate) does not drag neighbouring fields into the
+    /// contenders' coherence storm.
+    locked: CachePadded<AtomicBool>,
 }
+
+const _: () = assert!(std::mem::size_of::<TtasLock>() == crate::pad::CACHE_LINE);
 
 impl TtasLock {
     /// Creates an unlocked TTAS lock.

@@ -25,6 +25,11 @@ pub struct Measurement {
     pub min_ns: f64,
     /// Slowest sample, ns/iter.
     pub max_ns: f64,
+    /// 99th-percentile sample, ns/iter (nearest-rank over the sample
+    /// set; with few samples this is the max — it becomes informative
+    /// when `samples` is raised, e.g. by comparison scripts chasing
+    /// tail latency).
+    pub p99_ns: f64,
     /// Iterations per sample after calibration.
     pub iters: u64,
 }
@@ -45,9 +50,15 @@ impl Default for Criterion {
             .ok()
             .and_then(|s| s.trim().parse::<u64>().ok())
             .unwrap_or(20);
+        // CLOF_BENCH_SAMPLES raises the sample count when the p99 matters
+        // (comparison scripts); the default keeps smoke runs fast.
+        let samples = std::env::var("CLOF_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .unwrap_or(7);
         Criterion {
             min_sample: Duration::from_millis(min_ms.max(1)),
-            samples: 7,
+            samples: samples.max(1),
             results: Vec::new(),
         }
     }
@@ -109,18 +120,24 @@ impl Criterion {
             })
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
+        // Nearest-rank p99 over the per-sample distribution.
+        let p99_idx = ((per_iter.len() as f64 * 0.99).ceil() as usize)
+            .clamp(1, per_iter.len())
+            - 1;
         let m = Measurement {
             name: name.to_string(),
             median_ns: per_iter[per_iter.len() / 2],
             min_ns: per_iter[0],
             max_ns: per_iter[per_iter.len() - 1],
+            p99_ns: per_iter[p99_idx],
             iters,
         };
         println!(
-            "{name:<44} {median:>10.1} ns/iter  (min {min:.1}, max {max:.1}, {iters} it/sample)",
+            "{name:<44} {median:>10.1} ns/iter  (min {min:.1}, p99 {p99:.1}, max {max:.1}, {iters} it/sample)",
             name = m.name,
             median = m.median_ns,
             min = m.min_ns,
+            p99 = m.p99_ns,
             max = m.max_ns,
             iters = m.iters,
         );
@@ -177,6 +194,7 @@ mod tests {
         let m = &c.results()[0];
         assert!(m.median_ns > 0.0);
         assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.median_ns <= m.p99_ns && m.p99_ns <= m.max_ns);
         assert!(m.iters >= 1);
     }
 

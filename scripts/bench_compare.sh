@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Compares the dyn-compose hot path against the recorded pre-PR baseline
+# and writes BENCH_PR4.json (median + p99 per benchmark, plus deltas).
+#
+# The baseline block below was recorded on this host at commit 70d7ff3
+# (pre "contention-proportional hot path" PR), with the same bench
+# shapes: `handle()` then resolved to the generic enum-dispatch tier,
+# the read indicator was a single shared word, and node counters used
+# fetch_add. The criterion-lite runner did not yet report p99, so
+# baseline p99 entries are null.
+#
+# Usage: scripts/bench_compare.sh [output.json]
+#   CLOF_BENCH_MIN_MS / CLOF_BENCH_SAMPLES tune run length (defaults
+#   60 ms × 15 samples — long enough for stable medians on small hosts).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR4.json}
+export CLOF_BENCH_MIN_MS=${CLOF_BENCH_MIN_MS:-60}
+export CLOF_BENCH_SAMPLES=${CLOF_BENCH_SAMPLES:-15}
+
+echo ">>> running locks_micro (dyn pairs) with min_ms=$CLOF_BENCH_MIN_MS samples=$CLOF_BENCH_SAMPLES" >&2
+RAW=$(cargo bench -p clof-bench --bench locks_micro --features criterion 2>/dev/null \
+    | grep -E '^(dyn|compose)/')
+echo "$RAW" >&2
+
+RAW="$RAW" python3 - "$OUT" <<'PYEOF'
+import json, os, re, sys
+
+BASELINE = {
+    # name: (median_ns, min_ns, max_ns) — recorded pre-PR at 70d7ff3.
+    "compose/dyn/mcs-clh-tkt":      (108.0, 104.6, 114.1),
+    "dyn/mcs-clh-tkt/uncontended":  (110.7, 100.3, 121.5),
+    "dyn/mcs-clh-tkt/contended":    (109.8, 106.7, 114.5),
+    "dyn/clh-clh-tkt/uncontended":  (104.1,  98.7, 111.9),
+    "dyn/clh-clh-tkt/contended":    (105.8, 101.9, 108.3),
+    "dyn/tkt-tkt-tkt/uncontended":  (101.3,  95.5, 114.1),
+    "dyn/tkt-tkt-tkt/contended":    (101.2,  94.3, 102.5),
+}
+
+LINE = re.compile(
+    r"^(\S+)\s+([\d.]+) ns/iter\s+\(min ([\d.]+), p99 ([\d.]+), "
+    r"max ([\d.]+), (\d+) it/sample\)"
+)
+
+after = {}
+for line in os.environ["RAW"].splitlines():
+    m = LINE.match(line.strip())
+    if m:
+        name, med, mn, p99, mx, iters = m.groups()
+        after[name] = {
+            "median_ns": float(med),
+            "min_ns": float(mn),
+            "p99_ns": float(p99),
+            "max_ns": float(mx),
+            "iters_per_sample": int(iters),
+        }
+
+report = {
+    "benchmark": "locks_micro: dyn-compose hot-path pairs",
+    "baseline_commit": "70d7ff3",
+    "note": (
+        "Baseline: generic enum dispatch, single-word read indicator, "
+        "fetch_add node counters. After: monomorphized finalist tier, "
+        "striped cache-line-isolated indicator, owner-only counters. "
+        "Same host, same bench shapes."
+    ),
+    "baseline": {
+        name: {"median_ns": med, "min_ns": mn, "p99_ns": None, "max_ns": mx}
+        for name, (med, mn, mx) in BASELINE.items()
+    },
+    "after": after,
+    "delta_median_pct": {},
+}
+
+failures = []
+for name, base in BASELINE.items():
+    if name not in after:
+        failures.append(f"missing after-measurement for {name}")
+        continue
+    delta = 100.0 * (after[name]["median_ns"] - base[0]) / base[0]
+    report["delta_median_pct"][name] = round(delta, 1)
+
+# Acceptance gate: contended finalists must improve >= 15% median.
+for name, delta in report["delta_median_pct"].items():
+    if name.endswith("/contended") and delta > -15.0:
+        failures.append(f"{name}: {delta:+.1f}% (needs <= -15%)")
+
+out = sys.argv[1]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f">>> wrote {out}", file=sys.stderr)
+for name, delta in sorted(report["delta_median_pct"].items()):
+    print(f"    {name:<36} {delta:+6.1f}%", file=sys.stderr)
+if failures:
+    print(">>> FAILED acceptance gate:", file=sys.stderr)
+    for f_ in failures:
+        print(f"    {f_}", file=sys.stderr)
+    sys.exit(1)
+print(">>> acceptance gate passed (contended medians improved >= 15%)", file=sys.stderr)
+PYEOF

@@ -51,6 +51,25 @@ phase "tier-1 release build" cargo build --release
 phase "tier-1 test suite" cargo test -q
 phase "testkit unit suite" cargo test -q -p clof-testkit
 
+# Memory-layout assertions are `const _: () = assert!(...)` blocks in
+# clof-locks (CachePadded, lock-word padding) and clof-core (LevelMeta
+# stripe/owner isolation): they fail these *builds*, not a test run, so
+# compiling the crates under every feature mix is the whole check.
+phase "memory-layout const assertions (default)" \
+    cargo build -p clof-locks -p clof-core
+phase "memory-layout const assertions (obs,testkit)" \
+    cargo build -p clof-core --features obs,testkit
+
+# Striped read-indicator oracle + fast-tier/mixed-tier smoke: the
+# indicator must never false-negative a parked waiter, and the
+# monomorphized dispatch tier must uphold the stress-oracle invariants.
+phase "striped-indicator oracle" cargo test -q --test striped_indicator
+phase "fast-tier oracle smoke" \
+    cargo test -q --test stress_oracle -- \
+    oracle_matrix_monomorphized_finalists \
+    oracle_mixed_tier_handles_on_one_lock \
+    keep_local_owner_only_counter_respects_h_bound
+
 # Smoke subset of the stress oracle: the broken-lock acceptance test is
 # itself a 16-seed fuzz run, plus one fair-composition matrix slice.
 phase "stress-oracle smoke (16 seeds)" \

@@ -106,6 +106,142 @@ fn oracle_matrix_backoff() {
     oracle_matrix(LockKind::Backoff);
 }
 
+/// Schedule-fuzzed matrix over the monomorphized finalist compositions:
+/// the fast dispatch tier must uphold the same oracle invariants as the
+/// generic enum tree it replicates, on both hierarchy depths.
+#[test]
+fn oracle_matrix_monomorphized_finalists() {
+    use clof::DispatchTier;
+    let finalists: [&[LockKind]; 7] = [
+        &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Clh, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Clh, LockKind::Hemlock],
+        &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+        &[LockKind::Ticket, LockKind::Ticket],
+        &[LockKind::Mcs, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Ticket],
+    ];
+    for kinds in finalists {
+        let hierarchy = if kinds.len() == 3 {
+            build_regular(&[2, 4])
+        } else {
+            build_regular(&[2])
+        };
+        assert_eq!(hierarchy.level_count(), kinds.len());
+        let lock = Arc::new(
+            DynClofLock::build_with(&hierarchy, kinds, ClofParams::default(), true)
+                .expect("finalist builds"),
+        );
+        assert_eq!(
+            lock.dispatch_tier(),
+            DispatchTier::Monomorphized,
+            "{} must resolve the fast tier",
+            lock.name()
+        );
+        let threads = 4usize;
+        let n = hierarchy.ncpus();
+        let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+        let seeds = seed_batch(0xFA57_0000 ^ kinds.len() as u64, SEEDS_PER_CELL);
+        let opts = StressOptions {
+            threads,
+            iters: ITERS,
+            label: format!("fast:{}", lock.name()),
+            ..StressOptions::default()
+        };
+        let lock2 = Arc::clone(&lock);
+        let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| lock2.handle(cpus[tid]));
+        outcome.assert_passed();
+        assert_eq!(
+            outcome.total_acquisitions,
+            SEEDS_PER_CELL as u64 * threads as u64 * ITERS
+        );
+    }
+}
+
+/// Mixed dispatch tiers on ONE lock: half the threads use the
+/// monomorphized handle, half the generic ablation handle. Both run the
+/// identical protocol on the same shared nodes, so the oracle must see
+/// no difference.
+#[test]
+fn oracle_mixed_tier_handles_on_one_lock() {
+    let hierarchy = build_regular(&[2, 4]);
+    let lock = Arc::new(
+        DynClofLock::build(
+            &hierarchy,
+            &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+        )
+        .expect("finalist builds"),
+    );
+    let threads = 4usize;
+    let n = hierarchy.ncpus();
+    let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+    let seeds = seed_batch(0x3173_7E2E, 4);
+    let opts = StressOptions {
+        threads,
+        iters: ITERS,
+        label: "mixed-tier mcs-clh-tkt".into(),
+        ..StressOptions::default()
+    };
+    let lock2 = Arc::clone(&lock);
+    let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| {
+        if tid % 2 == 0 {
+            lock2.handle(cpus[tid])
+        } else {
+            lock2.handle_generic(cpus[tid])
+        }
+    });
+    outcome.assert_passed();
+    assert_eq!(
+        outcome.total_acquisitions,
+        4 * threads as u64 * ITERS
+    );
+}
+
+/// Keep-local H-bound regression (schedule-fuzzed): `keep_local`'s
+/// handover counter is owner-only (plain load + store under the low
+/// lock), and that must still enforce the paper's bound — between two
+/// releases-up a node passes locally at most `H - 1` times. Summed per
+/// level: `passes ≤ (H-1) × (releases_up + cohorts)` (each cohort may
+/// additionally be mid-streak at the end of the run).
+#[test]
+fn keep_local_owner_only_counter_respects_h_bound() {
+    for h in [1u32, 2, 3] {
+        let hierarchy = build_regular(&[2, 4]);
+        let params = ClofParams {
+            keep_local_threshold: h,
+        };
+        let kinds = vec![LockKind::Ticket; hierarchy.level_count()];
+        let lock = Arc::new(
+            DynClofLock::build_with(&hierarchy, &kinds, params, false).expect("builds"),
+        );
+        let threads = 4usize;
+        let n = hierarchy.ncpus();
+        // Two threads per leaf cohort so local passes actually happen.
+        let cpus: Vec<usize> = (0..threads).map(|t| (t / 2) * (n / 2) + t % 2).collect();
+        let seeds = seed_batch(0x48B0_0000 ^ h as u64, 3);
+        let opts = StressOptions {
+            threads,
+            iters: 60,
+            label: format!("H={h} bound"),
+            ..StressOptions::default()
+        };
+        let lock2 = Arc::clone(&lock);
+        let outcome = fuzz_seeds(&opts, &seeds, |_seed, tid| lock2.handle(cpus[tid]));
+        outcome.assert_passed();
+        for level in lock.stats() {
+            let cohorts = hierarchy.cohort_count(level.level) as u64;
+            let bound = (h as u64 - 1) * (level.releases_up + cohorts);
+            assert!(
+                level.passes <= bound,
+                "H={h} level {} passes {} exceed bound {bound} ({:?})",
+                level.level,
+                level.passes,
+                level
+            );
+        }
+    }
+}
+
 /// Bounded acquisition gap for a fair composition: with a small
 /// keep-local threshold, no thread waits through more than a small
 /// multiple of `threads × H` foreign acquisitions. (The gap is measured
