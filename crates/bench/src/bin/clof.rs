@@ -14,6 +14,8 @@
 //!                [--threshold H] [--out FILE] [--buffer N]  # needs --features obs
 //! clof top       [--machine x86|armv8] --lock NAME [--threads N] [--threshold H]
 //!                [--interval-ms N] [--duration-ms N] [--stall-ms N] [--once]
+//! clof adapt     [--machine x86|armv8] [--levels 3|4] [--threads N] [--threshold H]
+//!                [--interval-ms N] [--rounds N] [--once]  # needs --features adapt,obs
 //! ```
 //!
 //! All simulation-backed commands run on the built-in paper machine
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "stats" => stats(&args[1..]),
         "trace" => trace(&args[1..]),
         "top" => top(&args[1..]),
+        "adapt" => adapt(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -82,7 +85,15 @@ commands:
             [--interval-ms N] [--duration-ms N] [--stall-ms N] [--once]
                                                   live windowed telemetry of a hammered lock
                                                   with a starvation watchdog; --once prints a
-                                                  single window and exits (requires --features obs)";
+                                                  single window and exits (requires --features obs)
+  adapt     [--machine x86|armv8] [--levels 3|4] [--threads N] [--threshold H]
+            [--interval-ms N] [--rounds N] [--once]
+                                                  replay a phase-shifting workload against a live
+                                                  adaptive lock: windowed telemetry feeds the
+                                                  hysteresis policy, which hot-swaps between the
+                                                  finalist compositions; --once runs one window
+                                                  plus a demonstration swap and exits (requires
+                                                  --features adapt,obs)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -504,6 +515,211 @@ fn top(args: &[String]) -> Result<(), String> {
             "{} acquisitions observed; {} stall report(s)",
             total.load(Ordering::Relaxed),
             stalls
+        );
+        Ok(())
+    }
+}
+
+fn adapt(args: &[String]) -> Result<(), String> {
+    #[cfg(not(all(feature = "obs", feature = "adapt")))]
+    {
+        let _ = args;
+        Err("`adapt` needs runtime adaptation and telemetry compiled in; rebuild with \
+             `--features adapt,obs`"
+            .to_string())
+    }
+    #[cfg(all(feature = "obs", feature = "adapt"))]
+    {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        use clof::obs::{
+            AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, Sampler,
+        };
+
+        let machine = tuned_machine(args)?;
+        let threads: usize = flag_value(args, "--threads")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|e| format!("bad --threads: {e}"))?;
+        let threshold: u32 = flag_value(args, "--threshold")
+            .unwrap_or("128")
+            .parse()
+            .map_err(|e| format!("bad --threshold: {e}"))?;
+        let once = has_flag(args, "--once");
+        let interval_ms: u64 = flag_value(args, "--interval-ms")
+            .unwrap_or(if once { "60" } else { "300" })
+            .parse()
+            .map_err(|e| format!("bad --interval-ms: {e}"))?;
+        let rounds: u64 = if once {
+            1
+        } else {
+            flag_value(args, "--rounds")
+                .unwrap_or("12")
+                .parse()
+                .map_err(|e| format!("bad --rounds: {e}"))?
+        };
+
+        // Finalist set: the homogeneous compositions of the machine's
+        // basic locks, profiled offline on the simulator (the scripted
+        // benchmark of §4.3, shrunk to the shapes the policy can name).
+        let levels = machine.hierarchy.level_count();
+        let finalists: Vec<Vec<LockKind>> = basics(&machine)
+            .into_iter()
+            .map(|k| vec![k; levels])
+            .collect();
+        let opts = RunOptions {
+            duration_ns: 2_000_000,
+            warmup_ns: 200_000,
+            seed: 0xADA7,
+        };
+        let grid = [1usize, 2, 4, threads.max(2)];
+        let hierarchy = machine.hierarchy.clone();
+        let results = scripted_benchmark(&finalists, &grid, |combo, n| {
+            let spec = ModelSpec::clof(hierarchy.clone(), combo);
+            let cpus = placement::compact(&machine, n);
+            run(&machine, &spec, &cpus, Workload::leveldb_readrandom(), opts).throughput_per_us()
+        });
+        let profiles: Vec<FinalistProfile> = results
+            .iter()
+            .map(|r| {
+                FinalistProfile::new(r.name(), &r.points)
+                    .ok_or_else(|| format!("profile for {} has no finite points", r.name()))
+            })
+            .collect::<Result<_, _>>()?;
+        let start_name = rank(&results, Policy::LowContention).best().name();
+        let start = results
+            .iter()
+            .position(|r| r.name() == start_name)
+            .expect("ranked winner is in the result set");
+        for p in &profiles {
+            println!("clof-adapt: finalist {}", p.name);
+        }
+        println!("clof-adapt: starting as {start_name} (LC-ranked)");
+
+        let params = clof::ClofParams {
+            keep_local_threshold: threshold,
+        };
+        let lock = Arc::new(
+            clof::AdaptiveLock::with_params(&machine.hierarchy, &finalists[start], params, true)
+                .map_err(|e| e.to_string())?,
+        );
+
+        // Phase-shifting workload: phase 0 is full contention with short
+        // critical sections, phase 1 parks all but two threads and
+        // stretches the sections — the two regimes the HC/LC finalists
+        // were selected for.
+        let stop = Arc::new(AtomicBool::new(false));
+        let phase = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let ncpus = machine.hierarchy.ncpus();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            let phase = Arc::clone(&phase);
+            let total = Arc::clone(&total);
+            let cpu = t * ncpus / threads.max(1);
+            workers.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                while !stop.load(Ordering::Relaxed) {
+                    let low = phase.load(Ordering::Relaxed) == 1;
+                    if low && t >= 2 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    handle.acquire();
+                    total.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..if low { 256 } else { 16 } {
+                        std::hint::spin_loop();
+                    }
+                    handle.release();
+                    if low {
+                        for _ in 0..512 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }));
+        }
+
+        let mut controller = HysteresisController::new(
+            profiles,
+            start,
+            HysteresisConfig { k: 2, margin: 0.05 },
+        )
+        .expect("non-empty finalist set");
+        let mut sampler = Sampler::new();
+        sampler.tick(lock.obs_snapshot());
+        for round in 0..rounds {
+            // Shift the workload phase every few windows so the policy
+            // has a regime change to react to.
+            if !once && round > 0 && round % 4 == 0 {
+                let flipped = 1 - phase.load(Ordering::Relaxed);
+                phase.store(flipped, Ordering::Relaxed);
+                println!(
+                    "clof-adapt: workload phase -> {}",
+                    if flipped == 1 { "low contention" } else { "high contention" }
+                );
+            }
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            let Some(rates) = sampler.tick(lock.obs_snapshot()) else {
+                continue;
+            };
+            let decision = controller.observe_rates(&rates);
+            println!("clof-adapt: {rates}");
+            match decision {
+                AdaptDecision::Stay => {
+                    println!("clof-adapt: stay on {}", lock.name());
+                }
+                AdaptDecision::Switch(i) => {
+                    let target = &finalists[i];
+                    match lock.swap_to(target) {
+                        Ok(_) => println!(
+                            "clof-adapt: switched to {} in {} ns",
+                            lock.name(),
+                            lock.migration_stats().last_switch_ns
+                        ),
+                        Err(e) => {
+                            controller.set_active(start);
+                            println!("clof-adapt: switch failed ({e}); staying");
+                        }
+                    }
+                }
+            }
+        }
+
+        if once {
+            // CI smoke: exercise one real migration regardless of what
+            // the policy decided in its single window, then sample one
+            // post-switch window so the run reports throughput on the
+            // incoming tree too.
+            let target = (start + 1) % finalists.len();
+            lock.swap_to(&finalists[target]).map_err(|e| e.to_string())?;
+            println!(
+                "clof-adapt: demonstration swap to {} in {} ns",
+                lock.name(),
+                lock.migration_stats().last_switch_ns
+            );
+            sampler.tick(lock.obs_snapshot()); // re-baseline on the new tree
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            if let Some(rates) = sampler.tick(lock.obs_snapshot()) {
+                println!("clof-adapt: post-switch {rates}");
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().map_err(|_| "worker thread panicked".to_string())?;
+        }
+        let stats = lock.migration_stats();
+        println!(
+            "clof-adapt: {} acquisitions, {} migration(s), mean switch {} ns, final {}",
+            total.load(Ordering::Relaxed),
+            stats.swaps,
+            stats.mean_switch_ns(),
+            lock.name()
         );
         Ok(())
     }

@@ -738,6 +738,20 @@ impl DynClofLock {
         }
         out
     }
+
+    /// Total read-indicator count registered anywhere in the tree right
+    /// now, summed over levels and cohorts. Racy diagnostic (it races
+    /// running acquires), but *zero is trustworthy at quiescence*: once
+    /// no thread is inside acquire, every registered waiter has
+    /// deregistered. The adaptation layer's migration drain uses this
+    /// as a secondary sanity check on the outgoing tree. Levels whose
+    /// low lock hints waiters natively keep no counter and contribute 0.
+    pub fn queue_depth_hint(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|(_, node)| node.meta.waiter_count())
+            .sum()
+    }
 }
 
 /// Which code path [`DynClofLock::handle`] dispatches through.

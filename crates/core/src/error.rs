@@ -30,6 +30,12 @@ pub enum ClofError {
     },
     /// The keep-local threshold must be at least 1.
     BadThreshold,
+    /// Runtime adaptation was requested on a lock choice that cannot
+    /// hot-swap (only the dynamic CLoF composition can).
+    AdaptationUnsupported {
+        /// Name of the non-adaptable lock choice.
+        choice: String,
+    },
 }
 
 impl fmt::Display for ClofError {
@@ -47,6 +53,11 @@ impl fmt::Display for ClofError {
             ),
             ClofError::UnknownLock { name } => write!(f, "unknown lock name `{name}`"),
             ClofError::BadThreshold => write!(f, "keep-local threshold must be >= 1"),
+            ClofError::AdaptationUnsupported { choice } => write!(
+                f,
+                "lock choice `{choice}` cannot adapt at run time; only the dynamic \
+                 CLoF composition supports hot-swapping"
+            ),
         }
     }
 }

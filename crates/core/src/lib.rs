@@ -53,6 +53,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "adapt")]
+pub mod adapt;
 pub mod compose;
 pub mod dynlock;
 pub mod error;
@@ -64,6 +66,8 @@ pub mod mutex;
 pub mod rwlock;
 pub mod select;
 
+#[cfg(feature = "adapt")]
+pub use adapt::{AdaptHandle, AdaptiveLock, MigrationStats};
 pub use compose::{Clof, ClofHandle, ClofTree, HierLock, Leaf};
 pub use dynlock::{DispatchTier, DynClofLock, DynHandle, LevelStats};
 pub use error::ClofError;

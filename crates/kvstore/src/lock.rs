@@ -7,6 +7,8 @@
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
+#[cfg(feature = "adapt")]
+use clof::{AdaptHandle, AdaptiveLock};
 use clof::{ClofError, ClofParams, DynClofLock, DynHandle, FastClof, FastClofHandle, LockKind};
 use clof_baselines::{CnaHandle, CnaLock, HmcsHandle, HmcsLock, ShflHandle, ShflLock};
 use clof_topology::{CpuId, Hierarchy};
@@ -35,6 +37,8 @@ pub enum LockChoice {
 
 enum LockImpl {
     Clof(Arc<DynClofLock>),
+    #[cfg(feature = "adapt")]
+    Adaptive(Arc<AdaptiveLock>),
     ClofFast(Arc<FastClof>),
     Hmcs(Arc<HmcsLock>),
     Cna(Arc<CnaLock>),
@@ -96,6 +100,8 @@ impl<T> DbMutex<T> {
     pub fn stats(&self) -> Option<clof::obs::LockSnapshot> {
         match &self.lock {
             LockImpl::Clof(l) => Some(l.obs_snapshot()),
+            #[cfg(feature = "adapt")]
+            LockImpl::Adaptive(l) => Some(l.obs_snapshot()),
             LockImpl::ClofFast(l) => Some(l.obs_snapshot()),
             LockImpl::Hmcs(_) | LockImpl::Cna(_) | LockImpl::Shfl(_) | LockImpl::Std(_) => None,
         }
@@ -114,10 +120,63 @@ impl<T> DbMutex<T> {
         sampler.tick(self.stats()?)
     }
 
+    /// Replaces a [`LockChoice::Clof`] lock with an adaptive wrapper
+    /// holding the same composition, so the store's lock can be
+    /// hot-swapped at run time via [`Self::adaptive`]. Call before
+    /// wrapping the mutex in an [`Arc`] (existing handles would keep
+    /// the old lock).
+    ///
+    /// # Errors
+    ///
+    /// [`ClofError::AdaptationUnsupported`] for every other lock choice
+    /// — only the dynamic CLoF composition can migrate — plus ordinary
+    /// composition errors if `hierarchy` does not match the original
+    /// build.
+    #[cfg(feature = "adapt")]
+    pub fn enable_adaptation(self, hierarchy: &Hierarchy) -> Result<Self, ClofError> {
+        let DbMutex { lock, data } = self;
+        let lock = match lock {
+            LockImpl::Clof(l) => {
+                LockImpl::Adaptive(Arc::new(AdaptiveLock::new(hierarchy, l.composition())?))
+            }
+            LockImpl::Adaptive(l) => LockImpl::Adaptive(l),
+            other => {
+                let choice = match other {
+                    LockImpl::ClofFast(_) => "clof-fast",
+                    LockImpl::Hmcs(_) => "hmcs",
+                    LockImpl::Cna(_) => "cna",
+                    LockImpl::Shfl(_) => "shfl",
+                    LockImpl::Std(_) => "std",
+                    LockImpl::Clof(_) | LockImpl::Adaptive(_) => unreachable!(),
+                };
+                return Err(ClofError::AdaptationUnsupported {
+                    choice: choice.into(),
+                });
+            }
+        };
+        Ok(DbMutex {
+            lock,
+            data,
+        })
+    }
+
+    /// The adaptive lock behind this mutex, if
+    /// [`enable_adaptation`](Self::enable_adaptation) was applied —
+    /// hand it to a controller to drive `swap_to`.
+    #[cfg(feature = "adapt")]
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveLock>> {
+        match &self.lock {
+            LockImpl::Adaptive(l) => Some(l),
+            _ => None,
+        }
+    }
+
     /// A handle for a thread running on `cpu`.
     pub fn handle(self: &Arc<Self>, cpu: CpuId) -> DbHandle<T> {
         let inner = match &self.lock {
             LockImpl::Clof(l) => HandleImpl::Clof(l.handle(cpu)),
+            #[cfg(feature = "adapt")]
+            LockImpl::Adaptive(l) => HandleImpl::Adaptive(l.handle(cpu)),
             LockImpl::ClofFast(l) => HandleImpl::ClofFast(l.handle(cpu)),
             LockImpl::Hmcs(l) => HandleImpl::Hmcs(l.handle(cpu)),
             LockImpl::Cna(l) => HandleImpl::Cna(l.handle(cpu)),
@@ -133,6 +192,8 @@ impl<T> DbMutex<T> {
 
 enum HandleImpl {
     Clof(DynHandle),
+    #[cfg(feature = "adapt")]
+    Adaptive(AdaptHandle),
     ClofFast(FastClofHandle),
     Hmcs(HmcsHandle),
     Cna(CnaHandle),
@@ -153,6 +214,8 @@ impl<T: ?Sized> DbHandle<T> {
         let mut std_guard = None;
         match (&mut self.inner, &self.mutex.lock) {
             (HandleImpl::Clof(h), _) => h.acquire(),
+            #[cfg(feature = "adapt")]
+            (HandleImpl::Adaptive(h), _) => h.acquire(),
             (HandleImpl::ClofFast(h), _) => h.acquire(),
             (HandleImpl::Hmcs(h), _) => h.acquire(),
             (HandleImpl::Cna(h), _) => h.acquire(),
@@ -166,6 +229,8 @@ impl<T: ?Sized> DbHandle<T> {
         let result = f(unsafe { &mut *self.mutex.data.get() });
         match &mut self.inner {
             HandleImpl::Clof(h) => h.release(),
+            #[cfg(feature = "adapt")]
+            HandleImpl::Adaptive(h) => h.release(),
             HandleImpl::ClofFast(h) => h.release(),
             HandleImpl::Hmcs(h) => h.release(),
             HandleImpl::Cna(h) => h.release(),
@@ -250,6 +315,57 @@ mod tests {
         let mut s2 = clof::obs::Sampler::new();
         assert!(std.stats_window(&mut s2).is_none());
         assert!(std.stats_window(&mut s2).is_none());
+    }
+
+    #[cfg(feature = "adapt")]
+    #[test]
+    fn adaptive_store_counts_across_hot_swaps() {
+        let h = platforms::tiny();
+        let m = DbMutex::new(
+            0usize,
+            &h,
+            &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+        )
+        .unwrap()
+        .enable_adaptation(&h)
+        .unwrap();
+        let m = Arc::new(m);
+        let adaptive = Arc::clone(m.adaptive().expect("adaptation enabled"));
+        let mut threads = Vec::new();
+        for cpu in 0..8 {
+            let mut handle = m.handle(cpu);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    handle.with(|v| *v += 1);
+                }
+            }));
+        }
+        // Migrate the live store's lock mid-increment, twice.
+        adaptive
+            .swap_to(&[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket])
+            .unwrap();
+        adaptive
+            .swap_to(&[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
+            .unwrap();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.handle(0).with(|v| *v), 4000);
+        assert_eq!(adaptive.migration_stats().swaps, 2);
+    }
+
+    #[cfg(feature = "adapt")]
+    #[test]
+    fn adaptation_rejects_non_clof_choices() {
+        let h = platforms::tiny();
+        for choice in [LockChoice::Hmcs, LockChoice::Std, LockChoice::Shfl] {
+            let res = DbMutex::new((), &h, &choice).unwrap().enable_adaptation(&h);
+            match res {
+                Err(ClofError::AdaptationUnsupported { .. }) => {}
+                Err(other) => panic!("{choice:?}: wrong error {other}"),
+                Ok(_) => panic!("{choice:?}: adaptation unexpectedly accepted"),
+            }
+        }
     }
 
     #[test]

@@ -305,7 +305,10 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
                 s.forced_cuts += forced as u64;
                 s.lengths[(run as usize).min(CHAIN_HIST_MAX)] += 1;
             }
-            SpanKind::Gate { .. } => {}
+            // Gate decisions and migrations carry no per-level wait or
+            // chain information; migrations are whole-lock instants the
+            // timeline shows via their flow edge.
+            SpanKind::Gate { .. } | SpanKind::Migrate { .. } => {}
         }
     }
 

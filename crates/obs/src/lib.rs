@@ -39,6 +39,10 @@
 //! * [`watchdog`] — per-thread progress epochs plus a background
 //!   [`Watchdog`] flagging waiters stalled past a threshold, with a
 //!   diagnostic dump.
+//! * [`policy`] — the online adaptation policy: a deterministic
+//!   [`HysteresisController`] that estimates offered concurrency from
+//!   [`WindowRates`] (Little's law) and decides when a different
+//!   finalist composition should take over the lock.
 //!
 //! `clof-core` records into these types only when compiled with its
 //! `obs` cargo feature; the default build carries no `clof-obs` symbols
@@ -54,6 +58,7 @@ pub mod analyze;
 pub mod counters;
 pub mod export;
 pub mod hist;
+pub mod policy;
 pub mod ring;
 pub mod trace;
 pub mod watchdog;
@@ -63,6 +68,9 @@ pub use analyze::{analyze, ownership_timeline, ChainStats, FairnessCdf, LevelWai
 pub use counters::{LevelCounters, LevelSnapshot};
 pub use export::{render_json, render_prometheus, LockSnapshot};
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
+pub use policy::{
+    AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, WindowObservation,
+};
 pub use ring::{EventRing, PassEvent, PassKind};
 pub use trace::{render_chrome_trace, SpanEvent, SpanKind, Trace};
 pub use watchdog::{ProgressRegistry, StallReport, Watchdog, WatchdogConfig, WatchdogGuard};

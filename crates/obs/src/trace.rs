@@ -65,6 +65,16 @@ pub enum SpanKind {
         /// Gate won on the fast path.
         fast: bool,
     },
+    /// A live-lock migration instant (the `adapt` layer): `complete`
+    /// distinguishes the epoch flip that arms the hand-over from the
+    /// observed baton arrival that completes it. The two are linked by
+    /// a flow edge, so the timeline shows each migration as an arrow
+    /// spanning the drain.
+    Migrate {
+        /// `false` = hand-over armed (epoch flipped); `true` = baton
+        /// arrived at the incoming generation.
+        complete: bool,
+    },
 }
 
 /// One traced transition: a time interval (instants have `start_ns ==
@@ -130,6 +140,7 @@ const KIND_HOLD: u64 = 1;
 const KIND_PASS: u64 = 2;
 const KIND_RELEASE_UP: u64 = 3;
 const KIND_GATE: u64 = 4;
+const KIND_MIGRATE: u64 = 5;
 
 fn pack(level: u8, node: u32, kind: SpanKind) -> u64 {
     let (code, flag) = match kind {
@@ -138,6 +149,7 @@ fn pack(level: u8, node: u32, kind: SpanKind) -> u64 {
         SpanKind::Pass => (KIND_PASS, false),
         SpanKind::ReleaseUp { forced } => (KIND_RELEASE_UP, forced),
         SpanKind::Gate { fast } => (KIND_GATE, fast),
+        SpanKind::Migrate { complete } => (KIND_MIGRATE, complete),
     };
     level as u64 | (code << 8) | ((flag as u64) << 11) | ((node as u64) << 32)
 }
@@ -150,6 +162,7 @@ fn unpack(word: u64) -> (u8, u32, SpanKind) {
         KIND_HOLD => SpanKind::Hold,
         KIND_PASS => SpanKind::Pass,
         KIND_RELEASE_UP => SpanKind::ReleaseUp { forced: flag },
+        KIND_MIGRATE => SpanKind::Migrate { complete: flag },
         _ => SpanKind::Gate { fast: flag },
     };
     (level, (word >> 32) as u32, kind)
@@ -425,6 +438,8 @@ fn span_name(e: &SpanEvent) -> String {
         SpanKind::ReleaseUp { forced: false } => format!("release-up L{}", e.level),
         SpanKind::Gate { fast: true } => "gate fast".to_string(),
         SpanKind::Gate { fast: false } => "gate slow".to_string(),
+        SpanKind::Migrate { complete: true } => "migrate done".to_string(),
+        SpanKind::Migrate { complete: false } => "migrate armed".to_string(),
     }
 }
 
@@ -502,6 +517,41 @@ pub fn render_chrome_trace(trace: &Trace) -> String {
                     );
                 }
             }
+            SpanKind::Migrate { .. } => {
+                // Instants on the controller's track; the armed→done
+                // pair is linked by a "migration" flow arrow spanning
+                // the drain.
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"p\",\"name\":\"{name}\",\"cat\":\"clof\",\"args\":{args}}}",
+                        e.thread,
+                        us(e.start_ns),
+                    ),
+                    &mut first,
+                );
+                if e.flow_out != 0 {
+                    push(
+                        format!(
+                            "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{},\"name\":\"migration\",\"cat\":\"migration\"}}",
+                            e.thread,
+                            us(e.start_ns),
+                            e.flow_out,
+                        ),
+                        &mut first,
+                    );
+                }
+                if e.flow_in != 0 {
+                    push(
+                        format!(
+                            "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{},\"name\":\"migration\",\"cat\":\"migration\"}}",
+                            e.thread,
+                            us(e.end_ns),
+                            e.flow_in,
+                        ),
+                        &mut first,
+                    );
+                }
+            }
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
@@ -531,6 +581,8 @@ mod tests {
             SpanKind::ReleaseUp { forced: true },
             SpanKind::Gate { fast: false },
             SpanKind::Gate { fast: true },
+            SpanKind::Migrate { complete: false },
+            SpanKind::Migrate { complete: true },
         ];
         for level in [0u8, 1, 3, 255] {
             for node in [0u32, 1, 77, u32::MAX] {

@@ -169,11 +169,28 @@ impl Sampler {
 
     /// [`tick`](Self::tick) with an explicit timestamp (same epoch as
     /// [`now_ns`]) — deterministic windows for tests.
+    ///
+    /// Degenerate windows yield `None` and restart the baseline instead
+    /// of fabricating rates:
+    ///
+    /// * **zero-duration window** (`at_ns <=` previous tick, e.g. two
+    ///   ticks inside one timer quantum) — a rate over no time is not a
+    ///   number we want anyone dividing by;
+    /// * **non-monotone snapshot** — the counters regressed or the lock's
+    ///   name changed since the baseline. That happens when the lock
+    ///   behind the sampler was hot-swapped (the new composition's
+    ///   counters start at zero): the stale baseline belongs to a
+    ///   different lock, so the "delta" would be garbage held below zero
+    ///   only by saturation. The new snapshot becomes the fresh baseline.
     pub fn tick_at(&mut self, at_ns: u64, snap: LockSnapshot) -> Option<WindowRates> {
         let out = match &self.prev {
             Some((t0, earlier)) => {
                 let window = at_ns.saturating_sub(*t0);
-                Some(WindowRates::from_delta(window, snap.delta(earlier)))
+                if window == 0 || !monotone_since(earlier, &snap) {
+                    None
+                } else {
+                    Some(WindowRates::from_delta(window, snap.delta(earlier)))
+                }
             }
             None => None,
         };
@@ -185,6 +202,15 @@ impl Sampler {
     pub fn reset(&mut self) {
         self.prev = None;
     }
+}
+
+/// `later` plausibly continues the counter stream `earlier` came from:
+/// same lock name, and the cumulative totals have not gone backwards.
+fn monotone_since(earlier: &LockSnapshot, later: &LockSnapshot) -> bool {
+    later.name == earlier.name
+        && later.total_acquires() >= earlier.total_acquires()
+        && later.hold_ns.count >= earlier.hold_ns.count
+        && later.events_recorded >= earlier.events_recorded
 }
 
 #[cfg(test)]
@@ -285,6 +311,61 @@ mod tests {
         let d = h.snapshot().delta(&early);
         assert_eq!(d.count, 100);
         assert!(d.p99() <= 128, "windowed p99 {} must ignore the old outlier", d.p99());
+    }
+
+    #[test]
+    fn zero_duration_window_yields_no_rates() {
+        let mut s = Sampler::new();
+        s.tick_at(1_000, snap_with(5, 0, &[]));
+        // Same timestamp again: no time has passed, so there is no rate.
+        assert!(s.tick_at(1_000, snap_with(50, 0, &[])).is_none());
+        // And a timestamp that went *backwards* (clock quantum, reordered
+        // readers) is the same degenerate case.
+        assert!(s.tick_at(500, snap_with(60, 0, &[])).is_none());
+        // The degenerate tick still re-baselined: the next well-formed
+        // window measures from it, finite and non-negative.
+        let r = s
+            .tick_at(1_000_000_500, snap_with(70, 0, &[]))
+            .expect("fresh baseline closes the next window");
+        assert!(r.acquires_per_sec.is_finite());
+        assert!(r.acquires_per_sec >= 0.0);
+        assert_eq!(r.delta.total_acquires(), 10);
+    }
+
+    #[test]
+    fn stale_baseline_across_swap_resets_instead_of_lying() {
+        // A hot-swap replaces the lock behind the sampler: the new
+        // composition's counters restart from zero and its name differs.
+        // The sampler must not "subtract" the old lock's totals.
+        let mut s = Sampler::new();
+        s.tick_at(0, snap_with(1_000, 100, &[40]));
+        let mut swapped = snap_with(3, 0, &[]);
+        swapped.name = "post-swap".into();
+        assert!(
+            s.tick_at(1_000_000_000, swapped).is_none(),
+            "cross-swap delta must be discarded, not fabricated"
+        );
+        // Window after the reset covers only post-swap traffic.
+        let mut later = snap_with(53, 0, &[40]);
+        later.name = "post-swap".into();
+        let r = s.tick_at(2_000_000_000, later).expect("post-swap window");
+        assert_eq!(r.delta.total_acquires(), 50);
+        assert!((r.acquires_per_sec - 50.0).abs() < 1e-9);
+        assert!(r.acquires_per_sec.is_finite() && r.acquires_per_sec >= 0.0);
+    }
+
+    #[test]
+    fn counter_regression_without_name_change_also_resets() {
+        // Same name, but totals went backwards (swap to an identical
+        // composition, or a counter reset): still a new baseline.
+        let mut s = Sampler::new();
+        s.tick_at(0, snap_with(1_000, 100, &[40, 50]));
+        assert!(s.tick_at(1_000_000_000, snap_with(10, 0, &[])).is_none());
+        let r = s
+            .tick_at(2_000_000_000, snap_with(20, 0, &[]))
+            .expect("window after regression reset");
+        assert_eq!(r.delta.total_acquires(), 10);
+        assert!(!r.acquires_per_sec.is_nan());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the hysteresis adaptation policy: no flapping on
+//! steady input, bounded reaction time to a step change, and decision
+//! sequences that are a pure function of the observation trace.
+
+use clof_obs::{
+    AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, WindowObservation,
+};
+use clof_testkit::gen::{vec_of, Gen};
+use clof_testkit::{props, tk_assert, tk_assert_eq, Config};
+
+/// Two finalists with crossing profiles: "local" wins below ~5 threads,
+/// "global" wins above, by comfortably more than any margin under test.
+fn crossing() -> Vec<FinalistProfile> {
+    vec![
+        FinalistProfile::new("local", &[(1, 100.0), (4, 80.0), (8, 20.0)]).unwrap(),
+        FinalistProfile::new("global", &[(1, 60.0), (4, 70.0), (8, 90.0)]).unwrap(),
+    ]
+}
+
+/// An observation whose Little's-law concurrency estimate is exactly
+/// `n` (λ = n·10⁶/s, acquire+hold = 1 µs per pass).
+fn at_concurrency(n: u64) -> WindowObservation {
+    WindowObservation {
+        acquires_per_sec: n as f64 * 1e6,
+        mean_acquire_ns: 500.0,
+        mean_hold_ns: 500.0,
+    }
+}
+
+fn controller(k: u64) -> HysteresisController {
+    HysteresisController::new(
+        crossing(),
+        0,
+        HysteresisConfig {
+            k: k as u32,
+            margin: 0.15,
+        },
+    )
+    .expect("two finalists")
+}
+
+props! {
+    config: Config::with_cases(64);
+
+    /// Steady input never flaps: however long a constant-rate trace
+    /// runs, the controller switches at most once — to the shape that
+    /// is best at that concurrency — and then stays.
+    fn steady_rates_never_flap(
+        n in Gen::<u64>::int_range(1, 12),
+        k in Gen::<u64>::int_range(1, 4),
+        len in Gen::<u64>::int_range(10, 80),
+    ) {
+        let mut c = controller(k);
+        let mut switches = 0u64;
+        for _ in 0..len {
+            if let AdaptDecision::Switch(_) = c.observe(&at_concurrency(n)) {
+                switches += 1;
+            }
+        }
+        tk_assert!(
+            switches <= 1,
+            "constant input at L={} produced {} switches (k={})",
+            n, switches, k
+        );
+    }
+
+    /// A step change is answered within k windows of the step (the
+    /// issue's "K+1" bound with one window to spare): the low-regime
+    /// prefix produces no switch, and the first switch after the step
+    /// lands exactly k wins later, targeting the high-regime winner.
+    fn step_change_switches_within_k_windows(
+        k in Gen::<u64>::int_range(1, 5),
+        prefix in Gen::<u64>::int_range(1, 20),
+    ) {
+        let mut c = controller(k);
+        for i in 0..prefix {
+            tk_assert_eq!(
+                c.observe(&at_concurrency(1)),
+                AdaptDecision::Stay,
+                "no switch in the low regime (window {})", i
+            );
+        }
+        let mut switched_at = None;
+        for i in 0..k + 1 {
+            if let AdaptDecision::Switch(target) = c.observe(&at_concurrency(8)) {
+                tk_assert_eq!(target, 1, "must switch to the high-regime winner");
+                switched_at = Some(i);
+                break;
+            }
+        }
+        tk_assert_eq!(
+            switched_at,
+            Some(k - 1),
+            "k={} consecutive wins must trigger on window k", k
+        );
+    }
+
+    /// A degenerate (zero-traffic) window interrupting the streak
+    /// resets it: the switch arrives k wins after the *last* gap, never
+    /// earlier. Silence is not evidence.
+    fn degenerate_window_resets_the_streak(
+        k in Gen::<u64>::int_range(2, 5),
+    ) {
+        let mut c = controller(k);
+        // k-1 wins, then a dead window: no switch may have happened.
+        for _ in 0..k - 1 {
+            tk_assert_eq!(c.observe(&at_concurrency(8)), AdaptDecision::Stay);
+        }
+        tk_assert_eq!(
+            c.observe(&WindowObservation {
+                acquires_per_sec: 0.0,
+                mean_acquire_ns: 0.0,
+                mean_hold_ns: 0.0,
+            }),
+            AdaptDecision::Stay
+        );
+        // The streak restarted: k-1 further wins still must not switch.
+        for _ in 0..k - 1 {
+            tk_assert_eq!(c.observe(&at_concurrency(8)), AdaptDecision::Stay);
+        }
+        tk_assert_eq!(c.observe(&at_concurrency(8)), AdaptDecision::Switch(1));
+    }
+
+    /// Decisions are a pure function of the rate trace: two controllers
+    /// fed the same arbitrary trace (including degenerate windows, where
+    /// rate 0 maps to no traffic) emit identical decision sequences and
+    /// end on the same active composition.
+    fn decision_sequence_is_deterministic(
+        trace in vec_of(Gen::<u64>::int_range(0, 10), 1, 60),
+        k in Gen::<u64>::int_range(1, 4),
+    ) {
+        let mut a = controller(k);
+        let mut b = controller(k);
+        for &n in &trace {
+            let obs = at_concurrency(n);
+            tk_assert_eq!(a.observe(&obs), b.observe(&obs));
+        }
+        tk_assert_eq!(a.active(), b.active());
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`obscheck`] — quiescent-counter invariants for lock telemetry
 //!   ([`assert_stats_consistent`](obscheck::assert_stats_consistent)),
 //!   stated over plain numbers so they apply under any feature set.
+//! * [`swapper`] — forced-migration driver for `clof::adapt`: runs the
+//!   oracle while a seeded background thread hot-swaps the lock between
+//!   compositions, so the handover protocol is fuzzed mid-contention.
 //!
 //! Determinism story: generators and the fuzzer's *decisions* are pure
 //! functions of seeds; actual thread interleavings still belong to the
@@ -46,6 +49,7 @@ pub mod obscheck;
 pub mod oracle;
 pub mod rng;
 pub mod strategies;
+pub mod swapper;
 
 pub use check::{check, check_with, Config};
 pub use obscheck::{assert_stats_consistent, assert_total_order, LevelTally};
@@ -55,3 +59,4 @@ pub use oracle::{
     StressReport, Violation,
 };
 pub use rng::TestRng;
+pub use swapper::{fuzz_swap_seeds, with_forced_swaps, SwapFuzzOutcome, SwapPlan};

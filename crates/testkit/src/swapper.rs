@@ -1,0 +1,182 @@
+//! Forced-migration driver: runs a body (typically the stress oracle)
+//! while a background thread hot-swaps an [`AdaptiveLock`] between
+//! compositions on a seeded schedule.
+//!
+//! The migration oracle needs swaps to land *mid-contention* — while
+//! workers are queued on the outgoing tree, inside their critical
+//! sections, and on the release→acquire hand-off edge. A fixed-period
+//! timer would sync up with the workers' own cadence; instead the
+//! swapper sleeps a seeded, jittered number of scheduler yields between
+//! swaps, so across a seed batch the flip lands in every phase of the
+//! workers' loop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clof::adapt::{AdaptHandle, AdaptiveLock};
+use clof::kind::LockKind;
+
+use crate::oracle::{run_stress, OracleHandle, StressOptions, StressReport};
+use crate::rng::TestRng;
+
+impl OracleHandle for AdaptHandle {
+    fn acquire(&mut self) {
+        AdaptHandle::acquire(self)
+    }
+    fn release(&mut self) {
+        AdaptHandle::release(self)
+    }
+}
+
+/// A schedule of forced migrations.
+#[derive(Debug, Clone)]
+pub struct SwapPlan {
+    /// Compositions to cycle through, in order. Swapping to the shape
+    /// already active is a (counted-as-nothing) no-op, so listing the
+    /// starting shape is fine.
+    pub shapes: Vec<Vec<LockKind>>,
+    /// Upper bound on the seeded number of `yield_now` calls between
+    /// consecutive swaps (the actual pause is `1 + rng.below(this)`).
+    pub pause_yields: u64,
+    /// Stop after this many *completed* migrations; `0` means unlimited
+    /// (the swapper then runs until the body finishes).
+    pub max_swaps: usize,
+}
+
+impl SwapPlan {
+    /// A plan cycling through `shapes` with the default jitter and no
+    /// swap cap.
+    pub fn cycling(shapes: &[&[LockKind]]) -> Self {
+        SwapPlan {
+            shapes: shapes.iter().map(|s| s.to_vec()).collect(),
+            pause_yields: 32,
+            max_swaps: 0,
+        }
+    }
+}
+
+/// Runs `body` while a swapper thread migrates `lock` per `plan`;
+/// returns the body's result and the number of completed migrations.
+///
+/// The swapper stops when the body returns (or the plan's `max_swaps`
+/// is reached). Swap attempts that fail to build (bad shape) are
+/// skipped; attempts targeting the already-active shape don't count.
+pub fn with_forced_swaps<R>(
+    lock: &Arc<AdaptiveLock>,
+    seed: u64,
+    plan: &SwapPlan,
+    body: impl FnOnce() -> R,
+) -> (R, u64) {
+    assert!(!plan.shapes.is_empty(), "swap plan needs at least one shape");
+    let stop = Arc::new(AtomicBool::new(false));
+    let swaps = Arc::new(AtomicU64::new(0));
+    let swapper = {
+        let lock = Arc::clone(lock);
+        let stop = Arc::clone(&stop);
+        let swaps = Arc::clone(&swaps);
+        let plan = plan.clone();
+        std::thread::spawn(move || {
+            let mut rng = TestRng::new(seed ^ 0x5AAB_5AAB_5AAB_5AAB);
+            let mut next = 0usize;
+            'swapping: while !stop.load(Ordering::Acquire)
+                && (plan.max_swaps == 0
+                    || (swaps.load(Ordering::Relaxed) as usize) < plan.max_swaps)
+            {
+                for _ in 0..=rng.below(plan.pause_yields.max(1)) {
+                    if stop.load(Ordering::Acquire) {
+                        break 'swapping;
+                    }
+                    std::thread::yield_now();
+                }
+                let shape = &plan.shapes[next % plan.shapes.len()];
+                next += 1;
+                if let Ok(true) = lock.swap_to(shape) {
+                    swaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+    let out = body();
+    stop.store(true, Ordering::Release);
+    swapper.join().expect("swapper thread panicked");
+    (out, swaps.load(Ordering::Relaxed))
+}
+
+/// Outcome of a multi-seed forced-migration fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct SwapFuzzOutcome {
+    /// Seeds actually executed (stops at the first failure).
+    pub seeds_run: usize,
+    /// First failing report, if any.
+    pub failure: Option<StressReport>,
+    /// Critical sections completed across all runs.
+    pub total_acquisitions: u64,
+    /// Migrations completed across all runs.
+    pub total_swaps: u64,
+}
+
+impl SwapFuzzOutcome {
+    /// Whether every seed passed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Panics with the failing report (replayable seed included) if any
+    /// seed failed.
+    pub fn assert_passed(&self) {
+        if let Some(report) = &self.failure {
+            panic!(
+                "migration oracle failed after {} seed(s), {} swap(s):\n{}",
+                self.seeds_run,
+                self.total_swaps,
+                report.render()
+            );
+        }
+    }
+}
+
+/// Runs the stress oracle once per seed with forced migrations: a fresh
+/// lock from `lock_factory(seed)` each run (a wedged lock must not leak
+/// into the next seed), worker `tid` pinned to `cpu_for(seed, tid)`,
+/// and the swapper cycling `plan` throughout. Stops at the first
+/// failing seed.
+pub fn fuzz_swap_seeds<L, C>(
+    opts: &StressOptions,
+    seeds: &[u64],
+    plan: &SwapPlan,
+    lock_factory: L,
+    cpu_for: C,
+) -> SwapFuzzOutcome
+where
+    L: Fn(u64) -> Arc<AdaptiveLock>,
+    C: Fn(u64, usize) -> usize + Sync,
+{
+    let mut total = 0u64;
+    let mut total_swaps = 0u64;
+    for (i, &seed) in seeds.iter().enumerate() {
+        let lock = lock_factory(seed);
+        let run_opts = StressOptions {
+            seed,
+            ..opts.clone()
+        };
+        let (report, swaps) = with_forced_swaps(&lock, seed, plan, || {
+            run_stress(&run_opts, |tid| lock.handle(cpu_for(seed, tid)))
+        });
+        total += report.total_acquisitions;
+        total_swaps += swaps;
+        if !report.passed() {
+            return SwapFuzzOutcome {
+                seeds_run: i + 1,
+                failure: Some(report),
+                total_acquisitions: total,
+                total_swaps,
+            };
+        }
+    }
+    SwapFuzzOutcome {
+        seeds_run: seeds.len(),
+        failure: None,
+        total_acquisitions: total,
+        total_swaps,
+    }
+}

@@ -94,3 +94,168 @@ fn unfair_root_mutant_is_safe_when_terminating() {
     let outcome = check(&clof_model(&cfg));
     assert_eq!(outcome.result, CheckResult::Ok);
 }
+
+// ---------------------------------------------------------------------
+// Handover mutants: the same kill-power argument, applied to the
+// *runtime* migration protocol of `clof::adapt`. Each mutant deletes
+// one load-bearing step of the epoch/quiescence handover; the stress
+// oracle (not the model checker — these are real threads on real locks)
+// must catch each one within a 16-seed budget, with the failure class
+// the protocol analysis predicts and a replayable seed in the report.
+// ---------------------------------------------------------------------
+
+mod handover {
+    use std::sync::Arc;
+
+    use clof::adapt::{AdaptiveLock, MigrationMutant};
+    use clof::{ClofParams, LockKind};
+    use clof_testkit::{fuzz_swap_seeds, seed_batch, StressOptions, SwapPlan, Violation};
+    use clof_topology::Hierarchy;
+
+    const SHAPE: &[LockKind] = &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket];
+    const PARTNER: &[LockKind] = &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket];
+
+    fn hierarchy() -> Hierarchy {
+        clof_testkit::strategies::build_regular(&[2, 4])
+    }
+
+    fn opts(label: &str) -> StressOptions {
+        StressOptions {
+            threads: 4,
+            iters: 40,
+            label: label.into(),
+            ..StressOptions::default()
+        }
+    }
+
+    fn mutated_lock(hierarchy: &Hierarchy, mutant: MigrationMutant) -> Arc<AdaptiveLock> {
+        let lock = Arc::new(
+            AdaptiveLock::with_params(hierarchy, SHAPE, ClofParams::default(), true)
+                .expect("adaptive lock builds"),
+        );
+        lock.set_migration_mutant(mutant);
+        lock
+    }
+
+    fn swap_plan(max_swaps: usize) -> SwapPlan {
+        SwapPlan {
+            shapes: vec![PARTNER.to_vec(), SHAPE.to_vec()],
+            pause_yields: 4,
+            max_swaps,
+        }
+    }
+
+    /// A safety-family violation: the classes a broken mutual-exclusion
+    /// hand-off produces (never `UnfairGap`, which chaos can cause on
+    /// its own).
+    fn is_safety_violation(v: &Violation) -> bool {
+        matches!(
+            v,
+            Violation::MutualExclusion { .. }
+                | Violation::TornCounters { .. }
+                | Violation::LostUpdates { .. }
+                | Violation::ContextInvariant { .. }
+        )
+    }
+
+    /// Anchor: the unmutated handover passes the identical campaign. A
+    /// suite whose oracle rejects every migration would also "kill" the
+    /// mutants below, proving nothing.
+    #[test]
+    fn clean_handover_passes_the_same_campaign() {
+        let h = hierarchy();
+        let outcome = fuzz_swap_seeds(
+            &opts("handover-clean"),
+            &seed_batch(0xC1EA_4AD7, 8),
+            &swap_plan(0),
+            |_seed| mutated_lock(&h, MigrationMutant::None),
+            |_seed, tid| tid * h.ncpus() / 4,
+        );
+        outcome.assert_passed();
+        assert!(outcome.total_swaps > 0, "campaign must exercise migrations");
+    }
+
+    /// Mutant 1 — skip the quiescence drain: the controller transfers
+    /// ownership the instant the epoch flips, while old-generation
+    /// threads may still be inside their critical sections. Predicted
+    /// kill: a mutual-exclusion-family violation.
+    #[test]
+    fn skip_drain_mutant_is_killed_by_the_oracle() {
+        let h = hierarchy();
+        let outcome = fuzz_swap_seeds(
+            &opts("handover-skip-drain"),
+            &seed_batch(0x5D4A_11AD, 16),
+            &swap_plan(0),
+            |_seed| mutated_lock(&h, MigrationMutant::SkipDrain),
+            |_seed, tid| tid * h.ncpus() / 4,
+        );
+        let report = outcome
+            .failure
+            .expect("skipping the drain must be caught within 16 seeds");
+        assert!(
+            report.violations.iter().any(is_safety_violation),
+            "expected a mutual-exclusion-family violation:\n{}",
+            report.render()
+        );
+        assert!(
+            report.render().contains("replay with seed 0x"),
+            "kill must name a replayable seed"
+        );
+    }
+
+    /// Mutant 2 — double-arm the hand-off: every old-generation release
+    /// during a migration stores the baton unguarded, instead of one
+    /// guarded CAS at occupancy zero. The first releaser admits the new
+    /// generation while its old-generation peers still hold or re-enter
+    /// the outgoing tree. Predicted kill: mutual-exclusion family.
+    #[test]
+    fn double_arm_mutant_is_killed_by_the_oracle() {
+        let h = hierarchy();
+        let outcome = fuzz_swap_seeds(
+            &opts("handover-double-arm"),
+            &seed_batch(0xD0B1_4A2A, 16),
+            &swap_plan(0),
+            |_seed| mutated_lock(&h, MigrationMutant::DoubleArm),
+            |_seed, tid| tid * h.ncpus() / 4,
+        );
+        let report = outcome
+            .failure
+            .expect("double-arming the baton must be caught within 16 seeds");
+        assert!(
+            report.violations.iter().any(is_safety_violation),
+            "expected a mutual-exclusion-family violation:\n{}",
+            report.render()
+        );
+        assert!(report.render().contains("replay with seed 0x"));
+    }
+
+    /// Mutant 3 — no ownership transfer: the drain completes but nobody
+    /// ever moves the baton to the incoming generation, so every new
+    /// acquirer wedges. The testkit stall bound converts the wedge into
+    /// a panic naming the handover. One swap per seed and a fresh lock
+    /// per seed: a wedged lock must not leak into the next run.
+    #[test]
+    fn no_handoff_mutant_is_killed_by_the_stall_bound() {
+        let h = hierarchy();
+        let outcome = fuzz_swap_seeds(
+            &opts("handover-no-handoff"),
+            &seed_batch(0x40AD_0FF0, 2),
+            &swap_plan(1),
+            |_seed| mutated_lock(&h, MigrationMutant::NoHandoff),
+            |_seed, tid| tid * h.ncpus() / 4,
+        );
+        let report = outcome
+            .failure
+            .expect("a never-arriving baton must be caught");
+        let stalled = report.violations.iter().any(|v| {
+            matches!(v, Violation::ThreadPanic { detail, .. }
+                if detail.contains("handover stalled"))
+        });
+        assert!(
+            stalled,
+            "expected the stall-bound panic naming the handover:\n{}",
+            report.render()
+        );
+        assert!(report.render().contains("replay with seed 0x"));
+    }
+}

@@ -13,7 +13,14 @@
 #      16-seed oracle smoke with telemetry on, kvstore windowed stats,
 #      a `clof top --once` smoke, a `clof trace` export/analyze
 #      round-trip, and the zero-cost assertion that the default
-#      dependency graph (root and clof-bench) carries no clof-obs.
+#      dependency graph (root and clof-bench) carries no clof-obs;
+#   6. the adapt phase: `adapt,obs` release build, a forced-migration
+#      swap smoke (cross-tier 8 seeds + fairness-across-swaps), the
+#      handover mutant-kill campaign, the kvstore hot-swap suite, a
+#      `clof adapt --once` smoke against the real binary, and the
+#      zero-cost assertions that the default binary carries no
+#      "clof-adapt" marker and the default dependency graph enables
+#      the `adapt` feature nowhere.
 #
 # Everything builds from vendored/in-repo code only — no network, no
 # external dev-dependencies — so this is safe for air-gapped runners.
@@ -88,6 +95,14 @@ phase "default binary carries no tracer symbols" \
                echo "tracer export symbols leaked into the default clof binary" >&2
                exit 1
            fi'
+# The "clof-adapt" literal only exists in the adaptation layer (CLI
+# output lines and the testkit stall-bound panic), so its absence proves
+# the default binary compiled none of it.
+phase "default binary carries no adapt symbols" \
+    sh -c 'if grep -qa clof-adapt target/release/clof; then
+               echo "adaptation symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
 
 # Telemetry phase: everything above must also hold with `obs` compiled
 # in, and the default build must not even link clof-obs (zero-cost when
@@ -130,6 +145,36 @@ phase "obs zero-cost dependency check" \
            fi
            if cargo tree -e normal -p clof-bench | grep -q clof-obs; then
                echo "clof-obs leaked into the default clof-bench graph" >&2
+               exit 1
+           fi'
+
+# Adaptation phase: the hot-swap layer must build and hold the oracle's
+# invariants under forced migrations, its deleted-step mutants must die,
+# and the default build must carry none of it (symbol and dependency
+# checks). Swap-stress tests live in the root test crate, where feature
+# unification via clof-testkit already compiles `adapt` into dev builds.
+phase "adapt release build (adapt,obs)" cargo build --release --features adapt,obs
+phase "adapt swap smoke (forced migrations)" \
+    cargo test -q --test stress_oracle -- \
+    migration_oracle_cross_tier \
+    migration_keeps_the_gap_bounded
+phase "adapt handover mutant-kill" \
+    cargo test -q -p clof-verify --test mutant_kill -- handover
+phase "adapt kvstore hot-swap suite" \
+    cargo test -q -p clof-kvstore --features adapt,obs
+phase "adapt clof binary build" \
+    cargo build --release -p clof-bench --features adapt,obs
+phase "adapt binary carries the adapt marker" \
+    grep -qa clof-adapt target/release/clof
+phase "clof adapt --once smoke" \
+    ./target/release/clof adapt --machine armv8 --levels 3 --threads 4 --once
+phase "adapt zero-cost dependency check" \
+    sh -c 'if cargo tree -e normal -f "{p} {f}" | grep -qw adapt; then
+               echo "the adapt feature leaked into the default dependency graph" >&2
+               exit 1
+           fi
+           if cargo tree -e normal -f "{p} {f}" -p clof-bench | grep -qw adapt; then
+               echo "the adapt feature leaked into the default clof-bench graph" >&2
                exit 1
            fi'
 

@@ -272,6 +272,217 @@ fn fair_composition_gap_is_bounded() {
     assert!(report.passed(), "{}", report.render());
 }
 
+// ---------------------------------------------------------------------
+// Migration oracle: the epoch/quiescence handover of `clof::adapt` must
+// uphold every oracle invariant while the lock is hot-swapped mid-run.
+// 64 seeds total across the three tests below (32 + 24 + 8), each seed
+// running a fresh `AdaptiveLock` under chaos with a background swapper
+// cycling compositions, so flips land in every phase of the acquire/
+// release loop. The checks are the same as for a static lock — mutual
+// exclusion, torn counters, lost updates, §4.1 context invariant —
+// which is the point: a migration must be invisible to correctness.
+// ---------------------------------------------------------------------
+
+use clof::adapt::AdaptiveLock;
+use clof_testkit::{fuzz_swap_seeds, SwapPlan};
+
+/// Seeds per (shape, threads) migration cell.
+const SWAP_SEEDS_PER_CELL: usize = 4;
+
+/// Runs one migration-matrix cell: `SWAP_SEEDS_PER_CELL` fuzzed runs of
+/// a fresh adaptive lock starting as `shape`, with the swapper cycling
+/// `shape ↔ partner` throughout.
+fn migration_cell(
+    hierarchy: &Hierarchy,
+    shape: &[LockKind],
+    partner: &[LockKind],
+    threads: usize,
+    seed_base: u64,
+) -> u64 {
+    let n = hierarchy.ncpus();
+    let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+    let seeds = seed_batch(seed_base, SWAP_SEEDS_PER_CELL);
+    // Small keep-local threshold so release-up (the baton hand-off
+    // edge's hard case) happens constantly, not once per H streak.
+    let params = ClofParams {
+        keep_local_threshold: 4,
+    };
+    let opts = StressOptions {
+        threads,
+        iters: ITERS,
+        label: format!(
+            "adapt:{}↔{}×{}t",
+            clof::composition_name(shape),
+            clof::composition_name(partner),
+            threads
+        ),
+        ..StressOptions::default()
+    };
+    let plan = SwapPlan {
+        shapes: vec![partner.to_vec(), shape.to_vec()],
+        pause_yields: 8,
+        max_swaps: 0,
+    };
+    let outcome = fuzz_swap_seeds(
+        &opts,
+        &seeds,
+        &plan,
+        |_seed| {
+            Arc::new(
+                AdaptiveLock::with_params(hierarchy, shape, params, true)
+                    .expect("adaptive lock builds"),
+            )
+        },
+        |_seed, tid| cpus[tid],
+    );
+    outcome.assert_passed();
+    assert_eq!(
+        outcome.total_acquisitions,
+        SWAP_SEEDS_PER_CELL as u64 * threads as u64 * ITERS,
+        "every critical section must survive the migrations"
+    );
+    outcome.total_swaps
+}
+
+/// 3-level block of the migration matrix: 4 finalist shapes × {4,8}
+/// threads × 4 seeds = 32 seeds.
+#[test]
+fn migration_oracle_matrix_three_level() {
+    let shapes: [&[LockKind]; 4] = [
+        &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Clh, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Clh, LockKind::Hemlock],
+        &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+    ];
+    let hierarchy = build_regular(&[2, 4]);
+    let mut swaps = 0;
+    for (i, shape) in shapes.iter().enumerate() {
+        let partner = shapes[(i + 1) % shapes.len()];
+        for threads in [4usize, 8] {
+            swaps += migration_cell(
+                &hierarchy,
+                shape,
+                partner,
+                threads,
+                0xAD47_3000 ^ (i as u64) << 8 ^ threads as u64,
+            );
+        }
+    }
+    assert!(swaps > 0, "the matrix must exercise real migrations");
+}
+
+/// 2-level block: 3 finalist shapes × {4,8} threads × 4 seeds = 24.
+#[test]
+fn migration_oracle_matrix_two_level() {
+    let shapes: [&[LockKind]; 3] = [
+        &[LockKind::Ticket, LockKind::Ticket],
+        &[LockKind::Mcs, LockKind::Ticket],
+        &[LockKind::Clh, LockKind::Ticket],
+    ];
+    let hierarchy = build_regular(&[2]);
+    let mut swaps = 0;
+    for (i, shape) in shapes.iter().enumerate() {
+        let partner = shapes[(i + 1) % shapes.len()];
+        for threads in [4usize, 8] {
+            swaps += migration_cell(
+                &hierarchy,
+                shape,
+                partner,
+                threads,
+                0xAD47_2000 ^ (i as u64) << 8 ^ threads as u64,
+            );
+        }
+    }
+    assert!(swaps > 0, "the matrix must exercise real migrations");
+}
+
+/// Cross-dispatch-tier block (8 seeds): migrating between a shape the
+/// fast tier monomorphizes and one only the generic enum tree can run.
+/// Per-generation handles must follow the tier change both ways.
+#[test]
+fn migration_oracle_cross_tier() {
+    use clof::DispatchTier;
+    let hierarchy = build_regular(&[2, 4]);
+    let fast: &[LockKind] = &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket];
+    let generic: &[LockKind] = &[LockKind::Hemlock, LockKind::Hemlock, LockKind::Hemlock];
+    let probe = |kinds: &[LockKind]| {
+        DynClofLock::build_with(&hierarchy, kinds, ClofParams::default(), true)
+            .expect("shape builds")
+            .dispatch_tier()
+    };
+    assert_eq!(probe(fast), DispatchTier::Monomorphized);
+    assert_eq!(probe(generic), DispatchTier::Generic);
+
+    let threads = 8usize;
+    let n = hierarchy.ncpus();
+    let cpus: Vec<usize> = (0..threads).map(|t| t * n / threads).collect();
+    let seeds = seed_batch(0xAD47_71E2, 8);
+    let opts = StressOptions {
+        threads,
+        iters: ITERS,
+        label: "adapt:cross-tier".into(),
+        ..StressOptions::default()
+    };
+    let plan = SwapPlan {
+        shapes: vec![generic.to_vec(), fast.to_vec()],
+        pause_yields: 8,
+        max_swaps: 0,
+    };
+    let outcome = fuzz_swap_seeds(
+        &opts,
+        &seeds,
+        &plan,
+        |_seed| Arc::new(AdaptiveLock::new(&hierarchy, fast).expect("adaptive lock builds")),
+        |_seed, tid| cpus[tid],
+    );
+    outcome.assert_passed();
+    assert_eq!(outcome.total_acquisitions, 8 * threads as u64 * ITERS);
+    assert!(outcome.total_swaps > 0, "tier crossings must actually happen");
+}
+
+/// Fairness across handover epochs: with chaos off and a small H, the
+/// acquisition gap stays bounded even while the lock migrates under the
+/// workers — a migration may reshuffle queue order once, not starve a
+/// thread. The bound is a tripwire with slack for the reshuffles, not a
+/// FIFO proof (cf. `fair_composition_gap_is_bounded`).
+#[test]
+fn migration_keeps_the_gap_bounded() {
+    let hierarchy = build_regular(&[2, 4]);
+    let params = ClofParams {
+        keep_local_threshold: 2,
+    };
+    let shape: &[LockKind] = &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket];
+    let partner: &[LockKind] = &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket];
+    let threads = 4usize;
+    let cpus: Vec<usize> = (0..threads).map(|t| t * hierarchy.ncpus() / threads).collect();
+    let opts = StressOptions {
+        threads,
+        iters: 80,
+        chaos_denom: 0, // pure scheduling; chaos would stretch gaps artificially
+        max_gap: Some(128),
+        label: "adapt:gap bound".into(),
+        ..StressOptions::default()
+    };
+    let plan = SwapPlan {
+        shapes: vec![partner.to_vec(), shape.to_vec()],
+        pause_yields: 16,
+        max_swaps: 4,
+    };
+    let outcome = fuzz_swap_seeds(
+        &opts,
+        &seed_batch(0xFA1B_AD47, 4),
+        &plan,
+        |_seed| {
+            Arc::new(
+                AdaptiveLock::with_params(&hierarchy, shape, params, false)
+                    .expect("fair adaptive lock"),
+            )
+        },
+        |_seed, tid| cpus[tid],
+    );
+    outcome.assert_passed();
+}
+
 /// End-to-end acceptance: a deliberately broken lock is caught within a
 /// 16-seed budget and the failure names a replayable seed.
 #[test]
