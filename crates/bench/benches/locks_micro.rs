@@ -124,6 +124,62 @@ mod micro {
         });
     }
 
+    /// Optional scrape sidecar for the dyn-pair benches (obs builds
+    /// only): when `CLOF_BENCH_SCRAPE_MS` is set, a telemetry server is
+    /// bound to an ephemeral port with the benched lock's snapshot and a
+    /// client thread scrapes `/metrics` at that cadence while the bench
+    /// runs — the "obs-on under scrape" column of
+    /// `scripts/bench_compare.sh --obs`.
+    #[cfg(feature = "obs")]
+    struct ScrapeSidecar {
+        stop: Arc<AtomicBool>,
+        client: Option<std::thread::JoinHandle<u64>>,
+        _server: clof::obs::ServerHandle,
+    }
+
+    #[cfg(feature = "obs")]
+    impl Drop for ScrapeSidecar {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Relaxed);
+            if let Some(client) = self.client.take() {
+                let scrapes = client.join().expect("scrape client");
+                eprintln!("# scrape sidecar: {scrapes} scrapes during this dyn pair");
+            }
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn scrape_sidecar(lock: &Arc<DynClofLock>) -> Option<ScrapeSidecar> {
+        let ms: u64 = std::env::var("CLOF_BENCH_SCRAPE_MS").ok()?.parse().ok()?;
+        let snap = Arc::clone(lock);
+        let server = clof::obs::serve(
+            "127.0.0.1:0",
+            Arc::new(move || snap.obs_snapshot()),
+            clof::obs::ServeConfig::default(),
+        )
+        .ok()?;
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let client = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if clof::obs::http_get(addr, "/metrics").is_ok() {
+                        scrapes += 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(ms.max(1)));
+                }
+                scrapes
+            })
+        };
+        Some(ScrapeSidecar {
+            stop,
+            client: Some(client),
+            _server: server,
+        })
+    }
+
     /// Dyn-compose hot-path pairs: the HC/LC finalist shapes, uncontended
     /// and contended, through the default `handle()` dispatch tier. These
     /// are the before/after pair `scripts/bench_compare.sh` records in
@@ -133,6 +189,8 @@ mod micro {
         let h = platforms::tiny();
         let lock =
             Arc::new(DynClofLock::build_with(&h, kinds, ClofParams::default(), true).expect("build"));
+        #[cfg(feature = "obs")]
+        let _sidecar = scrape_sidecar(&lock);
         let mut handle = lock.handle(0);
         c.bench_function(&format!("dyn/{name}/uncontended"), |b| {
             b.iter(|| {

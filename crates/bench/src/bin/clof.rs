@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "trace" => trace(&args[1..]),
         "top" => top(&args[1..]),
         "adapt" => adapt(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -93,7 +94,15 @@ commands:
                                                   hysteresis policy, which hot-swaps between the
                                                   finalist compositions; --once runs one window
                                                   plus a demonstration swap and exits (requires
-                                                  --features adapt,obs)";
+                                                  --features adapt,obs)
+  serve     [--machine x86|armv8] --lock NAME [--threads N] [--threshold H]
+            [--addr HOST:PORT] [--interval-ms N] [--duration-ms N] [--stall-ms N]
+            [--hold-slo-us N] [--handover-slo-us N] [--once]
+                                                  hammer a lock while serving its telemetry over
+                                                  HTTP: /metrics (Prometheus), /snapshot (JSON +
+                                                  audit log), /health, /alerts (SLO burn rates);
+                                                  --once self-scrapes every endpoint once and
+                                                  exits (requires --features obs)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -516,7 +525,24 @@ fn top(args: &[String]) -> Result<(), String> {
             total.load(Ordering::Relaxed),
             stalls
         );
+        print_audit_tail(8);
         Ok(())
+    }
+}
+
+/// Prints the most recent entries of the process-global adaptation
+/// audit ring, if any policy or migration has recorded into it.
+#[cfg(feature = "obs")]
+fn print_audit_tail(limit: usize) {
+    let entries = clof::obs::audit::global().entries();
+    if entries.is_empty() {
+        return;
+    }
+    println!("audit tail (last {} of {} recorded):", entries.len().min(limit), {
+        clof::obs::audit::global().recorded()
+    });
+    for record in entries.iter().rev().take(limit).rev() {
+        println!("  {record}");
     }
 }
 
@@ -721,6 +747,158 @@ fn adapt(args: &[String]) -> Result<(), String> {
             stats.mean_switch_ns(),
             lock.name()
         );
+        print_audit_tail(8);
+        Ok(())
+    }
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = args;
+        Err("`serve` needs lock telemetry compiled in; rebuild with `--features obs`".to_string())
+    }
+    #[cfg(feature = "obs")]
+    {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let (machine, kinds, threads, threshold) = telemetry_args(args, "4")?;
+        let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+        let interval_ms: u64 = flag_value(args, "--interval-ms")
+            .unwrap_or("500")
+            .parse()
+            .map_err(|e| format!("bad --interval-ms: {e}"))?;
+        let duration_ms: u64 = flag_value(args, "--duration-ms")
+            .unwrap_or("5000")
+            .parse()
+            .map_err(|e| format!("bad --duration-ms: {e}"))?;
+        let stall_ms: u64 = flag_value(args, "--stall-ms")
+            .unwrap_or("1000")
+            .parse()
+            .map_err(|e| format!("bad --stall-ms: {e}"))?;
+        let hold_slo_us: u64 = flag_value(args, "--hold-slo-us")
+            .unwrap_or("1000")
+            .parse()
+            .map_err(|e| format!("bad --hold-slo-us: {e}"))?;
+        let handover_slo_us: u64 = flag_value(args, "--handover-slo-us")
+            .unwrap_or("1000")
+            .parse()
+            .map_err(|e| format!("bad --handover-slo-us: {e}"))?;
+        let once = has_flag(args, "--once");
+
+        let params = clof::ClofParams {
+            keep_local_threshold: threshold,
+        };
+        let lock = Arc::new(
+            clof::DynClofLock::build_with(&machine.hierarchy, &kinds, params, true)
+                .map_err(|e| e.to_string())?,
+        );
+        let name = lock.name();
+
+        // The snapshot closure is what every /metrics and /snapshot hit
+        // renders from; it reads the live lock's telemetry directly.
+        let snap_lock = Arc::clone(&lock);
+        let server = Arc::new(
+            clof::obs::serve(
+                addr,
+                Arc::new(move || snap_lock.obs_snapshot()),
+                clof::obs::ServeConfig {
+                    rules: clof::obs::default_rules(
+                        hold_slo_us.saturating_mul(1_000),
+                        handover_slo_us.saturating_mul(1_000),
+                    ),
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| format!("bind {addr}: {e}"))?,
+        );
+        println!("clof serve — {name} (H = {threshold}, {threads} threads)");
+        println!("serving on {}/metrics /snapshot /health /alerts", server.url());
+
+        // Hammer the lock so the endpoints have live rates to report.
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        let ncpus = machine.hierarchy.ncpus();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            let cpu = t * ncpus / threads.max(1);
+            workers.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                while !stop.load(Ordering::Relaxed) {
+                    handle.acquire();
+                    total.fetch_add(1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+
+        // Stall reports feed the liveness alert, which flips /health.
+        let diag_lock = Arc::clone(&lock);
+        let stall_server = Arc::clone(&server);
+        let watchdog = clof::obs::Watchdog::new(clof::obs::WatchdogConfig {
+            stall_ns: stall_ms.saturating_mul(1_000_000),
+            poll: Duration::from_millis(interval_ms.max(1)),
+        })
+        .with_diag(move || {
+            let hints: Vec<String> = diag_lock
+                .queue_hints()
+                .into_iter()
+                .map(|(level, waiters)| format!("L{level}:{waiters}"))
+                .collect();
+            format!("queued waiters by level [{}]", hints.join(" "))
+        })
+        .spawn(move |report| {
+            stall_server.note_stall(report);
+            eprintln!("{report}");
+        });
+
+        let mut sampler = clof::obs::Sampler::new();
+        sampler.tick(lock.obs_snapshot());
+        let rounds = if once {
+            1
+        } else {
+            (duration_ms / interval_ms.max(1)).max(1)
+        };
+        for _ in 0..rounds {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            let Some(rates) = sampler.tick(lock.obs_snapshot()) else {
+                continue;
+            };
+            server.observe_window(&rates);
+            println!("{rates}");
+        }
+
+        if once {
+            // CI smoke: scrape every endpoint through a real socket and
+            // report status + size, so the round trip is covered without
+            // an external client.
+            for path in ["/metrics", "/snapshot", "/health", "/alerts"] {
+                let (status, body) = clof::obs::http_get(server.addr(), path)
+                    .map_err(|e| format!("self-scrape {path}: {e}"))?;
+                println!("self-scrape GET {path} -> {status} ({} bytes)", body.len());
+                if status != 200 {
+                    return Err(format!("self-scrape {path} returned {status}"));
+                }
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().map_err(|_| "worker thread panicked".to_string())?;
+        }
+        let stalls = watchdog.stop();
+        println!(
+            "{} acquisitions observed; {} stall report(s); {} request(s) served",
+            total.load(Ordering::Relaxed),
+            stalls,
+            server.requests()
+        );
+        print_audit_tail(8);
         Ok(())
     }
 }

@@ -352,12 +352,28 @@ impl AdaptiveLock {
             return Ok(false);
         }
         let started = std::time::Instant::now();
-        let incoming = Arc::new(DynClofLock::build_with(
+        let incoming = match DynClofLock::build_with(
             &self.hierarchy,
             kinds,
             self.params,
             self.allow_unfair,
-        )?);
+        ) {
+            Ok(lock) => Arc::new(lock),
+            Err(e) => {
+                #[cfg(feature = "obs")]
+                clof_obs::audit::global().record(
+                    0.0,
+                    0.0,
+                    old as u32,
+                    old as u32,
+                    0.0,
+                    0,
+                    clof_obs::audit::AuditReason::MigrationFailed,
+                    0,
+                );
+                return Err(e);
+            }
+        };
         let new = old + 1;
         *self.slot(new).write().expect("slot poisoned") = incoming;
 
@@ -411,6 +427,20 @@ impl AdaptiveLock {
         self.trace_migration_done(flow);
 
         self.finish_swap(started);
+        // Audit the completed hand-over (generation indices + measured
+        // switch latency) so `/snapshot` and `clof top` can show *when*
+        // the lock migrated next to the policy decisions that caused it.
+        #[cfg(feature = "obs")]
+        clof_obs::audit::global().record(
+            0.0,
+            0.0,
+            old as u32,
+            new as u32,
+            0.0,
+            0,
+            clof_obs::audit::AuditReason::MigrationDone,
+            self.last_switch_ns.load(SeqCst),
+        );
         Ok(true)
     }
 
@@ -641,6 +671,31 @@ mod tests {
         let stats = lock.migration_stats();
         assert_eq!(stats.swaps, 1);
         assert!(stats.last_switch_ns > 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn completed_swap_is_recorded_in_the_audit_ring() {
+        let ring = clof_obs::audit::global();
+        let before = ring.recorded();
+        let lock = Arc::new(AdaptiveLock::new(&hierarchy(), &MCT).unwrap());
+        assert!(lock.swap_to(&TKT3).unwrap());
+        let done = ring
+            .entries()
+            .into_iter()
+            .filter(|r| r.seq >= before)
+            .find(|r| r.reason == clof_obs::audit::AuditReason::MigrationDone)
+            .expect("swap must leave a MigrationDone audit record");
+        assert_eq!((done.active, done.best), (0, 1), "generation indices");
+        assert!(done.detail_ns > 0, "switch latency must be recorded");
+        // A failed swap leaves a MigrationFailed record.
+        let before = ring.recorded();
+        assert!(lock.swap_to(&[LockKind::Ticket]).is_err());
+        assert!(ring
+            .entries()
+            .into_iter()
+            .filter(|r| r.seq >= before)
+            .any(|r| r.reason == clof_obs::audit::AuditReason::MigrationFailed));
     }
 
     #[test]

@@ -120,6 +120,48 @@ impl<T> DbMutex<T> {
         sampler.tick(self.stats()?)
     }
 
+    /// Starts the zero-dependency telemetry server on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port), scraping this store's
+    /// lock: `GET /metrics`, `/snapshot`, `/health`, `/alerts`. The
+    /// server lives until the returned handle is dropped; it holds its
+    /// own `Arc` to the store, so the store outlives any in-flight
+    /// scrape.
+    ///
+    /// # Errors
+    ///
+    /// A `String` describing either an uninstrumented lock choice (the
+    /// baselines and `Std` record no telemetry — there is nothing to
+    /// serve) or the bind failure.
+    #[cfg(feature = "obs")]
+    pub fn serve_stats(
+        self: &Arc<Self>,
+        addr: &str,
+    ) -> Result<clof::obs::ServerHandle, String>
+    where
+        T: Send + 'static,
+    {
+        if self.stats().is_none() {
+            return Err(
+                "this lock choice records no telemetry (baseline or std lock); \
+                 use a CLoF composition"
+                    .to_string(),
+            );
+        }
+        let store = Arc::clone(self);
+        let snapshot: clof::obs::SnapshotFn = Arc::new(move || {
+            store.stats().expect("instrumented choice checked above")
+        });
+        clof::obs::serve::serve(
+            addr,
+            snapshot,
+            clof::obs::ServeConfig {
+                rules: clof::obs::default_rules(1_000_000, 1_000_000),
+                ..clof::obs::ServeConfig::default()
+            },
+        )
+        .map_err(|e| format!("bind {addr}: {e}"))
+    }
+
     /// Replaces a [`LockChoice::Clof`] lock with an adaptive wrapper
     /// holding the same composition, so the store's lock can be
     /// hot-swapped at run time via [`Self::adaptive`]. Call before
@@ -315,6 +357,40 @@ mod tests {
         let mut s2 = clof::obs::Sampler::new();
         assert!(std.stats_window(&mut s2).is_none());
         assert!(std.stats_window(&mut s2).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn serve_stats_scrapes_live_lock_telemetry() {
+        let h = platforms::tiny();
+        let m = Arc::new(
+            DbMutex::new(
+                0usize,
+                &h,
+                &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            )
+            .unwrap(),
+        );
+        let mut handle = m.handle(0);
+        for _ in 0..50 {
+            handle.with(|v| *v += 1);
+        }
+        let server = m.serve_stats("127.0.0.1:0").expect("ephemeral bind");
+        let (status, body) = clof::obs::http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("clof_acquires_total{lock=\"mcs-clh-tkt\",level=\"0\"} 50"),
+            "{body}"
+        );
+        let (status, body) = clof::obs::http_get(server.addr(), "/snapshot").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"lock\":\"mcs-clh-tkt\""), "{body}");
+        let (status, _) = clof::obs::http_get(server.addr(), "/health").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+        // Uninstrumented choices refuse to serve rather than lie.
+        let std_store = Arc::new(DbMutex::new(0usize, &h, &LockChoice::Std).unwrap());
+        assert!(std_store.serve_stats("127.0.0.1:0").is_err());
     }
 
     #[cfg(feature = "adapt")]

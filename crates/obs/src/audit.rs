@@ -1,0 +1,505 @@
+//! Decision audit ring: *why* did the adaptation layer switch (or not)?
+//!
+//! The hysteresis policy ([`crate::policy`]) and the hot-swap controller
+//! (`clof::adapt`) make decisions from windowed telemetry, and those
+//! decisions are expensive to second-guess after the fact: by the time
+//! an operator asks "why did the lock migrate at 14:02", the window
+//! rates that justified it are gone. This module keeps a fixed-capacity,
+//! lock-free ring of [`AuditRecord`]s — one per policy decision and one
+//! per completed migration — each carrying the decision's *inputs*
+//! (window rates, Little's-law concurrency, challenger margin, streak
+//! state) and its *output* (switch/hold plus a machine-readable
+//! [`AuditReason`]).
+//!
+//! The write path mirrors [`crate::EventRing`]: claim a slot with one
+//! `fetch_add`, publish through a seqlock word (odd while writing,
+//! even+ticket when done). Readers ([`AuditRing::entries`]) never
+//! disturb the ring, so the `/snapshot` endpoint and `clof top` can
+//! render the same records any number of times. Drop accounting is
+//! saturating — the counters never wrap, no matter how long the process
+//! lives.
+//!
+//! A process-global ring ([`global`]) is the default sink: the policy
+//! controller records into it unconditionally (a handful of relaxed
+//! stores per *window*, nowhere near the lock hot path), so any consumer
+//! that can see `clof-obs` can replay the controller's reasoning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::now_ns;
+
+/// Default capacity of the global audit ring.
+pub const AUDIT_DEFAULT_CAPACITY: usize = 256;
+
+/// Machine-readable cause attached to every audit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditReason {
+    /// The window carried no usable evidence (no traffic, non-finite
+    /// rates); the streak was reset.
+    NoEvidence,
+    /// The active composition is already the predicted best.
+    ActiveBest,
+    /// A challenger leads, but within the hysteresis margin.
+    WithinMargin,
+    /// A challenger beat the margin; the win streak is building but has
+    /// not reached `k` yet.
+    StreakBuilding,
+    /// The streak reached `k`: the policy emitted a switch decision.
+    Switched,
+    /// A migration completed (recorded by the hot-swap controller;
+    /// `detail_ns` holds the measured switch latency).
+    MigrationDone,
+    /// A commanded migration failed and the active index was rolled
+    /// back.
+    MigrationFailed,
+}
+
+impl AuditReason {
+    fn as_u64(self) -> u64 {
+        match self {
+            AuditReason::NoEvidence => 0,
+            AuditReason::ActiveBest => 1,
+            AuditReason::WithinMargin => 2,
+            AuditReason::StreakBuilding => 3,
+            AuditReason::Switched => 4,
+            AuditReason::MigrationDone => 5,
+            AuditReason::MigrationFailed => 6,
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            1 => AuditReason::ActiveBest,
+            2 => AuditReason::WithinMargin,
+            3 => AuditReason::StreakBuilding,
+            4 => AuditReason::Switched,
+            5 => AuditReason::MigrationDone,
+            6 => AuditReason::MigrationFailed,
+            _ => AuditReason::NoEvidence,
+        }
+    }
+
+    /// Stable lower-case token for exports (`no-evidence`, `switched`,
+    /// ...).
+    pub fn token(self) -> &'static str {
+        match self {
+            AuditReason::NoEvidence => "no-evidence",
+            AuditReason::ActiveBest => "active-best",
+            AuditReason::WithinMargin => "within-margin",
+            AuditReason::StreakBuilding => "streak-building",
+            AuditReason::Switched => "switched",
+            AuditReason::MigrationDone => "migration-done",
+            AuditReason::MigrationFailed => "migration-failed",
+        }
+    }
+
+    /// Whether this reason represents a switch (vs. a hold).
+    pub fn is_switch(self) -> bool {
+        matches!(self, AuditReason::Switched | AuditReason::MigrationDone)
+    }
+}
+
+/// One audited decision: the inputs the policy saw and what it did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditRecord {
+    /// Nanoseconds since the process observation epoch ([`now_ns`]).
+    pub timestamp_ns: u64,
+    /// Monotone sequence number assigned by the ring at record time.
+    pub seq: u64,
+    /// Lock acquisitions per second in the decision window.
+    pub acquires_per_sec: f64,
+    /// Little's-law concurrency estimate (0 when the window was
+    /// unusable).
+    pub concurrency: f64,
+    /// Index of the composition the controller believed active.
+    pub active: u32,
+    /// Index of the best-predicted challenger this window.
+    pub best: u32,
+    /// Challenger's relative advantage over the active composition
+    /// (`best_tp / active_tp - 1`; 0 when not computed).
+    pub margin: f64,
+    /// Consecutive-win streak after this window.
+    pub streak: u32,
+    /// Why the decision came out the way it did.
+    pub reason: AuditReason,
+    /// Reason-specific detail: switch latency in ns for
+    /// [`AuditReason::MigrationDone`], 0 otherwise.
+    pub detail_ns: u64,
+}
+
+impl std::fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{:<4} t+{:>12} ns  {:<15}  active {} best {}  L {:6.2}  \
+             margin {:+6.1}%  streak {}",
+            self.seq,
+            self.timestamp_ns,
+            self.reason.token(),
+            self.active,
+            self.best,
+            self.concurrency,
+            self.margin * 100.0,
+            self.streak,
+        )?;
+        if self.detail_ns > 0 {
+            write!(f, "  ({} ns)", self.detail_ns)?;
+        }
+        Ok(())
+    }
+}
+
+/// Slot layout: seqlock word + six data words. `seq` is odd while a
+/// write is in flight and `2 * ticket + 2` once published (0 = never
+/// written), exactly like [`crate::EventRing`]'s slots.
+struct Slot {
+    seq: AtomicU64,
+    ts: AtomicU64,
+    acq_bits: AtomicU64,
+    conc_bits: AtomicU64,
+    margin_bits: AtomicU64,
+    packed: AtomicU64,
+    detail: AtomicU64,
+}
+
+/// Packs active/best/streak/reason into one word:
+/// `active | best << 16 | streak << 32 | reason << 48`.
+fn pack(active: u32, best: u32, streak: u32, reason: AuditReason) -> u64 {
+    (active as u64 & 0xffff)
+        | ((best as u64 & 0xffff) << 16)
+        | ((streak as u64 & 0xffff) << 32)
+        | (reason.as_u64() << 48)
+}
+
+fn unpack(word: u64) -> (u32, u32, u32, AuditReason) {
+    (
+        (word & 0xffff) as u32,
+        ((word >> 16) & 0xffff) as u32,
+        ((word >> 32) & 0xffff) as u32,
+        AuditReason::from_u64(word >> 48),
+    )
+}
+
+/// Fixed-capacity, lock-free ring of [`AuditRecord`]s keeping the most
+/// recent `capacity` decisions (rounded up to a power of two, minimum
+/// 8). Writers are wait-free; readers are non-destructive.
+pub struct AuditRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    cursor: AtomicU64,
+}
+
+impl std::fmt::Debug for AuditRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl AuditRing {
+    /// A ring holding the latest `capacity` records (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        AuditRing {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    ts: AtomicU64::new(0),
+                    acq_bits: AtomicU64::new(0),
+                    conc_bits: AtomicU64::new(0),
+                    margin_bits: AtomicU64::new(0),
+                    packed: AtomicU64::new(0),
+                    detail: AtomicU64::new(0),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// A ring with [`AUDIT_DEFAULT_CAPACITY`] slots.
+    pub fn new() -> Self {
+        Self::with_capacity(AUDIT_DEFAULT_CAPACITY)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (saturating — pinned at `u64::MAX`
+    /// instead of wrapping).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records overwritten before they could be read (saturating).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one decision, stamping `timestamp_ns` (if 0) and `seq`
+    /// from the ring. Wait-free.
+    pub fn record(
+        &self,
+        acquires_per_sec: f64,
+        concurrency: f64,
+        active: u32,
+        best: u32,
+        margin: f64,
+        streak: u32,
+        reason: AuditReason,
+        detail_ns: u64,
+    ) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if ticket == u64::MAX {
+            // Saturate instead of wrapping: re-pin the cursor at MAX so
+            // recorded()/dropped() never jump back to small values. (At
+            // one record per ns this branch is ~584 years away; the pin
+            // keeps the accounting honest anyway.)
+            self.cursor.store(u64::MAX, Ordering::Relaxed);
+        }
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // Wrapping keeps the seq word well-formed at the saturation
+        // boundary; 0 means "never written", so remap it to 2.
+        let seq = match ticket.wrapping_mul(2).wrapping_add(2) {
+            0 => 2,
+            s => s,
+        };
+        slot.seq.store(seq - 1, Ordering::Release);
+        slot.ts.store(now_ns(), Ordering::Relaxed);
+        slot.acq_bits
+            .store(acquires_per_sec.to_bits(), Ordering::Relaxed);
+        slot.conc_bits.store(concurrency.to_bits(), Ordering::Relaxed);
+        slot.margin_bits.store(margin.to_bits(), Ordering::Relaxed);
+        slot.packed
+            .store(pack(active, best, streak, reason), Ordering::Relaxed);
+        slot.detail.store(detail_ns, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Copies out the surviving records, oldest first (by sequence
+    /// number), **without clearing the ring** — rendering twice yields
+    /// identical output. Slots caught mid-write are skipped; exact at
+    /// quiescence.
+    pub fn entries(&self) -> Vec<AuditRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq0 = slot.seq.load(Ordering::Acquire);
+            if seq0 == 0 || seq0 % 2 == 1 {
+                continue;
+            }
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let acq = slot.acq_bits.load(Ordering::Relaxed);
+            let conc = slot.conc_bits.load(Ordering::Relaxed);
+            let margin = slot.margin_bits.load(Ordering::Relaxed);
+            let packed = slot.packed.load(Ordering::Relaxed);
+            let detail = slot.detail.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq0 {
+                continue; // torn by a concurrent overwrite
+            }
+            let (active, best, streak, reason) = unpack(packed);
+            out.push(AuditRecord {
+                timestamp_ns: ts,
+                seq: (seq0 - 2) / 2,
+                acquires_per_sec: f64::from_bits(acq),
+                concurrency: f64::from_bits(conc),
+                active,
+                best,
+                margin: f64::from_bits(margin),
+                streak,
+                reason,
+                detail_ns: detail,
+            });
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Zeroes every slot and the cursor (between runs / tests). Not
+    /// linearizable against concurrent writers; call at quiescence.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    fn set_cursor(&self, v: u64) {
+        self.cursor.store(v, Ordering::Relaxed);
+    }
+}
+
+impl Default for AuditRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-global audit ring the policy controller records into.
+pub fn global() -> &'static AuditRing {
+    static RING: OnceLock<AuditRing> = OnceLock::new();
+    RING.get_or_init(AuditRing::new)
+}
+
+/// Renders audit records as a JSON array (zero-dependency, ASCII-safe;
+/// same conventions as [`crate::render_json`]). Floats are emitted with
+/// six decimal places, so rendering the same records twice is
+/// byte-identical.
+pub fn render_audit_json(records: &[AuditRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"timestamp_ns\":{},\"acquires_per_sec\":{:.6},\
+             \"concurrency\":{:.6},\"active\":{},\"best\":{},\"margin\":{:.6},\
+             \"streak\":{},\"reason\":\"{}\",\"switch\":{},\"detail_ns\":{}}}",
+            r.seq,
+            r.timestamp_ns,
+            finite(r.acquires_per_sec),
+            finite(r.concurrency),
+            r.active,
+            r.best,
+            finite(r.margin),
+            r.streak,
+            r.reason.token(),
+            r.reason.is_switch(),
+            r.detail_ns,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// JSON has no NaN/Inf literals; degrade them to 0 rather than emitting
+/// invalid documents.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ring: &AuditRing, n: u64) {
+        for i in 0..n {
+            ring.record(
+                1000.0 + i as f64,
+                4.2,
+                0,
+                1,
+                0.25,
+                i as u32 & 0xffff,
+                if i % 2 == 0 {
+                    AuditReason::StreakBuilding
+                } else {
+                    AuditReason::Switched
+                },
+                0,
+            );
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for reason in [
+            AuditReason::NoEvidence,
+            AuditReason::ActiveBest,
+            AuditReason::WithinMargin,
+            AuditReason::StreakBuilding,
+            AuditReason::Switched,
+            AuditReason::MigrationDone,
+            AuditReason::MigrationFailed,
+        ] {
+            assert_eq!(unpack(pack(3, 7, 11, reason)), (3, 7, 11, reason));
+            assert_eq!(AuditReason::from_u64(reason.as_u64()), reason);
+        }
+    }
+
+    #[test]
+    fn entries_survive_repeated_reads() {
+        let ring = AuditRing::with_capacity(16);
+        sample(&ring, 5);
+        let a = ring.entries();
+        let b = ring.entries();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b, "entries() is non-destructive");
+        assert!(a.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(a[0].acquires_per_sec, 1000.0);
+        assert_eq!(a[4].reason, AuditReason::StreakBuilding);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_and_counts_drops() {
+        let ring = AuditRing::with_capacity(8);
+        sample(&ring, 20);
+        let entries = ring.entries();
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries[0].seq, 12, "oldest surviving record");
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 12);
+    }
+
+    #[test]
+    fn drop_accounting_saturates_instead_of_wrapping() {
+        let ring = AuditRing::with_capacity(8);
+        ring.set_cursor(u64::MAX - 2);
+        sample(&ring, 6);
+        // Without saturation the cursor would wrap to ~3 and dropped()
+        // would report 0; pinned at MAX both stay at the ceiling.
+        assert_eq!(ring.recorded(), u64::MAX);
+        assert_eq!(ring.dropped(), u64::MAX - 8);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_balanced() {
+        let ring = AuditRing::with_capacity(16);
+        sample(&ring, 3);
+        ring.record(f64::NAN, f64::INFINITY, 0, 0, f64::NAN, 0, AuditReason::NoEvidence, 0);
+        let a = render_audit_json(&ring.entries());
+        let b = render_audit_json(&ring.entries());
+        assert_eq!(a, b, "render twice must be identical");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert!(a.contains("\"reason\":\"switched\""));
+        assert!(a.contains("\"switch\":true"));
+        assert!(!a.contains("NaN") && !a.contains("inf"), "{a}");
+    }
+
+    #[test]
+    fn display_mentions_reason_and_margin() {
+        let ring = AuditRing::with_capacity(8);
+        ring.record(100.0, 2.0, 0, 1, 0.30, 2, AuditReason::StreakBuilding, 0);
+        let line = ring.entries()[0].to_string();
+        assert!(line.contains("streak-building"), "{line}");
+        assert!(line.contains("+30.0%"), "{line}");
+    }
+
+    #[test]
+    fn global_ring_is_shared() {
+        global().record(1.0, 1.0, 0, 0, 0.0, 0, AuditReason::ActiveBest, 0);
+        assert!(global().recorded() >= 1);
+    }
+
+    #[test]
+    fn reset_clears_entries() {
+        let ring = AuditRing::with_capacity(8);
+        sample(&ring, 4);
+        ring.reset();
+        assert!(ring.entries().is_empty());
+        assert_eq!(ring.recorded(), 0);
+    }
+}

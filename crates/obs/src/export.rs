@@ -35,7 +35,7 @@ impl LockSnapshot {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -118,7 +118,22 @@ fn prom_counter(
     }
 }
 
-fn prom_histogram(out: &mut String, metric: &str, help: &str, labels: &str, h: &HistSnapshot) {
+/// Escapes a Prometheus label *value* (exposition format: backslash,
+/// double quote, and newline must be escaped inside `label="..."`).
+pub(crate) fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub(crate) fn prom_histogram(out: &mut String, metric: &str, help: &str, labels: &str, h: &HistSnapshot) {
     out.push_str(&format!(
         "# HELP {metric} {help}\n# TYPE {metric} histogram\n"
     ));
@@ -139,8 +154,14 @@ fn prom_histogram(out: &mut String, metric: &str, help: &str, labels: &str, h: &
 /// `{lock=...,level=...}` and two `histogram` families
 /// (`clof_acquire_latency_ns` per level, `clof_hold_time_ns` whole-lock).
 pub fn render_prometheus(snap: &LockSnapshot) -> String {
-    let lock = &snap.name;
+    let lock = &prom_escape(&snap.name);
     let mut out = String::new();
+    out.push_str(&format!(
+        "# HELP clof_obs_build_info Build metadata of the clof-obs exporter (constant 1).\n\
+         # TYPE clof_obs_build_info gauge\n\
+         clof_obs_build_info{{version=\"{}\"}} 1\n",
+        prom_escape(env!("CARGO_PKG_VERSION"))
+    ));
     prom_counter(
         &mut out,
         "clof_acquires_total",
@@ -428,6 +449,44 @@ mod tests {
         assert!(prom.contains("clof_hold_time_ns_count{lock=\"tkt>mcs\"} 1"));
         assert!(prom.contains("clof_pass_events_total{lock=\"tkt>mcs\"} 2"));
         assert!(prom.contains("clof_pass_events_dropped_total{lock=\"tkt>mcs\"} 0"));
+    }
+
+    #[test]
+    fn prometheus_emits_build_info_and_help_type_for_every_family() {
+        let prom = render_prometheus(&sample_snapshot());
+        assert!(prom.contains("# TYPE clof_obs_build_info gauge"));
+        assert!(prom.contains(&format!(
+            "clof_obs_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        // check_prometheus already rejects any sample whose family lacks
+        // HELP/TYPE; assert the inverse too — every HELP has a TYPE.
+        let helps: Vec<_> = prom
+            .lines()
+            .filter_map(|l| l.strip_prefix("# HELP "))
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert!(!helps.is_empty());
+        for family in helps {
+            assert!(
+                prom.contains(&format!("# TYPE {family} ")),
+                "family {family} has HELP but no TYPE"
+            );
+        }
+        check_prometheus(&prom);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut s = sample_snapshot();
+        s.name = "we\"ird\\na\nme".into();
+        let prom = render_prometheus(&s);
+        check_prometheus(&prom);
+        assert!(
+            prom.contains("lock=\"we\\\"ird\\\\na\\nme\""),
+            "label values must be escaped: {prom}"
+        );
+        assert!(!prom.contains("we\"ird"), "raw quote must not survive");
     }
 
     #[test]

@@ -44,6 +44,20 @@
 //!   [`WindowRates`] (Little's law) and decides when a different
 //!   finalist composition should take over the lock.
 //!
+//! The serving layer (PR 7):
+//!
+//! * [`serve`] — a zero-dependency HTTP/1.1 scrape endpoint
+//!   (`/metrics`, `/snapshot`, `/health`, `/alerts`) with bounded
+//!   workers, graceful shutdown, and self-accounting
+//!   (`clof_obs_scrape_duration_ns` — the server exports its own cost).
+//! * [`slo`] — deterministic multi-window burn-rate SLO evaluation over
+//!   [`WindowRates`] (p99 hold-time / handover-latency objectives,
+//!   k-consecutive hysteresis) plus a liveness alert fed by
+//!   [`StallReport`]s.
+//! * [`audit`] — a fixed-capacity lock-free ring of adaptation
+//!   decisions: every [`policy`] verdict and every hot-swap migration,
+//!   with the window rates and margins that justified it.
+//!
 //! `clof-core` records into these types only when compiled with its
 //! `obs` cargo feature; the default build carries no `clof-obs` symbols
 //! at all (the same strictly-compile-time gating as the `testkit` chaos
@@ -55,16 +69,20 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod audit;
 pub mod counters;
 pub mod export;
 pub mod hist;
 pub mod policy;
 pub mod ring;
+pub mod serve;
+pub mod slo;
 pub mod trace;
 pub mod watchdog;
 pub mod window;
 
 pub use analyze::{analyze, ownership_timeline, ChainStats, FairnessCdf, LevelWait, TraceAnalysis};
+pub use audit::{render_audit_json, AuditReason, AuditRecord, AuditRing};
 pub use counters::{LevelCounters, LevelSnapshot};
 pub use export::{render_json, render_prometheus, LockSnapshot};
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
@@ -72,6 +90,11 @@ pub use policy::{
     AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, WindowObservation,
 };
 pub use ring::{EventRing, PassEvent, PassKind};
+pub use serve::{http_get, serve, ServeConfig, ServerHandle, SnapshotFn};
+pub use slo::{
+    default_rules, render_alerts_json, AlertStatus, AlertTransition, SloEvaluator, SloRule,
+    SloSignal,
+};
 pub use trace::{render_chrome_trace, SpanEvent, SpanKind, Trace};
 pub use watchdog::{ProgressRegistry, StallReport, Watchdog, WatchdogConfig, WatchdogGuard};
 pub use window::{Sampler, WindowRates};

@@ -213,12 +213,29 @@ impl HysteresisController {
 
     /// Feeds one window. Deterministic: the decision sequence is a
     /// pure function of the observation sequence.
+    ///
+    /// Every decision — including holds — is recorded into the global
+    /// [`crate::audit`] ring with the inputs that justified it, so an
+    /// operator can replay the controller's reasoning from `/snapshot`
+    /// or `clof top` after the fact. That is a handful of relaxed
+    /// stores once per *window*, nowhere near the lock hot path.
     pub fn observe(&mut self, obs: &WindowObservation) -> AdaptDecision {
+        let active = self.active as u32;
         let Some(l) = obs.concurrency() else {
             // No usable evidence this window; a real shift will still
             // be there next window, a glitch won't.
             self.candidate = None;
             self.streak = 0;
+            crate::audit::global().record(
+                obs.acquires_per_sec,
+                0.0,
+                active,
+                active,
+                0.0,
+                0,
+                crate::audit::AuditReason::NoEvidence,
+                0,
+            );
             return AdaptDecision::Stay;
         };
         // Best challenger at this concurrency, first index wins ties.
@@ -235,9 +252,35 @@ impl HysteresisController {
                 }
             });
         let active_tp = self.profiles[self.active].throughput_at(l);
+        let rel_margin = if active_tp > 0.0 {
+            best_tp / active_tp - 1.0
+        } else {
+            0.0
+        };
+        let audit = |margin: f64, streak: u32, reason: crate::audit::AuditReason| {
+            crate::audit::global().record(
+                obs.acquires_per_sec,
+                l,
+                active,
+                best as u32,
+                margin,
+                streak,
+                reason,
+                0,
+            );
+        };
         if best == self.active || best_tp <= active_tp * (1.0 + self.config.margin) {
             self.candidate = None;
             self.streak = 0;
+            audit(
+                rel_margin,
+                0,
+                if best == self.active {
+                    crate::audit::AuditReason::ActiveBest
+                } else {
+                    crate::audit::AuditReason::WithinMargin
+                },
+            );
             return AdaptDecision::Stay;
         }
         if self.candidate == Some(best) {
@@ -247,11 +290,17 @@ impl HysteresisController {
             self.streak = 1;
         }
         if self.streak >= self.config.k.max(1) {
+            audit(rel_margin, self.streak, crate::audit::AuditReason::Switched);
             self.active = best;
             self.candidate = None;
             self.streak = 0;
             AdaptDecision::Switch(best)
         } else {
+            audit(
+                rel_margin,
+                self.streak,
+                crate::audit::AuditReason::StreakBuilding,
+            );
             AdaptDecision::Stay
         }
     }
@@ -350,6 +399,45 @@ mod tests {
             assert_eq!(c.observe(&at_concurrency(4.0)), AdaptDecision::Stay);
         }
         assert_eq!(c.active(), 0);
+    }
+
+    #[test]
+    fn every_decision_lands_in_the_audit_ring() {
+        let ring = crate::audit::global();
+        let before = ring.recorded();
+        let mut c = HysteresisController::new(
+            crossing(),
+            0,
+            HysteresisConfig { k: 2, margin: 0.15 },
+        )
+        .unwrap();
+        // L = 7 is used by no other test, so this test's records are
+        // identifiable in the shared global ring even under concurrent
+        // test threads.
+        c.observe(&at_concurrency(2.0)); // active best → hold
+        c.observe(&obs(0.0, 0.0)); // no evidence
+        c.observe(&at_concurrency(7.0)); // streak building
+        c.observe(&at_concurrency(7.0)); // switch
+        assert!(
+            ring.recorded() >= before + 4,
+            "one audit record per decision"
+        );
+        let entries = ring.entries();
+        let mine: Vec<_> = entries
+            .iter()
+            .filter(|r| r.seq >= before && (r.concurrency - 7.0).abs() < 1e-6)
+            .collect();
+        use crate::audit::AuditReason::*;
+        assert!(
+            entries.iter().any(|r| r.seq >= before && r.reason == NoEvidence),
+            "the no-evidence hold must be audited too"
+        );
+        assert!(mine.iter().any(|r| r.reason == StreakBuilding));
+        let switched = mine.iter().find(|r| r.reason == Switched).unwrap();
+        assert_eq!((switched.active, switched.best), (0, 1));
+        // local at L=7 interpolates to 35, global to 85: margin ≈ 1.43.
+        assert!(switched.margin > 1.0, "{}", switched.margin);
+        assert_eq!(switched.streak, 2);
     }
 
     #[test]

@@ -121,11 +121,15 @@ impl EventRing {
     }
 
     /// Total events ever recorded (monotone; may exceed `capacity`).
+    /// Saturating: pinned at `u64::MAX` instead of wrapping back to
+    /// small values, so `dropped()` never lies after an overflow.
     pub fn recorded(&self) -> u64 {
         self.cursor.load(Ordering::Relaxed)
     }
 
-    /// Events overwritten before they could be drained.
+    /// Events overwritten before they could be drained (saturating —
+    /// mirrored verbatim into both the JSON and Prometheus exporters as
+    /// the truncated-trace detector, so it must never wrap to 0).
     pub fn dropped(&self) -> u64 {
         self.recorded().saturating_sub(self.slots.len() as u64)
     }
@@ -134,8 +138,23 @@ impl EventRing {
     #[inline]
     pub fn record(&self, level: u8, kind: PassKind, thread: u32) {
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if ticket == u64::MAX {
+            // The cursor just wrapped to 0. Re-pin it at MAX so the
+            // recorded/dropped accounting saturates instead of lying;
+            // waiting for the unreachable boundary (584 years at 1
+            // event/ns) keeps the hot path a plain fetch_add with no
+            // CAS loop, preserving wait-freedom.
+            self.cursor.store(u64::MAX, Ordering::Relaxed);
+        }
         let slot = &self.slots[(ticket & self.mask) as usize];
-        let seq = 2 * ticket + 2;
+        // Wrapping keeps the seq word well-formed at the saturation
+        // boundary; 0 means "never written", so remap it to 2 (an
+        // ancient-generation collision there is harmless — seq only
+        // distinguishes published/in-progress/empty).
+        let seq = match ticket.wrapping_mul(2).wrapping_add(2) {
+            0 => 2,
+            s => s,
+        };
         // Mark write-in-progress (odd). Release orders it before the data
         // for the reader's first load; failure to observe just drops the
         // slot from a concurrent drain.
@@ -188,6 +207,11 @@ impl EventRing {
             slot.seq.store(0, Ordering::Release);
         }
         out
+    }
+
+    #[cfg(test)]
+    fn set_cursor(&self, v: u64) {
+        self.cursor.store(v, Ordering::Relaxed);
     }
 }
 
@@ -268,6 +292,42 @@ mod tests {
         assert_eq!(tags, (12..20).collect::<Vec<_>>());
         assert_eq!(ring.recorded(), 20);
         assert_eq!(ring.dropped(), 12);
+    }
+
+    #[test]
+    fn drop_accounting_saturates_instead_of_wrapping() {
+        let ring = EventRing::with_capacity(8);
+        ring.set_cursor(u64::MAX - 2);
+        for i in 0..6u32 {
+            ring.record(0, PassKind::Pass, i);
+        }
+        // Without saturation the cursor would wrap to ~3: recorded()
+        // would collapse from 2^64 to a tiny number and dropped() to 0,
+        // hiding ~2^64 lost events. Pinned at MAX, both stay at the
+        // ceiling and stay monotone.
+        assert_eq!(ring.recorded(), u64::MAX);
+        assert_eq!(ring.dropped(), u64::MAX - 8);
+        // The ring still functions for reads after saturating.
+        assert!(!ring.events().is_empty());
+        // And the exporters mirror the saturated counter verbatim.
+        let snap = crate::LockSnapshot {
+            name: "sat".into(),
+            levels: Vec::new(),
+            hold_ns: crate::LogHistogram::new().snapshot(),
+            events_recorded: ring.recorded(),
+            events_dropped: ring.dropped(),
+            events: Vec::new(),
+        };
+        let json = crate::render_json(&snap);
+        assert!(json.contains(&format!("\"dropped\":{}", u64::MAX - 8)), "{json}");
+        let prom = crate::render_prometheus(&snap);
+        assert!(
+            prom.contains(&format!(
+                "clof_pass_events_dropped_total{{lock=\"sat\"}} {}",
+                u64::MAX - 8
+            )),
+            "{prom}"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property tests for the SLO burn-rate evaluator: steady in-budget
+//! traffic never alerts, a step to all-bad traffic fires exactly when
+//! the slow window fills (plus hysteresis), and evaluation is a pure
+//! function of the observation trace.
+
+use clof_obs::{
+    LockSnapshot, LogHistogram, render_alerts_json, Sampler, SloEvaluator, SloRule, SloSignal,
+    WindowRates,
+};
+use clof_testkit::gen::{vec_of, Gen};
+use clof_testkit::{props, tk_assert, tk_assert_eq, Config};
+
+/// A one-second window whose hold histogram carries `good` samples at
+/// 100 ns and `bad` samples at 1 ms, judged against a 1 µs objective.
+fn window(good: u64, bad: u64) -> WindowRates {
+    let hold = LogHistogram::new();
+    for _ in 0..good {
+        hold.record(100);
+    }
+    for _ in 0..bad {
+        hold.record(1_000_000);
+    }
+    let snap = |h: &LogHistogram| LockSnapshot {
+        name: "slo-props".into(),
+        levels: Vec::new(),
+        hold_ns: h.snapshot(),
+        events_recorded: 0,
+        events_dropped: 0,
+        events: Vec::new(),
+    };
+    let mut s = Sampler::new();
+    s.tick_at(0, snap(&LogHistogram::new()));
+    s.tick_at(1_000_000_000, snap(&hold))
+        .expect("one-second window")
+}
+
+/// A hold-time p99 rule whose burn threshold equals the post-step
+/// per-tick burn (bad fraction 1.0 / budget 0.01 = 100), so the alert
+/// condition is "every tick in both windows is all-bad".
+fn rule(fast: usize, slow: usize, k: usize) -> SloRule {
+    SloRule {
+        name: "hold-p99".into(),
+        signal: SloSignal::HoldTime,
+        objective_ns: 1_000,
+        budget: 0.01,
+        fast_window: fast,
+        slow_window: slow,
+        burn_threshold: 100.0,
+        k,
+    }
+}
+
+props! {
+    config: Config::with_cases(64);
+
+    /// However long steady in-budget traffic runs — and whatever the
+    /// window/hysteresis geometry — nothing ever fires and the rendered
+    /// alert state stays quiet.
+    fn steady_good_rates_never_alert(
+        fast in Gen::<u64>::int_range(1, 4),
+        extra in Gen::<u64>::int_range(0, 8),
+        k in Gen::<u64>::int_range(1, 3),
+        len in Gen::<u64>::int_range(1, 40),
+        good in Gen::<u64>::int_range(1, 500),
+    ) {
+        let slow = fast + extra;
+        let mut eval = SloEvaluator::new(vec![rule(
+            fast as usize, slow as usize, k as usize,
+        )]);
+        for tick in 0..len {
+            let transitions = eval.observe(&window(good, 0));
+            tk_assert!(
+                transitions.is_empty(),
+                "steady good traffic produced a transition at tick {}", tick
+            );
+        }
+        tk_assert!(!eval.any_firing(), "evaluator firing after all-good trace");
+        tk_assert!(
+            render_alerts_json(&eval.alerts()).contains("\"firing\":false"),
+            "rendered alert state should be quiet"
+        );
+    }
+
+    /// After a step from all-good to all-bad traffic, the alert fires
+    /// on exactly the (slow_window + k - 1)-th hot tick: the slow
+    /// window must fill before the burn condition holds, then the
+    /// k-consecutive hysteresis adds k - 1 more ticks. It never fires
+    /// earlier, whatever the good-traffic prefix length.
+    fn step_fires_exactly_when_the_slow_window_fills(
+        fast in Gen::<u64>::int_range(1, 4),
+        extra in Gen::<u64>::int_range(0, 6),
+        k in Gen::<u64>::int_range(1, 3),
+        prefix in Gen::<u64>::int_range(0, 10),
+    ) {
+        let slow = fast + extra;
+        let mut eval = SloEvaluator::new(vec![rule(
+            fast as usize, slow as usize, k as usize,
+        )]);
+        for _ in 0..prefix {
+            let transitions = eval.observe(&window(100, 0));
+            tk_assert!(transitions.is_empty(), "no alert before the step");
+        }
+        let expected = slow + k - 1;
+        for hot_tick in 1..=expected {
+            let transitions = eval.observe(&window(0, 100));
+            if hot_tick < expected {
+                tk_assert!(
+                    transitions.is_empty(),
+                    "fired early on hot tick {} (expected {})", hot_tick, expected
+                );
+            } else {
+                tk_assert_eq!(
+                    transitions.len(), 1,
+                    "exactly one transition on hot tick {}", hot_tick
+                );
+                tk_assert!(eval.any_firing(), "evaluator firing after the transition");
+            }
+        }
+    }
+
+    /// Evaluation is deterministic: two evaluators fed the identical
+    /// observation trace agree on every transition and on the rendered
+    /// alert state, byte for byte.
+    fn deterministic_sequences(
+        fast in Gen::<u64>::int_range(1, 3),
+        extra in Gen::<u64>::int_range(0, 4),
+        k in Gen::<u64>::int_range(1, 3),
+        bads in vec_of(Gen::<u64>::int_range(0, 120), 1, 30),
+    ) {
+        let slow = fast + extra;
+        let mk = || SloEvaluator::new(vec![rule(
+            fast as usize, slow as usize, k as usize,
+        )]);
+        let (mut a, mut b) = (mk(), mk());
+        for bad in &bads {
+            let (ra, rb) = (
+                a.observe(&window(100, *bad)),
+                b.observe(&window(100, *bad)),
+            );
+            tk_assert_eq!(
+                format!("{ra:?}"), format!("{rb:?}"),
+                "identical traces must yield identical transitions"
+            );
+        }
+        tk_assert_eq!(
+            render_alerts_json(&a.alerts()),
+            render_alerts_json(&b.alerts()),
+            "identical traces must render identical alert state"
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! Lock telemetry demo: a 3-level composed lock hammered by 8 threads
 //! with the causal span tracer on, live windowed rates while it runs,
 //! then counters, latency distributions, the trace analysis, all three
-//! export formats, a Perfetto-loadable trace file, and finally the
-//! starvation watchdog catching a deliberately hogged lock.
+//! export formats, a Perfetto-loadable trace file, the starvation
+//! watchdog catching a deliberately hogged lock, and finally the
+//! telemetry server scraping its own endpoints over a real socket.
 //!
 //! Run with:
 //!
@@ -15,8 +16,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use clof::obs::{
-    analyze, render_chrome_trace, render_json, render_prometheus, trace, Sampler, Watchdog,
-    WatchdogConfig,
+    analyze, default_rules, http_get, render_chrome_trace, render_json, render_prometheus, serve,
+    trace, Sampler, ServeConfig, Watchdog, WatchdogConfig,
 };
 use clof::{ClofParams, DynClofLock, LockKind};
 use clof_topology::platforms;
@@ -178,4 +179,31 @@ fn main() {
     let stalls = watchdog.stop();
     println!("  watchdog flagged {stalls} stall report(s) while the lock was hogged");
     assert!(stalls >= 1, "watchdog missed a 50ms+ stall");
+    println!();
+
+    // The serving layer: the same snapshot the exports above rendered,
+    // now behind a zero-dependency HTTP endpoint with SLO burn-rate
+    // alerts attached. Bind to an ephemeral port and self-scrape.
+    println!("=== telemetry server ===");
+    let server = serve(
+        "127.0.0.1:0",
+        Arc::new({
+            let lock = Arc::clone(&lock);
+            move || lock.obs_snapshot()
+        }),
+        ServeConfig {
+            rules: default_rules(1_000_000, 1_000_000), // 1 ms p99 objectives
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    println!("serving on {}", server.url());
+    for path in ["/metrics", "/snapshot", "/health", "/alerts"] {
+        let (status, body) = http_get(server.addr(), path).expect("self-scrape");
+        println!("  GET {path:<9} -> {status} ({} bytes)", body.len());
+        assert_eq!(status, 200, "endpoint {path} should be healthy");
+    }
+    let (_, alerts) = http_get(server.addr(), "/alerts").expect("alerts scrape");
+    println!("  alerts body: {alerts}");
+    println!("  {} request(s) served; shutting down", server.requests());
 }

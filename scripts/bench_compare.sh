@@ -10,14 +10,146 @@
 # baseline p99 entries are null.
 #
 # Usage: scripts/bench_compare.sh [output.json]
+#        scripts/bench_compare.sh --obs [output.json]
 #   CLOF_BENCH_MIN_MS / CLOF_BENCH_SAMPLES tune run length (defaults
 #   60 ms × 15 samples — long enough for stable medians on small hosts).
+#
+# `--obs` mode quantifies the observability tax instead: the dyn-pair
+# benches run three ways — default build (obs compiled out), obs
+# compiled in but idle, and obs compiled in while a sidecar client
+# scrapes /metrics at 1 Hz (CLOF_BENCH_SCRAPE_MS) — and the report
+# (default BENCH_PR7.json) records all three against the BENCH_PR4.json
+# noise bands. The acceptance gate is that the *default* build's
+# contended medians stay inside those bands: compiling obs out must
+# remain free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR4.json}
 export CLOF_BENCH_MIN_MS=${CLOF_BENCH_MIN_MS:-60}
 export CLOF_BENCH_SAMPLES=${CLOF_BENCH_SAMPLES:-15}
+
+if [ "${1:-}" = "--obs" ]; then
+    shift
+    OUT=${1:-BENCH_PR7.json}
+
+    echo ">>> [1/3] dyn pairs, default build (obs compiled out)" >&2
+    RAW_OFF=$(cargo bench -p clof-bench --bench locks_micro --features criterion 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_OFF" >&2
+
+    echo ">>> [2/3] dyn pairs, obs compiled in (idle)" >&2
+    RAW_ON=$(cargo bench -p clof-bench --bench locks_micro --features criterion,obs 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_ON" >&2
+
+    echo ">>> [3/3] dyn pairs, obs compiled in + 1 Hz /metrics scraper" >&2
+    RAW_SCRAPE=$(CLOF_BENCH_SCRAPE_MS=${CLOF_BENCH_SCRAPE_MS:-1000} \
+        cargo bench -p clof-bench --bench locks_micro --features criterion,obs 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_SCRAPE" >&2
+
+    RAW_OFF="$RAW_OFF" RAW_ON="$RAW_ON" RAW_SCRAPE="$RAW_SCRAPE" \
+        python3 - "$OUT" <<'PYEOF'
+import json, os, re, sys
+
+LINE = re.compile(
+    r"^(\S+)\s+([\d.]+) ns/iter\s+\(min ([\d.]+), p99 ([\d.]+), "
+    r"max ([\d.]+), (\d+) it/sample\)"
+)
+
+def parse(raw):
+    out = {}
+    for line in raw.splitlines():
+        m = LINE.match(line.strip())
+        if m:
+            name, med, mn, p99, mx, iters = m.groups()
+            out[name] = {
+                "median_ns": float(med),
+                "min_ns": float(mn),
+                "p99_ns": float(p99),
+                "max_ns": float(mx),
+                "iters_per_sample": int(iters),
+            }
+    return out
+
+configs = {
+    "obs_off": parse(os.environ["RAW_OFF"]),
+    "obs_on_idle": parse(os.environ["RAW_ON"]),
+    "obs_on_scraped_1hz": parse(os.environ["RAW_SCRAPE"]),
+}
+
+with open("BENCH_PR4.json") as f:
+    pr4 = json.load(f)["after"]
+
+report = {
+    "benchmark": "locks_micro: dyn-pair observability tax",
+    "note": (
+        "Same dyn-pair shapes as BENCH_PR4.json, run three ways: default "
+        "build (obs compiled out), obs compiled in but idle, and obs "
+        "compiled in while a sidecar scrapes /metrics at 1 Hz. Gate: the "
+        "default build's contended medians stay inside the PR4 noise "
+        "bands (min..max, +15% host slack) — compiling obs out is free."
+    ),
+    "pr4_noise_bands": {
+        name: {"min_ns": m["min_ns"], "median_ns": m["median_ns"], "max_ns": m["max_ns"]}
+        for name, m in pr4.items()
+        if name.startswith("dyn/")
+    },
+    "configs": configs,
+    "obs_tax_median_pct": {},
+}
+
+failures = []
+for name, off in configs["obs_off"].items():
+    if not name.endswith("/contended"):
+        continue
+    on = configs["obs_on_idle"].get(name)
+    scraped = configs["obs_on_scraped_1hz"].get(name)
+    if on is None or scraped is None:
+        failures.append(f"missing obs-on measurement for {name}")
+        continue
+    report["obs_tax_median_pct"][name] = {
+        "obs_on_idle": round(100.0 * (on["median_ns"] - off["median_ns"]) / off["median_ns"], 1),
+        "obs_on_scraped_1hz": round(
+            100.0 * (scraped["median_ns"] - off["median_ns"]) / off["median_ns"], 1
+        ),
+    }
+    band = pr4.get(name)
+    if band is None:
+        failures.append(f"{name}: no PR4 noise band recorded")
+        continue
+    lo, hi = band["min_ns"] * 0.85, band["max_ns"] * 1.15
+    if not (lo <= off["median_ns"] <= hi):
+        failures.append(
+            f"{name}: default-build median {off['median_ns']:.1f} ns outside "
+            f"PR4 noise band [{lo:.1f}, {hi:.1f}]"
+        )
+
+out = sys.argv[1]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f">>> wrote {out}", file=sys.stderr)
+for name, tax in sorted(report["obs_tax_median_pct"].items()):
+    print(
+        f"    {name:<36} idle {tax['obs_on_idle']:+6.1f}%   "
+        f"scraped {tax['obs_on_scraped_1hz']:+6.1f}%",
+        file=sys.stderr,
+    )
+if failures:
+    print(">>> FAILED acceptance gate:", file=sys.stderr)
+    for f_ in failures:
+        print(f"    {f_}", file=sys.stderr)
+    sys.exit(1)
+print(
+    ">>> acceptance gate passed (default-build contended medians inside PR4 noise bands)",
+    file=sys.stderr,
+)
+PYEOF
+    exit 0
+fi
+
+OUT=${1:-BENCH_PR4.json}
 
 echo ">>> running locks_micro (dyn pairs) with min_ms=$CLOF_BENCH_MIN_MS samples=$CLOF_BENCH_SAMPLES" >&2
 RAW=$(cargo bench -p clof-bench --bench locks_micro --features criterion 2>/dev/null \

@@ -9,11 +9,13 @@
 #      (the "traceEvents" exporter string only exists behind `obs`) —
 #      checked before any obs build can overwrite the binary;
 #   5. the obs phase: telemetry release build, the telemetry-vs-oracle
-#      suite, the trace-vs-oracle and histogram property suites, a
-#      16-seed oracle smoke with telemetry on, kvstore windowed stats,
-#      a `clof top --once` smoke, a `clof trace` export/analyze
-#      round-trip, and the zero-cost assertion that the default
-#      dependency graph (root and clof-bench) carries no clof-obs;
+#      suite, the trace-vs-oracle and histogram property suites, the
+#      server e2e scrape and SLO burn-rate property suites, a 16-seed
+#      oracle smoke with telemetry on, kvstore windowed stats, a
+#      `clof top --once` smoke, a `clof serve --once` self-scrape
+#      smoke, a `clof trace` export/analyze round-trip, and the
+#      zero-cost assertion that the default dependency graph (root and
+#      clof-bench) carries no clof-obs;
 #   6. the adapt phase: `adapt,obs` release build, a forced-migration
 #      swap smoke (cross-tier 8 seeds + fairness-across-swaps), the
 #      handover mutant-kill campaign, the kvstore hot-swap suite, a
@@ -103,6 +105,14 @@ phase "default binary carries no adapt symbols" \
                echo "adaptation symbols leaked into the default clof binary" >&2
                exit 1
            fi'
+# The "clof-obs-serve" literal is the telemetry server's Server: header
+# (sent on every HTTP response), so its absence proves the default
+# binary compiled none of the serving layer.
+phase "default binary carries no telemetry-server symbols" \
+    sh -c 'if grep -qa clof-obs-serve target/release/clof; then
+               echo "telemetry-server symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
 
 # Telemetry phase: everything above must also hold with `obs` compiled
 # in, and the default build must not even link clof-obs (zero-cost when
@@ -113,6 +123,8 @@ phase "obs telemetry-vs-oracle suite" \
     cargo test -q --features obs --test obs_stats
 phase "obs trace-vs-oracle + histogram properties" \
     cargo test -q --features obs --test trace_oracle --test obs_hist_props
+phase "obs server e2e scrape + SLO burn-rate properties" \
+    cargo test -q -p clof-obs --test serve_e2e --test slo_props
 phase "obs kvstore windowed stats" \
     cargo test -q -p clof-kvstore --features obs
 phase "obs oracle smoke (16 seeds)" \
@@ -127,8 +139,16 @@ phase "obs oracle smoke (16 seeds)" \
 phase "obs clof binary build" cargo build --release -p clof-bench --features obs
 phase "obs binary carries tracer symbols" \
     grep -qa traceEvents target/release/clof
+phase "obs binary carries the telemetry-server marker" \
+    grep -qa clof-obs-serve target/release/clof
 phase "clof top --once smoke" \
     ./target/release/clof top --machine armv8 --levels 3 --lock tkt-clh-tkt \
+    --threads 4 --interval-ms 200 --once
+# `serve --once` binds an ephemeral port, runs one sampling window, and
+# self-scrapes all four endpoints through a real socket (it exits
+# non-zero unless every endpoint answers 200).
+phase "clof serve --once self-scrape smoke" \
+    ./target/release/clof serve --machine armv8 --levels 3 --lock tkt-clh-tkt \
     --threads 4 --interval-ms 200 --once
 phase "clof trace export/analyze round-trip" \
     sh -c 'out="${TMPDIR:-/tmp}/clof-ci-trace.json"
@@ -162,6 +182,11 @@ phase "adapt handover mutant-kill" \
     cargo test -q -p clof-verify --test mutant_kill -- handover
 phase "adapt kvstore hot-swap suite" \
     cargo test -q -p clof-kvstore --features adapt,obs
+# Migrations must leave their trail in the audit ring (the /snapshot
+# export `clof serve` and the audit tail render from).
+phase "adapt audit-ring migration records" \
+    cargo test -q -p clof-core --features adapt,obs \
+    completed_swap_is_recorded_in_the_audit_ring
 phase "adapt clof binary build" \
     cargo build --release -p clof-bench --features adapt,obs
 phase "adapt binary carries the adapt marker" \
