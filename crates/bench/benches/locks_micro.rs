@@ -127,9 +127,10 @@ mod micro {
     /// Optional scrape sidecar for the dyn-pair benches (obs builds
     /// only): when `CLOF_BENCH_SCRAPE_MS` is set, a telemetry server is
     /// bound to an ephemeral port with the benched lock's snapshot and a
-    /// client thread scrapes `/metrics` at that cadence while the bench
-    /// runs — the "obs-on under scrape" column of
-    /// `scripts/bench_compare.sh --obs`.
+    /// client thread scrapes `CLOF_BENCH_SCRAPE_PATH` (default
+    /// `/metrics`) at that cadence while the bench runs — the "obs-on
+    /// under scrape" column of `scripts/bench_compare.sh --obs`, and
+    /// with `/profile` the profiler column of `--profile`.
     #[cfg(feature = "obs")]
     struct ScrapeSidecar {
         stop: Arc<AtomicBool>,
@@ -151,6 +152,7 @@ mod micro {
     #[cfg(feature = "obs")]
     fn scrape_sidecar(lock: &Arc<DynClofLock>) -> Option<ScrapeSidecar> {
         let ms: u64 = std::env::var("CLOF_BENCH_SCRAPE_MS").ok()?.parse().ok()?;
+        let path = std::env::var("CLOF_BENCH_SCRAPE_PATH").unwrap_or_else(|_| "/metrics".into());
         let snap = Arc::clone(lock);
         let server = clof::obs::serve(
             "127.0.0.1:0",
@@ -165,7 +167,7 @@ mod micro {
             std::thread::spawn(move || {
                 let mut scrapes = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    if clof::obs::http_get(addr, "/metrics").is_ok() {
+                    if clof::obs::http_get(addr, &path).is_ok() {
                         scrapes += 1;
                     }
                     std::thread::sleep(std::time::Duration::from_millis(ms.max(1)));

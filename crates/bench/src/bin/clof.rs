@@ -16,6 +16,9 @@
 //!                [--interval-ms N] [--duration-ms N] [--stall-ms N] [--once]
 //! clof adapt     [--machine x86|armv8] [--levels 3|4] [--threads N] [--threshold H]
 //!                [--interval-ms N] [--rounds N] [--once]  # needs --features adapt,obs
+//! clof profile   [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
+//!                [--threshold H] [--top K] [--once]
+//!                [--inject-deadlock] [--inject-inversion]  # needs --features obs
 //! ```
 //!
 //! All simulation-backed commands run on the built-in paper machine
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "top" => top(&args[1..]),
         "adapt" => adapt(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
+        "profile" => profile_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -102,7 +106,18 @@ commands:
                                                   HTTP: /metrics (Prometheus), /snapshot (JSON +
                                                   audit log), /health, /alerts (SLO burn rates);
                                                   --once self-scrapes every endpoint once and
-                                                  exits (requires --features obs)";
+                                                  exits (requires --features obs)
+  profile   [--machine x86|armv8] --lock NAME [--threads N] [--iters N]
+            [--threshold H] [--top K] [--once]
+            [--inject-deadlock] [--inject-inversion]
+                                                  continuous contention profiler: hammer a real
+                                                  lock, then print the top-K contended registry
+                                                  sites, folded stacks for flamegraph tooling,
+                                                  and the waits-for graph verdict (deadlock /
+                                                  NUMA-inversion detection; findings exit
+                                                  nonzero). --once shrinks the run for CI; the
+                                                  --inject flags stage synthetic occupancy to
+                                                  prove detection (requires --features obs)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -809,13 +824,17 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                         hold_slo_us.saturating_mul(1_000),
                         handover_slo_us.saturating_mul(1_000),
                     ),
+                    graph_h_bound: u64::from(threshold),
                     ..Default::default()
                 },
             )
             .map_err(|e| format!("bind {addr}: {e}"))?,
         );
         println!("clof serve — {name} (H = {threshold}, {threads} threads)");
-        println!("serving on {}/metrics /snapshot /health /alerts", server.url());
+        println!(
+            "serving on {}/metrics /snapshot /health /alerts /profile",
+            server.url()
+        );
 
         // Hammer the lock so the endpoints have live rates to report.
         let stop = Arc::new(AtomicBool::new(false));
@@ -858,6 +877,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         });
 
         let mut sampler = clof::obs::Sampler::new();
+        let mut graph_dedup = clof::obs::FindingDedup::new();
         sampler.tick(lock.obs_snapshot());
         let rounds = if once {
             1
@@ -870,6 +890,13 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 continue;
             };
             server.observe_window(&rates);
+            // Waits-for sweep: fresh deadlock/inversion findings feed
+            // the alert path (deduped against the watchdog's stalls).
+            let report = clof::obs::waitgraph::global().analyze(u64::from(threshold));
+            for finding in graph_dedup.fresh(&report.findings) {
+                server.note_graph_finding(&finding);
+                eprintln!("waits-for finding: {}", finding.detail());
+            }
             println!("{rates}");
         }
 
@@ -877,7 +904,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             // CI smoke: scrape every endpoint through a real socket and
             // report status + size, so the round trip is covered without
             // an external client.
-            for path in ["/metrics", "/snapshot", "/health", "/alerts"] {
+            for path in ["/metrics", "/snapshot", "/health", "/alerts", "/profile"] {
                 let (status, body) = clof::obs::http_get(server.addr(), path)
                     .map_err(|e| format!("self-scrape {path}: {e}"))?;
                 println!("self-scrape GET {path} -> {status} ({} bytes)", body.len());
@@ -900,6 +927,158 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         );
         print_audit_tail(8);
         Ok(())
+    }
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = args;
+        Err("`profile` needs lock telemetry compiled in; rebuild with `--features obs`".to_string())
+    }
+    #[cfg(feature = "obs")]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let (machine, kinds, threads, threshold) = telemetry_args(args, "8")?;
+        let once = has_flag(args, "--once");
+        let iters: u64 = flag_value(args, "--iters")
+            .unwrap_or(if once { "2000" } else { "20000" })
+            .parse()
+            .map_err(|e| format!("bad --iters: {e}"))?;
+        let top_k: usize = flag_value(args, "--top")
+            .unwrap_or("10")
+            .parse()
+            .map_err(|e| format!("bad --top: {e}"))?;
+
+        let params = clof::ClofParams {
+            keep_local_threshold: threshold,
+        };
+        let lock = Arc::new(
+            clof::DynClofLock::build_with(&machine.hierarchy, &kinds, params, true)
+                .map_err(|e| e.to_string())?,
+        );
+        println!(
+            "clof profile — {} (H = {threshold}, {threads} threads x {iters} iters) [{}]",
+            lock.name(),
+            clof::obs::PROFILE_MARKER
+        );
+
+        // Windowed delta over the run: the lock is registered (and its
+        // profile slot zeroed) at build, so `after - before` is exactly
+        // this run even when other sites live in the process.
+        let before = clof::obs::profile::global().snapshot();
+        let shared = Arc::new(AtomicU64::new(0));
+        let ncpus = machine.hierarchy.ncpus();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let lock = Arc::clone(&lock);
+            let shared = Arc::clone(&shared);
+            let cpu = t * ncpus / threads.max(1);
+            workers.push(std::thread::spawn(move || {
+                let mut handle = lock.handle(cpu);
+                for _ in 0..iters {
+                    handle.acquire();
+                    shared.fetch_add(1, Ordering::Relaxed);
+                    handle.release();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().map_err(|_| "profiling thread panicked".to_string())?;
+        }
+        let expected = threads as u64 * iters;
+        let got = shared.load(Ordering::Relaxed);
+        if got != expected {
+            return Err(format!("lost updates under profile: {got} != {expected}"));
+        }
+        let delta = clof::obs::profile::global().snapshot().delta(&before);
+
+        // Top-K most wait-contended sites, with their construction site
+        // and per-(level, node) wait breakdown.
+        println!();
+        println!("top {} sites by wait:", top_k.min(delta.sites.len()).max(1));
+        println!(
+            "{:<4} {:<24} {:<14} {:>9} {:>11} {:>11} {:>9} {:>9}  location",
+            "id", "label", "shape", "acquires", "wait-mean", "hold-mean", "passes", "gen"
+        );
+        for site in delta.top_k(top_k) {
+            println!(
+                "{:<4} {:<24} {:<14} {:>9} {:>9}ns {:>9}ns {:>9} {:>9}  {}",
+                site.id,
+                site.label,
+                site.shape,
+                site.acquires,
+                site.mean_wait_ns(),
+                site.mean_hold_ns(),
+                site.passes,
+                site.generation,
+                site.location
+            );
+            for node in &site.nodes {
+                if node.waits > 0 {
+                    println!(
+                        "       L{} n{}: {} waits, mean {} ns",
+                        node.level,
+                        node.node,
+                        node.waits,
+                        node.wait_ns / node.waits.max(1)
+                    );
+                }
+            }
+        }
+
+        // Folded stacks: one line per (site, level, node), weight =
+        // wait ns — pipe into any flamegraph renderer.
+        println!();
+        println!("folded stacks (site;level;node wait_ns):");
+        print!("{}", clof::obs::render_folded(&delta));
+
+        // Synthetic occupancy for detection proof runs (CI): a 2-cycle
+        // across two scratch sites, and/or a waiter whose site's pass
+        // clock races past the keep-local gap bound H.
+        let graph = clof::obs::waitgraph::global();
+        let _scratch: Vec<clof::obs::SiteAnchor> = if has_flag(args, "--inject-deadlock") {
+            let reg = clof::obs::registry::global();
+            let a = reg.register("injected-a", "synthetic");
+            let b = reg.register("injected-b", "synthetic");
+            graph.inject(510, &[a.id()], Some(b.id()));
+            graph.inject(511, &[b.id()], Some(a.id()));
+            vec![a, b]
+        } else {
+            Vec::new()
+        };
+        if has_flag(args, "--inject-inversion") {
+            graph.inject(509, &[], Some(lock.site_id()));
+            for _ in 0..=u64::from(threshold) {
+                clof::obs::profile::global().record_pass(lock.site_id());
+            }
+        }
+
+        // Waits-for graph verdict: quiescent clean runs report clean;
+        // any finding (real or injected) is a nonzero exit for CI.
+        let report = graph.analyze(u64::from(threshold));
+        println!();
+        println!(
+            "waits-for graph: {} waiting, {} holds, {} edges",
+            report.threads_waiting, report.holds, report.edges
+        );
+        for thread in [509u32, 510, 511] {
+            graph.clear_thread(thread);
+        }
+        if report.is_clean() {
+            println!("verdict: clean — no deadlock cycles, no H-bound inversions");
+            Ok(())
+        } else {
+            for finding in &report.findings {
+                println!("finding: {}", finding.detail());
+            }
+            Err(format!(
+                "waits-for graph reported {} finding(s)",
+                report.findings.len()
+            ))
+        }
     }
 }
 

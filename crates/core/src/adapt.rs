@@ -215,6 +215,7 @@ impl AdaptiveLock {
     /// # Errors
     ///
     /// Propagates composition errors from the initial tree build.
+    #[track_caller]
     pub fn new(hierarchy: &Hierarchy, kinds: &[LockKind]) -> Result<Self, ClofError> {
         Self::with_params(hierarchy, kinds, ClofParams::default(), true)
     }
@@ -226,6 +227,7 @@ impl AdaptiveLock {
     /// # Errors
     ///
     /// Propagates composition errors from the initial tree build.
+    #[track_caller]
     pub fn with_params(
         hierarchy: &Hierarchy,
         kinds: &[LockKind],
@@ -321,6 +323,20 @@ impl AdaptiveLock {
         self.current().obs_snapshot()
     }
 
+    /// The contention-profiler site id of the current generation's tree
+    /// — stable across swaps, because every incoming tree adopts the
+    /// outgoing one's site.
+    #[cfg(feature = "obs")]
+    pub fn site_id(&self) -> u32 {
+        self.current().site_id()
+    }
+
+    /// The current contention-profile row for the lock's site.
+    #[cfg(feature = "obs")]
+    pub fn site_profile(&self) -> Option<clof_obs::SiteProfile> {
+        self.current().site_profile()
+    }
+
     /// Arms a deliberately broken handover for the mutant-kill suite.
     #[cfg(feature = "testkit")]
     pub fn set_migration_mutant(&self, mutant: MigrationMutant) {
@@ -374,6 +390,16 @@ impl AdaptiveLock {
                 return Err(e);
             }
         };
+        // Keep the contention-profiler site stable across the swap: the
+        // incoming tree adopts the outgoing generation's site id (its
+        // own provisional registration is released; the site label
+        // follows the new composition). A failed build above never gets
+        // here, so error paths leave the registry untouched.
+        #[cfg(feature = "obs")]
+        {
+            let outgoing = self.slot(old).read().expect("slot poisoned");
+            incoming.rebind_site_from(&outgoing);
+        }
         let new = old + 1;
         *self.slot(new).write().expect("slot poisoned") = incoming;
 

@@ -32,20 +32,36 @@ mod nodeobs {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
+    use clof_obs::profile::{self, NodeAcc};
+    use clof_obs::registry::{self, SiteAnchor};
     use clof_obs::trace::{self, SpanKind};
-    use clof_obs::{now_ns, thread_tag, watchdog, EventRing, LevelCounters, LogHistogram, PassKind};
+    use clof_obs::{
+        now_ns, thread_tag, waitgraph, watchdog, EventRing, LevelCounters, LogHistogram, PassKind,
+    };
 
     /// Per-lock collector state shared by every node of one
-    /// [`DynClofLock`](super::DynClofLock).
-    #[derive(Debug, Default)]
+    /// [`DynClofLock`](super::DynClofLock): the pass-event ring, the
+    /// hold-time histogram, and the lock's contention-profiler site
+    /// anchor (shared so handles can attribute wait/hold to the site
+    /// even while an adaptation rebind retargets it).
+    #[derive(Debug)]
     pub(super) struct LockObs {
         pub(super) ring: Arc<EventRing>,
         pub(super) hold_ns: Arc<LogHistogram>,
+        pub(super) site: Arc<SiteAnchor>,
     }
 
     impl LockObs {
-        pub(super) fn new() -> Self {
-            Self::default()
+        pub(super) fn new(
+            label: &str,
+            shape: &str,
+            caller: &'static std::panic::Location<'static>,
+        ) -> Self {
+            LockObs {
+                ring: Arc::default(),
+                hold_ns: Arc::default(),
+                site: Arc::new(registry::global().register_at(label, shape, caller)),
+            }
         }
     }
 
@@ -66,18 +82,32 @@ mod nodeobs {
         pub(super) counters: LevelCounters,
         pub(super) acquire_ns: LogHistogram,
         ring: Arc<EventRing>,
+        /// The lock's profiler site (shared; rebind retargets the id).
+        site: Arc<SiteAnchor>,
+        /// This node's per-(level, node) wait accumulator in the
+        /// contention profile.
+        acc: Arc<NodeAcc>,
     }
 
     impl NodeObs {
         pub(super) fn new(level: usize, lock: &LockObs) -> Self {
+            let node = trace::node_tag();
             NodeObs {
                 level: level as u8,
-                node: trace::node_tag(),
+                node,
                 flow: AtomicU64::new(0),
                 counters: LevelCounters::new(),
                 acquire_ns: LogHistogram::new(),
                 ring: Arc::clone(&lock.ring),
+                acc: profile::global().register_node(lock.site.id(), level as u8, node),
+                site: Arc::clone(&lock.site),
             }
+        }
+
+        /// The node's profile accumulator (for re-attachment after an
+        /// adaptation rebind moves the lock onto an adopted site id).
+        pub(super) fn acc(&self) -> &Arc<NodeAcc> {
+            &self.acc
         }
 
         /// Timestamp taken before the low-lock acquire.
@@ -91,6 +121,7 @@ mod nodeobs {
             let end = now_ns();
             self.counters.record_acquire(inherited);
             self.acquire_ns.record(end.saturating_sub(start));
+            self.acc.record_wait(end.saturating_sub(start));
             if trace::is_enabled() {
                 let flow_in = if inherited {
                     self.flow.swap(0, Ordering::Relaxed)
@@ -113,6 +144,9 @@ mod nodeobs {
         pub(super) fn record_pass(&self) {
             self.counters.record_pass_taken();
             self.ring.record(self.level, PassKind::Pass, thread_tag());
+            // The inversion clock: remote-starvation detection counts
+            // local hand-offs that happened while a waiter was parked.
+            profile::global().record_pass(self.site.id());
             if trace::is_enabled() {
                 let at = now_ns();
                 let flow = trace::next_flow_id();
@@ -154,6 +188,8 @@ mod nodeobs {
     #[derive(Debug)]
     pub(super) struct HoldObs {
         hist: Arc<LogHistogram>,
+        site: Arc<SiteAnchor>,
+        wait_from: u64,
         acquired_at: u64,
     }
 
@@ -161,6 +197,8 @@ mod nodeobs {
         pub(super) fn new(lock: &LockObs) -> Self {
             HoldObs {
                 hist: Arc::clone(&lock.hold_ns),
+                site: Arc::clone(&lock.site),
+                wait_from: 0,
                 acquired_at: 0,
             }
         }
@@ -168,23 +206,32 @@ mod nodeobs {
         /// Entering the composed acquire (before any spinning).
         #[inline]
         pub(super) fn waiting(&mut self) {
+            self.wait_from = now_ns();
             watchdog::note_wait(thread_tag());
+            waitgraph::note_wait(self.site.id());
         }
 
         #[inline]
         pub(super) fn acquired(&mut self) {
             self.acquired_at = now_ns();
+            let site = self.site.id();
+            profile::global().record_wait(site, self.acquired_at.saturating_sub(self.wait_from));
+            profile::global().record_acquire(site);
             watchdog::note_hold(thread_tag());
+            waitgraph::note_acquired(site);
         }
 
         #[inline]
         pub(super) fn released(&mut self) {
             let end = now_ns();
             self.hist.record(end.saturating_sub(self.acquired_at));
+            let site = self.site.id();
+            profile::global().record_hold(site, end.saturating_sub(self.acquired_at));
             if trace::is_enabled() {
                 trace::record(self.acquired_at, end, 0, 0, SpanKind::Hold, 0, 0);
             }
             watchdog::note_idle(thread_tag());
+            waitgraph::note_released(site);
         }
     }
 }
@@ -195,7 +242,12 @@ mod nodeobs {
     pub(super) struct LockObs;
 
     impl LockObs {
-        pub(super) fn new() -> Self {
+        #[inline]
+        pub(super) fn new(
+            _label: &str,
+            _shape: &str,
+            _caller: &'static std::panic::Location<'static>,
+        ) -> Self {
             LockObs
         }
     }
@@ -506,11 +558,13 @@ impl DynClofLock {
     /// level count, or if a component is unfair (use
     /// [`build_with`](Self::build_with) with `allow_unfair` to override —
     /// the paper only considers fair locks after §4.2.3).
+    #[track_caller]
     pub fn build(hierarchy: &Hierarchy, locks: &[LockKind]) -> Result<Self, ClofError> {
         Self::build_with(hierarchy, locks, ClofParams::default(), false)
     }
 
     /// Builds with explicit parameters and fairness policy.
+    #[track_caller]
     pub fn build_with(
         hierarchy: &Hierarchy,
         locks: &[LockKind],
@@ -523,6 +577,11 @@ impl DynClofLock {
 
     /// Builds with *per-level* parameters (innermost first) — HMCS tunes
     /// its keep-local threshold per level, and so can CLoF compositions.
+    ///
+    /// With the `obs` feature the new lock auto-registers a contention-
+    /// profiler site; `#[track_caller]` makes the recorded construction
+    /// location name the user's build call, not these builder internals.
+    #[track_caller]
     pub fn build_with_level_params(
         hierarchy: &Hierarchy,
         locks: &[LockKind],
@@ -541,7 +600,16 @@ impl DynClofLock {
             }
         }
         let levels = hierarchy.level_count();
-        let obs = LockObs::new();
+        let name = crate::generator::composition_name(locks);
+        // Topology shape recorded at the profiler site: cpu count plus
+        // cohort counts per level, innermost first (e.g. `8cpu/4-2-1`).
+        let shape = {
+            let cohorts: Vec<String> = (0..levels)
+                .map(|l| hierarchy.cohort_count(l).to_string())
+                .collect();
+            format!("{}cpu/{}", hierarchy.ncpus(), cohorts.join("-"))
+        };
+        let obs = LockObs::new(&name, &shape, std::panic::Location::caller());
         // Build from the root (outermost level) down, collecting every
         // node in construction order for the linear traversals.
         let mut all_nodes: Vec<(usize, Arc<DynNode>)> = Vec::new();
@@ -587,7 +655,7 @@ impl DynClofLock {
             cpu_to_stripe: cpu_stripes(hierarchy),
             nodes: all_nodes,
             composition: locks.to_vec(),
-            name: crate::generator::composition_name(locks),
+            name,
             obs,
         })
     }
@@ -751,6 +819,60 @@ impl DynClofLock {
             .iter()
             .map(|(_, node)| node.meta.waiter_count())
             .sum()
+    }
+
+    /// This lock's contention-profiler site id in the process-global
+    /// [`clof_obs::registry`] ([`clof_obs::INVALID_SITE`] if the table
+    /// was full at construction). Stable across adaptation swaps once
+    /// [`Self::rebind_site_from`] has run.
+    #[cfg(feature = "obs")]
+    pub fn site_id(&self) -> u32 {
+        self.obs.site.id()
+    }
+
+    /// The current contention-profile row for this lock's site: wait and
+    /// hold attribution, traffic, and the per-(level, node) breakdown.
+    /// `None` when the site table was full at construction.
+    #[cfg(feature = "obs")]
+    pub fn site_profile(&self) -> Option<clof_obs::SiteProfile> {
+        let id = self.obs.site.id();
+        clof_obs::profile::global()
+            .snapshot()
+            .sites
+            .into_iter()
+            .find(|s| s.id == id)
+    }
+
+    /// Adopts `outgoing`'s profiler site so an adaptation swap keeps a
+    /// stable site id: this lock's provisional registration is released,
+    /// the adopted site's generation is bumped, its label updated to
+    /// this composition, and this tree's per-node accumulators follow it
+    /// onto the adopted id. No-op when `outgoing`'s site is dead or
+    /// already this lock's own.
+    #[cfg(feature = "obs")]
+    pub fn rebind_site_from(&self, outgoing: &DynClofLock) {
+        let before = self.obs.site.id();
+        self.obs.site.rebind(&outgoing.obs.site, &self.name);
+        let after = self.obs.site.id();
+        if after != before {
+            for (_, node) in &self.nodes {
+                clof_obs::profile::global().attach_node(after, node.obs.acc());
+            }
+        }
+    }
+
+    /// Renames this lock's registry site (the `tas+` fast-path wrapper
+    /// labels the site it wraps).
+    #[cfg(feature = "obs")]
+    pub(crate) fn relabel_site(&self, label: &str) {
+        clof_obs::registry::global().relabel(self.obs.site.id(), label);
+    }
+
+    /// The shared site anchor (for wrappers that attribute their own
+    /// wait/hold to this lock's site, e.g. the TAS gate).
+    #[cfg(feature = "obs")]
+    pub(crate) fn site_anchor(&self) -> Arc<clof_obs::SiteAnchor> {
+        Arc::clone(&self.obs.site)
     }
 }
 

@@ -37,30 +37,58 @@ use crate::level::ClofParams;
 /// composition; gate decisions are the `Gate` spans.
 #[cfg(feature = "obs")]
 mod gateobs {
-    use clof_obs::trace::{self, SpanKind};
-    use clof_obs::{now_ns, thread_tag, watchdog};
+    use std::sync::Arc;
 
-    #[derive(Debug, Default)]
-    pub(super) struct GateObs;
+    use clof_obs::registry::SiteAnchor;
+    use clof_obs::trace::{self, SpanKind};
+    use clof_obs::{now_ns, profile, thread_tag, waitgraph, watchdog};
+
+    use super::FastClof;
+
+    /// Per-handle gate telemetry, attributed to the slow composition's
+    /// profiler site (a `FastClof` is one lock to the profiler: the
+    /// `tas+`-labelled site). Fast-path wins record their wait/hold
+    /// here; slow-path ops are already attributed by the composition
+    /// handle they queue through, so only the gate's waits-for
+    /// transitions are emitted to avoid double counting.
+    #[derive(Debug)]
+    pub(super) struct GateObs {
+        site: Arc<SiteAnchor>,
+        last_fast: bool,
+        acquired_at: u64,
+    }
 
     impl GateObs {
+        pub(super) fn new(lock: &FastClof) -> Self {
+            GateObs {
+                site: lock.slow.site_anchor(),
+                last_fast: false,
+                acquired_at: 0,
+            }
+        }
+
         /// Acquire entry: publish `Waiting` and timestamp the gate wait.
         #[inline]
         pub(super) fn start(&mut self) -> u64 {
             watchdog::note_wait(thread_tag());
-            if trace::is_enabled() {
-                now_ns()
-            } else {
-                0
-            }
+            waitgraph::note_wait(self.site.id());
+            now_ns()
         }
 
         /// Gate won (either path).
         #[inline]
         pub(super) fn record_gate(&mut self, start: u64, fast: bool) {
+            let at = now_ns();
+            self.last_fast = fast;
+            self.acquired_at = at;
+            let site = self.site.id();
+            if fast {
+                profile::global().record_wait(site, at.saturating_sub(start));
+                profile::global().record_acquire(site);
+            }
             watchdog::note_hold(thread_tag());
-            if trace::is_enabled() && start != 0 {
-                let at = now_ns();
+            waitgraph::note_acquired(site);
+            if trace::is_enabled() {
                 trace::record(start, at, 0, 0, SpanKind::Gate { fast }, 0, 0);
             }
         }
@@ -68,7 +96,12 @@ mod gateobs {
         /// Gate released.
         #[inline]
         pub(super) fn record_release(&mut self) {
+            let site = self.site.id();
+            if self.last_fast {
+                profile::global().record_hold(site, now_ns().saturating_sub(self.acquired_at));
+            }
             watchdog::note_idle(thread_tag());
+            waitgraph::note_released(site);
         }
     }
 }
@@ -79,6 +112,11 @@ mod gateobs {
     pub(super) struct GateObs;
 
     impl GateObs {
+        #[inline]
+        pub(super) fn new(_lock: &super::FastClof) -> Self {
+            GateObs
+        }
+
         #[inline(always)]
         pub(super) fn start(&mut self) -> u64 {
             0
@@ -141,20 +179,27 @@ impl FastClof {
     /// # Errors
     ///
     /// Propagates [`DynClofLock::build`] errors.
+    #[track_caller]
     pub fn build(hierarchy: &Hierarchy, locks: &[LockKind]) -> Result<Arc<Self>, ClofError> {
         Self::build_with(hierarchy, locks, ClofParams::default())
     }
 
     /// Builds with explicit composition parameters.
+    #[track_caller]
     pub fn build_with(
         hierarchy: &Hierarchy,
         locks: &[LockKind],
         params: ClofParams,
     ) -> Result<Arc<Self>, ClofError> {
+        let slow = DynClofLock::build_with(hierarchy, locks, params, false)?;
+        // The profiler sees one lock: relabel the composition's site
+        // with the fast-path prefix the exports use.
+        #[cfg(feature = "obs")]
+        slow.relabel_site(&format!("tas+{}", slow.name()));
         Ok(Arc::new(FastClof {
             top: CachePadded::new(AtomicBool::new(false)),
             paths: CachePadded::new(PathCounters::default()),
-            slow: DynClofLock::build_with(hierarchy, locks, params, false)?,
+            slow,
         }))
     }
 
@@ -167,7 +212,7 @@ impl FastClof {
         FastClofHandle {
             lock: Arc::clone(self),
             slow: self.slow.handle(cpu),
-            obs: gateobs::GateObs::default(),
+            obs: gateobs::GateObs::new(self),
         }
     }
 
@@ -201,6 +246,19 @@ impl FastClof {
         let mut snap = self.slow.obs_snapshot();
         snap.name = self.name();
         snap
+    }
+
+    /// The contention-profiler site id shared with the slow composition
+    /// (labelled `tas+…` in the registry).
+    #[cfg(feature = "obs")]
+    pub fn site_id(&self) -> u32 {
+        self.slow.site_id()
+    }
+
+    /// The current contention-profile row for this lock's site.
+    #[cfg(feature = "obs")]
+    pub fn site_profile(&self) -> Option<clof_obs::SiteProfile> {
+        self.slow.site_profile()
     }
 
     #[inline]

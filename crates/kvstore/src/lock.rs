@@ -107,6 +107,35 @@ impl<T> DbMutex<T> {
         }
     }
 
+    /// The contention-profiler site id of the underlying lock, for the
+    /// instrumented CLoF variants (`None` for the baselines and `Std`,
+    /// which register no site). Stable across adaptive hot-swaps.
+    #[cfg(feature = "obs")]
+    pub fn site_id(&self) -> Option<u32> {
+        match &self.lock {
+            LockImpl::Clof(l) => Some(l.site_id()),
+            #[cfg(feature = "adapt")]
+            LockImpl::Adaptive(l) => Some(l.site_id()),
+            LockImpl::ClofFast(l) => Some(l.site_id()),
+            LockImpl::Hmcs(_) | LockImpl::Cna(_) | LockImpl::Shfl(_) | LockImpl::Std(_) => None,
+        }
+    }
+
+    /// The store lock's row in the process-global contention profile:
+    /// wait/hold attribution, traffic, and the per-(level, node)
+    /// breakdown. `None` for uninstrumented lock choices and when the
+    /// site table was full at construction.
+    #[cfg(feature = "obs")]
+    pub fn profile(&self) -> Option<clof::obs::SiteProfile> {
+        match &self.lock {
+            LockImpl::Clof(l) => l.site_profile(),
+            #[cfg(feature = "adapt")]
+            LockImpl::Adaptive(l) => l.site_profile(),
+            LockImpl::ClofFast(l) => l.site_profile(),
+            LockImpl::Hmcs(_) | LockImpl::Cna(_) | LockImpl::Shfl(_) | LockImpl::Std(_) => None,
+        }
+    }
+
     /// Windowed telemetry: feeds the current [`Self::stats`] snapshot to
     /// `sampler` and returns the rates since the sampler's previous
     /// tick. `None` on the first tick (it only sets the baseline) and
@@ -357,6 +386,39 @@ mod tests {
         let mut s2 = clof::obs::Sampler::new();
         assert!(std.stats_window(&mut s2).is_none());
         assert!(std.stats_window(&mut s2).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn profile_attributes_store_traffic_to_a_registered_site() {
+        let h = platforms::tiny();
+        for choice in [
+            LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            LockChoice::ClofFast(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+        ] {
+            let m = Arc::new(DbMutex::new(0usize, &h, &choice).unwrap());
+            let id = m.site_id().expect("instrumented store registers a site");
+            let before = m.profile().expect("site row exists");
+            let mut handle = m.handle(0);
+            for _ in 0..100 {
+                handle.with(|v| *v += 1);
+            }
+            let after = m.profile().expect("site row persists");
+            assert_eq!(after.id, id, "{choice:?}");
+            assert_eq!(
+                after.acquires - before.acquires,
+                100,
+                "{choice:?}: every store op is attributed to the site"
+            );
+            assert!(
+                after.hold_ns >= before.hold_ns,
+                "{choice:?}: hold attribution is monotone"
+            );
+        }
+        // Uninstrumented choices expose no site and no profile.
+        let std_store = DbMutex::new(0usize, &h, &LockChoice::Std).unwrap();
+        assert!(std_store.site_id().is_none());
+        assert!(std_store.profile().is_none());
     }
 
     #[cfg(feature = "obs")]

@@ -146,6 +146,19 @@ pub(crate) fn prom_histogram(out: &mut String, metric: &str, help: &str, labels:
     ));
     out.push_str(&format!("{metric}_sum{{{labels}}} {}\n", h.sum));
     out.push_str(&format!("{metric}_count{{{labels}}} {}\n", h.count));
+    // Companion quantile gauges (summary-style `quantile` label, own
+    // family so the histogram family stays exposition-format pure).
+    // Values are the same bucket-upper-bound quantiles `/snapshot` JSON
+    // reports, so dashboards can mix both without disagreement.
+    out.push_str(&format!(
+        "# HELP {metric}_quantile Bucket-upper-bound quantiles of {metric} (matches the JSON snapshot's p50/p90/p99).\n\
+         # TYPE {metric}_quantile gauge\n"
+    ));
+    for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+        out.push_str(&format!(
+            "{metric}_quantile{{{labels},quantile=\"{q}\"}} {v}\n"
+        ));
+    }
 }
 
 /// Renders a snapshot in the Prometheus text exposition format.
@@ -487,6 +500,51 @@ mod tests {
             "label values must be escaped: {prom}"
         );
         assert!(!prom.contains("we\"ird"), "raw quote must not survive");
+    }
+
+    /// Render-agreement: the Prometheus histogram series (cumulative
+    /// `_bucket`/`_sum`/`_count`) and its companion quantile gauges
+    /// must report exactly the numbers the `/snapshot` JSON carries for
+    /// the same histogram — one source of truth, two encodings.
+    #[test]
+    fn prometheus_histograms_and_quantiles_agree_with_json() {
+        let s = sample_snapshot();
+        let prom = render_prometheus(&s);
+        check_prometheus(&prom);
+        let json = render_json(&s);
+
+        let h = &s.levels[0].acquire_ns;
+        // Quantile gauges match the JSON's p50/p90/p99 fields.
+        for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+            let gauge = format!(
+                "clof_acquire_latency_ns_quantile{{lock=\"tkt>mcs\",level=\"0\",quantile=\"{q}\"}} {v}"
+            );
+            assert!(prom.contains(&gauge), "missing gauge: {gauge}");
+        }
+        assert!(json.contains(&format!("\"p50\":{}", h.p50())));
+        assert!(json.contains(&format!("\"p90\":{}", h.p90())));
+        assert!(json.contains(&format!("\"p99\":{}", h.p99())));
+
+        // Native buckets match the JSON's cumulative bucket list.
+        for (le, n) in h.cumulative() {
+            let bucket = format!(
+                "clof_acquire_latency_ns_bucket{{lock=\"tkt>mcs\",level=\"0\",le=\"{le}\"}} {n}"
+            );
+            assert!(prom.contains(&bucket), "missing bucket: {bucket}");
+            assert!(json.contains(&format!("{{\"le\":{le},\"count\":{n}}}")));
+        }
+        assert!(prom.contains(&format!(
+            "clof_acquire_latency_ns_sum{{lock=\"tkt>mcs\",level=\"0\"}} {}",
+            h.sum
+        )));
+        assert!(json.contains(&format!("\"sum\":{}", h.sum)));
+
+        // Hold-time family gets the same treatment, whole-lock labels.
+        let hold = &s.hold_ns;
+        assert!(prom.contains(&format!(
+            "clof_hold_time_ns_quantile{{lock=\"tkt>mcs\",quantile=\"0.99\"}} {}",
+            hold.p99()
+        )));
     }
 
     #[test]

@@ -58,6 +58,20 @@
 //!   decisions: every [`policy`] verdict and every hot-swap migration,
 //!   with the window rates and margins that justified it.
 //!
+//! The contention profiler (PR 8):
+//!
+//! * [`registry`] — a process-global lock-site registry: every
+//!   constructed lock auto-registers a site (label + topology shape +
+//!   construction `file:line`), survives adaptation swaps with a stable
+//!   site id, and deregisters on drop.
+//! * [`profile`] — striped per-site wait/hold attribution with a
+//!   per-(level, node) breakdown, exact windowed deltas, and a
+//!   folded-stack exporter for standard flamegraph tooling.
+//! * [`waitgraph`] — a bounded waits-for graph over sites and threads,
+//!   with cycle detection (deadlock) and `keep_local`-gap-bound
+//!   starvation detection (priority/NUMA inversion), feeding deduped
+//!   findings into the `/alerts` path.
+//!
 //! `clof-core` records into these types only when compiled with its
 //! `obs` cargo feature; the default build carries no `clof-obs` symbols
 //! at all (the same strictly-compile-time gating as the `testkit` chaos
@@ -74,10 +88,13 @@ pub mod counters;
 pub mod export;
 pub mod hist;
 pub mod policy;
+pub mod profile;
+pub mod registry;
 pub mod ring;
 pub mod serve;
 pub mod slo;
 pub mod trace;
+pub mod waitgraph;
 pub mod watchdog;
 pub mod window;
 
@@ -89,6 +106,11 @@ pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use policy::{
     AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, WindowObservation,
 };
+pub use profile::{
+    render_folded, render_profile_json, ContentionProfile, NodeProfile, ProfileSnapshot,
+    SiteProfile, PROFILE_MARKER,
+};
+pub use registry::{SiteAnchor, SiteInfo, SiteRegistry, INVALID_SITE, MAX_SITES};
 pub use ring::{EventRing, PassEvent, PassKind};
 pub use serve::{http_get, serve, ServeConfig, ServerHandle, SnapshotFn};
 pub use slo::{
@@ -96,6 +118,7 @@ pub use slo::{
     SloSignal,
 };
 pub use trace::{render_chrome_trace, SpanEvent, SpanKind, Trace};
+pub use waitgraph::{FindingDedup, GraphFinding, GraphReport, WaitTable, MAX_GRAPH_THREADS};
 pub use watchdog::{ProgressRegistry, StallReport, Watchdog, WatchdogConfig, WatchdogGuard};
 pub use window::{Sampler, WindowRates};
 

@@ -1,0 +1,663 @@
+//! Per-site wait/hold attribution: the contention profiler's data plane.
+//!
+//! Every registered lock site ([`crate::registry`]) owns one slot of
+//! striped accumulators here, written from the lock protocol's existing
+//! span hooks:
+//!
+//! * **wait** — time between acquire-entry and acquire-return, recorded
+//!   per site *and* per (level, node) so a hot site can be broken down
+//!   into "which node of which level absorbs the waiting".
+//! * **hold** — critical-section time, recorded per site on release.
+//! * **traffic** — acquires and intra-level lock passes. The pass
+//!   counter doubles as the waits-for graph's inversion clock: a waiter
+//!   that watches it advance past the `keep_local` bound *H* without
+//!   getting the lock is being starved behind local hand-offs
+//!   ([`crate::waitgraph`]).
+//!
+//! The write path is wait-free: one relaxed load of the site id (from
+//! the lock's [`SiteAnchor`]) plus relaxed `fetch_add`s on a
+//! cache-line-aligned stripe picked by [`thread_tag`]. Counters are
+//! cumulative and monotone; [`ProfileSnapshot::delta`] pairs snapshots
+//! by (site id, slot epoch), so windowed `clof profile` / `clof top`
+//! deltas are exact even while slots are reused between windows.
+//!
+//! Exporters: [`render_folded`] emits `site;L<level>;n<node> <wait_ns>`
+//! folded stacks for standard flamegraph tooling; [`render_profile_json`]
+//! is the `/profile` endpoint body.
+//!
+//! [`SiteAnchor`]: crate::registry::SiteAnchor
+//! [`thread_tag`]: crate::thread_tag
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::export::json_escape;
+use crate::registry::{self, INVALID_SITE, MAX_SITES};
+use crate::waitgraph::GraphFinding;
+use crate::{now_ns, thread_tag};
+
+/// Marker literal proving profiler code is linked in: rendered into the
+/// `/profile` body and the `clof profile` header, grepped for (absence)
+/// in the default binary by CI.
+pub const PROFILE_MARKER: &str = "clof-profile-v1";
+
+/// Stripes per accumulator (power of two; threads hash by
+/// [`thread_tag`] so concurrent recorders rarely share a line).
+pub const PROFILE_STRIPES: usize = 8;
+
+/// One cache line holding a pair of counters.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct StripeCell {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A pair of striped monotone counters (sum-style `a`, count-style `b`).
+#[derive(Debug, Default)]
+struct Striped {
+    cells: [StripeCell; PROFILE_STRIPES],
+}
+
+impl Striped {
+    #[inline]
+    fn add(&self, a: u64, b: u64) {
+        let cell = &self.cells[thread_tag() as usize & (PROFILE_STRIPES - 1)];
+        cell.a.fetch_add(a, Ordering::Relaxed);
+        cell.b.fetch_add(b, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> (u64, u64) {
+        self.cells.iter().fold((0, 0), |(a, b), c| {
+            (
+                a.wrapping_add(c.a.load(Ordering::Relaxed)),
+                b.wrapping_add(c.b.load(Ordering::Relaxed)),
+            )
+        })
+    }
+
+    fn reset(&self) {
+        for c in &self.cells {
+            c.a.store(0, Ordering::Relaxed);
+            c.b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-(level, node) wait accumulator. Node observers hold an `Arc` to
+/// their accumulator and record into it directly — no lookup on the hot
+/// path; the profile slot keeps a `Weak` for snapshots, so a dropped
+/// lock tree prunes itself.
+#[derive(Debug)]
+pub struct NodeAcc {
+    level: u8,
+    node: u32,
+    wait: Striped,
+}
+
+impl NodeAcc {
+    /// Hierarchy level of the node (0 = leaf).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The node's trace tag.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Records one acquire's wait time at this node.
+    #[inline]
+    pub fn record_wait(&self, ns: u64) {
+        self.wait.add(ns, 1);
+    }
+}
+
+/// One site's slot of accumulators.
+#[derive(Debug, Default)]
+struct SiteCell {
+    /// Mirrors the registry slot's claim epoch; snapshots pair on it.
+    epoch: AtomicU64,
+    /// (wait_ns, waits) — whole-acquire wait at the site.
+    wait: Striped,
+    /// (hold_ns, holds) — critical-section time.
+    hold: Striped,
+    /// (acquires, passes) — traffic; passes clock the inversion check.
+    traffic: Striped,
+    /// Live node accumulators (pruned of dead `Weak`s on snapshot).
+    nodes: Mutex<Vec<Weak<NodeAcc>>>,
+}
+
+/// The profiler's fixed site-indexed accumulator table.
+#[derive(Debug)]
+pub struct ContentionProfile {
+    sites: Box<[SiteCell]>,
+}
+
+impl ContentionProfile {
+    fn new() -> Self {
+        ContentionProfile {
+            sites: (0..MAX_SITES)
+                .map(|_| SiteCell::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, id: u32) -> Option<&SiteCell> {
+        if id == INVALID_SITE {
+            return None;
+        }
+        self.sites.get(id as usize)
+    }
+
+    /// Zeroes a site's accumulators for a fresh registration (called by
+    /// the registry when a slot is claimed).
+    pub fn reset_site(&self, id: u32, epoch: u64) {
+        if let Some(cell) = self.cell(id) {
+            cell.wait.reset();
+            cell.hold.reset();
+            cell.traffic.reset();
+            cell.nodes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clear();
+            cell.epoch.store(epoch, Ordering::Release);
+        }
+    }
+
+    /// Records one acquire's whole wait time at a site.
+    #[inline]
+    pub fn record_wait(&self, id: u32, ns: u64) {
+        if let Some(cell) = self.cell(id) {
+            cell.wait.add(ns, 1);
+        }
+    }
+
+    /// Records one critical section's hold time at a site.
+    #[inline]
+    pub fn record_hold(&self, id: u32, ns: u64) {
+        if let Some(cell) = self.cell(id) {
+            cell.hold.add(ns, 1);
+        }
+    }
+
+    /// Counts one completed acquire at a site.
+    #[inline]
+    pub fn record_acquire(&self, id: u32) {
+        if let Some(cell) = self.cell(id) {
+            cell.traffic.add(1, 0);
+        }
+    }
+
+    /// Counts one intra-level lock pass at a site (the inversion clock).
+    #[inline]
+    pub fn record_pass(&self, id: u32) {
+        if let Some(cell) = self.cell(id) {
+            cell.traffic.add(0, 1);
+        }
+    }
+
+    /// Total passes recorded at a site so far.
+    #[inline]
+    pub fn passes(&self, id: u32) -> u64 {
+        self.cell(id).map_or(0, |c| c.traffic.sum().1)
+    }
+
+    /// Registers a (level, node) wait accumulator under a site and
+    /// returns the owning handle for the node observer.
+    pub fn register_node(&self, id: u32, level: u8, node: u32) -> Arc<NodeAcc> {
+        let acc = Arc::new(NodeAcc {
+            level,
+            node,
+            wait: Striped::default(),
+        });
+        if let Some(cell) = self.cell(id) {
+            cell.nodes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::downgrade(&acc));
+        }
+        acc
+    }
+
+    /// Re-attaches an existing node accumulator under `id` — the
+    /// adaptation rebind path: when a lock adopts another's site, its
+    /// per-node history (held alive by the lock's own `Arc`s) follows
+    /// it onto the adopted id. The stale `Weak` left in the old site's
+    /// cell is cleared when that slot is reclaimed or pruned on
+    /// snapshot once the lock drops.
+    pub fn attach_node(&self, id: u32, acc: &Arc<NodeAcc>) {
+        if let Some(cell) = self.cell(id) {
+            cell.nodes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::downgrade(acc));
+        }
+    }
+
+    /// A point-in-time copy of every live site's accumulators, joined
+    /// with the registry metadata.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let mut sites = Vec::new();
+        for info in registry::global().sites() {
+            let Some(cell) = self.cell(info.id) else {
+                continue;
+            };
+            let (wait_ns, waits) = cell.wait.sum();
+            let (hold_ns, holds) = cell.hold.sum();
+            let (acquires, passes) = cell.traffic.sum();
+            let mut nodes = Vec::new();
+            {
+                let mut list = cell.nodes.lock().unwrap_or_else(|p| p.into_inner());
+                list.retain(|w| w.strong_count() > 0);
+                for weak in list.iter() {
+                    if let Some(acc) = weak.upgrade() {
+                        let (w_ns, w_n) = acc.wait.sum();
+                        nodes.push(NodeProfile {
+                            level: acc.level,
+                            node: acc.node,
+                            wait_ns: w_ns,
+                            waits: w_n,
+                        });
+                    }
+                }
+            }
+            nodes.sort_by_key(|n| (n.level, n.node));
+            sites.push(SiteProfile {
+                id: info.id,
+                epoch: cell.epoch.load(Ordering::Acquire),
+                generation: info.generation,
+                refs: info.refs,
+                label: info.label,
+                shape: info.shape,
+                location: format!("{}:{}", info.file, info.line),
+                wait_ns,
+                waits,
+                hold_ns,
+                holds,
+                acquires,
+                passes,
+                nodes,
+            });
+        }
+        ProfileSnapshot {
+            taken_ns: now_ns(),
+            sites,
+        }
+    }
+}
+
+/// The process-global profile table the lock hooks record into.
+pub fn global() -> &'static ContentionProfile {
+    static PROF: OnceLock<ContentionProfile> = OnceLock::new();
+    PROF.get_or_init(ContentionProfile::new)
+}
+
+/// One (level, node) wait breakdown within a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Hierarchy level (0 = leaf).
+    pub level: u8,
+    /// Node trace tag.
+    pub node: u32,
+    /// Wait nanoseconds attributed to this node.
+    pub wait_ns: u64,
+    /// Acquires that waited at this node.
+    pub waits: u64,
+}
+
+/// One site's profile at snapshot time.
+#[derive(Debug, Clone)]
+pub struct SiteProfile {
+    /// Site id (registry slot).
+    pub id: u32,
+    /// Slot claim epoch (snapshot pairing key).
+    pub epoch: u64,
+    /// Adoption generation (adaptation swaps survived).
+    pub generation: u64,
+    /// Live anchors on the site.
+    pub refs: u32,
+    /// Composition label.
+    pub label: String,
+    /// Topology shape line.
+    pub shape: String,
+    /// Construction `file:line`.
+    pub location: String,
+    /// Total wait nanoseconds at the site.
+    pub wait_ns: u64,
+    /// Acquires that recorded a wait.
+    pub waits: u64,
+    /// Total hold nanoseconds.
+    pub hold_ns: u64,
+    /// Critical sections completed.
+    pub holds: u64,
+    /// Acquires completed.
+    pub acquires: u64,
+    /// Intra-level passes taken.
+    pub passes: u64,
+    /// Per-(level, node) wait breakdown.
+    pub nodes: Vec<NodeProfile>,
+}
+
+impl SiteProfile {
+    /// Mean wait per contended acquire, ns.
+    pub fn mean_wait_ns(&self) -> u64 {
+        if self.waits == 0 {
+            0
+        } else {
+            self.wait_ns / self.waits
+        }
+    }
+
+    /// Mean hold per critical section, ns.
+    pub fn mean_hold_ns(&self) -> u64 {
+        if self.holds == 0 {
+            0
+        } else {
+            self.hold_ns / self.holds
+        }
+    }
+}
+
+/// A point-in-time copy of the whole profile table.
+#[derive(Debug, Clone)]
+pub struct ProfileSnapshot {
+    /// When the snapshot was taken ([`now_ns`] epoch).
+    pub taken_ns: u64,
+    /// Live sites, in id order.
+    pub sites: Vec<SiteProfile>,
+}
+
+impl ProfileSnapshot {
+    /// Exact per-window deltas: counters for each site paired by
+    /// (id, epoch) and subtracted. A site absent from `earlier` — or
+    /// whose slot was reclaimed in between (epoch mismatch) — is
+    /// reported as-is, i.e. re-baselined, never mixed with a stranger's
+    /// counters.
+    pub fn delta(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        let sites = self
+            .sites
+            .iter()
+            .map(|cur| {
+                let Some(prev) = earlier
+                    .sites
+                    .iter()
+                    .find(|p| p.id == cur.id && p.epoch == cur.epoch)
+                else {
+                    return cur.clone();
+                };
+                let nodes = cur
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        let base = prev
+                            .nodes
+                            .iter()
+                            .find(|p| p.level == n.level && p.node == n.node);
+                        NodeProfile {
+                            level: n.level,
+                            node: n.node,
+                            wait_ns: n.wait_ns - base.map_or(0, |b| b.wait_ns.min(n.wait_ns)),
+                            waits: n.waits - base.map_or(0, |b| b.waits.min(n.waits)),
+                        }
+                    })
+                    .collect();
+                SiteProfile {
+                    wait_ns: cur.wait_ns.saturating_sub(prev.wait_ns),
+                    waits: cur.waits.saturating_sub(prev.waits),
+                    hold_ns: cur.hold_ns.saturating_sub(prev.hold_ns),
+                    holds: cur.holds.saturating_sub(prev.holds),
+                    acquires: cur.acquires.saturating_sub(prev.acquires),
+                    passes: cur.passes.saturating_sub(prev.passes),
+                    nodes,
+                    ..cur.clone()
+                }
+            })
+            .collect();
+        ProfileSnapshot {
+            taken_ns: self.taken_ns,
+            sites,
+        }
+    }
+
+    /// The `k` sites with the most wait time, worst first (ties broken
+    /// by hold time, then id for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<&SiteProfile> {
+        let mut refs: Vec<&SiteProfile> = self.sites.iter().collect();
+        refs.sort_by(|a, b| {
+            b.wait_ns
+                .cmp(&a.wait_ns)
+                .then(b.hold_ns.cmp(&a.hold_ns))
+                .then(a.id.cmp(&b.id))
+        });
+        refs.truncate(k);
+        refs
+    }
+}
+
+/// Folded-stack frame sanitizer: flamegraph folded format separates
+/// frames with `;` and the count with a space.
+fn fold_frame(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == ';' || c.is_whitespace() { '-' } else { c })
+        .collect()
+}
+
+/// Renders folded stacks (`site;L<level>;n<node> <wait_ns>`), one line
+/// per (site, level, node), weighted by wait nanoseconds — pipe into
+/// standard flamegraph tooling. Site-level wait not attributed to any
+/// node (e.g. the fast-path gate) gets a bare `site <wait_ns>` line.
+pub fn render_folded(snap: &ProfileSnapshot) -> String {
+    let mut out = String::new();
+    for site in &snap.sites {
+        let label = fold_frame(&site.label);
+        let mut attributed = 0u64;
+        for n in &site.nodes {
+            if n.wait_ns == 0 {
+                continue;
+            }
+            attributed += n.wait_ns;
+            out.push_str(&format!("{label};L{};n{} {}\n", n.level, n.node, n.wait_ns));
+        }
+        let rest = site.wait_ns.saturating_sub(attributed);
+        if rest > 0 || (site.wait_ns == 0 && site.nodes.is_empty() && site.acquires > 0) {
+            out.push_str(&format!("{label} {rest}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the `/profile` endpoint body: the snapshot, plus any current
+/// waits-for graph findings, plus the folded stacks inline.
+pub fn render_profile_json(snap: &ProfileSnapshot, findings: &[GraphFinding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"profiler\":\"");
+    out.push_str(PROFILE_MARKER);
+    out.push_str("\",\"taken_ns\":");
+    out.push_str(&snap.taken_ns.to_string());
+    out.push_str(",\"sites\":[");
+    for (i, s) in snap.sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"epoch\":{},\"generation\":{},\"refs\":{},\
+             \"label\":\"{}\",\"shape\":\"{}\",\"location\":\"{}\",\
+             \"wait_ns\":{},\"waits\":{},\"hold_ns\":{},\"holds\":{},\
+             \"acquires\":{},\"passes\":{},\"nodes\":[",
+            s.id,
+            s.epoch,
+            s.generation,
+            s.refs,
+            json_escape(&s.label),
+            json_escape(&s.shape),
+            json_escape(&s.location),
+            s.wait_ns,
+            s.waits,
+            s.hold_ns,
+            s.holds,
+            s.acquires,
+            s.passes,
+        ));
+        for (j, n) in s.nodes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"level\":{},\"node\":{},\"wait_ns\":{},\"waits\":{}}}",
+                n.level, n.node, n.wait_ns, n.waits
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f.to_json());
+    }
+    out.push_str("],\"folded\":\"");
+    out.push_str(&json_escape(&render_folded(snap)));
+    out.push_str("\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_counters_accumulate_and_reset() {
+        let s = Striped::default();
+        s.add(10, 1);
+        s.add(32, 1);
+        assert_eq!(s.sum(), (42, 2));
+        s.reset();
+        assert_eq!(s.sum(), (0, 0));
+    }
+
+    #[test]
+    fn site_records_flow_into_snapshot() {
+        let anchor = registry::global().register("prof-flow", "levels=2");
+        let id = anchor.id();
+        let prof = global();
+        prof.record_wait(id, 100);
+        prof.record_wait(id, 50);
+        prof.record_hold(id, 30);
+        prof.record_acquire(id);
+        prof.record_acquire(id);
+        prof.record_pass(id);
+        let node = prof.register_node(id, 0, 7);
+        node.record_wait(40);
+
+        let snap = prof.snapshot();
+        let s = snap.sites.iter().find(|s| s.id == id).expect("site");
+        assert_eq!(s.label, "prof-flow");
+        assert_eq!((s.wait_ns, s.waits), (150, 2));
+        assert_eq!((s.hold_ns, s.holds), (30, 1));
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.passes, 1);
+        assert_eq!(prof.passes(id), 1);
+        assert_eq!(s.nodes.len(), 1);
+        assert_eq!(s.nodes[0], NodeProfile { level: 0, node: 7, wait_ns: 40, waits: 1 });
+
+        // Dropping the node observer prunes its accumulator.
+        drop(node);
+        let snap = prof.snapshot();
+        let s = snap.sites.iter().find(|s| s.id == id).unwrap();
+        assert!(s.nodes.is_empty(), "dead node accs are pruned");
+    }
+
+    #[test]
+    fn invalid_site_records_are_dropped() {
+        let prof = global();
+        prof.record_wait(INVALID_SITE, 1);
+        prof.record_hold(INVALID_SITE, 1);
+        prof.record_acquire(INVALID_SITE);
+        prof.record_pass(INVALID_SITE);
+        assert_eq!(prof.passes(INVALID_SITE), 0);
+        let acc = prof.register_node(INVALID_SITE, 0, 0);
+        acc.record_wait(1); // records into the orphan acc only
+    }
+
+    #[test]
+    fn delta_is_exact_and_rebaselines_on_epoch_change() {
+        let anchor = registry::global().register("prof-delta", "x");
+        let id = anchor.id();
+        let prof = global();
+        prof.record_wait(id, 100);
+        let first = prof.snapshot();
+        prof.record_wait(id, 25);
+        prof.record_acquire(id);
+        let second = prof.snapshot();
+        let d = second.delta(&first);
+        let s = d.sites.iter().find(|s| s.id == id).unwrap();
+        assert_eq!((s.wait_ns, s.waits), (25, 1));
+        assert_eq!(s.acquires, 1);
+
+        // Fake an epoch change: the site must be re-baselined (reported
+        // as-is), not subtracted against a stranger's counters.
+        let mut stale = first.clone();
+        for s in &mut stale.sites {
+            if s.id == id {
+                s.epoch += 1;
+                s.wait_ns = 1_000_000;
+            }
+        }
+        let d = second.delta(&stale);
+        let s = d.sites.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(s.wait_ns, 125, "epoch mismatch re-baselines");
+    }
+
+    #[test]
+    fn top_k_ranks_by_wait() {
+        let a = registry::global().register("prof-top-a", "x");
+        let b = registry::global().register("prof-top-b", "x");
+        let prof = global();
+        prof.record_wait(a.id(), 10);
+        prof.record_wait(b.id(), 999_999);
+        let snap = prof.snapshot();
+        let top = snap.top_k(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].label, "prof-top-b");
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_shaped() {
+        let anchor = registry::global().register("prof folded;site", "x");
+        let id = anchor.id();
+        let prof = global();
+        let node = prof.register_node(id, 1, 3);
+        node.record_wait(70);
+        prof.record_wait(id, 100);
+        let snap = prof.snapshot();
+        let snap = ProfileSnapshot {
+            taken_ns: snap.taken_ns,
+            sites: snap.sites.into_iter().filter(|s| s.id == id).collect(),
+        };
+        let folded = render_folded(&snap);
+        assert!(
+            folded.contains("prof-folded-site;L1;n3 70"),
+            "node line with sanitized label: {folded:?}"
+        );
+        assert!(
+            folded.contains("prof-folded-site 30"),
+            "unattributed remainder line: {folded:?}"
+        );
+    }
+
+    #[test]
+    fn profile_json_carries_marker_and_folded() {
+        let anchor = registry::global().register("prof-json", "x");
+        global().record_wait(anchor.id(), 5);
+        let snap = global().snapshot();
+        let body = render_profile_json(&snap, &[]);
+        assert!(body.contains(PROFILE_MARKER));
+        assert!(body.contains("\"sites\":["));
+        assert!(body.contains("\"findings\":[]"));
+        assert!(body.contains("\"folded\":\""));
+    }
+}

@@ -15,7 +15,12 @@
 //! | `/snapshot` | JSON: the full [`LockSnapshot`] ([`render_json`]), the  |
 //! |             | audit-ring tail, current alerts, server self-accounting |
 //! | `/health`   | `200 ok` / `503 stalled` — flips on watchdog stalls     |
+//! |             | and waits-for graph findings                            |
 //! | `/alerts`   | JSON array of [`AlertStatus`] from the SLO evaluator    |
+//! | `/profile`  | JSON: the contention profiler's per-site wait/hold      |
+//! |             | attribution + a live waits-for graph verdict            |
+//! |             | ([`crate::profile::render_profile_json`]);              |
+//! |             | `?format=folded` returns bare folded stacks             |
 //!
 //! HTTP/1.1 is deliberately minimal: `GET` only, `Connection: close`,
 //! no keep-alive, no TLS — this is an intra-host scrape endpoint, not a
@@ -64,6 +69,11 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// SLO rules the embedded evaluator starts with.
     pub rules: Vec<SloRule>,
+    /// `keep_local` gap bound *H* the `/profile` endpoint's waits-for
+    /// graph analysis uses for inversion detection. `u64::MAX` (the
+    /// default) disables inversion findings; cycle (deadlock) detection
+    /// is always on.
+    pub graph_h_bound: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +83,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             read_timeout: Duration::from_secs(2),
             rules: Vec::new(),
+            graph_h_bound: u64::MAX,
         }
     }
 }
@@ -87,8 +98,10 @@ struct Shared {
     hits_snapshot: AtomicU64,
     hits_health: AtomicU64,
     hits_alerts: AtomicU64,
+    hits_profile: AtomicU64,
     hits_other: AtomicU64,
     rejected: AtomicU64,
+    graph_h_bound: u64,
 }
 
 impl Shared {
@@ -97,6 +110,7 @@ impl Shared {
             + self.hits_snapshot.load(Ordering::Relaxed)
             + self.hits_health.load(Ordering::Relaxed)
             + self.hits_alerts.load(Ordering::Relaxed)
+            + self.hits_profile.load(Ordering::Relaxed)
             + self.hits_other.load(Ordering::Relaxed)
     }
 }
@@ -152,10 +166,20 @@ impl ServerHandle {
     }
 
     /// Feeds a watchdog stall report: fires the liveness alert and flips
-    /// `/health`.
+    /// `/health` (unless an active waits-for graph finding already
+    /// covers the stalled thread — one stuck site, one alert).
     pub fn note_stall(&self, report: &crate::StallReport) {
         if let Ok(mut slo) = self.shared.slo.lock() {
             slo.note_stall(report);
+        }
+    }
+
+    /// Feeds a waits-for graph finding (deadlock / inversion) from the
+    /// caller's analysis loop: fires a `waitgraph-*` alert, flips
+    /// `/health`, and supersedes any plain stall for the same thread.
+    pub fn note_graph_finding(&self, finding: &crate::GraphFinding) {
+        if let Ok(mut slo) = self.shared.slo.lock() {
+            slo.note_graph_finding(finding);
         }
     }
 
@@ -206,8 +230,10 @@ pub fn serve(addr: &str, snapshot: SnapshotFn, config: ServeConfig) -> std::io::
         hits_snapshot: AtomicU64::new(0),
         hits_health: AtomicU64::new(0),
         hits_alerts: AtomicU64::new(0),
+        hits_profile: AtomicU64::new(0),
         hits_other: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        graph_h_bound: config.graph_h_bound,
     });
 
     let (tx, rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
@@ -302,7 +328,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, read_timeout: 
 /// render time (not the socket time) is what lands in the duration
 /// histogram — it is the part proportional to telemetry volume.
 fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
-    // Strip any query string; scrapers love cache-busters.
+    // Strip any query string; scrapers love cache-busters. `/profile`
+    // honors one query: `format=folded` for bare folded stacks.
+    let path_wants_folded = path
+        .split_once('?')
+        .is_some_and(|(_, q)| q.split('&').any(|kv| kv == "format=folded"));
     let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
@@ -335,7 +365,12 @@ fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
             let stalled = shared
                 .slo
                 .lock()
-                .map(|s| s.any_firing() && s.alerts().iter().any(|a| a.signal == "liveness"))
+                .map(|s| {
+                    s.any_firing()
+                        && s.alerts()
+                            .iter()
+                            .any(|a| a.signal == "liveness" || a.signal == "waitgraph")
+                })
                 .unwrap_or(false);
             if shared.healthy.load(Ordering::Relaxed) && !stalled {
                 (200, "text/plain", "ok\n".to_string())
@@ -352,12 +387,26 @@ fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
                 .unwrap_or_else(|_| "[]".to_string());
             (200, "application/json", body)
         }
+        "/profile" => {
+            shared.hits_profile.fetch_add(1, Ordering::Relaxed);
+            let snap = crate::profile::global().snapshot();
+            let report = crate::waitgraph::global().analyze(shared.graph_h_bound);
+            if path_wants_folded {
+                (200, "text/plain", crate::profile::render_folded(&snap))
+            } else {
+                (
+                    200,
+                    "application/json",
+                    crate::profile::render_profile_json(&snap, &report.findings),
+                )
+            }
+        }
         _ => {
             shared.hits_other.fetch_add(1, Ordering::Relaxed);
             (
                 404,
                 "text/plain",
-                "not found; try /metrics /snapshot /health /alerts\n".to_string(),
+                "not found; try /metrics /snapshot /health /alerts /profile\n".to_string(),
             )
         }
     }
@@ -377,6 +426,7 @@ fn self_metrics(shared: &Arc<Shared>) -> String {
         ("snapshot", &shared.hits_snapshot),
         ("health", &shared.hits_health),
         ("alerts", &shared.hits_alerts),
+        ("profile", &shared.hits_profile),
         ("other", &shared.hits_other),
     ] {
         out.push_str(&format!(
@@ -621,6 +671,54 @@ mod tests {
         let h = start();
         let (s, _) = http_get(h.addr(), "/metrics?ts=123").unwrap();
         assert_eq!(s, 200);
+    }
+
+    #[test]
+    fn profile_endpoint_serves_json_and_folded_stacks() {
+        let h = start();
+        let (s, body) = http_get(h.addr(), "/profile").unwrap();
+        assert_eq!(s, 200);
+        assert!(body.contains(crate::PROFILE_MARKER), "{body}");
+        assert!(body.contains("\"sites\":["), "{body}");
+        assert!(body.contains("\"findings\":["), "{body}");
+        // Folded variant is plain text (possibly empty when no site has
+        // recorded waits) — it must not be the JSON document.
+        let (s, folded) = http_get(h.addr(), "/profile?format=folded").unwrap();
+        assert_eq!(s, 200);
+        assert!(!folded.contains(crate::PROFILE_MARKER), "{folded}");
+        let (_, metrics) = http_get(h.addr(), "/metrics").unwrap();
+        assert!(
+            metrics.contains("clof_obs_scrapes_total{endpoint=\"profile\"} 2"),
+            "{metrics}"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn graph_finding_flips_health_and_surfaces_in_alerts() {
+        let h = start();
+        h.note_graph_finding(&crate::GraphFinding::Deadlock {
+            threads: vec![7, 8],
+            sites: vec![0, 1],
+        });
+        let (s, _) = http_get(h.addr(), "/health").unwrap();
+        assert_eq!(s, 503, "waits-for finding must flip /health");
+        let (_, body) = http_get(h.addr(), "/alerts").unwrap();
+        assert!(body.contains("waitgraph-deadlock"), "{body}");
+        // A stall on a thread the graph already covers is absorbed: still
+        // exactly one active alert for the incident.
+        h.note_stall(&crate::StallReport {
+            thread: 7,
+            waited_ns: 500_000_000,
+            epoch: 1,
+            holders: Vec::new(),
+            waiting: 1,
+            context: "same incident".into(),
+        });
+        let (_, body) = http_get(h.addr(), "/alerts").unwrap();
+        assert!(!body.contains("progress-stall"), "{body}");
+        assert_eq!(body.matches("waitgraph-deadlock").count(), 1, "{body}");
+        h.shutdown();
     }
 
     #[test]

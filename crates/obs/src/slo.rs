@@ -25,13 +25,27 @@
 //! via [`SloEvaluator::note_stall`]: a stall is treated as an
 //! instant-fire liveness alert that decays after
 //! [`STALL_HOLD_TICKS`] calm evaluation ticks.
+//!
+//! Waits-for graph findings ([`crate::waitgraph`]) plug in via
+//! [`SloEvaluator::note_graph_finding`] and surface as
+//! `waitgraph-deadlock` / `waitgraph-inversion` pseudo-rules. Stalls
+//! and graph findings describe the same stuck threads from two vantage
+//! points, so they are **deduplicated**: a stall whose thread is
+//! already implicated in an active graph finding is absorbed, and a
+//! graph finding supersedes an active stall for the same thread — one
+//! stuck site fires one alert on `/alerts`, not two.
 
 use std::collections::VecDeque;
 
+use crate::waitgraph::GraphFinding;
 use crate::{HistSnapshot, StallReport, WindowRates};
 
 /// Evaluation ticks a stall alert stays up after the last report.
 pub const STALL_HOLD_TICKS: u64 = 3;
+
+/// Evaluation ticks a waits-for graph alert stays up after the finding
+/// was last re-observed (same decay policy as stalls).
+pub const GRAPH_HOLD_TICKS: u64 = STALL_HOLD_TICKS;
 
 /// Which windowed latency series an SLO rule watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,14 +288,29 @@ impl RuleState {
     }
 }
 
+/// One active waits-for graph finding tracked by the evaluator.
+#[derive(Debug)]
+struct GraphAlert {
+    key: String,
+    kind: &'static str,
+    threads: Vec<u32>,
+    detail: String,
+    since_tick: u64,
+    last_seen_tick: u64,
+}
+
 /// Evaluates a set of [`SloRule`]s over a [`WindowRates`] stream, plus
-/// a liveness pseudo-rule fed by the watchdog's [`StallReport`]s.
+/// a liveness pseudo-rule fed by the watchdog's [`StallReport`]s and
+/// waits-for graph pseudo-rules fed by [`crate::waitgraph`] findings.
 #[derive(Debug)]
 pub struct SloEvaluator {
     rules: Vec<RuleState>,
     tick: u64,
-    stall: Option<(u64, String)>,
+    /// (since tick, stalled thread, detail line).
+    stall: Option<(u64, u32, String)>,
     stalls_seen: u64,
+    graph: Vec<GraphAlert>,
+    graph_findings_seen: u64,
 }
 
 impl SloEvaluator {
@@ -292,6 +321,8 @@ impl SloEvaluator {
             tick: 0,
             stall: None,
             stalls_seen: 0,
+            graph: Vec::new(),
+            graph_findings_seen: 0,
         }
     }
 
@@ -317,7 +348,7 @@ impl SloEvaluator {
             .collect();
         // Liveness decay: a stall alert clears after STALL_HOLD_TICKS
         // calm ticks.
-        if let Some((at, _)) = self.stall {
+        if let Some((at, _, _)) = self.stall {
             if tick.saturating_sub(at) >= STALL_HOLD_TICKS {
                 self.stall = None;
                 out.push(AlertTransition::Cleared {
@@ -326,15 +357,39 @@ impl SloEvaluator {
                 });
             }
         }
+        // Graph findings decay once they stop being re-observed.
+        self.graph.retain(|g| {
+            if tick.saturating_sub(g.last_seen_tick) >= GRAPH_HOLD_TICKS {
+                out.push(AlertTransition::Cleared {
+                    rule: format!("waitgraph-{}", g.kind),
+                    tick,
+                });
+                false
+            } else {
+                true
+            }
+        });
         out
     }
 
     /// Ingests a watchdog stall report: the liveness pseudo-rule fires
     /// immediately (a stalled waiter is never a blip worth debouncing).
+    ///
+    /// Deduplicated against the waits-for graph: a stall whose thread
+    /// is already implicated in an active graph finding is absorbed by
+    /// that finding — one stuck site, one active alert.
     pub fn note_stall(&mut self, report: &StallReport) {
         self.stalls_seen += 1;
+        if self
+            .graph
+            .iter()
+            .any(|g| g.threads.contains(&report.thread))
+        {
+            return;
+        }
         self.stall = Some((
             self.tick,
+            report.thread,
             format!(
                 "thread {} waited {} ms (epoch {}, {} waiting, {} holding): {}",
                 report.thread,
@@ -347,16 +402,52 @@ impl SloEvaluator {
         ));
     }
 
-    /// Whether any alert (SLO or liveness) is currently firing.
-    pub fn any_firing(&self) -> bool {
-        self.stall.is_some() || self.rules.iter().any(|r| r.firing)
+    /// Ingests one waits-for graph finding (deadlock or inversion).
+    /// Re-observing the same incident (same [`GraphFinding::key`])
+    /// refreshes it rather than duplicating the alert; a graph finding
+    /// **supersedes** an active plain stall for the same thread, since
+    /// it explains the stall rather than merely observing it.
+    pub fn note_graph_finding(&mut self, finding: &GraphFinding) {
+        self.graph_findings_seen += 1;
+        let key = finding.key();
+        let threads = finding.threads();
+        if let Some((_, thread, _)) = &self.stall {
+            if threads.contains(thread) {
+                self.stall = None;
+            }
+        }
+        if let Some(existing) = self.graph.iter_mut().find(|g| g.key == key) {
+            existing.last_seen_tick = self.tick;
+            existing.detail = finding.detail();
+            return;
+        }
+        self.graph.push(GraphAlert {
+            key,
+            kind: finding.kind(),
+            threads,
+            detail: finding.detail(),
+            since_tick: self.tick,
+            last_seen_tick: self.tick,
+        });
     }
 
-    /// Point-in-time status of every rule plus the liveness pseudo-rule
-    /// when active. Stable order: rules as configured, liveness last.
+    /// Total waits-for graph findings ingested.
+    pub fn graph_findings_seen(&self) -> u64 {
+        self.graph_findings_seen
+    }
+
+    /// Whether any alert (SLO, liveness, or waits-for graph) is
+    /// currently firing.
+    pub fn any_firing(&self) -> bool {
+        self.stall.is_some() || !self.graph.is_empty() || self.rules.iter().any(|r| r.firing)
+    }
+
+    /// Point-in-time status of every rule plus the active pseudo-rules.
+    /// Stable order: rules as configured, then liveness, then waits-for
+    /// graph findings in arrival order.
     pub fn alerts(&self) -> Vec<AlertStatus> {
         let mut out: Vec<AlertStatus> = self.rules.iter().map(|r| r.status()).collect();
-        if let Some((at, detail)) = &self.stall {
+        if let Some((at, _, detail)) = &self.stall {
             out.push(AlertStatus {
                 name: "progress-stall".to_string(),
                 signal: "liveness".to_string(),
@@ -368,6 +459,20 @@ impl SloEvaluator {
                 budget: 0.0,
                 since_tick: *at,
                 detail: detail.clone(),
+            });
+        }
+        for g in &self.graph {
+            out.push(AlertStatus {
+                name: format!("waitgraph-{}", g.kind),
+                signal: "waitgraph".to_string(),
+                firing: true,
+                bad_fraction: 1.0,
+                burn_fast: f64::MAX,
+                burn_slow: f64::MAX,
+                objective_ns: 0,
+                budget: 0.0,
+                since_tick: g.since_tick,
+                detail: g.detail.clone(),
             });
         }
         out
@@ -577,6 +682,101 @@ mod tests {
         }
         assert!(cleared);
         assert!(!ev.any_firing());
+    }
+
+    fn stall_for(thread: u32) -> StallReport {
+        StallReport {
+            thread,
+            waited_ns: 250_000_000,
+            epoch: 1,
+            holders: Vec::new(),
+            waiting: 1,
+            context: String::new(),
+        }
+    }
+
+    fn inversion_for(thread: u32) -> GraphFinding {
+        GraphFinding::Inversion {
+            thread,
+            site: 9,
+            handoffs: 20,
+            h_bound: 4,
+            waited_ns: 300_000_000,
+        }
+    }
+
+    /// Satellite regression: one stuck site must produce exactly one
+    /// active alert, whichever of the watchdog and the waits-for graph
+    /// reports it first (and even when both do).
+    #[test]
+    fn stall_and_graph_finding_dedupe_to_one_alert() {
+        let active = |ev: &SloEvaluator| ev.alerts().iter().filter(|a| a.firing).count();
+
+        // Stall alone: exactly one active alert.
+        let mut ev = SloEvaluator::new(default_rules(50_000, 20_000));
+        ev.note_stall(&stall_for(7));
+        assert_eq!(active(&ev), 1);
+
+        // Graph finding for the same thread supersedes the stall.
+        ev.note_graph_finding(&inversion_for(7));
+        assert_eq!(active(&ev), 1, "graph finding replaces the stall");
+        assert_eq!(ev.alerts().last().unwrap().name, "waitgraph-inversion");
+
+        // Reverse order: an active graph finding absorbs a later stall.
+        let mut ev = SloEvaluator::new(default_rules(50_000, 20_000));
+        ev.note_graph_finding(&inversion_for(7));
+        ev.note_stall(&stall_for(7));
+        assert_eq!(active(&ev), 1, "stall absorbed by the graph finding");
+        assert_eq!(ev.stalls_seen(), 1, "the report is still counted");
+
+        // An unrelated thread's stall is a distinct incident.
+        ev.note_stall(&stall_for(8));
+        assert_eq!(active(&ev), 2);
+    }
+
+    #[test]
+    fn graph_finding_refreshes_and_decays() {
+        let mut ev = SloEvaluator::new(Vec::new());
+        ev.note_graph_finding(&inversion_for(3));
+        ev.note_graph_finding(&inversion_for(3));
+        assert_eq!(
+            ev.alerts().iter().filter(|a| a.firing).count(),
+            1,
+            "re-observed incident does not duplicate"
+        );
+        assert_eq!(ev.graph_findings_seen(), 2);
+        assert!(ev.any_firing());
+        let mut cleared = false;
+        for _ in 0..GRAPH_HOLD_TICKS + 1 {
+            for t in ev.observe(&window(100, 0)) {
+                if matches!(&t, AlertTransition::Cleared { rule, .. } if rule == "waitgraph-inversion")
+                {
+                    cleared = true;
+                }
+            }
+        }
+        assert!(cleared);
+        assert!(!ev.any_firing());
+
+        // Recurrence after clearing is a fresh incident.
+        ev.note_graph_finding(&inversion_for(3));
+        assert!(ev.any_firing());
+    }
+
+    #[test]
+    fn deadlock_finding_surfaces_with_detail() {
+        let mut ev = SloEvaluator::new(Vec::new());
+        ev.note_graph_finding(&GraphFinding::Deadlock {
+            threads: vec![1, 2],
+            sites: vec![10, 11],
+        });
+        let alerts = ev.alerts();
+        let a = alerts.last().unwrap();
+        assert_eq!(a.name, "waitgraph-deadlock");
+        assert_eq!(a.signal, "waitgraph");
+        assert!(a.detail.contains("waits-for cycle"), "{}", a.detail);
+        let json = render_alerts_json(&alerts);
+        assert!(json.contains("waitgraph-deadlock"));
     }
 
     #[test]

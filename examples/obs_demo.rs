@@ -1,9 +1,11 @@
 //! Lock telemetry demo: a 3-level composed lock hammered by 8 threads
 //! with the causal span tracer on, live windowed rates while it runs,
 //! then counters, latency distributions, the trace analysis, all three
-//! export formats, a Perfetto-loadable trace file, the starvation
-//! watchdog catching a deliberately hogged lock, and finally the
-//! telemetry server scraping its own endpoints over a real socket.
+//! export formats, a Perfetto-loadable trace file, the contention
+//! profiler (site registry, wait/hold attribution, folded stacks, and
+//! the waits-for graph verdict), the starvation watchdog catching a
+//! deliberately hogged lock, and finally the telemetry server scraping
+//! its own endpoints over a real socket.
 //!
 //! Run with:
 //!
@@ -16,8 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use clof::obs::{
-    analyze, default_rules, http_get, render_chrome_trace, render_json, render_prometheus, serve,
-    trace, Sampler, ServeConfig, Watchdog, WatchdogConfig,
+    analyze, default_rules, http_get, profile, registry, render_chrome_trace, render_folded,
+    render_json, render_prometheus, serve, trace, waitgraph, Sampler, ServeConfig, Watchdog,
+    WatchdogConfig,
 };
 use clof::{ClofParams, DynClofLock, LockKind};
 use clof_topology::platforms;
@@ -137,6 +140,45 @@ fn main() {
     print!("{}", render_prometheus(&snap));
     println!();
 
+    // The contention profiler: the same run, now attributed to the
+    // process-global site registry — who is this lock, where was it
+    // built, where did the waiting happen inside it.
+    println!("=== contention profiler ===");
+    for site in registry::global().sites() {
+        println!(
+            "  site {:>2}  {:<16} {:<12} gen {}  {}",
+            site.id,
+            site.label,
+            site.shape,
+            site.generation,
+            site.location()
+        );
+    }
+    let prof = profile::global().snapshot();
+    for site in prof.top_k(3) {
+        println!(
+            "  top: {} — {} acquires, {} waited (mean {} ns), mean hold {} ns",
+            site.label,
+            site.acquires,
+            site.waits,
+            site.wait_ns.checked_div(site.waits).unwrap_or(0),
+            site.hold_ns.checked_div(site.holds).unwrap_or(0),
+        );
+    }
+    println!("  folded stacks (flamegraph.pl-ready, weight = wait ns):");
+    for line in render_folded(&prof).lines().take(6) {
+        println!("    {line}");
+    }
+    let report = waitgraph::global().analyze(u64::MAX);
+    println!(
+        "  waits-for graph: {} waiting, {} findings — {}",
+        report.threads_waiting,
+        report.findings.len(),
+        if report.findings.is_empty() { "clean" } else { "DEADLOCK/INVERSION" }
+    );
+    assert!(report.findings.is_empty(), "quiescent run must be clean");
+    println!();
+
     // Finally the watchdog: hog the lock from the main thread while a
     // contender waits, and let the monitor flag the stall (with the
     // lock's own queue hints as diagnostic context).
@@ -198,7 +240,7 @@ fn main() {
     )
     .expect("bind ephemeral port");
     println!("serving on {}", server.url());
-    for path in ["/metrics", "/snapshot", "/health", "/alerts"] {
+    for path in ["/metrics", "/snapshot", "/health", "/alerts", "/profile"] {
         let (status, body) = http_get(server.addr(), path).expect("self-scrape");
         println!("  GET {path:<9} -> {status} ({} bytes)", body.len());
         assert_eq!(status, 200, "endpoint {path} should be healthy");

@@ -11,6 +11,7 @@
 #
 # Usage: scripts/bench_compare.sh [output.json]
 #        scripts/bench_compare.sh --obs [output.json]
+#        scripts/bench_compare.sh --profile [output.json]
 #   CLOF_BENCH_MIN_MS / CLOF_BENCH_SAMPLES tune run length (defaults
 #   60 ms × 15 samples — long enough for stable medians on small hosts).
 #
@@ -22,6 +23,14 @@
 # noise bands. The acceptance gate is that the *default* build's
 # contended medians stay inside those bands: compiling obs out must
 # remain free.
+#
+# `--profile` mode prices the contention profiler the same way into
+# BENCH_PR8.json: default build (profiler compiled out), obs build with
+# the profiler recording but unread, and obs build while a sidecar
+# scrapes /profile at 1 Hz. Gates: the default build's contended
+# medians stay inside the PR4 noise bands, and the scraped-profile
+# medians stay within 5% of idle telemetry — reading the profiler must
+# cost nothing measurable on the lock hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -143,6 +152,135 @@ if failures:
     sys.exit(1)
 print(
     ">>> acceptance gate passed (default-build contended medians inside PR4 noise bands)",
+    file=sys.stderr,
+)
+PYEOF
+    exit 0
+fi
+
+if [ "${1:-}" = "--profile" ]; then
+    shift
+    OUT=${1:-BENCH_PR8.json}
+
+    echo ">>> [1/3] dyn pairs, default build (profiler compiled out)" >&2
+    RAW_OFF=$(cargo bench -p clof-bench --bench locks_micro --features criterion 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_OFF" >&2
+
+    echo ">>> [2/3] dyn pairs, obs build (profiler recording, unread)" >&2
+    RAW_IDLE=$(cargo bench -p clof-bench --bench locks_micro --features criterion,obs 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_IDLE" >&2
+
+    echo ">>> [3/3] dyn pairs, obs build + 1 Hz /profile scraper" >&2
+    RAW_SCRAPE=$(CLOF_BENCH_SCRAPE_MS=${CLOF_BENCH_SCRAPE_MS:-1000} \
+        CLOF_BENCH_SCRAPE_PATH=/profile \
+        cargo bench -p clof-bench --bench locks_micro --features criterion,obs 2>/dev/null \
+        | grep -E '^dyn/')
+    echo "$RAW_SCRAPE" >&2
+
+    RAW_OFF="$RAW_OFF" RAW_IDLE="$RAW_IDLE" RAW_SCRAPE="$RAW_SCRAPE" \
+        python3 - "$OUT" <<'PYEOF'
+import json, os, re, sys
+
+LINE = re.compile(
+    r"^(\S+)\s+([\d.]+) ns/iter\s+\(min ([\d.]+), p99 ([\d.]+), "
+    r"max ([\d.]+), (\d+) it/sample\)"
+)
+
+def parse(raw):
+    out = {}
+    for line in raw.splitlines():
+        m = LINE.match(line.strip())
+        if m:
+            name, med, mn, p99, mx, iters = m.groups()
+            out[name] = {
+                "median_ns": float(med),
+                "min_ns": float(mn),
+                "p99_ns": float(p99),
+                "max_ns": float(mx),
+                "iters_per_sample": int(iters),
+            }
+    return out
+
+configs = {
+    "profiler_off": parse(os.environ["RAW_OFF"]),
+    "obs_idle_telemetry": parse(os.environ["RAW_IDLE"]),
+    "profile_scraped_1hz": parse(os.environ["RAW_SCRAPE"]),
+}
+
+with open("BENCH_PR4.json") as f:
+    pr4 = json.load(f)["after"]
+
+report = {
+    "benchmark": "locks_micro: dyn-pair contention-profiler tax",
+    "note": (
+        "Same dyn-pair shapes as BENCH_PR4.json, run three ways: default "
+        "build (profiler compiled out), obs build with the profiler "
+        "recording but never read, and obs build while a sidecar scrapes "
+        "/profile at 1 Hz. Gates: default-build contended medians inside "
+        "the PR4 noise bands (min..max, +15% host slack), and scraping "
+        "the profiler within 5% of idle telemetry."
+    ),
+    "pr4_noise_bands": {
+        name: {"min_ns": m["min_ns"], "median_ns": m["median_ns"], "max_ns": m["max_ns"]}
+        for name, m in pr4.items()
+        if name.startswith("dyn/")
+    },
+    "configs": configs,
+    "profiler_tax_median_pct": {},
+}
+
+failures = []
+for name, off in configs["profiler_off"].items():
+    if not name.endswith("/contended"):
+        continue
+    idle = configs["obs_idle_telemetry"].get(name)
+    scraped = configs["profile_scraped_1hz"].get(name)
+    if idle is None or scraped is None:
+        failures.append(f"missing obs measurement for {name}")
+        continue
+    scraped_over_idle = 100.0 * (scraped["median_ns"] - idle["median_ns"]) / idle["median_ns"]
+    report["profiler_tax_median_pct"][name] = {
+        "obs_idle_over_default": round(
+            100.0 * (idle["median_ns"] - off["median_ns"]) / off["median_ns"], 1
+        ),
+        "scraped_over_idle": round(scraped_over_idle, 1),
+    }
+    band = pr4.get(name)
+    if band is None:
+        failures.append(f"{name}: no PR4 noise band recorded")
+        continue
+    lo, hi = band["min_ns"] * 0.85, band["max_ns"] * 1.15
+    if not (lo <= off["median_ns"] <= hi):
+        failures.append(
+            f"{name}: default-build median {off['median_ns']:.1f} ns outside "
+            f"PR4 noise band [{lo:.1f}, {hi:.1f}]"
+        )
+    if scraped_over_idle > 5.0:
+        failures.append(
+            f"{name}: scraping /profile costs {scraped_over_idle:+.1f}% over "
+            f"idle telemetry (gate: <= +5%)"
+        )
+
+out = sys.argv[1]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f">>> wrote {out}", file=sys.stderr)
+for name, tax in sorted(report["profiler_tax_median_pct"].items()):
+    print(
+        f"    {name:<36} idle-vs-default {tax['obs_idle_over_default']:+6.1f}%   "
+        f"scraped-vs-idle {tax['scraped_over_idle']:+6.1f}%",
+        file=sys.stderr,
+    )
+if failures:
+    print(">>> FAILED acceptance gate:", file=sys.stderr)
+    for f_ in failures:
+        print(f"    {f_}", file=sys.stderr)
+    sys.exit(1)
+print(
+    ">>> acceptance gate passed (default inside PR4 bands; profile scrape <= 5% over idle)",
     file=sys.stderr,
 )
 PYEOF

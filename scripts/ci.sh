@@ -13,9 +13,12 @@
 #      server e2e scrape and SLO burn-rate property suites, a 16-seed
 #      oracle smoke with telemetry on, kvstore windowed stats, a
 #      `clof top --once` smoke, a `clof serve --once` self-scrape
-#      smoke, a `clof trace` export/analyze round-trip, and the
-#      zero-cost assertion that the default dependency graph (root and
-#      clof-bench) carries no clof-obs;
+#      smoke, a `clof trace` export/analyze round-trip, the contention
+#      profiler (marker present in the obs binary and absent from the
+#      default one, `clof profile --once` clean-run smoke, injected
+#      deadlock/inversion detected with non-zero exit, registry
+#      lifecycle suite), and the zero-cost assertion that the default
+#      dependency graph (root and clof-bench) carries no clof-obs;
 #   6. the adapt phase: `adapt,obs` release build, a forced-migration
 #      swap smoke (cross-tier 8 seeds + fairness-across-swaps), the
 #      handover mutant-kill campaign, the kvstore hot-swap suite, a
@@ -113,6 +116,14 @@ phase "default binary carries no telemetry-server symbols" \
                echo "telemetry-server symbols leaked into the default clof binary" >&2
                exit 1
            fi'
+# The "clof-profile-v1" literal is the contention profiler's format
+# marker (printed in every profile header and JSON export), so its
+# absence proves the default binary compiled none of the profiler.
+phase "default binary carries no profiler symbols" \
+    sh -c 'if grep -qa clof-profile-v1 target/release/clof; then
+               echo "profiler symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
 
 # Telemetry phase: everything above must also hold with `obs` compiled
 # in, and the default build must not even link clof-obs (zero-cost when
@@ -158,6 +169,35 @@ phase "clof trace export/analyze round-trip" \
            grep -q "\"ph\":\"X\"" "$out"
            rm -f "$out"'
 
+# Contention-profiler phase: the obs binary must carry the profiler
+# marker, a clean contended run must exit 0 with folded stacks, and the
+# injected deadlock/inversion must be detected (non-zero exit) — the
+# whole detector path from WaitTable to process exit code.
+phase "obs binary carries the profiler marker" \
+    grep -qa clof-profile-v1 target/release/clof
+phase "clof profile --once smoke (clean run)" \
+    sh -c 'out=$(./target/release/clof profile --machine armv8 --levels 3 \
+                     --lock tkt-clh-tkt --threads 4 --once)
+           echo "$out" | grep -q "clof-profile-v1"
+           echo "$out" | grep -q "tkt-clh-tkt;L"
+           echo "$out" | grep -q "verdict: clean"'
+phase "clof profile detects an injected deadlock" \
+    sh -c 'if ./target/release/clof profile --machine armv8 --levels 3 \
+                  --lock tkt-clh-tkt --threads 4 --once --inject-deadlock \
+                  >/dev/null 2>&1; then
+               echo "injected 2-cycle was not detected (exit 0)" >&2
+               exit 1
+           fi'
+phase "clof profile detects an injected H-bound inversion" \
+    sh -c 'if ./target/release/clof profile --machine armv8 --levels 3 \
+                  --lock tkt-clh-tkt --threads 4 --once --inject-inversion \
+                  >/dev/null 2>&1; then
+               echo "injected inversion was not detected (exit 0)" >&2
+               exit 1
+           fi'
+phase "obs registry lifecycle suite" \
+    cargo test -q --features obs --test profile_registry
+
 phase "obs zero-cost dependency check" \
     sh -c 'if cargo tree -e normal | grep -q clof-obs; then
                echo "clof-obs leaked into the default dependency graph" >&2
@@ -187,6 +227,10 @@ phase "adapt kvstore hot-swap suite" \
 phase "adapt audit-ring migration records" \
     cargo test -q -p clof-core --features adapt,obs \
     completed_swap_is_recorded_in_the_audit_ring
+# Site identity must survive hot-swaps: the 64-seed swap matrix asserts
+# stable site ids, zero registry leaks, and rollback on failed swaps.
+phase "adapt registry swap-matrix (site stability)" \
+    cargo test -q --features adapt,obs --test profile_registry
 phase "adapt clof binary build" \
     cargo build --release -p clof-bench --features adapt,obs
 phase "adapt binary carries the adapt marker" \
