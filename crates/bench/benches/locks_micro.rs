@@ -252,6 +252,73 @@ mod micro {
         );
     }
 
+    /// Logical cores for the oversubscription matrix: at least 2 so the
+    /// 2× cell oversubscribes even a single-CPU host.
+    fn cores() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2)
+    }
+
+    /// One oversubscription cell: `mult × cores` threads hammer the same
+    /// composed lock; the measured thread's acquire+release latency is
+    /// the cell value. At 1× this matches the contended dyn pairs; at
+    /// 2×/4× preempted-holder and preempted-waiter scheduling dominates,
+    /// which is exactly where spin-then-park (`--features park`) earns
+    /// its keep — spinning waiters burn the holder's quantum, parked
+    /// waiters hand it back.
+    fn oversub_cell(c: &mut Criterion, kinds: &[LockKind], name: &str, mult: usize) {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build_with(&h, kinds, ClofParams::default(), true).expect("build"),
+        );
+        let threads = mult * cores();
+        let n = h.ncpus();
+        let stop = Arc::new(AtomicBool::new(false));
+        let contenders: Vec<_> = (1..threads)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                let cpu = t * n / threads % n;
+                std::thread::spawn(move || {
+                    let mut handle = lock.handle(cpu);
+                    while !stop.load(Ordering::Relaxed) {
+                        handle.acquire();
+                        handle.release();
+                    }
+                })
+            })
+            .collect();
+        let mut handle = lock.handle(0);
+        c.bench_function(&format!("oversub/{name}/{mult}x"), |b| {
+            b.iter(|| {
+                handle.acquire();
+                handle.release();
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        for bg in contenders {
+            bg.join().expect("oversub contender");
+        }
+    }
+
+    /// The oversubscription matrix `scripts/bench_compare.sh --park`
+    /// records in `BENCH_PR9.json`: finalist shapes × {1×, 2×, 4×}
+    /// thread-to-core multipliers, identical cells on the spin-only and
+    /// park builds.
+    fn bench_oversub(c: &mut Criterion) {
+        for mult in [1usize, 2, 4] {
+            oversub_cell(c, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket], "mcs-clh-tkt", mult);
+            oversub_cell(
+                c,
+                &[LockKind::Ticket, LockKind::Ticket, LockKind::Ticket],
+                "tkt-tkt-tkt",
+                mult,
+            );
+        }
+    }
+
     /// The paper-6 fast-path extension: uncontended latency with and without
     /// the TAS gate.
     fn bench_fastpath(c: &mut Criterion) {
@@ -336,6 +403,7 @@ mod micro {
         bench_contended,
         bench_static_vs_dyn,
         bench_dyn_pairs,
+        bench_oversub,
         bench_fastpath,
         bench_baselines,
         bench_obs_overhead

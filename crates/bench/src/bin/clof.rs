@@ -226,6 +226,11 @@ fn select(args: &[String]) -> Result<(), String> {
     let selection = rank(&results, policy);
     let hc = rank(&results, Policy::HighContention);
     let lc = rank(&results, Policy::LowContention);
+    // CI greps release binaries for the waiting-layer marker to tell
+    // park builds from spin-only builds (`scripts/ci.sh`); the banner
+    // keeps the marker reachable even when no benchmark ever parks.
+    #[cfg(feature = "park")]
+    println!("waiting:     spin-then-park [{}]", clof_locks::PARK_MARKER);
     println!("best ({}):  {}", flag_value(args, "--policy").unwrap_or("lc"), selection.best().name());
     println!("HC-best:     {}", hc.best().name());
     println!("LC-best:     {}", lc.best().name());

@@ -400,6 +400,18 @@ impl AdaptiveLock {
             let outgoing = self.slot(old).read().expect("slot poisoned");
             incoming.rebind_site_from(&outgoing);
         }
+        // Carry the waiting policy across the swap: any runtime-retuned
+        // spin budgets survive on the incoming tree (levels beyond the
+        // shorter composition keep their own topology-derived defaults).
+        #[cfg(feature = "park")]
+        {
+            let outgoing = self.slot(old).read().expect("slot poisoned");
+            for (level, rounds) in outgoing.spin_budgets() {
+                if level < incoming.composition().len() {
+                    incoming.set_spin_budget(level, rounds);
+                }
+            }
+        }
         let new = old + 1;
         *self.slot(new).write().expect("slot poisoned") = incoming;
 

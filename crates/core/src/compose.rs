@@ -8,6 +8,8 @@
 //! C-macro unfolding of `lockgen` (Figure 8).
 
 use std::sync::Arc;
+#[cfg(feature = "park")]
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use clof_locks::RawLock;
 use clof_topology::Hierarchy;
@@ -242,10 +244,26 @@ pub trait HierLock: Send + Sync + 'static {
 }
 
 /// Base case of the recursion: a bare basic lock (the system-level lock).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Leaf<L: RawLock> {
     low: L,
+    /// Spin rounds before a waiter parks ([`clof_locks::SPIN_FOREVER`]
+    /// = never park). The root has no `LevelMeta`, so it carries its own
+    /// budget cell.
+    #[cfg(feature = "park")]
+    budget: AtomicU32,
     obs: staticobs::NodeObs,
+}
+
+impl<L: RawLock> Default for Leaf<L> {
+    fn default() -> Self {
+        Leaf {
+            low: L::default(),
+            #[cfg(feature = "park")]
+            budget: AtomicU32::new(clof_locks::SPIN_FOREVER),
+            obs: staticobs::NodeObs::default(),
+        }
+    }
 }
 
 impl<L: RawLock> Leaf<L> {
@@ -261,6 +279,21 @@ impl<L: RawLock> Leaf<L> {
         self.obs.set_level(level);
         self
     }
+
+    /// Derives this node's spin-then-park budget from the topology span
+    /// of its level: the wider the cohort, the sooner waiters park.
+    /// No-op without the `park` feature.
+    #[must_use]
+    pub fn budgeted(self, hierarchy: &Hierarchy, level: usize) -> Self {
+        #[cfg(feature = "park")]
+        self.budget.store(
+            crate::level::spin_budget_for_span(hierarchy.cohort_span(level)),
+            Ordering::Relaxed,
+        );
+        #[cfg(not(feature = "park"))]
+        let _ = (hierarchy, level);
+        self
+    }
 }
 
 impl<L: RawLock> HierLock for Leaf<L> {
@@ -269,6 +302,10 @@ impl<L: RawLock> HierLock for Leaf<L> {
     #[inline]
     fn acquire(&self, ctx: &mut L::Context, _slot: u32) {
         let start = self.obs.start();
+        #[cfg(feature = "park")]
+        self.low
+            .acquire_budgeted(ctx, self.budget.load(Ordering::Relaxed));
+        #[cfg(not(feature = "park"))]
         self.low.acquire(ctx);
         self.obs.record_acquire(false, start);
     }
@@ -347,6 +384,21 @@ impl<L: RawLock, H: HierLock> Clof<L, H> {
         self
     }
 
+    /// Derives this node's spin-then-park budget from the topology span
+    /// of its level: the wider the cohort, the sooner waiters park.
+    /// No-op without the `park` feature.
+    #[must_use]
+    pub fn budgeted(self, hierarchy: &Hierarchy, level: usize) -> Self {
+        #[cfg(feature = "park")]
+        self.meta
+            .set_spin_budget(crate::level::spin_budget_for_span(
+                hierarchy.cohort_span(level),
+            ));
+        #[cfg(not(feature = "park"))]
+        let _ = (hierarchy, level);
+        self
+    }
+
     /// The shared high node.
     pub fn high(&self) -> &Arc<H> {
         &self.high
@@ -367,6 +419,9 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
         if use_counter {
             self.meta.inc_waiters(slot);
         }
+        #[cfg(feature = "park")]
+        self.low.acquire_budgeted(ctx, self.meta.spin_budget());
+        #[cfg(not(feature = "park"))]
         self.low.acquire(ctx);
         if use_counter {
             self.meta.dec_waiters(slot);
@@ -619,7 +674,7 @@ pub(crate) fn cohort_layout(hierarchy: &Hierarchy, level: usize) -> Vec<(usize, 
 /// NUMA-oblivious behaviour).
 pub fn build1<L0: RawLock>(hierarchy: &Hierarchy) -> Result<ClofTree<Leaf<L0>>, ClofError> {
     check_levels(hierarchy, 1)?;
-    let root = Arc::new(Leaf::<L0>::new().at_level(0));
+    let root = Arc::new(Leaf::<L0>::new().at_level(0).budgeted(hierarchy, 0));
     Ok(ClofTree::new(vec![root], hierarchy))
 }
 
@@ -629,13 +684,15 @@ pub fn build2<L0: RawLock, L1: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Leaf<L1>>>, ClofError> {
     check_levels(hierarchy, 2)?;
-    let root = Arc::new(Leaf::<L1>::new().at_level(1));
+    let root = Arc::new(Leaf::<L1>::new().at_level(1).budgeted(hierarchy, 1));
     let layout = cohort_layout(hierarchy, 0);
     let leaves: Vec<_> = layout
         .into_iter()
         .map(|(fanin, slot)| {
             Arc::new(
-                Clof::<L0, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(0),
+                Clof::<L0, _>::with_layout(Arc::clone(&root), params, fanin, slot)
+                    .at_level(0)
+                    .budgeted(hierarchy, 0),
             )
         })
         .collect();
@@ -648,12 +705,14 @@ pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Leaf<L2>>>>, ClofError> {
     check_levels(hierarchy, 3)?;
-    let root = Arc::new(Leaf::<L2>::new().at_level(2));
+    let root = Arc::new(Leaf::<L2>::new().at_level(2).budgeted(hierarchy, 2));
     let mids: Vec<_> = cohort_layout(hierarchy, 1)
         .into_iter()
         .map(|(fanin, slot)| {
             Arc::new(
-                Clof::<L1, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(1),
+                Clof::<L1, _>::with_layout(Arc::clone(&root), params, fanin, slot)
+                    .at_level(1)
+                    .budgeted(hierarchy, 1),
             )
         })
         .collect();
@@ -667,7 +726,8 @@ pub fn build3<L0: RawLock, L1: RawLock, L2: RawLock>(
             let mid = hierarchy.cohort(1, cpu);
             Arc::new(
                 Clof::<L0, _>::with_layout(Arc::clone(&mids[mid]), params, fanin, slot)
-                    .at_level(0),
+                    .at_level(0)
+                    .budgeted(hierarchy, 0),
             )
         })
         .collect();
@@ -680,12 +740,14 @@ pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
     params: ClofParams,
 ) -> Result<ClofTree<Clof<L0, Clof<L1, Clof<L2, Leaf<L3>>>>>, ClofError> {
     check_levels(hierarchy, 4)?;
-    let root = Arc::new(Leaf::<L3>::new().at_level(3));
+    let root = Arc::new(Leaf::<L3>::new().at_level(3).budgeted(hierarchy, 3));
     let l2: Vec<_> = cohort_layout(hierarchy, 2)
         .into_iter()
         .map(|(fanin, slot)| {
             Arc::new(
-                Clof::<L2, _>::with_layout(Arc::clone(&root), params, fanin, slot).at_level(2),
+                Clof::<L2, _>::with_layout(Arc::clone(&root), params, fanin, slot)
+                    .at_level(2)
+                    .budgeted(hierarchy, 2),
             )
         })
         .collect();
@@ -696,7 +758,9 @@ pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
             let cpu = hierarchy.cohort_members(1, cohort)[0];
             let up = hierarchy.cohort(2, cpu);
             Arc::new(
-                Clof::<L1, _>::with_layout(Arc::clone(&l2[up]), params, fanin, slot).at_level(1),
+                Clof::<L1, _>::with_layout(Arc::clone(&l2[up]), params, fanin, slot)
+                    .at_level(1)
+                    .budgeted(hierarchy, 1),
             )
         })
         .collect();
@@ -707,7 +771,9 @@ pub fn build4<L0: RawLock, L1: RawLock, L2: RawLock, L3: RawLock>(
             let cpu = hierarchy.cohort_members(0, cohort)[0];
             let up = hierarchy.cohort(1, cpu);
             Arc::new(
-                Clof::<L0, _>::with_layout(Arc::clone(&l1[up]), params, fanin, slot).at_level(0),
+                Clof::<L0, _>::with_layout(Arc::clone(&l1[up]), params, fanin, slot)
+                    .at_level(0)
+                    .budgeted(hierarchy, 0),
             )
         })
         .collect();

@@ -57,6 +57,10 @@ mod nodeobs {
             shape: &str,
             caller: &'static std::panic::Location<'static>,
         ) -> Self {
+            // First telemetry-enabled lock in the process wires the
+            // spin-then-park recorder hooks into clof-obs.
+            #[cfg(feature = "park")]
+            crate::parkglue::install();
             LockObs {
                 ring: Arc::default(),
                 hold_ns: Arc::default(),
@@ -209,11 +213,17 @@ mod nodeobs {
             self.wait_from = now_ns();
             watchdog::note_wait(thread_tag());
             waitgraph::note_wait(self.site.id());
+            // Parks can only happen while waiting; publish the site so
+            // the parked-duration recorder can attribute the episode.
+            #[cfg(feature = "park")]
+            crate::parkglue::enter_wait(self.site.id());
         }
 
         #[inline]
         pub(super) fn acquired(&mut self) {
             self.acquired_at = now_ns();
+            #[cfg(feature = "park")]
+            crate::parkglue::exit_wait();
             let site = self.site.id();
             profile::global().record_wait(site, self.acquired_at.saturating_sub(self.wait_from));
             profile::global().record_acquire(site);
@@ -430,6 +440,20 @@ impl DynNode {
         }
     }
 
+    /// Acquires this node's low lock, applying the level's spin budget
+    /// when the waiting layer is compiled in (waiters spin the
+    /// topology-derived budget, then park; the releaser's wake re-runs
+    /// the full hand-off protocol, so the §4.1 invariants are untouched
+    /// — parking only changes *where* a waiter waits, never the order
+    /// grants are observed in).
+    #[inline]
+    fn low_acquire(&self, ctx: &mut AnyContext) {
+        #[cfg(feature = "park")]
+        self.low.acquire_budgeted(ctx, self.meta.spin_budget());
+        #[cfg(not(feature = "park"))]
+        self.low.acquire(ctx);
+    }
+
     /// Recursive `lockgen` acquire (paper Figure 8). `stripe` is the
     /// caller's child position under this node (CPU index within a leaf
     /// cohort at level 0, the child's sibling slot above).
@@ -437,7 +461,7 @@ impl DynNode {
         let Some(high) = &self.high else {
             // Base case: the system-level basic lock.
             let start = self.obs.start();
-            self.low.acquire(ctx);
+            self.low_acquire(ctx);
             self.stats.note_acquisition();
             self.obs.record_acquire(false, start);
             return;
@@ -449,7 +473,7 @@ impl DynNode {
         if self.counter_waiters {
             self.meta.inc_waiters(stripe);
         }
-        self.low.acquire(ctx);
+        self.low_acquire(ctx);
         if self.counter_waiters {
             self.meta.dec_waiters(stripe);
         }
@@ -643,6 +667,16 @@ impl DynClofLock {
             }
             upper = nodes;
         }
+        // Install topology-derived spin budgets: each level's waiters
+        // spin inversely to the span of its cohorts before parking
+        // (leaf/cache-local waiters longest, machine-spanning top-level
+        // waiters soonest). Runtime-retunable via `set_spin_budget`.
+        #[cfg(feature = "park")]
+        for (level, node) in &all_nodes {
+            node.meta.set_spin_budget(crate::level::spin_budget_for_span(
+                hierarchy.cohort_span(*level),
+            ));
+        }
         // No handles exist yet, so the fast tier may resolve typed
         // pointers into the node-resident context cells race-free.
         let fast = FastTier::resolve(&upper, locks);
@@ -697,6 +731,20 @@ impl DynClofLock {
         DynHandle {
             inner: HandleInner::generic(leaf, self.cpu_to_stripe[cpu]),
             hold: HoldObs::new(&self.obs),
+        }
+    }
+
+    /// A placement-tracking handle: enters at the leaf cohort of the
+    /// CPU the thread *currently* runs on, resolved through the
+    /// [`crate::cpu`] thread-local cache, and re-homed automatically
+    /// when a periodic re-check observes a migration. Use this when
+    /// callers have no pinned placement of their own.
+    pub fn auto_handle(self: &Arc<Self>) -> AutoHandle {
+        let cpu = crate::cpu::cached_cpu(self.cpu_to_leaf.len());
+        AutoHandle {
+            inner: self.handle(cpu),
+            lock: Arc::clone(self),
+            cpu,
         }
     }
 
@@ -819,6 +867,46 @@ impl DynClofLock {
             .iter()
             .map(|(_, node)| node.meta.waiter_count())
             .sum()
+    }
+
+    /// Current per-level spin budgets `(level, rounds)`, innermost
+    /// first. All cohorts of one level share a budget, so one node per
+    /// level reports it. The adaptation layer snapshots this on the
+    /// outgoing tree and replays it onto the incoming one, carrying the
+    /// waiting policy across hot-swaps.
+    #[cfg(feature = "park")]
+    pub fn spin_budgets(&self) -> Vec<(usize, u32)> {
+        let mut out: Vec<Option<u32>> = vec![None; self.composition.len()];
+        for (level, node) in &self.nodes {
+            out[*level].get_or_insert(node.meta.spin_budget());
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(level, b)| (level, b.unwrap_or(clof_locks::SPIN_FOREVER)))
+            .collect()
+    }
+
+    /// Retunes the spin budget of every cohort node at `level` (rounds a
+    /// waiter spins before parking; [`clof_locks::SPIN_FOREVER`] turns
+    /// parking off at that level). In-flight waiters may still use the
+    /// old value — the budget shapes the spin/park trade-off only and
+    /// never affects correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside the composition.
+    #[cfg(feature = "park")]
+    pub fn set_spin_budget(&self, level: usize, rounds: u32) {
+        assert!(
+            level < self.composition.len(),
+            "level {level} out of range for a {}-level composition",
+            self.composition.len()
+        );
+        for (l, node) in &self.nodes {
+            if *l == level {
+                node.meta.set_spin_budget(rounds);
+            }
+        }
     }
 
     /// This lock's contention-profiler site id in the process-global
@@ -1049,6 +1137,9 @@ mod fastdisp {
         if !L::INFO.waiter_hint {
             node.meta.inc_waiters(stripe);
         }
+        #[cfg(feature = "park")]
+        lock.acquire_budgeted(ctx, node.meta.spin_budget());
+        #[cfg(not(feature = "park"))]
         lock.acquire(ctx);
         if !L::INFO.waiter_hint {
             node.meta.dec_waiters(stripe);
@@ -1067,6 +1158,9 @@ mod fastdisp {
     #[inline]
     fn acquire_root<L: TypedLock>(node: &DynNode, lock: &L, ctx: &mut L::Context) {
         let start = node.obs.start();
+        #[cfg(feature = "park")]
+        lock.acquire_budgeted(ctx, node.meta.spin_budget());
+        #[cfg(not(feature = "park"))]
         lock.acquire(ctx);
         node.stats.note_acquisition();
         node.obs.record_acquire(false, start);
@@ -1356,11 +1450,122 @@ impl DynHandle {
     }
 }
 
+/// A [`DynHandle`] that tracks the thread's placement by itself.
+///
+/// Created by [`DynClofLock::auto_handle`]. Each acquire consults the
+/// [`crate::cpu`] thread-local cache (one TLS read on the hot path; the
+/// `getcpu` syscall only every [`crate::cpu::RECHECK_PERIOD`] calls)
+/// and, when the thread migrated to a CPU of a different leaf cohort,
+/// swaps the inner handle *between* critical sections — the old handle
+/// is idle at that point, so its contexts are quiescent and the
+/// re-home cannot violate the context invariant. A stale placement
+/// inside one re-check period merely enters through the old leaf,
+/// which CLoF's thread-obliviousness makes correct (just not
+/// NUMA-optimal).
+pub struct AutoHandle {
+    lock: Arc<DynClofLock>,
+    inner: DynHandle,
+    cpu: CpuId,
+}
+
+impl AutoHandle {
+    /// Acquires the composed lock through the current placement's leaf.
+    pub fn acquire(&mut self) {
+        let cpu = crate::cpu::cached_cpu(self.lock.cpu_to_leaf.len());
+        if cpu != self.cpu {
+            self.inner = self.lock.handle(cpu);
+            self.cpu = cpu;
+        }
+        self.inner.acquire();
+    }
+
+    /// Releases the composed lock.
+    ///
+    /// Must only be called while held through this handle.
+    pub fn release(&mut self) {
+        self.inner.release();
+    }
+
+    /// The placement the handle last entered through.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use clof_topology::platforms;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn auto_handle_rehomes_after_simulated_migration() {
+        // tiny(): 8 CPUs, leaf cohorts of 2 — CPU 0 and CPU 7 sit in
+        // different cohorts at every level.
+        let h = platforms::tiny();
+        let lock =
+            Arc::new(DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap());
+        crate::cpu::testkit::set_override(Some(0));
+        crate::cpu::testkit::flush();
+        let mut handle = lock.auto_handle();
+        assert_eq!(handle.cpu(), 0);
+        let mut value = 0usize;
+        for i in 0..3 * crate::cpu::RECHECK_PERIOD {
+            if i == 5 {
+                // Simulated migration mid-run; the handle must keep
+                // working through the stale leaf and re-home at the
+                // next periodic re-check.
+                crate::cpu::testkit::set_override(Some(7));
+            }
+            handle.acquire();
+            value += 1;
+            handle.release();
+        }
+        assert_eq!(value, 3 * crate::cpu::RECHECK_PERIOD as usize);
+        assert_eq!(handle.cpu(), 7, "placement re-check never observed the migration");
+        crate::cpu::testkit::set_override(None);
+        crate::cpu::testkit::flush();
+    }
+
+    #[test]
+    fn auto_handle_holds_handoff_invariants_across_migrations() {
+        // Every thread migrates across cohorts mid-run. Mutual exclusion
+        // (exact owner-only counter), the context invariant
+        // (`debug_ctx_enter` panics in debug builds on a violation) and
+        // release-order checks all stay armed while handles re-home.
+        const THREADS: usize = 4;
+        const ITERS: u32 = 2 * crate::cpu::RECHECK_PERIOD;
+        let h = platforms::tiny();
+        let lock =
+            Arc::new(DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            threads.push(std::thread::spawn(move || {
+                crate::cpu::testkit::set_override(Some(t * 2));
+                crate::cpu::testkit::flush();
+                let mut handle = lock.auto_handle();
+                for i in 0..ITERS {
+                    if i == ITERS / 2 {
+                        // Cross-cohort migration: 0↔7, 2↔5, …
+                        crate::cpu::testkit::set_override(Some(7 - t * 2));
+                    }
+                    handle.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    handle.release();
+                }
+                crate::cpu::testkit::set_override(None);
+                crate::cpu::testkit::flush();
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ITERS as usize);
+    }
 
     fn hammer(lock: &Arc<DynClofLock>, cpus: &[usize], iters: usize) -> usize {
         let counter = Arc::new(AtomicUsize::new(0));

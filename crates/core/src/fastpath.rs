@@ -15,9 +15,15 @@
 //! that loses falls into the queue behind everyone.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(feature = "park")]
+use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 
-use clof_locks::{Backoff, CachePadded};
+#[cfg(feature = "park")]
+use clof_locks::ParkSpot;
+#[cfg(not(feature = "park"))]
+use clof_locks::Backoff;
+use clof_locks::CachePadded;
 use clof_topology::{CpuId, Hierarchy};
 
 use crate::dynlock::{DynClofLock, DynHandle};
@@ -159,6 +165,16 @@ pub struct FastClof {
     /// release→acquire hand-off — so plain load + store suffices, and
     /// one shared line for both is fine (same writer).
     paths: CachePadded<PathCounters>,
+    /// Eventcount for the gate spinner. At most one thread (the slow
+    /// path's composition owner) ever waits here, so `wake_one` on
+    /// release is exact. Own line: wake traffic must not bounce the
+    /// gate word.
+    #[cfg(feature = "park")]
+    gate_park: CachePadded<ParkSpot>,
+    /// Spin rounds before the gate spinner parks. The gate is contended
+    /// machine-wide, so it gets the top level's (smallest) budget.
+    #[cfg(feature = "park")]
+    gate_budget: AtomicU32,
     /// NUMA-aware ordering of contenders.
     slow: DynClofLock,
 }
@@ -199,8 +215,27 @@ impl FastClof {
         Ok(Arc::new(FastClof {
             top: CachePadded::new(AtomicBool::new(false)),
             paths: CachePadded::new(PathCounters::default()),
+            #[cfg(feature = "park")]
+            gate_park: CachePadded::new(ParkSpot::new()),
+            #[cfg(feature = "park")]
+            gate_budget: AtomicU32::new(crate::level::spin_budget_for_span(
+                hierarchy.cohort_span(hierarchy.level_count() - 1),
+            )),
             slow,
         }))
+    }
+
+    /// Spin rounds the slow path's gate spinner burns before parking.
+    #[cfg(feature = "park")]
+    pub fn gate_spin_budget(&self) -> u32 {
+        self.gate_budget.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the gate spinner's budget ([`clof_locks::SPIN_FOREVER`]
+    /// turns gate parking off). Policy-only; never affects correctness.
+    #[cfg(feature = "park")]
+    pub fn set_gate_spin_budget(&self, rounds: u32) {
+        self.gate_budget.store(rounds, Ordering::Relaxed);
     }
 
     /// A per-thread handle entering at `cpu`'s leaf cohort.
@@ -288,9 +323,22 @@ impl FastClofHandle {
         // composition's owner, win the gate and hand the composition to
         // the next NUMA-local waiter (who becomes the new gate spinner).
         self.slow.acquire();
-        let mut backoff = Backoff::new();
-        while !self.lock.try_top() {
-            backoff.snooze();
+        // The gate's next releaser may already be mid-release, so the
+        // condition (a TAS attempt — idempotent on failure) can come
+        // true before the park registers; `ParkSpot`'s eventcount
+        // handles that race, and a fast-path thief who outraces the
+        // woken spinner re-arms the wake with its own release.
+        #[cfg(feature = "park")]
+        self.lock.gate_park.wait_until(
+            self.lock.gate_budget.load(Ordering::Relaxed),
+            || self.lock.try_top(),
+        );
+        #[cfg(not(feature = "park"))]
+        {
+            let mut backoff = Backoff::new();
+            while !self.lock.try_top() {
+                backoff.snooze();
+            }
         }
         self.slow.release();
         FastClof::bump(&self.lock.paths.slow);
@@ -303,6 +351,8 @@ impl FastClofHandle {
     pub fn release(&mut self) {
         self.obs.record_release();
         self.lock.top.store(false, Ordering::Release);
+        #[cfg(feature = "park")]
+        self.lock.gate_park.wake_one();
     }
 }
 

@@ -245,6 +245,19 @@ impl AnyLock {
         dispatch!(self, ctx, lock, c => lock.acquire(c));
     }
 
+    /// Acquires with a bounded spin budget (spin-then-park); see
+    /// [`RawLock::acquire_budgeted`]. Kinds without a parking path
+    /// (Hemlock) ignore the budget and spin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was not created for this lock's kind.
+    #[cfg(feature = "park")]
+    #[inline]
+    pub fn acquire_budgeted(&self, ctx: &mut AnyContext, budget: u32) {
+        dispatch!(self, ctx, lock, c => lock.acquire_budgeted(c, budget));
+    }
+
     /// Releases through the matching context.
     ///
     /// # Panics

@@ -56,6 +56,33 @@ impl Default for ClofParams {
     }
 }
 
+/// Spin budget (in backoff rounds) of a waiter at a level whose cohorts
+/// span one CPU: the most local waiter spins longest before parking.
+#[cfg(feature = "park")]
+pub const BASE_SPIN_ROUNDS: u32 = 64;
+
+/// Floor on any level's spin budget: even a machine-spanning top-level
+/// waiter spins a few rounds first, so an imminent hand-off is still
+/// caught without a syscall.
+#[cfg(feature = "park")]
+pub const MIN_SPIN_ROUNDS: u32 = 4;
+
+/// Derives a level's spin budget from its topology distance.
+///
+/// `span` is the number of CPUs one cohort of the level covers
+/// ([`cohort_span`](clof_topology::Hierarchy::cohort_span)). Leaf levels
+/// (small span) hand off between cache-close CPUs in tens of
+/// nanoseconds, so spinning the full budget is cheaper than a park/wake
+/// round-trip; top levels span sockets, where a waiting slot is worth
+/// the most CPU time and the hand-off latency dwarfs a futex wake — so
+/// the budget shrinks inversely with span, clamped to
+/// [[`MIN_SPIN_ROUNDS`], [`BASE_SPIN_ROUNDS`]].
+#[cfg(feature = "park")]
+pub fn spin_budget_for_span(span: usize) -> u32 {
+    let span = span.max(1).min(u32::MAX as usize) as u32;
+    (BASE_SPIN_ROUNDS / span).clamp(MIN_SPIN_ROUNDS, BASE_SPIN_ROUNDS)
+}
+
 /// Owner-written metadata words; packed into one [`CachePadded`] block.
 struct OwnerState<C> {
     /// The `has_high_lock` flag: set by `pass_high_lock`, cleared by
@@ -99,6 +126,13 @@ pub struct LevelMeta<C> {
     stripes: Box<[CachePadded<AtomicU32>]>,
     /// `stripes.len() - 1`; stripe selection is `slot & stripe_mask`.
     stripe_mask: u32,
+    /// Per-level spin budget (backoff rounds before a waiter parks),
+    /// derived from topology distance at build time and runtime-tunable
+    /// so `adapt` can carry the waiting policy across hot-swaps.
+    /// Read-mostly (written only by tuning), so it lives outside the
+    /// owner block and off the stripes.
+    #[cfg(feature = "park")]
+    spin_budget: AtomicU32,
     /// Owner-only words, isolated from the waiter stripes.
     owner: CachePadded<OwnerState<C>>,
 }
@@ -128,6 +162,8 @@ impl<C: Default> LevelMeta<C> {
                 .map(|_| CachePadded::new(AtomicU32::new(0)))
                 .collect(),
             stripe_mask: stripes as u32 - 1,
+            #[cfg(feature = "park")]
+            spin_budget: AtomicU32::new(clof_locks::SPIN_FOREVER),
             owner: CachePadded::new(OwnerState {
                 high_held: AtomicBool::new(false),
                 handovers: AtomicU32::new(0),
@@ -276,6 +312,24 @@ impl<C> LevelMeta<C> {
         self.stripes.len()
     }
 
+    /// This level's spin budget: rounds a waiter spins on the low lock
+    /// before parking ([`SPIN_FOREVER`](clof_locks::SPIN_FOREVER) until
+    /// a builder installs a topology-derived budget).
+    #[cfg(feature = "park")]
+    #[inline]
+    pub fn spin_budget(&self) -> u32 {
+        self.spin_budget.load(Ordering::Relaxed)
+    }
+
+    /// Retunes this level's spin budget at runtime. Relaxed is enough:
+    /// in-flight waiters may use either value; the budget only shapes
+    /// the spin/park trade-off, never correctness.
+    #[cfg(feature = "park")]
+    #[inline]
+    pub fn set_spin_budget(&self, rounds: u32) {
+        self.spin_budget.store(rounds, Ordering::Relaxed);
+    }
+
     /// The configured keep-local threshold.
     pub fn threshold(&self) -> u32 {
         self.owner.threshold
@@ -412,5 +466,29 @@ mod tests {
         let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
         meta.debug_ctx_enter();
         meta.debug_ctx_enter();
+    }
+
+    #[test]
+    #[cfg(feature = "park")]
+    fn spin_budget_defaults_to_forever_and_retunes() {
+        let meta: LevelMeta<()> = LevelMeta::new(ClofParams::default());
+        assert_eq!(meta.spin_budget(), clof_locks::SPIN_FOREVER);
+        meta.set_spin_budget(32);
+        assert_eq!(meta.spin_budget(), 32);
+    }
+
+    #[test]
+    #[cfg(feature = "park")]
+    fn budget_derivation_shrinks_with_span() {
+        assert_eq!(spin_budget_for_span(1), BASE_SPIN_ROUNDS);
+        assert_eq!(spin_budget_for_span(2), 32);
+        assert_eq!(spin_budget_for_span(8), 8);
+        // Machine-spanning levels hit the floor, never zero.
+        assert_eq!(spin_budget_for_span(64), MIN_SPIN_ROUNDS);
+        assert_eq!(spin_budget_for_span(100_000), MIN_SPIN_ROUNDS);
+        assert_eq!(spin_budget_for_span(0), BASE_SPIN_ROUNDS, "span clamped to 1");
+        // Monotone non-increasing in span.
+        let budgets: Vec<u32> = (1..=128).map(spin_budget_for_span).collect();
+        assert!(budgets.windows(2).all(|w| w[0] >= w[1]));
     }
 }

@@ -56,6 +56,7 @@
 #[cfg(feature = "adapt")]
 pub mod adapt;
 pub mod compose;
+pub mod cpu;
 pub mod dynlock;
 pub mod error;
 pub mod fastpath;
@@ -63,6 +64,8 @@ pub mod generator;
 pub mod kind;
 pub mod level;
 pub mod mutex;
+#[cfg(all(feature = "park", feature = "obs"))]
+mod parkglue;
 pub mod rwlock;
 pub mod select;
 

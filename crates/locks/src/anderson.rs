@@ -10,7 +10,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use crate::pad::CachePadded;
+#[cfg(feature = "park")]
+use crate::park::ParkSpot;
+use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, RawLock};
+#[cfg(not(feature = "park"))]
 use crate::spin::Backoff;
 
 /// Maximum concurrent threads per [`AndersonLock`].
@@ -54,6 +58,11 @@ pub struct AndersonLock {
     next: CachePadded<AtomicU32>,
     /// Oldest outstanding slot (diagnostics / waiter hint); owner-written.
     owner: CachePadded<AtomicU32>,
+    /// One eventcount per slot: a budget-exhausted waiter parks on its
+    /// own slot's spot and the releaser wakes exactly the successor slot
+    /// — the array lock keeps its precise hand-off even while parked.
+    #[cfg(feature = "park")]
+    spots: Box<[CachePadded<ParkSpot>]>,
 }
 
 impl Default for AndersonLock {
@@ -67,6 +76,10 @@ impl Default for AndersonLock {
             flags: flags.into_boxed_slice(),
             next: CachePadded::new(AtomicU32::new(0)),
             owner: CachePadded::new(AtomicU32::new(0)),
+            #[cfg(feature = "park")]
+            spots: (0..ANDERSON_SLOTS)
+                .map(|_| CachePadded::new(ParkSpot::new()))
+                .collect(),
         }
     }
 }
@@ -80,6 +93,29 @@ impl AndersonLock {
     /// Whether the lock is currently held or queued (racy; diagnostics).
     pub fn is_locked(&self) -> bool {
         self.next.load(Ordering::Relaxed) != self.owner.load(Ordering::Relaxed)
+    }
+
+    fn acquire_inner(&self, ctx: &mut AndersonContext, budget: u32) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(
+            ticket.wrapping_sub(self.owner.load(Ordering::Relaxed)) < ANDERSON_SLOTS as u32,
+            "AndersonLock capacity ({ANDERSON_SLOTS}) exceeded"
+        );
+        let slot = ticket as usize % ANDERSON_SLOTS;
+        // Acquire pairs with the Release store in `release`.
+        #[cfg(feature = "park")]
+        self.spots[slot].wait_until(budget, || self.flags[slot].load(Ordering::Acquire));
+        #[cfg(not(feature = "park"))]
+        {
+            let _ = budget;
+            let mut backoff = Backoff::new();
+            while !self.flags[slot].load(Ordering::Acquire) {
+                backoff.snooze();
+            }
+        }
+        // Reset our flag for the next lap of the ring.
+        self.flags[slot].store(false, Ordering::Relaxed);
+        ctx.slot = slot;
     }
 }
 
@@ -96,20 +132,12 @@ impl RawLock for AndersonLock {
     };
 
     fn acquire(&self, ctx: &mut AndersonContext) {
-        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
-        debug_assert!(
-            ticket.wrapping_sub(self.owner.load(Ordering::Relaxed)) < ANDERSON_SLOTS as u32,
-            "AndersonLock capacity ({ANDERSON_SLOTS}) exceeded"
-        );
-        let slot = ticket as usize % ANDERSON_SLOTS;
-        let mut backoff = Backoff::new();
-        // Acquire pairs with the Release store in `release`.
-        while !self.flags[slot].load(Ordering::Acquire) {
-            backoff.snooze();
-        }
-        // Reset our flag for the next lap of the ring.
-        self.flags[slot].store(false, Ordering::Relaxed);
-        ctx.slot = slot;
+        self.acquire_inner(ctx, SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, ctx: &mut AndersonContext, budget: u32) {
+        self.acquire_inner(ctx, budget);
     }
 
     fn release(&self, ctx: &mut AndersonContext) {
@@ -120,8 +148,10 @@ impl RawLock for AndersonLock {
         self.owner.store(o.wrapping_add(1), Ordering::Relaxed);
         let next = (ctx.slot + 1) % ANDERSON_SLOTS;
         // Release publishes the critical section to the successor's
-        // Acquire spin.
+        // Acquire wait; the wake targets exactly the successor's spot.
         self.flags[next].store(true, Ordering::Release);
+        #[cfg(feature = "park")]
+        self.spots[next].wake_one();
     }
 
     fn has_waiters_hint(&self, _ctx: &Self::Context) -> Option<bool> {

@@ -6,15 +6,22 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+#[cfg(feature = "park")]
+use crate::park::ParkSpot;
+use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, NoContext, RawLock};
 use crate::spin::Backoff;
 
 /// Test-and-set lock with exponential backoff between attempts.
 ///
-/// Unlike [`TtasLock`](crate::TtasLock), every wait round attempts the
-/// swap and then backs off for an exponentially growing period, which
-/// reduces coherence traffic under contention at the cost of latency and
-/// fairness (the lock is **unfair**).
+/// Unlike [`TtasLock`](crate::TtasLock), a waiter that *loses* a swap
+/// race backs off for an exponentially growing period before retesting,
+/// which reduces coherence traffic under contention at the cost of
+/// latency and fairness (the lock is **unfair**). Between attempts the
+/// waiter polls the flag with a plain relaxed load and `spin_loop`
+/// hints, like every other polling lock in this crate — an earlier
+/// version swapped on every round, dirtying the line even while the lock
+/// was visibly held.
 ///
 /// # Examples
 ///
@@ -29,9 +36,18 @@ use crate::spin::Backoff;
 #[derive(Debug, Default)]
 pub struct BackoffLock {
     locked: AtomicBool,
+    /// Eventcount budget-exhausted waiters park on.
+    #[cfg(feature = "park")]
+    park: ParkSpot,
 }
 
 impl BackoffLock {
+    /// Ceiling exponent for the between-attempt backoff: bursts are
+    /// capped at `2^BACKOFF_CEILING` spin hints so an unlucky waiter's
+    /// penalty stays bounded (uncapped exponential backoff is exactly
+    /// what starves cross-socket waiters on deep topologies).
+    pub const BACKOFF_CEILING: u32 = 6;
+
     /// Creates an unlocked backoff lock.
     pub fn new() -> Self {
         Self::default()
@@ -40,6 +56,33 @@ impl BackoffLock {
     /// Whether the lock is currently held (racy; for tests/diagnostics).
     pub fn is_locked(&self) -> bool {
         self.locked.load(Ordering::Relaxed)
+    }
+
+    fn acquire_inner(&self, budget: u32) {
+        // Between-attempt penalty, kept across test phases so repeated
+        // race losses keep growing it (up to the capped ceiling).
+        let mut penalty = Backoff::with_limit(Self::BACKOFF_CEILING);
+        loop {
+            // Test phase: poll with relaxed loads until the flag reads
+            // unlocked (parking once the budget runs out).
+            #[cfg(feature = "park")]
+            self.park
+                .wait_until(budget, || !self.locked.load(Ordering::Relaxed));
+            #[cfg(not(feature = "park"))]
+            {
+                let _ = budget;
+                let mut test = Backoff::with_limit(Self::BACKOFF_CEILING);
+                while self.locked.load(Ordering::Relaxed) {
+                    test.snooze();
+                }
+            }
+            // Attempt phase; Acquire pairs with the Release in `release`.
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            // Lost the race: exponential backoff before the next test.
+            penalty.snooze();
+        }
     }
 }
 
@@ -56,15 +99,19 @@ impl RawLock for BackoffLock {
     };
 
     fn acquire(&self, _ctx: &mut NoContext) {
-        let mut backoff = Backoff::new();
-        // Acquire pairs with the Release store in `release`.
-        while self.locked.swap(true, Ordering::Acquire) {
-            backoff.snooze();
-        }
+        self.acquire_inner(SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
+        self.acquire_inner(budget);
     }
 
     fn release(&self, _ctx: &mut NoContext) {
         self.locked.store(false, Ordering::Release);
+        // Wake after the flag store (the waiters' condition).
+        #[cfg(feature = "park")]
+        self.park.wake_one();
     }
 }
 

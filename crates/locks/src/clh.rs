@@ -2,22 +2,28 @@
 //! predecessor's node.
 
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
+use crate::park::{WaitWord, SPIN_FOREVER};
 use crate::raw::{LockInfo, RawLock};
-use crate::spin::Backoff;
 
-/// A CLH queue node: a single flag the *successor* spins on.
+/// A CLH queue node: a single wait word the *successor* waits on.
 #[derive(Debug)]
 struct ClhNode {
-    /// `true` while the node's current owner holds or waits for the lock.
-    locked: AtomicBool,
+    /// Armed while the node's current owner holds or waits for the lock;
+    /// with the `park` feature the successor blocks on this word once its
+    /// spin budget runs out and the releaser futex-wakes it.
+    locked: WaitWord,
 }
 
 impl ClhNode {
     fn boxed(locked: bool) -> NonNull<ClhNode> {
         let node = Box::new(ClhNode {
-            locked: AtomicBool::new(locked),
+            locked: if locked {
+                WaitWord::new_wait()
+            } else {
+                WaitWord::new_go()
+            },
         });
         NonNull::new(Box::into_raw(node)).expect("Box::into_raw returned null")
     }
@@ -102,7 +108,26 @@ impl ClhLock {
         // SAFETY: `tail` always points to a live node: either the lock's
         // dummy or a node owned by a context that cannot legally be
         // dropped while enqueued.
-        unsafe { (*tail).locked.load(Ordering::Relaxed) }
+        unsafe { !(*tail).locked.is_go() }
+    }
+
+    fn acquire_inner(&self, ctx: &mut ClhContext, budget: u32) {
+        debug_assert!(ctx.pred.is_none(), "context invariant violated: re-acquire");
+        let node = ctx.node;
+        // SAFETY: We exclusively own `node` until the swap publishes it.
+        unsafe { node.as_ref().locked.prime() };
+        // AcqRel: Release publishes our armed word with the node; Acquire
+        // orders us after the predecessor's publication.
+        let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
+        crate::chaos::point("clh-acquire-enqueued");
+        // SAFETY: `pred` stays alive while we wait: its owner either is
+        // the lock itself (dummy) or cannot reuse/free it before we stop
+        // observing it — the releaser abandons the node to us. The wait's
+        // Acquire pairs with the releaser's `release_raw` swap.
+        unsafe { (*pred).locked.wait(budget) };
+        // We now exclusively own `pred` (its previous owner adopted *its*
+        // predecessor's node and will never touch `pred` again).
+        ctx.pred = NonNull::new(pred);
     }
 }
 
@@ -135,24 +160,12 @@ impl RawLock for ClhLock {
     };
 
     fn acquire(&self, ctx: &mut ClhContext) {
-        debug_assert!(ctx.pred.is_none(), "context invariant violated: re-acquire");
-        let node = ctx.node;
-        // SAFETY: We exclusively own `node` until the swap publishes it.
-        unsafe { node.as_ref().locked.store(true, Ordering::Relaxed) };
-        // AcqRel: Release publishes our `locked = true` with the node;
-        // Acquire orders us after the predecessor's publication.
-        let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
-        crate::chaos::point("clh-acquire-enqueued");
-        let mut backoff = Backoff::new();
-        // SAFETY: `pred` stays alive while we spin: its owner either is
-        // the lock itself (dummy) or cannot reuse/free it before we stop
-        // observing it — the releaser abandons the node to us.
-        while unsafe { (*pred).locked.load(Ordering::Acquire) } {
-            backoff.snooze();
-        }
-        // We now exclusively own `pred` (its previous owner adopted *its*
-        // predecessor's node and will never touch `pred` again).
-        ctx.pred = NonNull::new(pred);
+        self.acquire_inner(ctx, SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, ctx: &mut ClhContext, budget: u32) {
+        self.acquire_inner(ctx, budget);
     }
 
     fn release(&self, ctx: &mut ClhContext) {
@@ -162,9 +175,11 @@ impl RawLock for ClhLock {
             .expect("ClhLock::release called without a matching acquire");
         crate::chaos::point("clh-release-window");
         // SAFETY: Our node is still ours to signal through; the successor
-        // (or nobody) is spinning on it. Release publishes the critical
-        // section to the successor's Acquire spin.
-        unsafe { ctx.node.as_ref().locked.store(false, Ordering::Release) };
+        // (or nobody) waits on it. The grant's Release swap publishes the
+        // critical section to the successor's Acquire wait, after which
+        // the successor adopts the node — `release_raw` wakes by address
+        // and never dereferences past that hand-over.
+        unsafe { WaitWord::release_raw(std::ptr::addr_of!((*ctx.node.as_ptr()).locked)) };
         // Adopt the predecessor's node for the next acquisition; our old
         // node now belongs to our successor (or to the lock if none).
         ctx.node = pred;

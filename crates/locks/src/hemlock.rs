@@ -7,6 +7,14 @@
 //! interface is exactly what turns Hemlock *thread-oblivious*, which CLoF
 //! requires of high locks. This implementation takes the explicit-context
 //! form.
+//!
+//! Hemlock is deliberately **not** wired into the `park` waiting layer:
+//! its grant word is a *multi-writer* mailbox (the same cell is granted
+//! through by successive releasers and reset by acknowledging
+//! successors), so a parked waiter could be woken for a grant addressed
+//! to a different lock, and the release side itself spins on the
+//! acknowledgement. Hemlock waiters always spin; compose MCS/CLH at
+//! oversubscribed levels instead (DESIGN §11).
 
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};

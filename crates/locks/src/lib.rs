@@ -53,6 +53,7 @@ pub mod clh;
 pub mod hemlock;
 pub mod mcs;
 pub mod pad;
+pub mod park;
 pub mod raw;
 pub mod spin;
 pub mod ticket;
@@ -64,6 +65,9 @@ pub use clh::{ClhContext, ClhLock};
 pub use hemlock::{HemContext, Hemlock, HemlockCtr};
 pub use mcs::{McsContext, McsLock};
 pub use pad::{CachePadded, CACHE_LINE};
+#[cfg(feature = "park")]
+pub use park::{ParkSpot, PARK_MARKER};
+pub use park::{Waiter, WaitWord, SPIN_FOREVER};
 pub use raw::{LockInfo, NoContext, RawLock};
 pub use spin::Backoff;
 pub use ticket::TicketLock;

@@ -1,8 +1,9 @@
 //! MCS queue lock (Mellor-Crummey & Scott \[31\]): fair, local spinning.
 
 use std::ptr::{self, NonNull};
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
+use crate::park::{WaitWord, SPIN_FOREVER};
 use crate::raw::{LockInfo, RawLock};
 use crate::spin::Backoff;
 
@@ -13,8 +14,10 @@ use crate::spin::Backoff;
 /// lock's `tail`, and all shared fields are atomics.
 #[derive(Debug)]
 struct McsNode {
-    /// `true` while the owning thread must keep waiting.
-    locked: AtomicBool,
+    /// Armed while the owning thread must keep waiting; with the `park`
+    /// feature the waiter blocks on this word once its spin budget runs
+    /// out and the releaser futex-wakes exactly this successor.
+    locked: WaitWord,
     /// Successor in the queue, set by the enqueueing successor itself.
     next: AtomicPtr<McsNode>,
 }
@@ -22,7 +25,7 @@ struct McsNode {
 impl McsNode {
     fn boxed() -> NonNull<McsNode> {
         let node = Box::new(McsNode {
-            locked: AtomicBool::new(false),
+            locked: WaitWord::new_go(),
             next: AtomicPtr::new(ptr::null_mut()),
         });
         // `Box::into_raw` never returns null.
@@ -102,27 +105,14 @@ impl McsLock {
     pub fn is_locked(&self) -> bool {
         !self.tail.load(Ordering::Relaxed).is_null()
     }
-}
 
-impl RawLock for McsLock {
-    type Context = McsContext;
-
-    const INFO: LockInfo = LockInfo {
-        name: "mcs",
-        full_name: "MCS lock",
-        fair: true,
-        local_spinning: true,
-        needs_context: true,
-        waiter_hint: true,
-    };
-
-    fn acquire(&self, ctx: &mut McsContext) {
+    fn acquire_inner(&self, ctx: &mut McsContext, budget: u32) {
         let node = ctx.node.as_ptr();
         // SAFETY: `node` points to this context's live heap node; until
         // the swap below publishes it, no other thread can reach it.
         let node_ref = unsafe { &*node };
         node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
-        node_ref.locked.store(true, Ordering::Relaxed);
+        node_ref.locked.prime();
 
         // AcqRel: the Release half publishes our node initialization to
         // the successor that swaps after us; the Acquire half orders us
@@ -139,12 +129,31 @@ impl RawLock for McsLock {
         // before observing `pred.next != null`, which only happens via the
         // store below. Hence `pred` is alive here.
         unsafe { (*pred).next.store(node, Ordering::Release) };
-        let mut backoff = Backoff::new();
-        // Acquire pairs with the Release store in the predecessor's
-        // `release`, ordering the critical sections.
-        while node_ref.locked.load(Ordering::Acquire) {
-            backoff.snooze();
-        }
+        // The wait's Acquire pairs with the Release swap in the
+        // predecessor's `release`, ordering the critical sections.
+        node_ref.locked.wait(budget);
+    }
+}
+
+impl RawLock for McsLock {
+    type Context = McsContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "mcs",
+        full_name: "MCS lock",
+        fair: true,
+        local_spinning: true,
+        needs_context: true,
+        waiter_hint: true,
+    };
+
+    fn acquire(&self, ctx: &mut McsContext) {
+        self.acquire_inner(ctx, SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, ctx: &mut McsContext, budget: u32) {
+        self.acquire_inner(ctx, budget);
     }
 
     fn release(&self, ctx: &mut McsContext) {
@@ -167,7 +176,7 @@ impl RawLock for McsLock {
             }
             // A successor swapped the tail but has not linked yet; wait
             // for the link (it arrives promptly: the successor's very
-            // next step is the `next` store).
+            // next step is the `next` store — this loop never parks).
             let mut backoff = Backoff::new();
             loop {
                 next = node_ref.next.load(Ordering::Acquire);
@@ -177,9 +186,12 @@ impl RawLock for McsLock {
                 backoff.snooze();
             }
         }
-        // SAFETY: `next` is a queue node whose owner is spinning on its
-        // `locked` flag and therefore keeps it alive until we clear it.
-        unsafe { (*next).locked.store(false, Ordering::Release) };
+        // SAFETY: `next` is a queue node whose owner waits on its
+        // `locked` word and therefore keeps it alive until this release
+        // grants it; the grant itself is the last access through the
+        // pointer (`release_raw` wakes by address, never dereferencing
+        // after the successor may have moved on).
+        unsafe { WaitWord::release_raw(ptr::addr_of!((*next).locked)) };
     }
 
     fn has_waiters_hint(&self, ctx: &Self::Context) -> Option<bool> {

@@ -77,6 +77,21 @@ pub trait RawLock: Default + Send + Sync + 'static {
     /// Acquires the lock, spinning until ownership is obtained.
     fn acquire(&self, ctx: &mut Self::Context);
 
+    /// Acquires the lock with a bounded spin budget: the waiter spins at
+    /// most `budget` backoff rounds and then parks until the releaser's
+    /// wake (see `clof_locks::park`). A budget of
+    /// [`SPIN_FOREVER`](crate::SPIN_FOREVER) is equivalent to
+    /// [`acquire`](RawLock::acquire).
+    ///
+    /// The default implementation ignores the budget and spins; locks
+    /// with a parking path override it. The composition layer passes
+    /// each level's topology-derived budget through here.
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, ctx: &mut Self::Context, budget: u32) {
+        let _ = budget;
+        self.acquire(ctx);
+    }
+
     /// Releases the lock.
     ///
     /// Must only be called while the lock is held through `ctx`.

@@ -29,22 +29,35 @@ use std::thread;
 #[derive(Debug)]
 pub struct Backoff {
     step: u32,
+    limit: u32,
 }
 
 impl Backoff {
-    /// Maximum exponent: bursts of up to `2^SPIN_LIMIT` spin hints.
+    /// Default maximum exponent: bursts of up to `2^SPIN_LIMIT` spin hints.
     const SPIN_LIMIT: u32 = 7;
 
     /// Creates a fresh backoff in its shortest-burst state.
     #[inline]
     pub fn new() -> Self {
-        Backoff { step: 0 }
+        Self::with_limit(Self::SPIN_LIMIT)
+    }
+
+    /// Creates a backoff whose burst ceiling is capped at `2^limit` spin
+    /// hints (clamped to the default ceiling). Contended levels cap the
+    /// ceiling low so a waiter that is about to lose the hand-off race
+    /// does not sit in a long burst while the grant goes by.
+    #[inline]
+    pub fn with_limit(limit: u32) -> Self {
+        Backoff {
+            step: 0,
+            limit: limit.min(Self::SPIN_LIMIT),
+        }
     }
 
     /// Waits one round: a burst of spin hints, or a yield once saturated.
     #[inline]
     pub fn snooze(&mut self) {
-        if self.step <= Self::SPIN_LIMIT {
+        if self.step <= self.limit {
             for _ in 0..(1u32 << self.step) {
                 hint::spin_loop();
             }
@@ -63,7 +76,7 @@ impl Backoff {
     /// Whether the backoff has saturated and is now yielding.
     #[inline]
     pub fn is_yielding(&self) -> bool {
-        self.step > Self::SPIN_LIMIT
+        self.step > self.limit
     }
 }
 

@@ -3,7 +3,11 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::pad::CachePadded;
+#[cfg(feature = "park")]
+use crate::park::ParkSpot;
+use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, NoContext, RawLock};
+#[cfg(not(feature = "park"))]
 use crate::spin::Backoff;
 
 /// The classic two-counter ticket lock.
@@ -34,9 +38,17 @@ pub struct TicketLock {
     ticket: CachePadded<AtomicU32>,
     /// Owner-written, waiter-read.
     grant: CachePadded<AtomicU32>,
+    /// Eventcount budget-exhausted waiters park on. Grant order is a
+    /// total order over *different* awaited values, so the releaser must
+    /// wake everyone and let the grant word pick the winner (`wake_all`).
+    #[cfg(feature = "park")]
+    park: CachePadded<ParkSpot>,
 }
 
+#[cfg(not(feature = "park"))]
 const _: () = assert!(std::mem::size_of::<TicketLock>() == 2 * crate::pad::CACHE_LINE);
+#[cfg(feature = "park")]
+const _: () = assert!(std::mem::size_of::<TicketLock>() == 3 * crate::pad::CACHE_LINE);
 
 impl TicketLock {
     /// Creates an unlocked ticket lock.
@@ -57,6 +69,24 @@ impl TicketLock {
     pub fn is_locked(&self) -> bool {
         self.queue_len() != 0
     }
+
+    fn acquire_inner(&self, budget: u32) {
+        let my = self.ticket.fetch_add(1, Ordering::Relaxed);
+        crate::chaos::point("tkt-acquire-ticketed");
+        // The Acquire load synchronizes with the Release store in
+        // `release`, ordering the critical section after the previous one.
+        #[cfg(feature = "park")]
+        self.park
+            .wait_until(budget, || self.grant.load(Ordering::Acquire) == my);
+        #[cfg(not(feature = "park"))]
+        {
+            let _ = budget;
+            let mut backoff = Backoff::new();
+            while self.grant.load(Ordering::Acquire) != my {
+                backoff.snooze();
+            }
+        }
+    }
 }
 
 impl RawLock for TicketLock {
@@ -72,14 +102,12 @@ impl RawLock for TicketLock {
     };
 
     fn acquire(&self, _ctx: &mut NoContext) {
-        let my = self.ticket.fetch_add(1, Ordering::Relaxed);
-        crate::chaos::point("tkt-acquire-ticketed");
-        let mut backoff = Backoff::new();
-        // The Acquire load synchronizes with the Release store in
-        // `release`, ordering the critical section after the previous one.
-        while self.grant.load(Ordering::Acquire) != my {
-            backoff.snooze();
-        }
+        self.acquire_inner(SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
+        self.acquire_inner(budget);
     }
 
     fn release(&self, _ctx: &mut NoContext) {
@@ -89,6 +117,11 @@ impl RawLock for TicketLock {
         let g = self.grant.load(Ordering::Relaxed);
         crate::chaos::point("tkt-release-window");
         self.grant.store(g.wrapping_add(1), Ordering::Release);
+        // The wake must follow the grant store (the waiters' condition);
+        // ParkSpot's asymmetric barrier pairing makes this race-free
+        // without taxing the store.
+        #[cfg(feature = "park")]
+        self.park.wake_all();
     }
 
     fn has_waiters_hint(&self, _ctx: &NoContext) -> Option<bool> {

@@ -3,7 +3,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::pad::CachePadded;
+#[cfg(feature = "park")]
+use crate::park::ParkSpot;
+use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, NoContext, RawLock};
+#[cfg(not(feature = "park"))]
 use crate::spin::Backoff;
 
 /// Test-and-test-and-set (TTAS) spinlock.
@@ -32,9 +36,16 @@ pub struct TtasLock {
     /// `FastClof` gate) does not drag neighbouring fields into the
     /// contenders' coherence storm.
     locked: CachePadded<AtomicBool>,
+    /// Eventcount budget-exhausted waiters park on; each release wakes
+    /// one parked contender to retry the swap.
+    #[cfg(feature = "park")]
+    park: CachePadded<ParkSpot>,
 }
 
+#[cfg(not(feature = "park"))]
 const _: () = assert!(std::mem::size_of::<TtasLock>() == crate::pad::CACHE_LINE);
+#[cfg(feature = "park")]
+const _: () = assert!(std::mem::size_of::<TtasLock>() == 2 * crate::pad::CACHE_LINE);
 
 impl TtasLock {
     /// Creates an unlocked TTAS lock.
@@ -51,21 +62,29 @@ impl TtasLock {
     pub fn is_locked(&self) -> bool {
         self.locked.load(Ordering::Relaxed)
     }
-}
 
-impl RawLock for TtasLock {
-    type Context = NoContext;
+    #[cfg(feature = "park")]
+    fn acquire_inner(&self, budget: u32) {
+        loop {
+            // Test phase: wait (spin, then park) for an unlocked read.
+            // The Relaxed load is the traditional TTAS test; mutual
+            // exclusion comes from the swap below, and the park/wake
+            // pairing is ordered by ParkSpot's fences, not by this load.
+            self.park
+                .wait_until(budget, || !self.locked.load(Ordering::Relaxed));
+            // Window between observing unlocked and attempting the swap;
+            // the swap makes losing the race safe, merely wasteful.
+            crate::chaos::point("ttas-acquire-window");
+            // Test-and-set phase; Acquire pairs with the Release in
+            // `release` to order the critical sections.
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
 
-    const INFO: LockInfo = LockInfo {
-        name: "ttas",
-        full_name: "Test-and-test-and-set",
-        fair: false,
-        local_spinning: false,
-        needs_context: false,
-        waiter_hint: false,
-    };
-
-    fn acquire(&self, _ctx: &mut NoContext) {
+    #[cfg(not(feature = "park"))]
+    fn acquire_inner(&self, _budget: u32) {
         let mut backoff = Backoff::new();
         loop {
             // Test phase: spin on a (locally cached) load.
@@ -82,9 +101,34 @@ impl RawLock for TtasLock {
             }
         }
     }
+}
+
+impl RawLock for TtasLock {
+    type Context = NoContext;
+
+    const INFO: LockInfo = LockInfo {
+        name: "ttas",
+        full_name: "Test-and-test-and-set",
+        fair: false,
+        local_spinning: false,
+        needs_context: false,
+        waiter_hint: false,
+    };
+
+    fn acquire(&self, _ctx: &mut NoContext) {
+        self.acquire_inner(SPIN_FOREVER);
+    }
+
+    #[cfg(feature = "park")]
+    fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
+        self.acquire_inner(budget);
+    }
 
     fn release(&self, _ctx: &mut NoContext) {
         self.locked.store(false, Ordering::Release);
+        // Wake after the flag store (the waiters' condition).
+        #[cfg(feature = "park")]
+        self.park.wake_one();
     }
 }
 

@@ -51,7 +51,7 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_hist(h: &HistSnapshot) -> String {
+pub(crate) fn json_hist(h: &HistSnapshot) -> String {
     let buckets = h
         .cumulative()
         .iter()

@@ -55,8 +55,8 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
+    /// An empty histogram (`const` so statics can hold one directly).
+    pub const fn new() -> Self {
         LogHistogram {
             buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
             count: AtomicU64::new(0),

@@ -87,6 +87,7 @@ pub mod audit;
 pub mod counters;
 pub mod export;
 pub mod hist;
+pub mod park;
 pub mod policy;
 pub mod profile;
 pub mod registry;
@@ -103,6 +104,7 @@ pub use audit::{render_audit_json, AuditReason, AuditRecord, AuditRing};
 pub use counters::{LevelCounters, LevelSnapshot};
 pub use export::{render_json, render_prometheus, LockSnapshot};
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
+pub use park::{park_stats, render_park_json, render_park_prometheus, ParkStats};
 pub use policy::{
     AdaptDecision, FinalistProfile, HysteresisConfig, HysteresisController, WindowObservation,
 };

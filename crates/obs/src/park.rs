@@ -1,0 +1,167 @@
+//! Process-wide park/wake telemetry for the spin-then-park waiting layer.
+//!
+//! The waiting layer lives in `clof-locks` behind its `park` feature; to
+//! keep that crate dependency-free it exposes recorder *hooks*
+//! (`set_parked_recorder` / `set_wake_recorder`) and `clof-core` wires
+//! them here when both `park` and `obs` are enabled. The state is
+//! process-global rather than per-lock because a futex wake cannot tell
+//! which lock's waiter it roused — attribution by lock/site happens in
+//! the contention profiler (`profile::record_park`), which *does* know
+//! the site on the waiter side.
+//!
+//! Counting convention: a **park** is one completed park episode,
+//! recorded at unpark time together with its measured duration (so
+//! `parks == parked_ns.count` at quiescence); a **wake** is one
+//! releaser-side futex/unpark call that found a parked waiter. Wakes and
+//! parks need not match: one `wake_all` may rouse several waiters, and a
+//! timed-wait rescue parks without a wake.
+//!
+//! Rendering composes at the serve layer (`/metrics` and `/snapshot`
+//! append the fragments from [`render_park_prometheus`] /
+//! [`render_park_json`]) instead of inside `render_json` /
+//! `render_prometheus`, which stay pure functions of a [`LockSnapshot`]
+//! — process-global state there would break snapshot-determinism.
+//!
+//! [`LockSnapshot`]: crate::export::LockSnapshot
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::export::{json_hist, prom_histogram};
+use crate::hist::{HistSnapshot, LogHistogram};
+
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static WAKES: AtomicU64 = AtomicU64::new(0);
+static PARKED_NS: LogHistogram = LogHistogram::new();
+
+/// Records one completed park episode of `ns` nanoseconds (called from
+/// the waiter at unpark; matches `clof_locks::park::set_parked_recorder`).
+#[inline]
+pub fn record_parked(ns: u64) {
+    PARKS.fetch_add(1, Ordering::Relaxed);
+    PARKED_NS.record(ns);
+}
+
+/// Records one releaser-side wake of a parked waiter (matches
+/// `clof_locks::park::set_wake_recorder`).
+#[inline]
+pub fn record_wake() {
+    WAKES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the process-wide park statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkStats {
+    /// Completed park episodes (counted at unpark).
+    pub parks: u64,
+    /// Releaser-side wakes of parked waiters.
+    pub wakes: u64,
+    /// Distribution of parked durations, in nanoseconds.
+    pub parked_ns: HistSnapshot,
+}
+
+/// Snapshots the process-wide park statistics.
+pub fn park_stats() -> ParkStats {
+    ParkStats {
+        parks: PARKS.load(Ordering::Relaxed),
+        wakes: WAKES.load(Ordering::Relaxed),
+        parked_ns: PARKED_NS.snapshot(),
+    }
+}
+
+/// Renders the park statistics as one JSON object, e.g. for a `"park"`
+/// key in the `/snapshot` composite.
+pub fn render_park_json(stats: &ParkStats) -> String {
+    format!(
+        "{{\"parks\":{},\"wakes\":{},\"parked_ns\":{}}}",
+        stats.parks,
+        stats.wakes,
+        json_hist(&stats.parked_ns)
+    )
+}
+
+/// Renders the park statistics as a Prometheus exposition fragment
+/// (appended to `/metrics` by the serving layer).
+pub fn render_park_prometheus(stats: &ParkStats) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP clof_park_parks_total Completed park episodes (counted at unpark).\n");
+    out.push_str("# TYPE clof_park_parks_total counter\n");
+    out.push_str(&format!(
+        "clof_park_parks_total{{scope=\"process\"}} {}\n",
+        stats.parks
+    ));
+    out.push_str("# HELP clof_park_wakes_total Releaser-side wakes of parked waiters.\n");
+    out.push_str("# TYPE clof_park_wakes_total counter\n");
+    out.push_str(&format!(
+        "clof_park_wakes_total{{scope=\"process\"}} {}\n",
+        stats.wakes
+    ));
+    prom_histogram(
+        &mut out,
+        "clof_park_parked_ns",
+        "Parked duration per completed park episode (ns).",
+        "scope=\"process\"",
+        &stats.parked_ns,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The statics are process-global and tests run in parallel, so
+    // assertions are monotonic (deltas >=) rather than exact.
+
+    #[test]
+    fn record_bumps_counters_and_histogram() {
+        let before = park_stats();
+        record_parked(1_500);
+        record_parked(3_000_000);
+        record_wake();
+        let after = park_stats();
+        assert!(after.parks >= before.parks + 2);
+        assert!(after.wakes >= before.wakes + 1);
+        assert!(after.parked_ns.count >= before.parked_ns.count + 2);
+        assert!(after.parked_ns.sum >= before.parked_ns.sum + 3_001_500);
+    }
+
+    #[test]
+    fn json_fragment_is_balanced_and_complete() {
+        record_parked(42);
+        let s = render_park_json(&park_stats());
+        for key in ["\"parks\":", "\"wakes\":", "\"parked_ns\":", "\"buckets\":"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        let (mut depth, mut max_depth) = (0i64, 0i64);
+        for c in s.chars() {
+            match c {
+                '{' | '[' => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(max_depth >= 3);
+    }
+
+    #[test]
+    fn prometheus_fragment_has_help_type_and_series() {
+        record_parked(7);
+        record_wake();
+        let text = render_park_prometheus(&park_stats());
+        for family in [
+            "clof_park_parks_total",
+            "clof_park_wakes_total",
+            "clof_park_parked_ns",
+        ] {
+            assert!(text.contains(&format!("# HELP {family}")), "{family} HELP");
+            assert!(text.contains(&format!("# TYPE {family}")), "{family} TYPE");
+        }
+        assert!(text.contains("clof_park_parks_total{scope=\"process\"}"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("clof_park_parked_ns_count"));
+    }
+}

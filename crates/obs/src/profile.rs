@@ -124,6 +124,10 @@ struct SiteCell {
     hold: Striped,
     /// (acquires, passes) — traffic; passes clock the inversion check.
     traffic: Striped,
+    /// (park_ns, parks) — time waiters of this site spent blocked in
+    /// the spin-then-park waiting layer, and completed park episodes.
+    /// Zero unless the `park` feature is compiled into the lock crates.
+    park: Striped,
     /// Live node accumulators (pruned of dead `Weak`s on snapshot).
     nodes: Mutex<Vec<Weak<NodeAcc>>>,
 }
@@ -159,6 +163,7 @@ impl ContentionProfile {
             cell.wait.reset();
             cell.hold.reset();
             cell.traffic.reset();
+            cell.park.reset();
             cell.nodes
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
@@ -180,6 +185,16 @@ impl ContentionProfile {
     pub fn record_hold(&self, id: u32, ns: u64) {
         if let Some(cell) = self.cell(id) {
             cell.hold.add(ns, 1);
+        }
+    }
+
+    /// Records one completed park episode of `ns` nanoseconds by a
+    /// waiter of this site (the site is carried in a thread-local on the
+    /// waiter side; the park/wake layer itself is site-oblivious).
+    #[inline]
+    pub fn record_park(&self, id: u32, ns: u64) {
+        if let Some(cell) = self.cell(id) {
+            cell.park.add(ns, 1);
         }
     }
 
@@ -248,6 +263,7 @@ impl ContentionProfile {
             let (wait_ns, waits) = cell.wait.sum();
             let (hold_ns, holds) = cell.hold.sum();
             let (acquires, passes) = cell.traffic.sum();
+            let (park_ns, parks) = cell.park.sum();
             let mut nodes = Vec::new();
             {
                 let mut list = cell.nodes.lock().unwrap_or_else(|p| p.into_inner());
@@ -279,6 +295,8 @@ impl ContentionProfile {
                 holds,
                 acquires,
                 passes,
+                park_ns,
+                parks,
                 nodes,
             });
         }
@@ -337,6 +355,10 @@ pub struct SiteProfile {
     pub acquires: u64,
     /// Intra-level passes taken.
     pub passes: u64,
+    /// Nanoseconds waiters spent parked (blocked) at this site.
+    pub park_ns: u64,
+    /// Completed park episodes at this site.
+    pub parks: u64,
     /// Per-(level, node) wait breakdown.
     pub nodes: Vec<NodeProfile>,
 }
@@ -411,6 +433,8 @@ impl ProfileSnapshot {
                     holds: cur.holds.saturating_sub(prev.holds),
                     acquires: cur.acquires.saturating_sub(prev.acquires),
                     passes: cur.passes.saturating_sub(prev.passes),
+                    park_ns: cur.park_ns.saturating_sub(prev.park_ns),
+                    parks: cur.parks.saturating_sub(prev.parks),
                     nodes,
                     ..cur.clone()
                 }
@@ -486,7 +510,7 @@ pub fn render_profile_json(snap: &ProfileSnapshot, findings: &[GraphFinding]) ->
             "{{\"id\":{},\"epoch\":{},\"generation\":{},\"refs\":{},\
              \"label\":\"{}\",\"shape\":\"{}\",\"location\":\"{}\",\
              \"wait_ns\":{},\"waits\":{},\"hold_ns\":{},\"holds\":{},\
-             \"acquires\":{},\"passes\":{},\"nodes\":[",
+             \"acquires\":{},\"passes\":{},\"park_ns\":{},\"parks\":{},\"nodes\":[",
             s.id,
             s.epoch,
             s.generation,
@@ -500,6 +524,8 @@ pub fn render_profile_json(snap: &ProfileSnapshot, findings: &[GraphFinding]) ->
             s.holds,
             s.acquires,
             s.passes,
+            s.park_ns,
+            s.parks,
         ));
         for (j, n) in s.nodes.iter().enumerate() {
             if j > 0 {

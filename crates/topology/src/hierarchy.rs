@@ -265,6 +265,16 @@ impl Hierarchy {
         self.levels[level].cohorts
     }
 
+    /// Average number of CPUs spanned by one cohort at `level` (at least
+    /// 1): the topology-distance measure the waiting layer derives
+    /// per-level spin budgets from. Inner levels span few CPUs (waiters
+    /// are cache-close, a hand-off is cheap, spinning longer pays off);
+    /// the outermost level spans the machine (a waiting slot is
+    /// expensive, park soon).
+    pub fn cohort_span(&self, level: LevelIdx) -> usize {
+        (self.ncpus / self.cohort_count(level)).max(1)
+    }
+
     /// The path of cohort ids of `cpu`, innermost level first.
     pub fn path(&self, cpu: CpuId) -> Vec<CohortId> {
         self.levels.iter().map(|l| l.cohort_of[cpu]).collect()
@@ -343,6 +353,16 @@ mod tests {
         let h = Hierarchy::flat(4).unwrap();
         assert_eq!(h.level_count(), 1);
         assert_eq!(h.shared_level(0, 3), 0);
+    }
+
+    #[test]
+    fn cohort_span_grows_outwards() {
+        let h = Hierarchy::regular(&[("cache", 2), ("numa", 4)], 16).unwrap();
+        assert_eq!(h.cohort_span(0), 2);
+        assert_eq!(h.cohort_span(1), 8);
+        assert_eq!(h.cohort_span(2), 16);
+        let flat = Hierarchy::flat(1).unwrap();
+        assert_eq!(flat.cohort_span(0), 1, "span is at least 1");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 # Usage: scripts/bench_compare.sh [output.json]
 #        scripts/bench_compare.sh --obs [output.json]
 #        scripts/bench_compare.sh --profile [output.json]
+#        scripts/bench_compare.sh --park [output.json]
 #   CLOF_BENCH_MIN_MS / CLOF_BENCH_SAMPLES tune run length (defaults
 #   60 ms × 15 samples — long enough for stable medians on small hosts).
 #
@@ -23,6 +24,15 @@
 # noise bands. The acceptance gate is that the *default* build's
 # contended medians stay inside those bands: compiling obs out must
 # remain free.
+#
+# `--park` mode measures the spin-then-park waiting layer into
+# BENCH_PR9.json: the dyn pairs plus the oversubscription matrix
+# (threads = 1x/2x/4x cores) on the spin-only build and again with
+# `--features park`. Gates: at 2x oversubscription the park build's
+# headline contended cell (oversub/mcs-clh-tkt/2x) is at least 2x
+# faster than spin-only, and at 1x the contended dyn medians stay
+# inside the BENCH_PR4.json noise bands on BOTH builds — park must be
+# zero-cost when disabled and free of 1x regressions when enabled.
 #
 # `--profile` mode prices the contention profiler the same way into
 # BENCH_PR8.json: default build (profiler compiled out), obs build with
@@ -152,6 +162,136 @@ if failures:
     sys.exit(1)
 print(
     ">>> acceptance gate passed (default-build contended medians inside PR4 noise bands)",
+    file=sys.stderr,
+)
+PYEOF
+    exit 0
+fi
+
+if [ "${1:-}" = "--park" ]; then
+    shift
+    OUT=${1:-BENCH_PR9.json}
+
+    # Many short samples instead of few long ones: each reported sample
+    # is a *mean* over its iterations, so a 60 ms sample on a shared
+    # host always absorbs scheduler preemption spikes and the
+    # cross-sample median cannot reject them. With 15 ms samples a
+    # spike lands in one or two samples out of 31 and the median
+    # discards them — what is left is the cost of the code under test,
+    # which is the thing the PR4 noise bands are about.
+    export CLOF_BENCH_MIN_MS=15 CLOF_BENCH_SAMPLES=31
+
+    echo ">>> [1/2] dyn pairs + oversub matrix, spin-only build (park compiled out)" >&2
+    RAW_SPIN=$(cargo bench -p clof-bench --bench locks_micro --features criterion 2>/dev/null \
+        | grep -E '^(dyn|oversub)/')
+    echo "$RAW_SPIN" >&2
+
+    echo ">>> [2/2] dyn pairs + oversub matrix, park build (spin-then-park waiting)" >&2
+    RAW_PARK=$(cargo bench -p clof-bench --bench locks_micro --features criterion,park 2>/dev/null \
+        | grep -E '^(dyn|oversub)/')
+    echo "$RAW_PARK" >&2
+
+    RAW_SPIN="$RAW_SPIN" RAW_PARK="$RAW_PARK" \
+        python3 - "$OUT" <<'PYEOF'
+import json, os, re, sys
+
+LINE = re.compile(
+    r"^(\S+)\s+([\d.]+) ns/iter\s+\(min ([\d.]+), p99 ([\d.]+), "
+    r"max ([\d.]+), (\d+) it/sample\)"
+)
+
+def parse(raw):
+    out = {}
+    for line in raw.splitlines():
+        m = LINE.match(line.strip())
+        if m:
+            name, med, mn, p99, mx, iters = m.groups()
+            out[name] = {
+                "median_ns": float(med),
+                "min_ns": float(mn),
+                "p99_ns": float(p99),
+                "max_ns": float(mx),
+                "iters_per_sample": int(iters),
+            }
+    return out
+
+configs = {
+    "spin_only": parse(os.environ["RAW_SPIN"]),
+    "park": parse(os.environ["RAW_PARK"]),
+}
+
+with open("BENCH_PR4.json") as f:
+    pr4 = json.load(f)["after"]
+
+report = {
+    "benchmark": "locks_micro: spin-then-park under oversubscription",
+    "note": (
+        "Dyn pairs plus the oversubscription matrix (threads = 1x/2x/4x "
+        "cores, same composed shapes) on the spin-only build and with "
+        "--features park. Gates: oversub/mcs-clh-tkt/2x at least 2x "
+        "faster with park, and contended dyn medians inside the PR4 "
+        "noise bands (min..max, +15% host slack) on both builds."
+    ),
+    "pr4_noise_bands": {
+        name: {"min_ns": m["min_ns"], "median_ns": m["median_ns"], "max_ns": m["max_ns"]}
+        for name, m in pr4.items()
+        if name.startswith("dyn/")
+    },
+    "configs": configs,
+    "park_speedup": {},
+}
+
+failures = []
+
+# Oversubscription speedups (spin median / park median, >1 = park wins).
+for name, spin in sorted(configs["spin_only"].items()):
+    if not name.startswith("oversub/"):
+        continue
+    parkm = configs["park"].get(name)
+    if parkm is None:
+        failures.append(f"missing park measurement for {name}")
+        continue
+    report["park_speedup"][name] = round(spin["median_ns"] / parkm["median_ns"], 2)
+
+headline = "oversub/mcs-clh-tkt/2x"
+speedup = report["park_speedup"].get(headline)
+if speedup is None:
+    failures.append(f"missing headline cell {headline}")
+elif speedup < 2.0:
+    failures.append(
+        f"{headline}: park speedup {speedup:.2f}x (gate: >= 2x over spin-only)"
+    )
+
+# 1x gates: contended dyn medians inside the PR4 noise bands, both builds.
+for config in ("spin_only", "park"):
+    for name, m in configs[config].items():
+        if not (name.startswith("dyn/") and name.endswith("/contended")):
+            continue
+        band = pr4.get(name)
+        if band is None:
+            failures.append(f"{name}: no PR4 noise band recorded")
+            continue
+        lo, hi = band["min_ns"] * 0.85, band["max_ns"] * 1.15
+        if not (lo <= m["median_ns"] <= hi):
+            failures.append(
+                f"{name} [{config}]: median {m['median_ns']:.1f} ns outside "
+                f"PR4 noise band [{lo:.1f}, {hi:.1f}]"
+            )
+
+out = sys.argv[1]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f">>> wrote {out}", file=sys.stderr)
+for name, s in sorted(report["park_speedup"].items()):
+    print(f"    {name:<32} park speedup {s:6.2f}x", file=sys.stderr)
+if failures:
+    print(">>> FAILED acceptance gate:", file=sys.stderr)
+    for f_ in failures:
+        print(f"    {f_}", file=sys.stderr)
+    sys.exit(1)
+print(
+    ">>> acceptance gate passed (2x-oversubscribed headline >= 2x; 1x medians inside PR4 bands)",
     file=sys.stderr,
 )
 PYEOF

@@ -25,7 +25,14 @@
 #      `clof adapt --once` smoke against the real binary, and the
 #      zero-cost assertions that the default binary carries no
 #      "clof-adapt" marker and the default dependency graph enables
-#      the `adapt` feature nowhere.
+#      the `adapt` feature nowhere;
+#   7. the park phase: `park` release build, the locks/core park unit
+#      suites, the oversubscribed stress-oracle smoke (forced-park
+#      liveness, parked gap bound, budget plumbing), the deleted-wake
+#      mutant-kill test, the same oracle smoke with `park,obs`
+#      instrumentation compiled in, and the zero-cost assertions that
+#      the default binary carries no "clof-park" marker and the default
+#      dependency graph enables the `park` feature nowhere.
 #
 # Everything builds from vendored/in-repo code only — no network, no
 # external dev-dependencies — so this is safe for air-gapped runners.
@@ -122,6 +129,14 @@ phase "default binary carries no telemetry-server symbols" \
 phase "default binary carries no profiler symbols" \
     sh -c 'if grep -qa clof-profile-v1 target/release/clof; then
                echo "profiler symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
+# The "clof-park-v1" literal is the waiting layer's futex marker (woven
+# into its syscall-failure panics), so its absence proves the default
+# binary compiled no spin-then-park/futex code.
+phase "default binary carries no park symbols" \
+    sh -c 'if grep -qa clof-park target/release/clof; then
+               echo "spin-then-park symbols leaked into the default clof binary" >&2
                exit 1
            fi'
 
@@ -244,6 +259,37 @@ phase "adapt zero-cost dependency check" \
            fi
            if cargo tree -e normal -f "{p} {f}" -p clof-bench | grep -qw adapt; then
                echo "the adapt feature leaked into the default clof-bench graph" >&2
+               exit 1
+           fi'
+
+# Spin-then-park phase: the waiting layer must build and hold the
+# oracle's invariants under 2x/4x oversubscription, its deleted-wake
+# mutant must die by the stall panic, the park/wake instrumentation
+# must compose with obs, and the default build must carry none of it.
+phase "park release build" cargo build --release --features park
+phase "park locks unit suite" cargo test -q -p clof-locks --features park
+phase "park core suite" cargo test -q -p clof-core --features park
+phase "park kvstore suite" cargo test -q -p clof-kvstore --features park
+phase "park oversubscribed oracle smoke" \
+    cargo test -q --features park --test park_oracle -- \
+    forced_park_liveness_no_lost_wakeups \
+    gap_bound_holds_across_park_wake_edges \
+    budgets_are_leaf_biased_and_runtime_tunable
+phase "park mutant-kill (deleted releaser wake)" \
+    cargo test -q --features park --test park_mutant
+phase "park+obs instrumentation oracle smoke" \
+    cargo test -q --features park,obs --test park_oracle -- \
+    forced_park_liveness_no_lost_wakeups
+phase "park clof binary build" cargo build --release -p clof-bench --features park
+phase "park binary carries the park marker" \
+    grep -qa clof-park target/release/clof
+phase "park zero-cost dependency check" \
+    sh -c 'if cargo tree -e normal -f "{p} {f}" | grep -qw park; then
+               echo "the park feature leaked into the default dependency graph" >&2
+               exit 1
+           fi
+           if cargo tree -e normal -f "{p} {f}" -p clof-bench | grep -qw park; then
+               echo "the park feature leaked into the default clof-bench graph" >&2
                exit 1
            fi'
 

@@ -1,0 +1,132 @@
+//! Mutant-kill suite for the park/wake protocol: delete the
+//! releaser-side wake and prove the stall detector catches it.
+//!
+//! The mutant (`clof_locks::park::mutant::skip_wake`) makes every
+//! releaser publish its condition but skip the epoch bump *and* the
+//! futex wake — the classic lost-wakeup bug class. Test builds park
+//! with a bounded timeout, and a waiter whose timed wait expires with
+//! its condition already true while the process-wide wake counter never
+//! moved records a **timeout rescue**; enough rescues panic with a
+//! `clof-park stall` message. This file asserts both edges: armed, the
+//! mutant dies by that panic within one hand-off; disarmed, the same
+//! scenario completes with zero rescues.
+//!
+//! One `#[test]` on purpose: the mutant switch and the stall bound are
+//! process-global, so phases must run serially in their own binary.
+
+#![cfg(feature = "park")]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clof::{DynClofLock, LockKind};
+use clof_locks::park;
+use clof_testkit::strategies::build_regular;
+
+/// Waits (bounded) until the process-wide park counter moves past
+/// `baseline`, i.e. the victim thread has actually blocked.
+fn await_park(baseline: u64) {
+    let t0 = Instant::now();
+    while park::parks() <= baseline {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "victim never parked (parks still {})",
+            park::parks()
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn deleted_wake_mutant_is_caught_by_stall_panic() {
+    if !park::has_native_futex() {
+        // The portable fallback parks with a timeout and wakes by
+        // itself, so the rescue detector has no missing-wake evidence
+        // to act on there.
+        eprintln!("skipping: no native futex on this platform");
+        return;
+    }
+
+    let hierarchy = build_regular(&[2]);
+    let lock = Arc::new(
+        DynClofLock::build(&hierarchy, &[LockKind::Ticket, LockKind::Ticket])
+            .expect("composition builds"),
+    );
+    // Zero budget: the victim parks on its first contended acquire.
+    for level in 0..2 {
+        lock.set_spin_budget(level, 0);
+    }
+
+    // Phase 1 — mutant armed: holder publishes the grant but the wake
+    // is deleted; the parked victim's very first timeout rescue must
+    // panic (bound 1) with the stall message.
+    park::testkit::set_stall_bound(1);
+    park::mutant::skip_wake(true);
+
+    let mut holder = lock.handle(0);
+    holder.acquire();
+    let parks_before = park::parks();
+    let victim = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut h = lock.handle(1);
+            h.acquire();
+            h.release();
+        })
+    };
+    await_park(parks_before);
+    holder.release(); // grant published, wake deleted
+
+    let outcome = victim.join();
+    // Disarm before asserting, so a failure here can't poison later runs.
+    park::mutant::skip_wake(false);
+    park::testkit::set_stall_bound(park::testkit::DEFAULT_STALL_BOUND);
+    park::testkit::reset_rescues();
+
+    let payload = outcome.expect_err("deleted-wake mutant must be caught by the stall panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("clof-park stall"),
+        "stall panic must name the bug class, got: {msg:?}"
+    );
+
+    // Phase 2 — control, mutant disarmed: the identical hand-off
+    // completes through a real wake, with no timeout rescues. Fresh
+    // lock: the mutant's victim unwound while holding its grant, so the
+    // phase-1 lock is (correctly) wedged for good.
+    let lock = Arc::new(
+        DynClofLock::build(&hierarchy, &[LockKind::Ticket, LockKind::Ticket])
+            .expect("composition builds"),
+    );
+    for level in 0..2 {
+        lock.set_spin_budget(level, 0);
+    }
+    let mut holder = lock.handle(0);
+    holder.acquire();
+    let parks_before = park::parks();
+    let wakes_before = park::wakes();
+    let victim = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut h = lock.handle(1);
+            h.acquire();
+            h.release();
+        })
+    };
+    await_park(parks_before);
+    holder.release();
+    victim.join().expect("wake path must complete cleanly");
+    assert!(
+        park::wakes() > wakes_before,
+        "releaser must issue a wake for a parked waiter"
+    );
+    assert_eq!(
+        park::testkit::rescues(),
+        0,
+        "a healthy hand-off must not need timeout rescues"
+    );
+}
