@@ -323,16 +323,22 @@ impl FastClofHandle {
         // composition's owner, win the gate and hand the composition to
         // the next NUMA-local waiter (who becomes the new gate spinner).
         self.slow.acquire();
-        // The gate's next releaser may already be mid-release, so the
-        // condition (a TAS attempt — idempotent on failure) can come
-        // true before the park registers; `ParkSpot`'s eventcount
-        // handles that race, and a fast-path thief who outraces the
-        // woken spinner re-arms the wake with its own release.
+        // Same shape as `TtasLock::acquire_inner`: the park condition is
+        // a *pure* read of the gate word (ParkSpot conditions must be
+        // side-effect-free — see its docs), and the actual TAS runs in
+        // the outer loop. A fast-path thief who outraces the woken
+        // spinner just sends it back into `wait_until`, and the thief's
+        // own release re-arms the wake.
         #[cfg(feature = "park")]
-        self.lock.gate_park.wait_until(
-            self.lock.gate_budget.load(Ordering::Relaxed),
-            || self.lock.try_top(),
-        );
+        loop {
+            self.lock.gate_park.wait_until(
+                self.lock.gate_budget.load(Ordering::Relaxed),
+                || !self.lock.top.load(Ordering::Relaxed),
+            );
+            if self.lock.try_top() {
+                break;
+            }
+        }
         #[cfg(not(feature = "park"))]
         {
             let mut backoff = Backoff::new();

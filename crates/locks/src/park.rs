@@ -194,8 +194,18 @@ impl WaitWord {
     /// Blocks until the word is released: spins `budget` rounds, then —
     /// with the `park` feature — parks on the word until the releaser's
     /// wake. Returns with `Acquire` ordering against the release.
+    ///
+    /// Without the `park` feature there is nothing to do when a budget
+    /// exhausts, so any finite budget is treated as [`SPIN_FOREVER`]:
+    /// the loop always keeps its [`Backoff`] instead of degenerating
+    /// into a tight load.
     #[inline]
     pub fn wait(&self, budget: u32) {
+        let budget = if cfg!(feature = "park") {
+            budget
+        } else {
+            SPIN_FOREVER
+        };
         let mut waiter = Waiter::new(budget);
         loop {
             if self.0.load(Ordering::Acquire) == GO {
@@ -228,7 +238,23 @@ impl WaitWord {
             if cur == GO {
                 break;
             }
-            futex::wait(&self.0, cur, &mut || self.0.load(Ordering::Acquire) == GO);
+            #[cfg(any(test, feature = "testkit"))]
+            {
+                // Stall-detector evidence (see `testkit`): a timed-out
+                // sleep that finds the word already GO with no wake
+                // issued anywhere since we slept is a timeout rescue.
+                // The loop's own GO check above decides the exit, so
+                // nothing observed here is swallowed.
+                let wakes_before = stats::WAKES.load(Ordering::SeqCst);
+                if futex::wait(&self.0, cur) == futex::Unblock::TimedOut
+                    && self.0.load(Ordering::Acquire) == GO
+                    && stats::WAKES.load(Ordering::SeqCst) == wakes_before
+                {
+                    testkit::record_rescue();
+                }
+            }
+            #[cfg(not(any(test, feature = "testkit")))]
+            let _ = futex::wait(&self.0, cur);
         }
         stats::on_unpark(t0.elapsed());
     }
@@ -321,10 +347,19 @@ impl ParkSpot {
     /// until a releaser's wake (re-spinning a fresh budget after each
     /// wake, since another thread may have consumed the condition).
     ///
-    /// `cond` must read its state with at least `Acquire` ordering, and
-    /// every writer that makes it true must call [`wake_one`] /
-    /// [`wake_all`] afterwards (see the type docs for why that cannot
-    /// lose a wakeup).
+    /// `cond` must be a side-effect-free *pure read* of shared state
+    /// (with at least `Acquire` ordering). The wait machinery re-invokes
+    /// it freely — before sleeping, after timed-out test-build sleeps —
+    /// so a *consuming* condition (a test-and-set, a CAS) does not
+    /// belong here: wait on a pure read and retry the consuming step in
+    /// an outer loop instead (see `TtasLock::acquire_inner`). As defence
+    /// in depth, any `cond() == true` observed inside the park machinery
+    /// propagates back here and returns without another invocation, so
+    /// one successful call is never swallowed.
+    ///
+    /// Every writer that makes the condition true must call
+    /// [`wake_one`] / [`wake_all`] afterwards (see the type docs for
+    /// why that cannot lose a wakeup).
     ///
     /// [`wake_one`]: ParkSpot::wake_one
     /// [`wake_all`]: ParkSpot::wake_all
@@ -338,24 +373,34 @@ impl ParkSpot {
             if waiter.spin() {
                 continue;
             }
-            self.park(&mut cond);
+            if self.park(&mut cond) {
+                // `cond` returned true inside `park`; that observation
+                // already consumed the condition for us — re-invoking
+                // could fail (and, for an impure cond, double-fire).
+                return;
+            }
             waiter.reset();
         }
     }
 
-    /// One park episode: announce, re-check, sleep, retract.
+    /// One park episode: announce, re-check, sleep, retract. Returns
+    /// `true` iff `cond()` was invoked in here and returned true; the
+    /// caller must treat the condition as satisfied and must not invoke
+    /// `cond` again.
     #[cold]
-    fn park(&self, cond: &mut impl FnMut() -> bool) {
+    fn park(&self, cond: &mut impl FnMut() -> bool) -> bool {
         let e = self.epoch.load(Ordering::Relaxed);
         self.parked.fetch_add(1, Ordering::SeqCst);
         asym::heavy();
         if cond() {
             self.parked.fetch_sub(1, Ordering::SeqCst);
-            return;
+            return true;
         }
         let t0 = std::time::Instant::now();
         stats::on_park();
-        let woken = futex::wait(&self.epoch, e, cond);
+        #[cfg(any(test, feature = "testkit"))]
+        let wakes_before = stats::WAKES.load(Ordering::SeqCst);
+        let outcome = futex::wait(&self.epoch, e);
         // A wake consumes the announce on the waker's side (see
         // `wake_slow`); only an unwoken return — stale epoch, signal,
         // timeout — retracts it here. The split keeps `parked` accurate
@@ -363,10 +408,29 @@ impl ParkSpot {
         // CPU: on an oversubscribed host that lag had every subsequent
         // release re-reading `parked > 0` and paying a wake syscall for
         // a sleeper that was already gone.
-        if !woken {
-            self.parked.fetch_sub(1, Ordering::SeqCst);
-        }
+        let cond_hit = match outcome {
+            futex::Unblock::Woken => false,
+            futex::Unblock::Spurious => {
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+            #[cfg(any(test, feature = "testkit"))]
+            futex::Unblock::TimedOut => {
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                // Stall-detector evidence (see `testkit`): a timed-out
+                // sleep whose condition is already true, with no wake
+                // issued anywhere since we slept, means a releaser-side
+                // wake went missing. The `cond` result propagates to the
+                // caller — never swallowed as detector-only evidence.
+                let hit = cond();
+                if hit && stats::WAKES.load(Ordering::SeqCst) == wakes_before {
+                    testkit::record_rescue();
+                }
+                hit
+            }
+        };
         stats::on_unpark(t0.elapsed());
+        cond_hit
     }
 
     /// Wakes one parked waiter, if any. Call *after* making the waiters'
@@ -578,14 +642,30 @@ mod futex {
         any(target_arch = "x86_64", target_arch = "aarch64")
     ));
 
+    /// How a [`wait`] came back. The backend never invokes caller code
+    /// (conditions stay with the caller — see `ParkSpot::wait_until`'s
+    /// purity contract); it only reports what the kernel said.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub(super) enum Unblock {
+        /// A `FUTEX_WAKE` dequeued this thread: the waker counted us
+        /// (and, for `ParkSpot`, consumed our parked announce).
+        Woken,
+        /// Stale expected value, signal, or a degraded-nap expiry — no
+        /// waker counted us; the waiter retracts its own announce.
+        Spurious,
+        /// The bounded test-build sleep expired (native futex test
+        /// builds only); the caller runs the stall-detector rescue
+        /// check.
+        #[cfg(any(test, feature = "testkit"))]
+        TimedOut,
+    }
+
     #[cfg(all(
         target_os = "linux",
         any(target_arch = "x86_64", target_arch = "aarch64")
     ))]
     mod imp {
         use std::sync::atomic::AtomicU32;
-        #[cfg(any(test, feature = "testkit"))]
-        use std::sync::atomic::Ordering;
 
         const FUTEX_WAIT: u64 = 0;
         const FUTEX_WAKE: u64 = 1;
@@ -639,18 +719,16 @@ mod futex {
         }
 
         /// Sleeps while `*word == expected`. Production builds sleep
-        /// untimed; test builds use a bounded timeout and feed the
-        /// stall detector (`woken` reports whether the awaited
-        /// condition is already true at expiry).
+        /// untimed; test builds use a bounded timeout so the caller can
+        /// run the stall detector's rescue check on expiry.
         ///
-        /// Returns `true` iff a `FUTEX_WAKE` dequeued this thread (the
-        /// kernel reports that as a plain 0 return; a signal or stale
-        /// value means no waker counted us) — the caller uses this to
+        /// A plain 0 return from the kernel means a `FUTEX_WAKE`
+        /// dequeued this thread; a signal or stale expected value means
+        /// no waker counted us — the caller uses the distinction to
         /// decide who retracts the parked announce.
-        pub(crate) fn wait(word: &AtomicU32, expected: u32, woken: &mut dyn FnMut() -> bool) -> bool {
+        pub(crate) fn wait(word: &AtomicU32, expected: u32) -> super::Unblock {
             #[cfg(not(any(test, feature = "testkit")))]
             {
-                let _ = &woken;
                 let r = unsafe {
                     sys_futex(
                         word.as_ptr(),
@@ -660,14 +738,13 @@ mod futex {
                     )
                 };
                 match r {
-                    0 => true,
-                    EAGAIN | EINTR => false,
+                    0 => super::Unblock::Woken,
+                    EAGAIN | EINTR => super::Unblock::Spurious,
                     e => panic!("{}: futex wait failed ({e})", super::super::PARK_MARKER),
                 }
             }
             #[cfg(any(test, feature = "testkit"))]
             {
-                let wakes_before = super::super::stats::WAKES.load(Ordering::SeqCst);
                 let ts = Timespec {
                     tv_sec: 0,
                     tv_nsec: super::super::testkit::WAIT_TIMEOUT_NS as i64,
@@ -676,15 +753,9 @@ mod futex {
                     sys_futex(word.as_ptr(), FUTEX_WAIT | FUTEX_PRIVATE_FLAG, expected, &ts)
                 };
                 match r {
-                    0 => true,
-                    EAGAIN | EINTR => false,
-                    ETIMEDOUT => {
-                        let wakes_after = super::super::stats::WAKES.load(Ordering::SeqCst);
-                        if woken() && wakes_after == wakes_before {
-                            super::super::testkit::record_rescue();
-                        }
-                        false
-                    }
+                    0 => super::Unblock::Woken,
+                    EAGAIN | EINTR => super::Unblock::Spurious,
+                    ETIMEDOUT => super::Unblock::TimedOut,
                     e => panic!("{}: futex wait failed ({e})", super::super::PARK_MARKER),
                 }
             }
@@ -728,14 +799,16 @@ mod futex {
         /// The caller's outer loop re-checks on expiry, so no wake side
         /// is needed — waiters poll at ~10 kHz while blocked, which
         /// still frees the core for the lock owner. Nappers are never
-        /// dequeued by a waker, so this always reports unwoken and the
-        /// waiter retracts its own announce.
-        pub(crate) fn wait(word: &AtomicU32, expected: u32, _woken: &mut dyn FnMut() -> bool) -> bool {
+        /// dequeued by a waker, so this always reports `Spurious` (the
+        /// waiter retracts its own announce); it never reports
+        /// `TimedOut`, which keeps the stall detector off degraded
+        /// hosts where timeouts are routine rather than evidence.
+        pub(crate) fn wait(word: &AtomicU32, expected: u32) -> super::Unblock {
             if word.load(Ordering::Acquire) != expected {
-                return false;
+                return super::Unblock::Spurious;
             }
             std::thread::park_timeout(Duration::from_micros(100));
-            false
+            super::Unblock::Spurious
         }
 
         pub(crate) unsafe fn wake_addr(_addr: *const u32, _n: u32) {}
@@ -992,6 +1065,25 @@ mod tests {
         spot.wake_one();
         t.join().expect("waiter observes the condition");
         assert_eq!(testkit::rescues(), 0, "no rescue on a correct wake");
+    }
+
+    #[cfg(feature = "park")]
+    #[test]
+    fn park_spot_consuming_cond_is_never_swallowed() {
+        // Defence in depth for the purity contract: a condition that can
+        // fire only once (a TAS-like consuming step, which callers are
+        // told to keep out of `wait_until`) must still not be stranded.
+        // Budget 0 sends the waiter straight into `park`, whose
+        // pre-sleep re-check is the second invocation; the old code
+        // discarded that `true` and re-invoked (now false) forever.
+        let spot = ParkSpot::new();
+        let mut calls = 0u32;
+        spot.wait_until(0, || {
+            calls += 1;
+            calls == 2
+        });
+        assert_eq!(calls, 2, "the true result propagated without a re-call");
+        assert_eq!(spot.parked.load(Ordering::SeqCst), 0);
     }
 
     #[cfg(feature = "park")]
