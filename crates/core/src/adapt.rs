@@ -630,6 +630,104 @@ impl AdaptHandle {
         }
     }
 
+    /// Deadline-bounded [`acquire`](Self::acquire): the register /
+    /// Dekker-re-check loop is unchanged (it never blocks — each lap is
+    /// a handful of SeqCst operations), and the two real waits — the
+    /// baton gate and the tree acquire — spend one shared absolute
+    /// budget. On timeout the entrant registration is backed out,
+    /// including re-arming the quiescence hand-off if a migration moved
+    /// past while we were registered: a timed-out entrant must never
+    /// wedge a swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle already holds the lock.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_until(&mut self, deadline: std::time::Instant) -> bool {
+        assert!(
+            self.held.is_none(),
+            "AdaptHandle::try_acquire_until while held"
+        );
+        loop {
+            let generation = self.lock.epoch.load(SeqCst);
+            self.lock.entrants(generation).register(self.stripe);
+            if self.lock.epoch.load(SeqCst) != generation {
+                self.lock.entrants(generation).deregister(self.stripe);
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.generation != generation {
+                let tree = Arc::clone(
+                    &self.lock.slot(generation).read().expect("slot poisoned"),
+                );
+                self.inner = Some(tree.handle(self.cpu));
+                self.generation = generation;
+            }
+            // Bounded baton wait. Deliberately not `relax`: its testkit
+            // stall bound exists to flag unbounded waits, and this wait
+            // is bounded by the deadline itself.
+            let mut poll = clof_locks::DeadlinePoll::new(deadline, "adapt-baton");
+            let mut spins: u64 = 0;
+            while self.lock.baton.load(SeqCst) != generation {
+                if poll.expired() {
+                    // A baton bailout is a composition-layer abandon
+                    // (the tree attempt counts its own), and the whole
+                    // composed attempt expired without entering a tree,
+                    // so the timeout is counted here too.
+                    clof_locks::deadline::note_abandon();
+                    #[cfg(feature = "obs")]
+                    clof_obs::deadline::record_timeout();
+                    self.back_out(generation);
+                    return false;
+                }
+                spins += 1;
+                if spins % SPINS_PER_YIELD == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            chaos::point("adapt-enter");
+            if !self
+                .inner
+                .as_mut()
+                .expect("handle built above")
+                .try_acquire_until(deadline)
+            {
+                self.back_out(generation);
+                return false;
+            }
+            self.held = Some(generation);
+            return true;
+        }
+    }
+
+    /// [`try_acquire_until`](Self::try_acquire_until) with a relative
+    /// budget measured from now.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_for(&mut self, budget: std::time::Duration) -> bool {
+        self.try_acquire_until(std::time::Instant::now() + budget)
+    }
+
+    /// Backs a timed-out entrant out of `generation`: deregister and —
+    /// exactly as in [`release`](Self::release) — re-arm the hand-off
+    /// if a migration is waiting on our departure. Without the CAS a
+    /// timed-out entrant that was the last registered thread of a
+    /// drained generation would leave the baton stranded and the
+    /// incoming generation wedged.
+    #[cfg(feature = "deadline")]
+    fn back_out(&mut self, generation: u64) {
+        self.lock.entrants(generation).deregister(self.stripe);
+        if self.lock.epoch.load(SeqCst) != generation
+            && self.lock.entrants(generation).occupancy() == 0
+        {
+            let _ = self
+                .lock
+                .baton
+                .compare_exchange(generation, generation + 1, SeqCst, SeqCst);
+        }
+    }
+
     /// Releases the lock.
     ///
     /// # Panics
@@ -799,6 +897,70 @@ mod tests {
         assert_eq!(*counter.lock().unwrap(), threads as u64 * iters);
         assert!(swaps > 0, "swapper must have migrated at least once");
         assert_eq!(lock.migration_stats().swaps, swaps);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_timeout_leaves_adaptive_lock_usable() {
+        use std::time::{Duration, Instant};
+        let lock = Arc::new(AdaptiveLock::new(&hierarchy(), &MCT).unwrap());
+        let mut holder = lock.handle(0);
+        holder.acquire();
+        let mut waiter = lock.handle(2);
+        let start = Instant::now();
+        assert!(!waiter.try_acquire_until(start + Duration::from_millis(40)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        holder.release();
+        // The timed-out entrant deregistered: a swap can still drain.
+        assert!(lock.swap_to(&TKT3).unwrap());
+        assert!(waiter.try_acquire_until(Instant::now() + Duration::from_secs(10)));
+        waiter.release();
+        assert_eq!(lock.epoch(), 1);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn timed_out_entrant_does_not_wedge_migration() {
+        use std::time::{Duration, Instant};
+        // Interleave timed-out acquisitions (some against a held lock)
+        // with migrations: every bailout must back its registration out
+        // and re-arm the hand-off when it leaves last, or `swap_to`'s
+        // drain would stall (the testkit stall bound would fire).
+        let lock = Arc::new(AdaptiveLock::new(&hierarchy(), &MCT).unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for t in 0..3usize {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                let mut h = lock.handle(t * 2);
+                while !stop.load(SeqCst) {
+                    // Short budgets force frequent baton/tree timeouts
+                    // under contention from the sibling workers.
+                    if h.try_acquire_until(Instant::now() + Duration::from_micros(200)) {
+                        std::hint::spin_loop();
+                        h.release();
+                    }
+                }
+            }));
+        }
+        let shapes: [&[LockKind]; 3] = [&TKT3, &HEM3, &MCT];
+        let mut swaps = 0u64;
+        for i in 0..30 {
+            if lock.swap_to(shapes[i % shapes.len()]).unwrap() {
+                swaps += 1;
+            }
+        }
+        stop.store(true, SeqCst);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(swaps > 0);
+        assert_eq!(lock.migration_stats().swaps, swaps);
+        // Quiesced: a plain acquire still works on the final tree.
+        let mut h = lock.handle(0);
+        h.acquire();
+        h.release();
     }
 
     #[test]

@@ -155,6 +155,16 @@ mod staticobs {
             }
             watchdog::note_idle(thread_tag());
         }
+
+        /// The composed acquire timed out: nothing was acquired, so the
+        /// watchdog sees idle (not hold) and the attempt lands in the
+        /// process-wide timeout count.
+        #[cfg(feature = "deadline")]
+        #[inline]
+        pub(super) fn wait_abandoned(&mut self) {
+            watchdog::note_idle(thread_tag());
+            clof_obs::deadline::record_timeout();
+        }
     }
 }
 
@@ -197,6 +207,10 @@ mod staticobs {
 
         #[inline(always)]
         pub(super) fn released(&mut self) {}
+
+        #[cfg(feature = "deadline")]
+        #[inline(always)]
+        pub(super) fn wait_abandoned(&mut self) {}
     }
 }
 
@@ -218,6 +232,20 @@ pub trait HierLock: Send + Sync + 'static {
     /// it selects the read-indicator stripe the acquire registers on.
     /// Nodes recursing upward pass their own sibling slot.
     fn acquire(&self, ctx: &mut Self::Context, slot: u32);
+
+    /// Deadline-bounded [`acquire`](Self::acquire): the same climb
+    /// under one *absolute* deadline shared by every level. Returns
+    /// `false` on timeout with every partially-acquired level unwound —
+    /// a timed-out climber holds this node's low lock but never touched
+    /// the pass flag, so a plain low release restores exactly the state
+    /// the next low-lock winner expects (climb for yourself).
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(
+        &self,
+        ctx: &mut Self::Context,
+        slot: u32,
+        deadline: std::time::Instant,
+    ) -> bool;
 
     /// Releases this node: passes the high lock within the cohort when
     /// allowed, otherwise releases high levels first, then this level.
@@ -308,6 +336,22 @@ impl<L: RawLock> HierLock for Leaf<L> {
         #[cfg(not(feature = "park"))]
         self.low.acquire(ctx);
         self.obs.record_acquire(false, start);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[inline]
+    fn try_acquire_until(
+        &self,
+        ctx: &mut L::Context,
+        _slot: u32,
+        deadline: std::time::Instant,
+    ) -> bool {
+        let start = self.obs.start();
+        if !self.low.try_acquire_until(ctx, deadline) {
+            return false;
+        }
+        self.obs.record_acquire(false, start);
+        true
     }
 
     #[inline]
@@ -437,6 +481,46 @@ impl<L: RawLock, H: HierLock> HierLock for Clof<L, H> {
             self.high.acquire(high_ctx, self.slot);
             self.meta.debug_ctx_exit();
         }
+    }
+
+    /// Deadline-bounded replica of [`acquire`](HierLock::acquire): the
+    /// read-indicator bracket closes on both outcomes (a timed-out
+    /// waiter must leave no residue), and a failed climb releases this
+    /// level's low lock *plainly* — the pass flag was never touched, so
+    /// the successor sees a normal climb-for-yourself hand-off.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(
+        &self,
+        ctx: &mut L::Context,
+        slot: u32,
+        deadline: std::time::Instant,
+    ) -> bool {
+        let use_counter = !has_native_hint::<L>();
+        let start = self.obs.start();
+        if use_counter {
+            self.meta.inc_waiters(slot);
+        }
+        let won = self.low.try_acquire_until(ctx, deadline);
+        if use_counter {
+            self.meta.dec_waiters(slot);
+        }
+        if !won {
+            return false;
+        }
+        clof_locks::chaos::point("clof-acquire-low-won");
+        self.obs.record_acquire(self.meta.has_high_lock(), start);
+        if !self.meta.has_high_lock() {
+            self.meta.debug_ctx_enter();
+            // SAFETY: As in `acquire` — we own the low lock.
+            let high_ctx = unsafe { self.meta.high_ctx() };
+            let climbed = self.high.try_acquire_until(high_ctx, self.slot, deadline);
+            self.meta.debug_ctx_exit();
+            if !climbed {
+                self.low.release(ctx);
+                return false;
+            }
+        }
+        true
     }
 
     /// `lockgen(rel(CLoF(l, L), c))` from Figure 8.
@@ -606,6 +690,28 @@ impl<T: HierLock> ClofHandle<T> {
         self.hold.waiting();
         self.node.acquire(&mut self.ctx, self.stripe);
         self.hold.acquired();
+    }
+
+    /// Deadline-bounded acquire: one absolute deadline bounds the whole
+    /// climb. Returns `false` on timeout with every partially-acquired
+    /// level unwound; the handle is immediately reusable.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_until(&mut self, deadline: std::time::Instant) -> bool {
+        self.hold.waiting();
+        let won = self.node.try_acquire_until(&mut self.ctx, self.stripe, deadline);
+        if won {
+            self.hold.acquired();
+        } else {
+            self.hold.wait_abandoned();
+        }
+        won
+    }
+
+    /// [`try_acquire_until`](Self::try_acquire_until) with a relative
+    /// budget measured from now.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_for(&mut self, budget: std::time::Duration) -> bool {
+        self.try_acquire_until(std::time::Instant::now() + budget)
     }
 
     /// Releases the composed lock.
@@ -851,6 +957,37 @@ mod tests {
             handle.acquire();
             handle.release();
         }
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_timeout_unwinds_static_tree() {
+        use std::time::{Duration, Instant};
+        let h = platforms::tiny();
+        let tree = std::sync::Arc::new(
+            build3::<McsLock, ClhLock, TicketLock>(&h, ClofParams::default()).unwrap(),
+        );
+        let mut holder = tree.handle(0);
+        holder.acquire();
+        // CPU 2 sits in a different leaf cohort on `tiny`, so the
+        // timed-out climb wins its own leaf and mid levels before
+        // stalling on the root — the full multi-level unwind.
+        let mut waiter = tree.handle(2);
+        let start = Instant::now();
+        assert!(!waiter.try_acquire_until(start + Duration::from_millis(40)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout unbounded against a 40ms budget"
+        );
+        holder.release();
+        assert!(waiter.try_acquire_until(Instant::now() + Duration::from_secs(10)));
+        waiter.release();
+        // Uncontended try path still composes with the plain path.
+        let mut h0 = tree.handle(1);
+        assert!(h0.try_acquire_for(Duration::from_secs(10)));
+        h0.release();
+        h0.acquire();
+        h0.release();
     }
 
     #[test]

@@ -61,6 +61,9 @@ mod nodeobs {
             // spin-then-park recorder hooks into clof-obs.
             #[cfg(feature = "park")]
             crate::parkglue::install();
+            // Likewise for the deadline layer's abandon/skip counters.
+            #[cfg(feature = "deadline")]
+            crate::deadlineglue::install();
             LockObs {
                 ring: Arc::default(),
                 hold_ns: Arc::default(),
@@ -243,6 +246,20 @@ mod nodeobs {
             watchdog::note_idle(thread_tag());
             waitgraph::note_released(site);
         }
+
+        /// The composed acquire gave up before the lock was granted
+        /// (deadline timeout): cancel the wait edge — nothing was
+        /// acquired, so nothing joins the held set — and count the
+        /// attempt in the process-wide timeout telemetry.
+        #[cfg(feature = "deadline")]
+        #[inline]
+        pub(super) fn wait_abandoned(&mut self) {
+            #[cfg(feature = "park")]
+            crate::parkglue::exit_wait();
+            watchdog::note_idle(thread_tag());
+            waitgraph::note_wait_cancelled(self.site.id());
+            clof_obs::deadline::record_timeout();
+        }
     }
 }
 
@@ -306,6 +323,10 @@ mod nodeobs {
 
         #[inline(always)]
         pub(super) fn released(&mut self) {}
+
+        #[cfg(feature = "deadline")]
+        #[inline(always)]
+        pub(super) fn wait_abandoned(&mut self) {}
     }
 }
 
@@ -534,6 +555,65 @@ impl DynNode {
         }
     }
 
+    /// Deadline-bounded recursive acquire: the same climb as
+    /// [`acquire`](Self::acquire) under one *absolute* deadline shared
+    /// by every level — the "single budget split across levels", with
+    /// the split decided by where contention actually burned the time
+    /// rather than a fixed per-level quota. On timeout the partially
+    /// acquired prefix is fully unwound: this thread holds the low
+    /// lock but never logically owned the tree (the pass flag is
+    /// untouched), so a *plain* low release — no pass/release-up
+    /// decision, no high-context access — restores exactly the state
+    /// the next low-lock winner expects: climb for yourself.
+    #[cfg(feature = "deadline")]
+    fn try_acquire(
+        &self,
+        ctx: &mut AnyContext,
+        stripe: u32,
+        deadline: std::time::Instant,
+    ) -> bool {
+        let Some(high) = &self.high else {
+            let start = self.obs.start();
+            if !self.low.try_acquire_until(ctx, deadline) {
+                return false;
+            }
+            self.stats.note_acquisition();
+            self.obs.record_acquire(false, start);
+            return true;
+        };
+        let start = self.obs.start();
+        if self.counter_waiters {
+            self.meta.inc_waiters(stripe);
+        }
+        let won = self.low.try_acquire_until(ctx, deadline);
+        if self.counter_waiters {
+            // Closed on both outcomes: a timed-out waiter must leave no
+            // read-indicator residue (`queue_depth_hint() == 0` at
+            // quiescence is the leak oracle).
+            self.meta.dec_waiters(stripe);
+        }
+        if !won {
+            return false;
+        }
+        self.stats.note_acquisition();
+        clof_locks::chaos::point("dyn-acquire-low-won");
+        self.obs.record_acquire(self.meta.has_high_lock(), start);
+        if !self.meta.has_high_lock() {
+            self.meta.debug_ctx_enter();
+            // SAFETY: As in `acquire` — we own the low lock, so the
+            // context invariant grants exclusive use of the high context.
+            let cell = unsafe { &mut *self.high_ctx.get() };
+            let high_ctx = cell.as_mut().expect("non-root nodes have a high context");
+            let climbed = high.try_acquire(high_ctx, self.slot, deadline);
+            self.meta.debug_ctx_exit();
+            if !climbed {
+                self.low.release(ctx);
+                return false;
+            }
+        }
+        true
+    }
+
     /// This node's basic-lock kind.
     pub fn kind(&self) -> LockKind {
         self.low.kind()
@@ -561,6 +641,13 @@ pub struct DynClofLock {
     composition: Vec<LockKind>,
     name: String,
     obs: LockObs,
+    /// Set when a holder panicked inside its critical section: the
+    /// protected data may be mid-mutation. The flag is advisory at this
+    /// layer — acquisition still works (the panicking holder's guard
+    /// released the tree, so nobody hangs) and wrappers like
+    /// `ClofMutex` turn it into `ClofError::Poisoned`.
+    #[cfg(feature = "deadline")]
+    poisoned: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for DynClofLock {
@@ -691,6 +778,8 @@ impl DynClofLock {
             composition: locks.to_vec(),
             name,
             obs,
+            #[cfg(feature = "deadline")]
+            poisoned: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -867,6 +956,35 @@ impl DynClofLock {
             .iter()
             .map(|(_, node)| node.meta.waiter_count())
             .sum()
+    }
+
+    /// Marks the protected state suspect: a holder panicked inside its
+    /// critical section. Called by guard `Drop` impls that detect
+    /// `std::thread::panicking()` — *after* marking they still release,
+    /// so waiters never hang on a dead holder; they observe the flag
+    /// instead. Release ordering pairs with the `Acquire` in
+    /// [`is_poisoned`] so the flag is visible to the next acquirer.
+    #[cfg(feature = "deadline")]
+    pub fn poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+        #[cfg(feature = "obs")]
+        clof_obs::deadline::record_poison();
+    }
+
+    /// Whether a holder has panicked while holding this lock.
+    #[cfg(feature = "deadline")]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Clears the poison flag after the caller has repaired (or chosen
+    /// to trust) the protected state — the `Mutex::clear_poison`
+    /// recovery idiom.
+    #[cfg(feature = "deadline")]
+    pub fn clear_poison(&self) {
+        self.poisoned
+            .store(false, std::sync::atomic::Ordering::Release);
     }
 
     /// Current per-level spin budgets `(level, rounds)`, innermost
@@ -1199,6 +1317,65 @@ mod fastdisp {
         }
     }
 
+    /// Deadline-bounded replica of [`acquire_level`]: `climb` returns
+    /// whether the upper levels were won; on a local timeout or a
+    /// failed climb the level unwinds (waiter bracket closed, low lock
+    /// plainly released — the pass flag was never touched) and reports
+    /// `false` down the chain.
+    #[cfg(feature = "deadline")]
+    #[inline]
+    fn try_acquire_level<L: TypedLock>(
+        node: &DynNode,
+        lock: &L,
+        ctx: &mut L::Context,
+        stripe: u32,
+        deadline: std::time::Instant,
+        climb: impl FnOnce() -> bool,
+    ) -> bool {
+        let start = node.obs.start();
+        if !L::INFO.waiter_hint {
+            node.meta.inc_waiters(stripe);
+        }
+        let won = lock.try_acquire_until(ctx, deadline);
+        if !L::INFO.waiter_hint {
+            node.meta.dec_waiters(stripe);
+        }
+        if !won {
+            return false;
+        }
+        node.stats.note_acquisition();
+        clof_locks::chaos::point("dyn-acquire-low-won");
+        node.obs.record_acquire(node.meta.has_high_lock(), start);
+        if !node.meta.has_high_lock() {
+            node.meta.debug_ctx_enter();
+            let climbed = climb();
+            node.meta.debug_ctx_exit();
+            if !climbed {
+                lock.release(ctx);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deadline-bounded replica of [`acquire_root`].
+    #[cfg(feature = "deadline")]
+    #[inline]
+    fn try_acquire_root<L: TypedLock>(
+        node: &DynNode,
+        lock: &L,
+        ctx: &mut L::Context,
+        deadline: std::time::Instant,
+    ) -> bool {
+        let start = node.obs.start();
+        if !lock.try_acquire_until(ctx, deadline) {
+            return false;
+        }
+        node.stats.note_acquisition();
+        node.obs.record_acquire(false, start);
+        true
+    }
+
     /// Per-thread fast handle over a [`Fast3`] template: owns the leaf
     /// context and its indicator stripe; the leaf `Arc` pins the whole
     /// chain (each node holds its parent).
@@ -1237,6 +1414,34 @@ mod fastdisp {
                         acquire_root(n2, l2, &mut *c2.as_ptr());
                     });
                 });
+            }
+        }
+
+        #[cfg(feature = "deadline")]
+        #[inline]
+        pub(super) fn try_acquire(&mut self, deadline: std::time::Instant) -> bool {
+            // SAFETY: See `acquire`. On the unwind paths each level
+            // releases only what its own frame won (after its climb
+            // reported failure), so ownership never outlives the frame
+            // that took it and the contexts stay bracketed.
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let n1 = self.t.l1.node.as_ref();
+                let n2 = self.t.l2.node.as_ref();
+                let (l1, l2) = (self.t.l1.lock.as_ref(), self.t.l2.lock.as_ref());
+                let (c1, c2) = (self.t.c1, self.t.c2);
+                try_acquire_level(
+                    n0,
+                    self.t.l0.lock.as_ref(),
+                    &mut self.ctx0,
+                    self.stripe,
+                    deadline,
+                    || {
+                        try_acquire_level(n1, l1, &mut *c1.as_ptr(), n0.slot, deadline, || {
+                            try_acquire_root(n2, l2, &mut *c2.as_ptr(), deadline)
+                        })
+                    },
+                )
             }
         }
 
@@ -1287,6 +1492,26 @@ mod fastdisp {
                 acquire_level(n0, self.t.l0.lock.as_ref(), &mut self.ctx0, self.stripe, || {
                     acquire_root(n1, l1, &mut *c1.as_ptr());
                 });
+            }
+        }
+
+        #[cfg(feature = "deadline")]
+        #[inline]
+        pub(super) fn try_acquire(&mut self, deadline: std::time::Instant) -> bool {
+            // SAFETY: See `Fast3Handle::try_acquire`.
+            unsafe {
+                let n0 = self.t.l0.node.as_ref();
+                let n1 = self.t.l1.node.as_ref();
+                let l1 = self.t.l1.lock.as_ref();
+                let c1 = self.t.c1;
+                try_acquire_level(
+                    n0,
+                    self.t.l0.lock.as_ref(),
+                    &mut self.ctx0,
+                    self.stripe,
+                    deadline,
+                    || try_acquire_root(n1, l1, &mut *c1.as_ptr(), deadline),
+                )
             }
         }
 
@@ -1432,6 +1657,39 @@ impl DynHandle {
         self.hold.acquired();
     }
 
+    /// Deadline-bounded acquire: one *absolute* deadline bounds the
+    /// whole climb, every level spending from the same budget. Returns
+    /// `false` on timeout, with every partially-acquired level unwound
+    /// — the handle is immediately reusable and no queue node, waiter
+    /// count, or wait-graph edge survives the failed attempt.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_until(&mut self, deadline: std::time::Instant) -> bool {
+        self.hold.waiting();
+        let won = match &mut self.inner {
+            HandleInner::Generic { leaf, ctx, stripe } => leaf.try_acquire(ctx, *stripe, deadline),
+            HandleInner::McsClhTkt(h) => h.try_acquire(deadline),
+            HandleInner::ClhClhTkt(h) => h.try_acquire(deadline),
+            HandleInner::ClhClhHem(h) => h.try_acquire(deadline),
+            HandleInner::TktTktTkt(h) => h.try_acquire(deadline),
+            HandleInner::TktTkt(h) => h.try_acquire(deadline),
+            HandleInner::McsTkt(h) => h.try_acquire(deadline),
+            HandleInner::ClhTkt(h) => h.try_acquire(deadline),
+        };
+        if won {
+            self.hold.acquired();
+        } else {
+            self.hold.wait_abandoned();
+        }
+        won
+    }
+
+    /// [`try_acquire_until`](Self::try_acquire_until) with a relative
+    /// budget measured from now.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_for(&mut self, budget: std::time::Duration) -> bool {
+        self.try_acquire_until(std::time::Instant::now() + budget)
+    }
+
     /// Releases the composed lock.
     ///
     /// Must only be called while held through this handle.
@@ -1477,6 +1735,28 @@ impl AutoHandle {
             self.cpu = cpu;
         }
         self.inner.acquire();
+    }
+
+    /// Deadline-bounded acquire through the current placement's leaf;
+    /// see [`DynHandle::try_acquire_until`]. Re-homing happens before
+    /// the attempt, between critical sections, exactly as in
+    /// [`acquire`](Self::acquire) — a timed-out attempt leaves the
+    /// re-homed handle in place (the placement is still correct).
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_until(&mut self, deadline: std::time::Instant) -> bool {
+        let cpu = crate::cpu::cached_cpu(self.lock.cpu_to_leaf.len());
+        if cpu != self.cpu {
+            self.inner = self.lock.handle(cpu);
+            self.cpu = cpu;
+        }
+        self.inner.try_acquire_until(deadline)
+    }
+
+    /// [`try_acquire_until`](Self::try_acquire_until) with a relative
+    /// budget measured from now.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_for(&mut self, budget: std::time::Duration) -> bool {
+        self.try_acquire_until(std::time::Instant::now() + budget)
     }
 
     /// Releases the composed lock.
@@ -2022,5 +2302,116 @@ mod tests {
             holder.release();
             waiter.join().unwrap();
         }
+    }
+
+    /// One contended timeout cycle on `lock`: CPU 0 holds, CPU 1 times
+    /// out, then — after the unwind — CPU 1 must win cleanly. Returns
+    /// the timed-out attempt's elapsed wall time.
+    #[cfg(feature = "deadline")]
+    fn timeout_cycle(lock: &Arc<DynClofLock>, generic: bool) -> std::time::Duration {
+        use std::time::{Duration, Instant};
+        let mk = |cpu: usize| {
+            if generic {
+                lock.handle_generic(cpu)
+            } else {
+                lock.handle(cpu)
+            }
+        };
+        let mut holder = mk(0);
+        holder.acquire();
+        let mut waiter = mk(1);
+        let start = Instant::now();
+        assert!(
+            !waiter.try_acquire_until(start + Duration::from_millis(40)),
+            "acquired a lock another handle holds"
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(
+            lock.queue_depth_hint(),
+            0,
+            "timed-out waiter leaked a waiter-count registration"
+        );
+        holder.release();
+        // The abandoned attempt must leave both the tree and the
+        // waiter's own contexts reusable.
+        assert!(waiter.try_acquire_until(Instant::now() + Duration::from_secs(10)));
+        waiter.release();
+        elapsed
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_timeout_unwinds_fast_tier_and_generic() {
+        let h = platforms::tiny();
+        // (Mcs, Clh, Ticket) is a finalist: `handle` exercises the
+        // monomorphized Fast3 path, `handle_generic` the enum walk.
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        assert!(lock.fast.is_some(), "finalist shape should resolve a fast tier");
+        for generic in [false, true] {
+            let elapsed = timeout_cycle(&lock, generic);
+            // Acceptance bound: d + one hand-off. Uncontended hand-offs
+            // are microseconds; 40ms of budget coming back after whole
+            // seconds would mean an unbounded wait snuck in.
+            assert!(
+                elapsed < std::time::Duration::from_secs(5),
+                "timeout took {elapsed:?} against a 40ms budget (generic={generic})"
+            );
+        }
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_timeout_unwinds_hintless_indicator_levels() {
+        // TTAS leaves have no native waiter hint, so the timed-out climb
+        // crosses the striped read-indicator bracket — the
+        // `queue_depth_hint() == 0` assert inside `timeout_cycle` is the
+        // actual leak oracle here.
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build_with(
+                &h,
+                &[LockKind::Ttas, LockKind::Ticket, LockKind::Ticket],
+                ClofParams::default(),
+                true,
+            )
+            .unwrap(),
+        );
+        timeout_cycle(&lock, false);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_uncontended_try_acquire_wins_immediately() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        let mut handle = lock.handle(0);
+        assert!(handle.try_acquire_for(std::time::Duration::from_secs(10)));
+        handle.release();
+        // And the plain path still works after a try path used the
+        // same contexts.
+        handle.acquire();
+        handle.release();
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn poison_flag_roundtrips() {
+        let h = platforms::tiny();
+        let lock = Arc::new(
+            DynClofLock::build(&h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        assert!(!lock.is_poisoned());
+        lock.poison();
+        assert!(lock.is_poisoned());
+        // Poison is advisory at this layer: acquisition still works.
+        let mut handle = lock.handle(0);
+        handle.acquire();
+        handle.release();
+        lock.clear_poison();
+        assert!(!lock.is_poisoned());
     }
 }

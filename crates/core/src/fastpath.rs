@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 #[cfg(feature = "park")]
 use clof_locks::ParkSpot;
-#[cfg(not(feature = "park"))]
+#[cfg(any(not(feature = "park"), feature = "deadline"))]
 use clof_locks::Backoff;
 use clof_locks::CachePadded;
 use clof_topology::{CpuId, Hierarchy};
@@ -109,6 +109,17 @@ mod gateobs {
             watchdog::note_idle(thread_tag());
             waitgraph::note_released(site);
         }
+
+        /// The bounded gate wait gave up: the composition was handed
+        /// back, nothing is held. Cancels any dangling wait edge and
+        /// counts the attempt as a timeout.
+        #[cfg(feature = "deadline")]
+        #[inline]
+        pub(super) fn record_timeout(&mut self) {
+            watchdog::note_idle(thread_tag());
+            waitgraph::note_wait_cancelled(self.site.id());
+            clof_obs::deadline::record_timeout();
+        }
     }
 }
 
@@ -133,6 +144,10 @@ mod gateobs {
 
         #[inline(always)]
         pub(super) fn record_release(&mut self) {}
+
+        #[cfg(feature = "deadline")]
+        #[inline(always)]
+        pub(super) fn record_timeout(&mut self) {}
     }
 }
 
@@ -296,6 +311,26 @@ impl FastClof {
         self.slow.site_profile()
     }
 
+    /// Marks the protected state suspect (a holder panicked); delegates
+    /// to the slow composition's flag — the gate carries no state of
+    /// its own. See [`DynClofLock::poison`].
+    #[cfg(feature = "deadline")]
+    pub fn poison(&self) {
+        self.slow.poison();
+    }
+
+    /// Whether a holder has panicked while holding this lock.
+    #[cfg(feature = "deadline")]
+    pub fn is_poisoned(&self) -> bool {
+        self.slow.is_poisoned()
+    }
+
+    /// Clears the poison flag; see [`DynClofLock::clear_poison`].
+    #[cfg(feature = "deadline")]
+    pub fn clear_poison(&self) {
+        self.slow.clear_poison()
+    }
+
     #[inline]
     fn try_top(&self) -> bool {
         // Test-and-test-and-set to keep the failed fast path cheap.
@@ -349,6 +384,54 @@ impl FastClofHandle {
         self.slow.release();
         FastClof::bump(&self.lock.paths.slow);
         self.obs.record_gate(start, false);
+    }
+
+    /// Deadline-bounded acquire: the fast path is a single attempt, the
+    /// slow path spends the shared budget first on the composition and
+    /// then on a *bounded* gate spin (spin-only, never parked — a
+    /// deadline wait must stay wakeable by the clock alone). On gate
+    /// expiry the composition is released back to the next NUMA-local
+    /// waiter: the gate grants nothing positionally, so giving up is
+    /// just handing the slow path on — no queue state can leak.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_until(&mut self, deadline: std::time::Instant) -> bool {
+        let start = self.obs.start();
+        if self.lock.try_top() {
+            FastClof::bump(&self.lock.paths.fast);
+            self.obs.record_gate(start, true);
+            return true;
+        }
+        if !self.slow.try_acquire_until(deadline) {
+            // The composed attempt unwound itself and already counted
+            // its own timeout (the handle and gate share a site, so the
+            // wait edge is cancelled too).
+            return false;
+        }
+        let mut poll = clof_locks::DeadlinePoll::new(deadline, "fast-gate");
+        let mut backoff = Backoff::new();
+        loop {
+            if self.lock.try_top() {
+                break;
+            }
+            if poll.expired() {
+                self.slow.release();
+                clof_locks::deadline::note_abandon();
+                self.obs.record_timeout();
+                return false;
+            }
+            backoff.snooze();
+        }
+        self.slow.release();
+        FastClof::bump(&self.lock.paths.slow);
+        self.obs.record_gate(start, false);
+        true
+    }
+
+    /// [`try_acquire_until`](Self::try_acquire_until) with a relative
+    /// budget measured from now.
+    #[cfg(feature = "deadline")]
+    pub fn try_acquire_for(&mut self, budget: std::time::Duration) -> bool {
+        self.try_acquire_until(std::time::Instant::now() + budget)
     }
 
     /// Releases the lock.
@@ -453,6 +536,53 @@ mod tests {
         contender.join().unwrap();
         let (_, slow) = lock.path_counters();
         assert_eq!(slow, 1);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_timeout_releases_composition_back() {
+        use std::time::{Duration, Instant};
+        let lock = build_tiny();
+        let mut holder = lock.handle(0);
+        holder.acquire();
+        // The contender wins the composition, spins on the held gate,
+        // expires, and must hand the composition back on its way out.
+        let mut contender = lock.handle(4);
+        let start = Instant::now();
+        assert!(!contender.try_acquire_until(start + Duration::from_millis(40)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(
+            lock.slow.queue_depth_hint(),
+            0,
+            "timed-out gate spinner kept composition state"
+        );
+        // A second contender can still traverse the slow path end to
+        // end — the composition was not left held by the quitter.
+        let second = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let mut handle = lock.handle(2);
+                assert!(handle.try_acquire_until(Instant::now() + Duration::from_secs(10)));
+                handle.release();
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        holder.release();
+        second.join().unwrap();
+        // And the quitter itself recovers.
+        assert!(contender.try_acquire_for(Duration::from_secs(10)));
+        contender.release();
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn deadline_uncontended_try_is_fast_path() {
+        let lock = build_tiny();
+        let mut handle = lock.handle(0);
+        assert!(handle.try_acquire_for(std::time::Duration::from_secs(10)));
+        handle.release();
+        let (fast, slow) = lock.path_counters();
+        assert_eq!((fast, slow), (1, 0));
     }
 
     #[test]

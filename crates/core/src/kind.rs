@@ -258,6 +258,21 @@ impl AnyLock {
         dispatch!(self, ctx, lock, c => lock.acquire_budgeted(c, budget));
     }
 
+    /// Attempts to acquire, giving up cleanly once `deadline` passes;
+    /// see [`RawLock::try_acquire_until`]. Returns `true` on acquire
+    /// (including a grant racing the clock at the deadline edge) and
+    /// `false` on timeout, after which the context is clean and no
+    /// queue position is left live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was not created for this lock's kind.
+    #[cfg(feature = "deadline")]
+    #[inline]
+    pub fn try_acquire_until(&self, ctx: &mut AnyContext, deadline: std::time::Instant) -> bool {
+        dispatch!(self, ctx, lock, c => lock.try_acquire_until(c, deadline))
+    }
+
     /// Releases through the matching context.
     ///
     /// # Panics

@@ -64,6 +64,8 @@ pub mod generator;
 pub mod kind;
 pub mod level;
 pub mod mutex;
+#[cfg(all(feature = "deadline", feature = "obs"))]
+mod deadlineglue;
 #[cfg(all(feature = "park", feature = "obs"))]
 mod parkglue;
 pub mod rwlock;

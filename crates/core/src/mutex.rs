@@ -88,6 +88,22 @@ impl<T: ?Sized> ClofMutex<T> {
     pub fn raw(&self) -> &Arc<DynClofLock> {
         &self.lock
     }
+
+    /// Whether a holder panicked while holding this mutex. Unlike
+    /// `std::sync::Mutex`, blocking [`lock`](ClofMutexHandle::lock)
+    /// does not surface poison (it cannot fail); the deadline-bounded
+    /// entry points do.
+    #[cfg(feature = "deadline")]
+    pub fn is_poisoned(&self) -> bool {
+        self.lock.is_poisoned()
+    }
+
+    /// Clears the poison flag after the caller has repaired (or chosen
+    /// to trust) the protected state.
+    #[cfg(feature = "deadline")]
+    pub fn clear_poison(&self) {
+        self.lock.clear_poison();
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for ClofMutex<T> {
@@ -109,6 +125,49 @@ impl<T: ?Sized> ClofMutexHandle<T> {
     pub fn lock(&mut self) -> ClofMutexGuard<'_, T> {
         self.inner.acquire();
         ClofMutexGuard { handle: self }
+    }
+
+    /// Deadline-bounded lock.
+    ///
+    /// # Errors
+    ///
+    /// [`ClofError::Timeout`] if the lock was not acquired by
+    /// `deadline` (the attempt is fully unwound — the handle is
+    /// immediately reusable), and [`ClofError::Poisoned`] if a holder
+    /// panicked while holding the mutex. Poison is checked before
+    /// spending the budget (cheap early exit) and re-checked after
+    /// winning: a panic that lands between the pre-check and our
+    /// acquisition must not hand out a guard to suspect data.
+    #[cfg(feature = "deadline")]
+    pub fn try_lock_until(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<ClofMutexGuard<'_, T>, ClofError> {
+        if self.mutex.lock.is_poisoned() {
+            return Err(ClofError::Poisoned);
+        }
+        if !self.inner.try_acquire_until(deadline) {
+            return Err(ClofError::Timeout);
+        }
+        if self.mutex.lock.is_poisoned() {
+            self.inner.release();
+            return Err(ClofError::Poisoned);
+        }
+        Ok(ClofMutexGuard { handle: self })
+    }
+
+    /// [`try_lock_until`](Self::try_lock_until) with a relative budget
+    /// measured from now.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_lock_until`](Self::try_lock_until).
+    #[cfg(feature = "deadline")]
+    pub fn try_lock_for(
+        &mut self,
+        budget: std::time::Duration,
+    ) -> Result<ClofMutexGuard<'_, T>, ClofError> {
+        self.try_lock_until(std::time::Instant::now() + budget)
     }
 }
 
@@ -135,6 +194,14 @@ impl<T: ?Sized> DerefMut for ClofMutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for ClofMutexGuard<'_, T> {
     fn drop(&mut self) {
+        // Panic-while-holding: the protected data may be mid-mutation.
+        // Poison first (so the flag is ordered before the release edge
+        // the next acquirer synchronizes on), then release anyway —
+        // waiters must observe `Poisoned`, not hang on a dead holder.
+        #[cfg(feature = "deadline")]
+        if std::thread::panicking() {
+            self.handle.mutex.lock.poison();
+        }
         self.handle.inner.release();
     }
 }
@@ -192,6 +259,68 @@ mod tests {
         assert_eq!(mutex.raw().name(), "clh-clh-clh");
         let mut handle = mutex.handle(0);
         assert_eq!(*handle.lock(), 1);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn try_lock_times_out_under_contention_then_recovers() {
+        use std::time::{Duration, Instant};
+        let h = platforms::tiny();
+        let mutex = Arc::new(
+            ClofMutex::new(0u32, &h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket]).unwrap(),
+        );
+        let mut holder = mutex.handle(0);
+        let guard = holder.lock();
+        let mut waiter = mutex.handle(2);
+        let start = Instant::now();
+        assert!(matches!(
+            waiter.try_lock_until(start + Duration::from_millis(40)),
+            Err(ClofError::Timeout)
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        drop(guard);
+        *waiter
+            .try_lock_for(Duration::from_secs(10))
+            .expect("uncontended after release") += 1;
+        assert_eq!(*waiter.lock(), 1);
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn panic_while_holding_poisons_then_clear_recovers() {
+        use std::time::Duration;
+        let h = platforms::tiny();
+        let mutex = Arc::new(
+            ClofMutex::new(vec![1u8], &h, &[LockKind::Mcs, LockKind::Clh, LockKind::Ticket])
+                .unwrap(),
+        );
+        let panicker = {
+            let mutex = Arc::clone(&mutex);
+            std::thread::spawn(move || {
+                let mut handle = mutex.handle(1);
+                let mut guard = handle.lock();
+                guard.clear();
+                panic!("die while holding");
+            })
+        };
+        assert!(panicker.join().is_err());
+        assert!(mutex.is_poisoned());
+        // Waiters get `Poisoned`, not a hang and not a guard — on both
+        // the early check and (that failing takes priority) a fresh
+        // handle's first attempt.
+        let mut handle = mutex.handle(3);
+        assert!(matches!(
+            handle.try_lock_for(Duration::from_secs(10)),
+            Err(ClofError::Poisoned)
+        ));
+        // `clear_poison` is the recovery path: the caller inspects or
+        // repairs the data, then proceeds.
+        mutex.clear_poison();
+        let mut guard = handle
+            .try_lock_for(Duration::from_secs(10))
+            .expect("cleared poison unlocks the mutex");
+        guard.push(2);
+        assert_eq!(guard.as_slice(), &[2]);
     }
 
     #[test]

@@ -49,6 +49,12 @@ enum LockImpl {
 /// A mutex protecting store state `T` with any [`LockChoice`].
 pub struct DbMutex<T: ?Sized> {
     lock: LockImpl,
+    /// Set when a store operation panicked while holding the lock (the
+    /// data may be mid-mutation). Kept at this layer so poisoning works
+    /// uniformly across every [`LockChoice`], including ones whose raw
+    /// lock carries no flag of its own.
+    #[cfg(feature = "deadline")]
+    poisoned: std::sync::atomic::AtomicBool,
     data: UnsafeCell<T>,
 }
 
@@ -86,8 +92,19 @@ impl<T> DbMutex<T> {
         };
         Ok(DbMutex {
             lock,
+            #[cfg(feature = "deadline")]
+            poisoned: std::sync::atomic::AtomicBool::new(false),
             data: UnsafeCell::new(value),
         })
+    }
+
+    /// Consumes the mutex and returns the inner value — the
+    /// `Mutex::into_inner` recovery idiom: being able to consume the
+    /// mutex proves no handle (and so no holder) remains, so after a
+    /// poisoning panic the owner can extract the data, repair or
+    /// discard it, and rebuild the store.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
     }
 
     /// Telemetry snapshot of the underlying lock, when it is one that
@@ -205,7 +222,12 @@ impl<T> DbMutex<T> {
     /// build.
     #[cfg(feature = "adapt")]
     pub fn enable_adaptation(self, hierarchy: &Hierarchy) -> Result<Self, ClofError> {
-        let DbMutex { lock, data } = self;
+        let DbMutex {
+            lock,
+            #[cfg(feature = "deadline")]
+            poisoned,
+            data,
+        } = self;
         let lock = match lock {
             LockImpl::Clof(l) => {
                 LockImpl::Adaptive(Arc::new(AdaptiveLock::new(hierarchy, l.composition())?))
@@ -227,6 +249,8 @@ impl<T> DbMutex<T> {
         };
         Ok(DbMutex {
             lock,
+            #[cfg(feature = "deadline")]
+            poisoned,
             data,
         })
     }
@@ -261,6 +285,43 @@ impl<T> DbMutex<T> {
     }
 }
 
+#[cfg(feature = "deadline")]
+impl<T: ?Sized> DbMutex<T> {
+    /// Whether a store operation panicked while holding the lock. Set
+    /// by the release guard in [`DbHandle::with`] /
+    /// [`DbHandle::try_with_until`]; surfaced as
+    /// [`ClofError::Poisoned`] by the deadline-bounded entry points.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Clears the poison flag after the caller has repaired (or chosen
+    /// to trust) the store state. For full extraction, use
+    /// [`into_inner`](Self::into_inner) instead.
+    pub fn clear_poison(&self) {
+        self.poisoned
+            .store(false, std::sync::atomic::Ordering::Release);
+        match &self.lock {
+            LockImpl::Clof(l) => l.clear_poison(),
+            LockImpl::ClofFast(l) => l.clear_poison(),
+            _ => {}
+        }
+    }
+
+    fn mark_poisoned(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+        // Mirror into the raw CLoF flag where one exists, so callers
+        // holding the raw lock (and the poison telemetry counter) see
+        // the event too.
+        match &self.lock {
+            LockImpl::Clof(l) => l.poison(),
+            LockImpl::ClofFast(l) => l.poison(),
+            _ => {}
+        }
+    }
+}
+
 enum HandleImpl {
     Clof(DynHandle),
     #[cfg(feature = "adapt")]
@@ -278,12 +339,45 @@ pub struct DbHandle<T: ?Sized> {
     inner: HandleImpl,
 }
 
+/// Releases the store lock when dropped — on ordinary return *and* on
+/// unwind out of the user closure, so a panicking store operation can
+/// never strand waiters behind a dead holder. On the unwind path the
+/// store is poisoned first (deadline builds), ordered before the
+/// release edge the next acquirer synchronizes on.
+struct OpGuard<'a, T: ?Sized> {
+    inner: &'a mut HandleImpl,
+    mutex: &'a DbMutex<T>,
+    /// Held alive across the closure for the Std variant; its own drop
+    /// is the release (and `std::sync::Mutex` self-poisons on panic).
+    std_guard: Option<std::sync::MutexGuard<'a, ()>>,
+}
+
+impl<T: ?Sized> Drop for OpGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "deadline")]
+        if std::thread::panicking() {
+            self.mutex.mark_poisoned();
+        }
+        match &mut *self.inner {
+            HandleImpl::Clof(h) => h.release(),
+            #[cfg(feature = "adapt")]
+            HandleImpl::Adaptive(h) => h.release(),
+            HandleImpl::ClofFast(h) => h.release(),
+            HandleImpl::Hmcs(h) => h.release(),
+            HandleImpl::Cna(h) => h.release(),
+            HandleImpl::Shfl(h) => h.release(),
+            HandleImpl::Std => drop(self.std_guard.take()),
+        }
+    }
+}
+
 impl<T: ?Sized> DbHandle<T> {
     /// Runs `f` under the lock with exclusive access to the data.
     pub fn with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
-        // Hold a std guard alive across `f` for the Std variant.
+        let DbHandle { mutex, inner } = self;
+        let mutex: &DbMutex<T> = mutex;
         let mut std_guard = None;
-        match (&mut self.inner, &self.mutex.lock) {
+        match (&mut *inner, &mutex.lock) {
             (HandleImpl::Clof(h), _) => h.acquire(),
             #[cfg(feature = "adapt")]
             (HandleImpl::Adaptive(h), _) => h.acquire(),
@@ -296,19 +390,83 @@ impl<T: ?Sized> DbHandle<T> {
             }
             (HandleImpl::Std, _) => unreachable!("handle/lock variant mismatch"),
         }
-        // SAFETY: The matching lock is held for the duration of `f`.
-        let result = f(unsafe { &mut *self.mutex.data.get() });
-        match &mut self.inner {
-            HandleImpl::Clof(h) => h.release(),
-            #[cfg(feature = "adapt")]
-            HandleImpl::Adaptive(h) => h.release(),
-            HandleImpl::ClofFast(h) => h.release(),
-            HandleImpl::Hmcs(h) => h.release(),
-            HandleImpl::Cna(h) => h.release(),
-            HandleImpl::Shfl(h) => h.release(),
-            HandleImpl::Std => drop(std_guard),
+        let guard = OpGuard {
+            inner,
+            mutex,
+            std_guard,
+        };
+        // SAFETY: The matching lock is held until `guard` drops, which
+        // happens after `f` on both the return and the unwind path.
+        f(unsafe { &mut *guard.mutex.data.get() })
+    }
+
+    /// Deadline-bounded [`with`](Self::with): runs `f` under the lock
+    /// only if it is acquired by `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClofError::Timeout`] if the budget ran out (the attempt is
+    /// fully unwound; the handle is immediately reusable),
+    /// [`ClofError::Poisoned`] if a store operation panicked while
+    /// holding the lock (checked before spending the budget and
+    /// re-checked after winning), and [`ClofError::DeadlineUnsupported`]
+    /// for lock choices without a bounded-wait protocol (the baselines
+    /// and `Std` — their unmodified algorithms are the comparison
+    /// point).
+    #[cfg(feature = "deadline")]
+    pub fn try_with_until<R>(
+        &mut self,
+        deadline: std::time::Instant,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, ClofError> {
+        let DbHandle { mutex, inner } = self;
+        let mutex: &DbMutex<T> = mutex;
+        if mutex.is_poisoned() {
+            return Err(ClofError::Poisoned);
         }
-        result
+        let unsupported = |choice: &str| ClofError::DeadlineUnsupported {
+            choice: choice.into(),
+        };
+        let won = match &mut *inner {
+            HandleImpl::Clof(h) => h.try_acquire_until(deadline),
+            #[cfg(feature = "adapt")]
+            HandleImpl::Adaptive(h) => h.try_acquire_until(deadline),
+            HandleImpl::ClofFast(h) => h.try_acquire_until(deadline),
+            HandleImpl::Hmcs(_) => return Err(unsupported("hmcs")),
+            HandleImpl::Cna(_) => return Err(unsupported("cna")),
+            HandleImpl::Shfl(_) => return Err(unsupported("shfl")),
+            HandleImpl::Std => return Err(unsupported("std")),
+        };
+        if !won {
+            return Err(ClofError::Timeout);
+        }
+        let guard = OpGuard {
+            inner,
+            mutex,
+            std_guard: None,
+        };
+        if mutex.is_poisoned() {
+            // A panic landed between the pre-check and our win: the
+            // guard's drop releases, and `f` never sees suspect data.
+            return Err(ClofError::Poisoned);
+        }
+        // SAFETY: As in `with`.
+        Ok(f(unsafe { &mut *guard.mutex.data.get() }))
+    }
+
+    /// [`try_with_until`](Self::try_with_until) with a relative budget
+    /// measured from now.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_with_until`](Self::try_with_until).
+    #[cfg(feature = "deadline")]
+    pub fn try_with_for<R>(
+        &mut self,
+        budget: std::time::Duration,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, ClofError> {
+        self.try_with_until(std::time::Instant::now() + budget, f)
     }
 }
 
@@ -504,6 +662,111 @@ mod tests {
                 Ok(_) => panic!("{choice:?}: adaptation unexpectedly accepted"),
             }
         }
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn try_with_times_out_then_recovers() {
+        use std::time::{Duration, Instant};
+        let h = platforms::tiny();
+        for choice in [
+            LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            LockChoice::ClofFast(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+        ] {
+            let m = Arc::new(DbMutex::new(0usize, &h, &choice).unwrap());
+            let hold = Arc::new(std::sync::atomic::AtomicBool::new(true));
+            let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let holder = {
+                let m = Arc::clone(&m);
+                let hold = Arc::clone(&hold);
+                let entered = Arc::clone(&entered);
+                std::thread::spawn(move || {
+                    m.handle(0).with(|_| {
+                        entered.store(true, std::sync::atomic::Ordering::Release);
+                        while hold.load(std::sync::atomic::Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                    })
+                })
+            };
+            while !entered.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let mut waiter = m.handle(2);
+            let start = Instant::now();
+            assert!(matches!(
+                waiter.try_with_until(start + Duration::from_millis(40), |_| ()),
+                Err(ClofError::Timeout)
+            ));
+            assert!(start.elapsed() < Duration::from_secs(5), "{choice:?}");
+            hold.store(false, std::sync::atomic::Ordering::Release);
+            holder.join().unwrap();
+            let got = waiter
+                .try_with_for(Duration::from_secs(10), |v| {
+                    *v += 1;
+                    *v
+                })
+                .expect("uncontended after release");
+            assert_eq!(got, 1, "{choice:?}");
+        }
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn baselines_report_deadline_unsupported() {
+        use std::time::Duration;
+        let h = platforms::tiny();
+        for choice in [LockChoice::Hmcs, LockChoice::Cna, LockChoice::Shfl, LockChoice::Std] {
+            let m = Arc::new(DbMutex::new((), &h, &choice).unwrap());
+            match m.handle(0).try_with_for(Duration::from_millis(1), |_| ()) {
+                Err(ClofError::DeadlineUnsupported { .. }) => {}
+                other => panic!("{choice:?}: expected DeadlineUnsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[cfg(feature = "deadline")]
+    #[test]
+    fn panicking_store_op_poisons_but_never_strands_waiters() {
+        use std::time::Duration;
+        let h = platforms::tiny();
+        let m = Arc::new(
+            DbMutex::new(
+                vec![1u8],
+                &h,
+                &LockChoice::Clof(vec![LockKind::Mcs, LockKind::Clh, LockKind::Ticket]),
+            )
+            .unwrap(),
+        );
+        let panicker = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                m.handle(1).with(|v| {
+                    v.clear();
+                    panic!("die mid-mutation");
+                })
+            })
+        };
+        assert!(panicker.join().is_err());
+        assert!(m.is_poisoned());
+        // The release guard ran on the unwind path: a *blocking* store
+        // op completes instead of hanging on the dead holder...
+        assert_eq!(m.handle(3).with(|v| v.len()), 0);
+        // ...and the bounded entry point reports the poisoning.
+        let mut handle = m.handle(3);
+        assert!(matches!(
+            handle.try_with_for(Duration::from_secs(10), |_| ()),
+            Err(ClofError::Poisoned)
+        ));
+        // Recovery path 1: clear and continue in place.
+        m.clear_poison();
+        handle
+            .try_with_for(Duration::from_secs(10), |v| v.push(9))
+            .expect("cleared poison unlocks the store");
+        // Recovery path 2: consume the mutex and extract the data.
+        drop(handle);
+        let m = Arc::try_unwrap(m).ok().expect("all handles dropped");
+        assert_eq!(m.into_inner(), vec![9]);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::pad::CachePadded;
 use crate::park::ParkSpot;
 use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, RawLock};
-#[cfg(not(feature = "park"))]
+#[cfg(any(not(feature = "park"), feature = "deadline"))]
 use crate::spin::Backoff;
 
 /// Maximum concurrent threads per [`AndersonLock`].
@@ -117,6 +117,70 @@ impl AndersonLock {
         self.flags[slot].store(false, Ordering::Relaxed);
         ctx.slot = slot;
     }
+
+    /// Deadline-bounded acquire: cancel the ticket if we are still the
+    /// youngest waiter, otherwise wait out our slot grant and hand the
+    /// turn straight to the successor. A granted slot cannot be
+    /// abandoned in place — the flag for our lap would be consumed by a
+    /// *future* lap's waiter and corrupt the ring hand-off order.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_inner_deadline(
+        &self,
+        ctx: &mut AndersonContext,
+        deadline: std::time::Instant,
+    ) -> bool {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(
+            ticket.wrapping_sub(self.owner.load(Ordering::Relaxed)) < ANDERSON_SLOTS as u32,
+            "AndersonLock capacity ({ANDERSON_SLOTS}) exceeded"
+        );
+        let slot = ticket as usize % ANDERSON_SLOTS;
+        crate::chaos::point("and-acquire-slotted");
+        // Deadline waits never park: a waiter that may stop listening
+        // at any moment must not join the slot's parked-wake protocol.
+        let mut poll = crate::deadline::DeadlinePoll::new(deadline, "and-wait");
+        let mut backoff = Backoff::new();
+        loop {
+            if self.flags[slot].load(Ordering::Acquire) {
+                self.flags[slot].store(false, Ordering::Relaxed);
+                ctx.slot = slot;
+                return true;
+            }
+            if poll.expired() {
+                break;
+            }
+            backoff.snooze();
+        }
+        // Youngest waiter: put the ticket back. The slot flag for this
+        // lap stays consistent even if the grant raced in — then
+        // `owner == next` with `flags[next % N]` set, which is exactly
+        // the unlocked ring state the next acquirer expects.
+        if self
+            .next
+            .compare_exchange(
+                ticket.wrapping_add(1),
+                ticket,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            crate::deadline::on_abandon();
+            return false;
+        }
+        // Buried behind a younger waiter: our slot grant is committed,
+        // so wait it out and pass the turn straight through.
+        crate::chaos::point("and-hand-forward");
+        let mut backoff = Backoff::new();
+        while !self.flags[slot].load(Ordering::Acquire) {
+            backoff.snooze();
+        }
+        self.flags[slot].store(false, Ordering::Relaxed);
+        ctx.slot = slot;
+        self.release(ctx);
+        crate::deadline::on_abandon();
+        false
+    }
 }
 
 impl RawLock for AndersonLock {
@@ -138,6 +202,11 @@ impl RawLock for AndersonLock {
     #[cfg(feature = "park")]
     fn acquire_budgeted(&self, ctx: &mut AndersonContext, budget: u32) {
         self.acquire_inner(ctx, budget);
+    }
+
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, ctx: &mut AndersonContext, deadline: std::time::Instant) -> bool {
+        self.try_acquire_inner_deadline(ctx, deadline)
     }
 
     fn release(&self, ctx: &mut AndersonContext) {
@@ -258,5 +327,116 @@ mod tests {
         assert!(AndersonLock::INFO.fair);
         assert!(AndersonLock::INFO.local_spinning);
         assert_eq!(AndersonLock::INFO.name, "anderson");
+    }
+
+    #[cfg(feature = "deadline")]
+    mod deadline {
+        use super::*;
+        use std::time::{Duration, Instant};
+
+        #[test]
+        fn try_acquire_uncontended_succeeds() {
+            let lock = AndersonLock::new();
+            let mut ctx = AndersonContext::default();
+            let d = Instant::now() + Duration::from_secs(5);
+            assert!(lock.try_acquire_until(&mut ctx, d));
+            assert!(lock.is_locked());
+            lock.release(&mut ctx);
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn youngest_slot_timeout_cancels_cleanly() {
+            let lock = AndersonLock::new();
+            let mut holder = AndersonContext::default();
+            lock.acquire(&mut holder);
+            let before = crate::deadline::abandons();
+            let mut w = AndersonContext::default();
+            assert!(!lock.try_acquire_until(&mut w, Instant::now()));
+            assert!(crate::deadline::abandons() > before);
+            // The cancelled ticket is fully returned: only the holder
+            // remains outstanding.
+            assert_eq!(lock.has_waiters_hint(&holder), Some(false));
+            lock.release(&mut holder);
+            assert!(!lock.is_locked());
+            // The ring is healthy: the same context acquires again.
+            lock.acquire(&mut w);
+            lock.release(&mut w);
+        }
+
+        #[test]
+        fn buried_slot_hands_its_turn_forward() {
+            let lock = Arc::new(AndersonLock::new());
+            let mut holder = AndersonContext::default();
+            lock.acquire(&mut holder);
+            let w1 = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    let mut ctx = AndersonContext::default();
+                    let d = Instant::now() + Duration::from_millis(5);
+                    lock.try_acquire_until(&mut ctx, d)
+                })
+            };
+            crate::spin::spin_until(|| lock.has_waiters_hint(&holder) == Some(true));
+            let w2 = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    let mut ctx = AndersonContext::default();
+                    lock.acquire(&mut ctx);
+                    lock.release(&mut ctx);
+                })
+            };
+            crate::spin::spin_until(|| {
+                lock.next.load(Ordering::Relaxed).wrapping_sub(lock.owner.load(Ordering::Relaxed))
+                    >= 3
+            });
+            // Let w1's deadline expire while buried, then release: the
+            // slot grant must flow holder -> w1 (handed on) -> w2.
+            std::thread::sleep(Duration::from_millis(50));
+            lock.release(&mut holder);
+            assert!(!w1.join().unwrap(), "buried w1 times out");
+            w2.join().expect("w2 acquires after the handed-forward slot");
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn timeout_leaves_other_traffic_unharmed() {
+            const THREADS: usize = 4;
+            const ITERS: usize = 300;
+            let lock = Arc::new(AndersonLock::new());
+            let held = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let held = Arc::clone(&held);
+                handles.push(std::thread::spawn(move || {
+                    let mut ctx = AndersonContext::default();
+                    for _ in 0..ITERS {
+                        let got = if t % 2 == 0 {
+                            lock.try_acquire_until(
+                                &mut ctx,
+                                Instant::now() + Duration::from_micros(50),
+                            )
+                        } else {
+                            lock.acquire(&mut ctx);
+                            true
+                        };
+                        if got {
+                            held.fetch_add(1, Ordering::Relaxed);
+                            lock.release(&mut ctx);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(!lock.is_locked());
+            // Every successful hold was counted exactly once and the
+            // ring still grants: a fresh acquire goes straight through.
+            let mut ctx = AndersonContext::default();
+            lock.acquire(&mut ctx);
+            lock.release(&mut ctx);
+        }
     }
 }

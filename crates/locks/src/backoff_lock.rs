@@ -84,6 +84,30 @@ impl BackoffLock {
             penalty.snooze();
         }
     }
+
+    /// Deadline-bounded acquire. Like TTAS the backoff lock keeps no
+    /// queue state, so a timeout needs no undo; the bounded wait keeps
+    /// the capped exponential penalty between lost races and never
+    /// parks.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_inner_deadline(&self, deadline: std::time::Instant) -> bool {
+        let mut poll = crate::deadline::DeadlinePoll::new(deadline, "bo-wait");
+        let mut penalty = Backoff::with_limit(Self::BACKOFF_CEILING);
+        loop {
+            let mut test = Backoff::with_limit(Self::BACKOFF_CEILING);
+            while self.locked.load(Ordering::Relaxed) {
+                if poll.expired() {
+                    crate::deadline::on_abandon();
+                    return false;
+                }
+                test.snooze();
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return true;
+            }
+            penalty.snooze();
+        }
+    }
 }
 
 impl RawLock for BackoffLock {
@@ -105,6 +129,11 @@ impl RawLock for BackoffLock {
     #[cfg(feature = "park")]
     fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
         self.acquire_inner(budget);
+    }
+
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, _ctx: &mut NoContext, deadline: std::time::Instant) -> bool {
+        self.try_acquire_inner_deadline(deadline)
     }
 
     fn release(&self, _ctx: &mut NoContext) {
@@ -161,5 +190,35 @@ mod tests {
     fn info_marks_unfair() {
         assert!(!BackoffLock::INFO.fair);
         assert_eq!(BackoffLock::INFO.name, "bo");
+    }
+
+    #[cfg(feature = "deadline")]
+    mod deadline {
+        use super::*;
+        use std::time::{Duration, Instant};
+
+        #[test]
+        fn try_acquire_uncontended_succeeds() {
+            let lock = BackoffLock::new();
+            let mut ctx = NoContext;
+            assert!(lock.try_acquire_until(&mut ctx, Instant::now() + Duration::from_secs(5)));
+            assert!(lock.is_locked());
+            lock.release(&mut ctx);
+        }
+
+        #[test]
+        fn timeout_while_held_is_clean() {
+            let lock = BackoffLock::new();
+            let mut holder = NoContext;
+            lock.acquire(&mut holder);
+            let before = crate::deadline::abandons();
+            let mut w = NoContext;
+            assert!(!lock.try_acquire_until(&mut w, Instant::now()));
+            assert!(crate::deadline::abandons() > before);
+            assert!(lock.is_locked(), "timeout must not perturb the flag");
+            lock.release(&mut holder);
+            assert!(lock.try_acquire_until(&mut w, Instant::now() + Duration::from_secs(5)));
+            lock.release(&mut w);
+        }
     }
 }

@@ -50,6 +50,8 @@ pub mod anderson;
 pub mod backoff_lock;
 pub mod chaos;
 pub mod clh;
+#[cfg(feature = "deadline")]
+pub mod deadline;
 pub mod hemlock;
 pub mod mcs;
 pub mod pad;
@@ -62,6 +64,8 @@ pub mod ttas;
 pub use anderson::{AndersonContext, AndersonLock};
 pub use backoff_lock::BackoffLock;
 pub use clh::{ClhContext, ClhLock};
+#[cfg(feature = "deadline")]
+pub use deadline::{DeadlinePoll, DEADLINE_MARKER};
 pub use hemlock::{HemContext, Hemlock, HemlockCtr};
 pub use mcs::{McsContext, McsLock};
 pub use pad::{CachePadded, CACHE_LINE};

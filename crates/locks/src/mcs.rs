@@ -3,6 +3,8 @@
 use std::ptr::{self, NonNull};
 use std::sync::atomic::{AtomicPtr, Ordering};
 
+#[cfg(feature = "deadline")]
+use crate::park::ABANDONED;
 use crate::park::{WaitWord, SPIN_FOREVER};
 use crate::raw::{LockInfo, RawLock};
 use crate::spin::Backoff;
@@ -133,6 +135,43 @@ impl McsLock {
         // predecessor's `release`, ordering the critical sections.
         node_ref.locked.wait(budget);
     }
+
+    /// Deadline-bounded acquire with HMCS-T-style node abandonment: on
+    /// expiry the waiter CASes its armed word to the abandoned marker
+    /// and leaves — the node stays linked in the queue (a successor may
+    /// be writing its `next` this very moment) and passes to whichever
+    /// releaser grants into it, which skips and frees it (see
+    /// `release`). The context gets a fresh node, so a timed-out
+    /// context is immediately reusable.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_inner(&self, ctx: &mut McsContext, deadline: std::time::Instant) -> bool {
+        let node = ctx.node.as_ptr();
+        // SAFETY: As in `acquire_inner`: private until the swap.
+        let node_ref = unsafe { &*node };
+        node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node_ref.locked.prime();
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if pred.is_null() {
+            return true;
+        }
+        crate::chaos::point("mcs-acquire-unlinked");
+        // SAFETY: As in `acquire_inner`.
+        unsafe { (*pred).next.store(node, Ordering::Release) };
+        if node_ref.locked.wait_deadline(deadline, "mcs-wait").is_some() {
+            // Only GO can appear on an own word: acquired.
+            return true;
+        }
+        if !node_ref.locked.try_abandon() {
+            // The grant landed between expiry and the CAS: we own the
+            // lock at the deadline edge.
+            return true;
+        }
+        // Abandoned: the node now belongs to the queue (freed by the
+        // releaser that grants past it); never touch it again.
+        crate::deadline::on_abandon();
+        ctx.node = McsNode::boxed();
+        false
+    }
 }
 
 impl RawLock for McsLock {
@@ -156,6 +195,12 @@ impl RawLock for McsLock {
         self.acquire_inner(ctx, budget);
     }
 
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, ctx: &mut McsContext, deadline: std::time::Instant) -> bool {
+        self.try_acquire_inner(ctx, deadline)
+    }
+
+    #[cfg(not(feature = "deadline"))]
     fn release(&self, ctx: &mut McsContext) {
         let node = ctx.node.as_ptr();
         // SAFETY: We hold the lock through `ctx`, so our node is alive and
@@ -192,6 +237,77 @@ impl RawLock for McsLock {
         // pointer (`release_raw` wakes by address, never dereferencing
         // after the successor may have moved on).
         unsafe { WaitWord::release_raw(ptr::addr_of!((*next).locked)) };
+    }
+
+    #[cfg(feature = "deadline")]
+    fn release(&self, ctx: &mut McsContext) {
+        // As the plain release, but granting into an abandoned node
+        // (grant_raw reports the marker) hands us that node instead of
+        // the lock's ownership: we reclaim it and keep granting down
+        // the queue until a live waiter takes over or the queue drains.
+        // `owned` tracks whether `node` is an abandoned node we must
+        // free once done reading its `next` (the context's own node
+        // stays with the context).
+        let mut node = ctx.node.as_ptr();
+        let mut owned = false;
+        loop {
+            // SAFETY: Either our context's node (alive, queue head) or
+            // an abandoned node whose grant transferred sole ownership
+            // to us; enqueuers only ever write its `next`, which the
+            // linger-for-link loop below is exactly waiting for.
+            let node_ref = unsafe { &*node };
+            let mut next = node_ref.next.load(Ordering::Acquire);
+            crate::chaos::point("mcs-release-next-read");
+            if next.is_null() {
+                if self
+                    .tail
+                    .compare_exchange(node, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Queue drained. The tail CAS means no enqueuer
+                    // holds a pointer to `node` anymore.
+                    if owned {
+                        // SAFETY: Sole owner, unreachable from the lock.
+                        unsafe { drop(Box::from_raw(node)) };
+                    }
+                    return;
+                }
+                let mut backoff = Backoff::new();
+                loop {
+                    next = node_ref.next.load(Ordering::Acquire);
+                    if !next.is_null() {
+                        break;
+                    }
+                    backoff.snooze();
+                }
+            }
+            // SAFETY: As the plain release; the Acquire `next` read
+            // ordered us after the enqueuer's one-shot link store, so
+            // nobody writes `node` again and (if owned) it is safe to
+            // free after the grant below.
+            let prev = unsafe { WaitWord::grant_raw(ptr::addr_of!((*next).locked)) };
+            if owned {
+                // SAFETY: Sole owner; the link store was the last write.
+                unsafe { drop(Box::from_raw(node)) };
+            }
+            if prev & ABANDONED == 0 {
+                // A live waiter took the lock.
+                return;
+            }
+            // The successor abandoned before the grant landed; its node
+            // is ours to reclaim and the hand-off continues past it.
+            #[cfg(any(test, feature = "testkit"))]
+            if crate::deadline::mutant::abandoned_skip_deleted() {
+                // Mutant: the skip is "deleted" — this release returns
+                // as if the abandoned waiter took the lock, so the
+                // hand-off (and the abandoned node) are dropped, no
+                // reclaim is counted, and every later waiter wedges.
+                return;
+            }
+            crate::deadline::on_skip();
+            node = next;
+            owned = true;
+        }
     }
 
     fn has_waiters_hint(&self, ctx: &Self::Context) -> Option<bool> {
@@ -302,5 +418,107 @@ mod tests {
         assert!(McsLock::INFO.fair);
         assert!(McsLock::INFO.local_spinning);
         assert!(McsLock::INFO.needs_context);
+    }
+
+    #[cfg(feature = "deadline")]
+    mod deadline {
+        use super::*;
+        use std::time::{Duration, Instant};
+
+        fn soon() -> Instant {
+            Instant::now() + Duration::from_millis(5)
+        }
+
+        #[test]
+        fn try_acquire_uncontended_succeeds() {
+            let lock = McsLock::new();
+            let mut ctx = McsContext::default();
+            assert!(lock.try_acquire_until(&mut ctx, soon()));
+            lock.release(&mut ctx);
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn timeout_abandons_and_releaser_reclaims() {
+            let lock = McsLock::new();
+            let mut holder = McsContext::default();
+            lock.acquire(&mut holder);
+            let mut waiter = McsContext::default();
+            let abandons = crate::deadline::abandons();
+            let skips = crate::deadline::skips();
+            assert!(
+                !lock.try_acquire_until(&mut waiter, soon()),
+                "contended try must time out"
+            );
+            assert!(crate::deadline::abandons() > abandons);
+            // The release grants into the abandoned node, skips it, and
+            // finds the queue empty.
+            lock.release(&mut holder);
+            assert!(crate::deadline::skips() > skips);
+            assert!(!lock.is_locked(), "abandoned node fully reclaimed");
+            // The timed-out context is immediately reusable.
+            lock.acquire(&mut waiter);
+            lock.release(&mut waiter);
+        }
+
+        #[test]
+        fn abandoned_node_between_live_waiters_is_skipped() {
+            // holder <- w1 (abandons) <- w2 (blocks): the release must
+            // grant through w1's abandoned node to w2.
+            let lock = Arc::new(McsLock::new());
+            let mut holder = McsContext::default();
+            lock.acquire(&mut holder);
+            let mut w1 = McsContext::default();
+            assert!(!lock.try_acquire_until(&mut w1, soon()));
+            let t = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    let mut ctx = McsContext::default();
+                    lock.acquire(&mut ctx);
+                    lock.release(&mut ctx);
+                })
+            };
+            // Make it likely w2 is enqueued behind the abandoned node.
+            std::thread::sleep(Duration::from_millis(10));
+            lock.release(&mut holder);
+            t.join().expect("w2 acquires through the abandoned node");
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn timeout_leaves_other_traffic_unharmed() {
+            const THREADS: usize = 4;
+            const ITERS: usize = 300;
+            let lock = Arc::new(McsLock::new());
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for i in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    let mut ctx = McsContext::default();
+                    let mut held = 0usize;
+                    for _ in 0..ITERS {
+                        // Half the threads use tight deadlines, half block.
+                        if i % 2 == 0 {
+                            let d = Instant::now() + Duration::from_micros(50);
+                            if !lock.try_acquire_until(&mut ctx, d) {
+                                continue;
+                            }
+                        } else {
+                            lock.acquire(&mut ctx);
+                        }
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        held += 1;
+                        lock.release(&mut ctx);
+                    }
+                    held
+                }));
+            }
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(counter.load(Ordering::Relaxed), total);
+            assert!(!lock.is_locked(), "no abandoned node left queued");
+        }
     }
 }

@@ -149,6 +149,14 @@ const WAIT: u32 = 1;
 /// `futex_wake` is owed. Never set while the word is `GO`.
 #[cfg(feature = "park")]
 const PARKED_BIT: u32 = 2;
+/// Bit a timed-out waiter publishes in its node's word to abandon the
+/// queue position (the `deadline` feature's HMCS-T-style marker). Set
+/// either by the waiter CASing its own armed word (MCS) or by swapping
+/// its word outright for the successor to observe (CLH); never combined
+/// with `GO`. A granter that swaps out this bit knows the position's
+/// owner left and must skip (and reclaim) the node.
+#[cfg(feature = "deadline")]
+pub(crate) const ABANDONED: u32 = 4;
 
 /// The wait/grant word of one queue-lock node (MCS/CLH `locked` field).
 ///
@@ -291,6 +299,160 @@ impl WaitWord {
         }
         stats::on_wake();
         futex::wake_addr(this as *const u32, 1);
+    }
+}
+
+/// Deadline-aware extensions of the wait/grant protocol (the `deadline`
+/// feature). Two additions to the state machine: a waiter may leave by
+/// publishing [`ABANDONED`], and waits must treat `GO` *or* an abandoned
+/// marker as terminal (a CLH waiter watches its predecessor's word,
+/// which the predecessor may abandon).
+///
+/// Deadline-bounded waits are **spin-only** — they never park, even
+/// with the `park` feature. The deadline bounds how long the caller
+/// burns, and a waiter that may stop listening at any moment cannot
+/// safely share the parked-bit wake protocol with the releaser.
+#[cfg(feature = "deadline")]
+impl WaitWord {
+    /// Whether `value` is terminal: the wait is over either way.
+    #[inline]
+    fn is_done(value: u32) -> bool {
+        value == GO || value & ABANDONED != 0
+    }
+
+    /// Spin-only bounded wait: polls until the word is terminal
+    /// (returning the terminal value) or the deadline expires
+    /// (returning `None`). A grant that races the clock edge wins: the
+    /// word is re-checked once after expiry before giving up.
+    pub(crate) fn wait_deadline(
+        &self,
+        deadline: std::time::Instant,
+        site: &'static str,
+    ) -> Option<u32> {
+        let mut backoff = Backoff::new();
+        let mut poll = crate::deadline::DeadlinePoll::new(deadline, site);
+        loop {
+            let v = self.0.load(Ordering::Acquire);
+            if Self::is_done(v) {
+                return Some(v);
+            }
+            if poll.expired() {
+                let v = self.0.load(Ordering::Acquire);
+                return if Self::is_done(v) { Some(v) } else { None };
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Waiter-side abandonment of an *armed own word* (MCS): CAS
+    /// `WAIT → ABANDONED`. Returns `false` if the grant landed first —
+    /// the caller owns the lock after all and must proceed as acquired.
+    /// The CAS and the granter's swap serialize on the word, so exactly
+    /// one side wins.
+    pub(crate) fn try_abandon(&self) -> bool {
+        // The failure value can only be GO: this waiter never parked
+        // (deadline waits are spin-only) and nobody else writes WAIT.
+        self.0
+            .compare_exchange(WAIT, ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Waiter-side abandonment of an own word a *successor* watches
+    /// (CLH): swap in `ABANDONED` unconditionally — only this owner
+    /// ever grants through the word, so there is no grant to race —
+    /// and wake the successor if it parked on the word.
+    pub(crate) fn abandon(&self) {
+        let prev = self.0.swap(ABANDONED, Ordering::Release);
+        debug_assert_ne!(prev, GO, "abandoning a word nobody waits through");
+        #[cfg(feature = "park")]
+        if prev & PARKED_BIT != 0 {
+            // SAFETY: `self` is a live reference.
+            unsafe { Self::wake_raw(self) };
+        }
+        #[cfg(not(feature = "park"))]
+        let _ = prev;
+    }
+
+    /// [`release_raw`](WaitWord::release_raw) that also reports what it
+    /// swapped out, so an MCS releaser can detect an abandoned
+    /// successor (`ABANDONED` in the return) and keep granting down the
+    /// queue.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`release_raw`](WaitWord::release_raw).
+    pub(crate) unsafe fn grant_raw(this: *const WaitWord) -> u32 {
+        let prev = (*this).0.swap(GO, Ordering::Release);
+        #[cfg(feature = "park")]
+        if prev & PARKED_BIT != 0 {
+            Self::wake_raw(this);
+        }
+        prev
+    }
+
+    /// [`wait`](WaitWord::wait) generalized to both terminal values:
+    /// returns the terminal word (`GO`, or carrying [`ABANDONED`]).
+    /// Unbounded; parks on budget exhaustion like `wait`. CLH waiters
+    /// use this for their predecessor's word, which may be granted *or*
+    /// abandoned under them.
+    pub(crate) fn wait_observe(&self, budget: u32) -> u32 {
+        let budget = if cfg!(feature = "park") {
+            budget
+        } else {
+            SPIN_FOREVER
+        };
+        let mut waiter = Waiter::new(budget);
+        loop {
+            let v = self.0.load(Ordering::Acquire);
+            if Self::is_done(v) {
+                return v;
+            }
+            if waiter.spin() {
+                continue;
+            }
+            #[cfg(feature = "park")]
+            return self.park_until_done();
+        }
+    }
+
+    /// The blocking tail of [`wait_observe`](WaitWord::wait_observe):
+    /// [`park_until_go`](WaitWord::park_until_go) generalized to both
+    /// terminal values. An abandoning owner's swap clears the parked
+    /// bit and wakes us (see [`abandon`](WaitWord::abandon)).
+    #[cfg(feature = "park")]
+    #[cold]
+    fn park_until_done(&self) -> u32 {
+        let prev = self.0.fetch_or(PARKED_BIT, Ordering::Acquire);
+        if Self::is_done(prev) {
+            return prev;
+        }
+        let t0 = std::time::Instant::now();
+        stats::on_park();
+        let terminal;
+        loop {
+            let cur = self.0.load(Ordering::Acquire);
+            if Self::is_done(cur) {
+                terminal = cur;
+                break;
+            }
+            #[cfg(any(test, feature = "testkit"))]
+            {
+                // Stall-detector evidence, as in `park_until_go`: a
+                // timed-out sleep that finds the word already terminal
+                // with no wake issued since we slept is a rescue.
+                let wakes_before = stats::WAKES.load(Ordering::SeqCst);
+                if futex::wait(&self.0, cur) == futex::Unblock::TimedOut
+                    && Self::is_done(self.0.load(Ordering::Acquire))
+                    && stats::WAKES.load(Ordering::SeqCst) == wakes_before
+                {
+                    testkit::record_rescue();
+                }
+            }
+            #[cfg(not(any(test, feature = "testkit")))]
+            let _ = futex::wait(&self.0, cur);
+        }
+        stats::on_unpark(t0.elapsed());
+        terminal
     }
 }
 

@@ -92,6 +92,27 @@ pub trait RawLock: Default + Send + Sync + 'static {
         self.acquire(ctx);
     }
 
+    /// Attempts to acquire the lock, giving up (and fully undoing any
+    /// queue state, see `clof_locks::deadline`) once `deadline` passes.
+    ///
+    /// Returns `true` if acquired — including at the deadline edge,
+    /// when a grant races the clock and lands first — and `false` on
+    /// timeout. After a `false` return the context is clean and
+    /// immediately reusable, and no queue position is left live: queue
+    /// locks abandon their node HMCS-T-style (marked for the releaser
+    /// to skip and reclaim), slot locks cancel their ticket or wait out
+    /// their turn and hand it forward. Deadline waits never park.
+    ///
+    /// The default implementation is for locks with no bounded path
+    /// wired up yet: it acquires unboundedly and reports `true`. Every
+    /// lock in this crate overrides it.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, ctx: &mut Self::Context, deadline: std::time::Instant) -> bool {
+        let _ = deadline;
+        self.acquire(ctx);
+        true
+    }
+
     /// Releases the lock.
     ///
     /// Must only be called while the lock is held through `ctx`.

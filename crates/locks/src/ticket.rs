@@ -7,7 +7,7 @@ use crate::pad::CachePadded;
 use crate::park::ParkSpot;
 use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, NoContext, RawLock};
-#[cfg(not(feature = "park"))]
+#[cfg(any(not(feature = "park"), feature = "deadline"))]
 use crate::spin::Backoff;
 
 /// The classic two-counter ticket lock.
@@ -87,6 +87,60 @@ impl TicketLock {
             }
         }
     }
+
+    /// Deadline-bounded acquire. A granted ticket cannot be abandoned —
+    /// the FIFO hand-off is positional — so a timed-out waiter has two
+    /// exits:
+    ///
+    /// * **Cancel** — if its ticket is still the youngest, a CAS on the
+    ///   dispenser retracts it as if it was never issued. (A grant that
+    ///   races the cancel is harmless: the next ticket taker draws the
+    ///   same number and finds it already granted.)
+    /// * **Hand forward** — otherwise later tickets exist and the
+    ///   numbering cannot be compacted; the waiter waits out its turn
+    ///   and immediately releases, passing the grant on. This bounds
+    ///   the *damage* (no wedged queue), not the wait — the turn
+    ///   arrives only after all earlier tickets run.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_inner(&self, deadline: std::time::Instant) -> bool {
+        let my = self.ticket.fetch_add(1, Ordering::Relaxed);
+        crate::chaos::point("tkt-acquire-ticketed");
+        let mut backoff = Backoff::new();
+        let mut poll = crate::deadline::DeadlinePoll::new(deadline, "tkt-wait");
+        loop {
+            if self.grant.load(Ordering::Acquire) == my {
+                return true;
+            }
+            if poll.expired() {
+                break;
+            }
+            backoff.snooze();
+        }
+        // Expired. Retract the ticket if nobody drew a later one.
+        if self
+            .ticket
+            .compare_exchange(
+                my.wrapping_add(1),
+                my,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            crate::deadline::on_abandon();
+            return false;
+        }
+        // Later tickets exist: wait out the turn, hand it forward.
+        crate::chaos::point("tkt-hand-forward");
+        let mut backoff = Backoff::new();
+        while self.grant.load(Ordering::Acquire) != my {
+            backoff.snooze();
+        }
+        let mut ctx = NoContext;
+        self.release(&mut ctx);
+        crate::deadline::on_abandon();
+        false
+    }
 }
 
 impl RawLock for TicketLock {
@@ -108,6 +162,11 @@ impl RawLock for TicketLock {
     #[cfg(feature = "park")]
     fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
         self.acquire_inner(budget);
+    }
+
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, _ctx: &mut NoContext, deadline: std::time::Instant) -> bool {
+        self.try_acquire_inner(deadline)
     }
 
     fn release(&self, _ctx: &mut NoContext) {
@@ -227,5 +286,111 @@ mod tests {
         assert!(!TicketLock::INFO.local_spinning);
         assert!(!TicketLock::INFO.needs_context);
         assert_eq!(TicketLock::INFO.name, "tkt");
+    }
+
+    #[cfg(feature = "deadline")]
+    mod deadline {
+        use super::*;
+        use std::time::{Duration, Instant};
+
+        fn soon() -> Instant {
+            Instant::now() + Duration::from_millis(5)
+        }
+
+        #[test]
+        fn try_acquire_uncontended_succeeds() {
+            let lock = TicketLock::new();
+            let mut ctx = NoContext;
+            assert!(lock.try_acquire_until(&mut ctx, soon()));
+            lock.release(&mut ctx);
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn youngest_ticket_timeout_cancels_cleanly() {
+            let lock = TicketLock::new();
+            let mut holder = NoContext;
+            lock.acquire(&mut holder);
+            let mut waiter = NoContext;
+            assert!(!lock.try_acquire_until(&mut waiter, soon()));
+            // The ticket was retracted: the holder is the sole
+            // outstanding entry and release leaves the lock free.
+            assert_eq!(lock.queue_len(), 1);
+            lock.release(&mut holder);
+            assert!(!lock.is_locked());
+            assert!(lock.try_acquire_until(&mut waiter, soon()));
+            lock.release(&mut waiter);
+        }
+
+        #[test]
+        fn buried_ticket_hands_its_turn_forward() {
+            // holder <- w1 (times out) <- w2 (blocks): w1's turn must
+            // pass through to w2 rather than wedging the grant counter.
+            let lock = Arc::new(TicketLock::new());
+            let mut holder = NoContext;
+            lock.acquire(&mut holder);
+            // w1 takes its ticket first (short deadline)...
+            let w1 = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    let mut ctx = NoContext;
+                    let d = Instant::now() + Duration::from_millis(5);
+                    lock.try_acquire_until(&mut ctx, d)
+                })
+            };
+            crate::spin::spin_until(|| lock.queue_len() >= 2);
+            // ...then w2 buries it, so w1 cannot cancel.
+            let w2 = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    let mut ctx = NoContext;
+                    lock.acquire(&mut ctx);
+                    lock.release(&mut ctx);
+                })
+            };
+            crate::spin::spin_until(|| lock.queue_len() >= 3);
+            // Let w1's deadline expire while buried, then release: the
+            // grant must flow holder -> w1 (handed forward) -> w2.
+            std::thread::sleep(Duration::from_millis(50));
+            lock.release(&mut holder);
+            assert!(!w1.join().unwrap(), "buried w1 times out");
+            w2.join().expect("w2 acquires after the handed-forward turn");
+            assert!(!lock.is_locked());
+        }
+
+        #[test]
+        fn timeout_leaves_other_traffic_unharmed() {
+            const THREADS: usize = 4;
+            const ITERS: usize = 300;
+            let lock = Arc::new(TicketLock::new());
+            let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for i in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    let mut ctx = NoContext;
+                    let mut held = 0usize;
+                    for _ in 0..ITERS {
+                        if i % 2 == 0 {
+                            let d = Instant::now() + Duration::from_micros(50);
+                            if !lock.try_acquire_until(&mut ctx, d) {
+                                continue;
+                            }
+                        } else {
+                            lock.acquire(&mut ctx);
+                        }
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        held += 1;
+                        lock.release(&mut ctx);
+                    }
+                    held
+                }));
+            }
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(counter.load(Ordering::Relaxed), total);
+            assert!(!lock.is_locked());
+        }
     }
 }

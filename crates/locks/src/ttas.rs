@@ -7,7 +7,7 @@ use crate::pad::CachePadded;
 use crate::park::ParkSpot;
 use crate::park::SPIN_FOREVER;
 use crate::raw::{LockInfo, NoContext, RawLock};
-#[cfg(not(feature = "park"))]
+#[cfg(any(not(feature = "park"), feature = "deadline"))]
 use crate::spin::Backoff;
 
 /// Test-and-test-and-set (TTAS) spinlock.
@@ -83,6 +83,28 @@ impl TtasLock {
         }
     }
 
+    /// Deadline-bounded acquire. TTAS keeps no queue state, so a
+    /// timeout needs no undo: stop retrying and report failure. The
+    /// deadline wait never parks.
+    #[cfg(feature = "deadline")]
+    fn try_acquire_inner_deadline(&self, deadline: std::time::Instant) -> bool {
+        let mut poll = crate::deadline::DeadlinePoll::new(deadline, "ttas-wait");
+        let mut backoff = Backoff::new();
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                if poll.expired() {
+                    crate::deadline::on_abandon();
+                    return false;
+                }
+                backoff.snooze();
+            }
+            crate::chaos::point("ttas-acquire-window");
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return true;
+            }
+        }
+    }
+
     #[cfg(not(feature = "park"))]
     fn acquire_inner(&self, _budget: u32) {
         let mut backoff = Backoff::new();
@@ -122,6 +144,11 @@ impl RawLock for TtasLock {
     #[cfg(feature = "park")]
     fn acquire_budgeted(&self, _ctx: &mut NoContext, budget: u32) {
         self.acquire_inner(budget);
+    }
+
+    #[cfg(feature = "deadline")]
+    fn try_acquire_until(&self, _ctx: &mut NoContext, deadline: std::time::Instant) -> bool {
+        self.try_acquire_inner_deadline(deadline)
     }
 
     fn release(&self, _ctx: &mut NoContext) {
@@ -188,5 +215,70 @@ mod tests {
     #[test]
     fn info_marks_unfair() {
         assert!(!TtasLock::INFO.fair);
+    }
+
+    #[cfg(feature = "deadline")]
+    mod deadline {
+        use super::*;
+        use std::time::{Duration, Instant};
+
+        #[test]
+        fn try_acquire_uncontended_succeeds() {
+            let lock = TtasLock::new();
+            let mut ctx = NoContext;
+            assert!(lock.try_acquire_until(&mut ctx, Instant::now() + Duration::from_secs(5)));
+            assert!(lock.is_locked());
+            lock.release(&mut ctx);
+        }
+
+        #[test]
+        fn timeout_while_held_is_clean() {
+            let lock = TtasLock::new();
+            let mut holder = NoContext;
+            lock.acquire(&mut holder);
+            let before = crate::deadline::abandons();
+            let mut w = NoContext;
+            assert!(!lock.try_acquire_until(&mut w, Instant::now()));
+            assert!(crate::deadline::abandons() > before);
+            assert!(lock.is_locked(), "timeout must not perturb the flag");
+            lock.release(&mut holder);
+            assert!(lock.try_acquire_until(&mut w, Instant::now() + Duration::from_secs(5)));
+            lock.release(&mut w);
+        }
+
+        #[test]
+        fn timeout_leaves_other_traffic_unharmed() {
+            const THREADS: usize = 4;
+            const ITERS: usize = 300;
+            let lock = Arc::new(TtasLock::new());
+            let held = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let held = Arc::clone(&held);
+                handles.push(std::thread::spawn(move || {
+                    let mut ctx = NoContext;
+                    for _ in 0..ITERS {
+                        let got = if t % 2 == 0 {
+                            lock.try_acquire_until(
+                                &mut ctx,
+                                Instant::now() + Duration::from_micros(50),
+                            )
+                        } else {
+                            lock.acquire(&mut ctx);
+                            true
+                        };
+                        if got {
+                            held.fetch_add(1, Ordering::Relaxed);
+                            lock.release(&mut ctx);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(!lock.is_locked());
+        }
     }
 }

@@ -85,6 +85,7 @@
 pub mod analyze;
 pub mod audit;
 pub mod counters;
+pub mod deadline;
 pub mod export;
 pub mod hist;
 pub mod park;
@@ -102,6 +103,9 @@ pub mod window;
 pub use analyze::{analyze, ownership_timeline, ChainStats, FairnessCdf, LevelWait, TraceAnalysis};
 pub use audit::{render_audit_json, AuditReason, AuditRecord, AuditRing};
 pub use counters::{LevelCounters, LevelSnapshot};
+pub use deadline::{
+    deadline_stats, render_deadline_json, render_deadline_prometheus, DeadlineStats,
+};
 pub use export::{render_json, render_prometheus, LockSnapshot};
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use park::{park_stats, render_park_json, render_park_prometheus, ParkStats};

@@ -340,6 +340,9 @@ fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
             let snap = (shared.snapshot)();
             let mut body = render_prometheus(&snap);
             body.push_str(&crate::park::render_park_prometheus(&crate::park::park_stats()));
+            body.push_str(&crate::deadline::render_deadline_prometheus(
+                &crate::deadline::deadline_stats(),
+            ));
             body.push_str(&self_metrics(shared));
             (200, "text/plain; version=0.0.4", body)
         }
@@ -353,11 +356,12 @@ fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
                 .unwrap_or_else(|_| "[]".to_string());
             let ring = audit::global();
             let body = format!(
-                "{{\"snapshot\":{},\"audit\":{},\"alerts\":{},\"park\":{},\"server\":{}}}",
+                "{{\"snapshot\":{},\"audit\":{},\"alerts\":{},\"park\":{},\"deadline\":{},\"server\":{}}}",
                 render_json(&snap),
                 audit::render_audit_json(&ring.entries()),
                 alerts,
                 crate::park::render_park_json(&crate::park::park_stats()),
+                crate::deadline::render_deadline_json(&crate::deadline::deadline_stats()),
                 self_json(shared),
             );
             (200, "application/json", body)

@@ -106,6 +106,20 @@ impl WaitTable {
         }
     }
 
+    /// Thread `thread` stopped waiting on `site` *without* acquiring it
+    /// (deadline abandonment): the wait edge is cleared and nothing is
+    /// added to the held set. Without this, a timed-out waiter would
+    /// look permanently blocked to the cycle/stall analyzer.
+    #[inline]
+    pub fn note_wait_cancelled(&self, thread: u32, site: u32) {
+        if site == INVALID_SITE {
+            return;
+        }
+        if let Some(cell) = self.cell(thread) {
+            cell.waiting_site.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Thread `thread` released `site`.
     #[inline]
     pub fn note_released(&self, thread: u32, site: u32) {
@@ -262,6 +276,13 @@ pub fn note_wait(site: u32) {
 #[inline]
 pub fn note_acquired(site: u32) {
     global().note_acquired(thread_tag(), site);
+}
+
+/// [`WaitTable::note_wait_cancelled`] on the global table for the
+/// calling thread.
+#[inline]
+pub fn note_wait_cancelled(site: u32) {
+    global().note_wait_cancelled(thread_tag(), site);
 }
 
 /// [`WaitTable::note_released`] on the global table for the calling

@@ -30,6 +30,10 @@
 //! * [`swapper`] — forced-migration driver for `clof::adapt`: runs the
 //!   oracle while a seeded background thread hot-swaps the lock between
 //!   compositions, so the handover protocol is fuzzed mid-contention.
+//! * [`deadline`] (`--features deadline`) — forced-timeout schedule
+//!   driver: turns the oracle's blocking acquires into seeded bounded
+//!   retries and injects deterministic deadline expiries inside the
+//!   locks' wait loops, so abandonment races are opened on schedule.
 //!
 //! Determinism story: generators and the fuzzer's *decisions* are pure
 //! functions of seeds; actual thread interleavings still belong to the
@@ -44,6 +48,8 @@
 
 pub mod bench;
 pub mod check;
+#[cfg(feature = "deadline")]
+pub mod deadline;
 pub mod gen;
 pub mod obscheck;
 pub mod oracle;
@@ -52,6 +58,11 @@ pub mod strategies;
 pub mod swapper;
 
 pub use check::{check, check_with, Config};
+#[cfg(feature = "deadline")]
+pub use deadline::{
+    fuzz_timeout_seeds, with_forced_timeouts, BlockingOrTimed, DeadlineHandle, ForcedTimeoutPlan,
+    TimedHandle, TimeoutFuzzOutcome,
+};
 pub use obscheck::{assert_stats_consistent, assert_total_order, LevelTally};
 pub use gen::Gen;
 pub use oracle::{

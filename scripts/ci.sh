@@ -32,7 +32,15 @@
 #      mutant-kill test, the same oracle smoke with `park,obs`
 #      instrumentation compiled in, and the zero-cost assertions that
 #      the default binary carries no "clof-park" marker and the default
-#      dependency graph enables the `park` feature nowhere.
+#      dependency graph enables the `park` feature nowhere;
+#   8. the deadline phase: `deadline` release build, the locks/core/
+#      kvstore deadline unit suites, the 64-seed timeout/abandonment
+#      oracle matrix (plus its park and adapt companion cells), the
+#      deleted-abandoned-skip mutant-kill test, a `clof deadline --once`
+#      smoke against the real binary (marker present), and the
+#      zero-cost assertions that the default binary carries no
+#      "clof-deadline" marker and the default dependency graph enables
+#      the `deadline` feature nowhere.
 #
 # Everything builds from vendored/in-repo code only — no network, no
 # external dev-dependencies — so this is safe for air-gapped runners.
@@ -137,6 +145,14 @@ phase "default binary carries no profiler symbols" \
 phase "default binary carries no park symbols" \
     sh -c 'if grep -qa clof-park target/release/clof; then
                echo "spin-then-park symbols leaked into the default clof binary" >&2
+               exit 1
+           fi'
+# The "clof-deadline-v1" literal is the deadline layer's format marker
+# (printed in the `clof deadline` banner), so its absence proves the
+# default binary compiled no bounded-acquisition/poisoning code.
+phase "default binary carries no deadline symbols" \
+    sh -c 'if grep -qa clof-deadline target/release/clof; then
+               echo "deadline symbols leaked into the default clof binary" >&2
                exit 1
            fi'
 
@@ -290,6 +306,43 @@ phase "park zero-cost dependency check" \
            fi
            if cargo tree -e normal -f "{p} {f}" -p clof-bench | grep -qw park; then
                echo "the park feature leaked into the default clof-bench graph" >&2
+               exit 1
+           fi'
+
+# Deadline phase: bounded acquisition must build on every base lock,
+# the 64-seed timeout/abandonment oracle matrix (plus its park and
+# adapt companion cells) must hold mutual exclusion and leak nothing,
+# the deleted-abandoned-skip mutant must wedge and be caught, the real
+# binary must run the demo, and the default build must carry none of it.
+phase "deadline release build" cargo build --release --features deadline
+phase "deadline locks unit suite" cargo test -q -p clof-locks --features deadline
+phase "deadline core suite" cargo test -q -p clof-core --features deadline
+phase "deadline kvstore suite" cargo test -q -p clof-kvstore --features deadline
+phase "deadline testkit suite (forced-timeout injection)" \
+    cargo test -q -p clof-testkit --features deadline
+phase "deadline timeout/abandon oracle matrix" \
+    cargo test -q --features deadline --test deadline_oracle
+phase "deadline+park oracle (abandonment next to parked waiters)" \
+    cargo test -q --features deadline,park --test deadline_oracle -- \
+    abandonment_with_parked_neighbours_loses_no_wakeups
+phase "deadline+adapt oracle (abandonment across hot-swaps)" \
+    cargo test -q --features deadline,adapt --test deadline_oracle -- \
+    abandonment_mid_migration_keeps_swaps_and_counts
+phase "deadline mutant-kill (deleted abandoned-node skip)" \
+    cargo test -q --features deadline --test deadline_mutant
+phase "deadline clof binary build" \
+    cargo build --release -p clof-bench --features deadline
+phase "deadline binary carries the deadline marker" \
+    grep -qa clof-deadline target/release/clof
+phase "clof deadline --once smoke" \
+    ./target/release/clof deadline --machine armv8 --levels 3 --once
+phase "deadline zero-cost dependency check" \
+    sh -c 'if cargo tree -e normal -f "{p} {f}" | grep -qw deadline; then
+               echo "the deadline feature leaked into the default dependency graph" >&2
+               exit 1
+           fi
+           if cargo tree -e normal -f "{p} {f}" -p clof-bench | grep -qw deadline; then
+               echo "the deadline feature leaked into the default clof-bench graph" >&2
                exit 1
            fi'
 
